@@ -1,0 +1,363 @@
+//! Deep (multi-hidden-layer) perceptrons — the paper's §VIII follow-up
+//! direction ("we want to increase the size of the neural networks that
+//! can be mapped ..., in order to efficiently tackle very large networks,
+//! such as Deep Networks").
+//!
+//! The accelerator executes deep networks by partial time-multiplexing
+//! (every layer pair is chunked over the physical array, see
+//! `dta_core::large`); this module provides the algorithmic side:
+//! arbitrary-depth MLPs with the same Q6.10 hardware forward semantics
+//! and companion-core back-propagation as the 2-layer [`crate::Mlp`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dta_datasets::Dataset;
+use dta_fixed::{sigmoid::sigmoid, Fx, SigmoidLut};
+
+/// A fully connected feed-forward network with any number of layers.
+///
+/// `dims = [inputs, h1, h2, ..., outputs]`; every non-input layer has a
+/// bias weight and a sigmoid activation.
+///
+/// # Example
+///
+/// ```
+/// use dta_ann::deep::DeepMlp;
+/// let net = DeepMlp::new(&[8, 16, 12, 4], 42);
+/// assert_eq!(net.depth(), 3); // three weight layers
+/// let out = net.forward_float(&[0.5; 8]).pop().unwrap();
+/// assert_eq!(out.len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeepMlp {
+    dims: Vec<usize>,
+    /// One weight matrix per layer, row-major `[out][in + 1]`.
+    weights: Vec<Vec<f64>>,
+}
+
+impl DeepMlp {
+    /// Creates a network with seeded Xavier-style initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dims` has at least 2 entries, all nonzero.
+    pub fn new(dims: &[usize], seed: u64) -> DeepMlp {
+        assert!(dims.len() >= 2, "need input and output layers");
+        assert!(dims.iter().all(|&d| d >= 1), "zero-width layer");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weights = dims
+            .windows(2)
+            .map(|w| {
+                let (n_in, n_out) = (w[0], w[1]);
+                let lim = 1.0 / (n_in as f64).sqrt();
+                (0..n_out * (n_in + 1))
+                    .map(|_| rng.random_range(-lim..lim))
+                    .collect()
+            })
+            .collect();
+        DeepMlp {
+            dims: dims.to_vec(),
+            weights,
+        }
+    }
+
+    /// Layer widths including input and output.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of weight layers.
+    pub fn depth(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total number of weights including biases.
+    pub fn n_weights(&self) -> usize {
+        self.weights.iter().map(Vec::len).sum()
+    }
+
+    /// Weight `w[l][j][i]` (`i == dims[l]` is the bias).
+    pub fn weight(&self, layer: usize, j: usize, i: usize) -> f64 {
+        self.weights[layer][j * (self.dims[layer] + 1) + i]
+    }
+
+    fn weight_mut(&mut self, layer: usize, j: usize, i: usize) -> &mut f64 {
+        &mut self.weights[layer][j * (self.dims[layer] + 1) + i]
+    }
+
+    /// Exact `f64` forward pass; returns the activations of every
+    /// non-input layer (last entry = network output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dims()[0]`.
+    pub fn forward_float(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(x.len(), self.dims[0]);
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.depth());
+        let mut current = x.to_vec();
+        for l in 0..self.depth() {
+            let n_out = self.dims[l + 1];
+            let next: Vec<f64> = (0..n_out)
+                .map(|j| {
+                    let mut acc = self.weight(l, j, self.dims[l]);
+                    for (i, &v) in current.iter().enumerate() {
+                        acc += self.weight(l, j, i) * v;
+                    }
+                    sigmoid(acc)
+                })
+                .collect();
+            acts.push(next.clone());
+            current = next;
+        }
+        acts
+    }
+
+    /// Hardware (Q6.10 + LUT sigmoid) forward pass; same shape as
+    /// [`DeepMlp::forward_float`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dims()[0]`.
+    pub fn forward_fixed(&self, x: &[f64], lut: &SigmoidLut) -> Vec<Vec<f64>> {
+        assert_eq!(x.len(), self.dims[0]);
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.depth());
+        let mut current: Vec<Fx> = x.iter().map(|&v| Fx::from_f64(v)).collect();
+        for l in 0..self.depth() {
+            let n_out = self.dims[l + 1];
+            let next: Vec<Fx> = (0..n_out)
+                .map(|j| {
+                    let mut acc = Fx::from_f64(self.weight(l, j, self.dims[l]));
+                    for (i, &v) in current.iter().enumerate() {
+                        acc = acc + Fx::from_f64(self.weight(l, j, i)) * v;
+                    }
+                    lut.eval(acc)
+                })
+                .collect();
+            acts.push(next.iter().map(|v| v.to_f64()).collect());
+            current = next;
+        }
+        acts
+    }
+
+    /// Predicted class from the output activations.
+    pub fn classify_fixed(&self, x: &[f64], lut: &SigmoidLut) -> usize {
+        let out = self.forward_fixed(x, lut).pop().expect("depth >= 1");
+        argmax(&out)
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Back-propagation for [`DeepMlp`] (stochastic, with momentum), with the
+/// forward pass on the hardware fixed-point path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeepTrainer {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl DeepTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive learning rate or zero epochs.
+    pub fn new(learning_rate: f64, momentum: f64, epochs: usize) -> DeepTrainer {
+        assert!(learning_rate > 0.0);
+        assert!((0.0..1.0).contains(&momentum));
+        assert!(epochs >= 1);
+        DeepTrainer {
+            learning_rate,
+            momentum,
+            epochs,
+        }
+    }
+
+    /// Trains on the selected samples, forward in Q6.10, gradients in
+    /// `f64`.
+    pub fn train<R: Rng + ?Sized>(
+        &self,
+        net: &mut DeepMlp,
+        ds: &Dataset,
+        idx: &[usize],
+        rng: &mut R,
+    ) {
+        assert_eq!(net.dims[0], ds.n_features(), "network/dataset mismatch");
+        assert!(*net.dims.last().unwrap() >= ds.n_classes());
+        let lut = SigmoidLut::new();
+        let mut velocity: Vec<Vec<f64>> =
+            net.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut order: Vec<usize> = idx.to_vec();
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for &s in &order {
+                let sample = &ds.samples()[s];
+                let acts = net.forward_fixed(&sample.features, &lut);
+                let depth = net.depth();
+                // Deltas layer by layer, from the output backwards.
+                let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); depth];
+                let out = &acts[depth - 1];
+                deltas[depth - 1] = out
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &y)| {
+                        let t = if k == sample.label { 1.0 } else { 0.0 };
+                        (t - y) * y * (1.0 - y)
+                    })
+                    .collect();
+                for l in (0..depth - 1).rev() {
+                    let next_delta = deltas[l + 1].clone();
+                    deltas[l] = acts[l]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &h)| {
+                            let back: f64 = next_delta
+                                .iter()
+                                .enumerate()
+                                .map(|(k, &dk)| dk * net.weight(l + 1, k, j))
+                                .sum();
+                            h * (1.0 - h) * back
+                        })
+                        .collect();
+                }
+                // Updates.
+                for l in 0..depth {
+                    let n_in = net.dims[l];
+                    let delta_l = deltas[l].clone();
+                    for (j, &dj) in delta_l.iter().enumerate() {
+                        for i in 0..=n_in {
+                            let y_in = if i == n_in {
+                                1.0
+                            } else if l == 0 {
+                                sample.features[i]
+                            } else {
+                                acts[l - 1][i]
+                            };
+                            let vi = j * (n_in + 1) + i;
+                            velocity[l][vi] = self.learning_rate * dj * y_in
+                                + self.momentum * velocity[l][vi];
+                            *net.weight_mut(l, j, i) += velocity[l][vi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classification accuracy on the selected samples (fixed-point
+    /// forward).
+    pub fn evaluate(&self, net: &DeepMlp, ds: &Dataset, idx: &[usize]) -> f64 {
+        let lut = SigmoidLut::new();
+        let correct = idx
+            .iter()
+            .filter(|&&s| {
+                let sample = &ds.samples()[s];
+                net.classify_fixed(&sample.features, &lut) == sample.label
+            })
+            .count();
+        correct as f64 / idx.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_datasets::GaussianMixture;
+
+    #[test]
+    fn construction_and_accessors() {
+        let net = DeepMlp::new(&[5, 8, 6, 3], 1);
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.dims(), &[5, 8, 6, 3]);
+        assert_eq!(net.n_weights(), 8 * 6 + 6 * 9 + 3 * 7);
+        assert_eq!(DeepMlp::new(&[5, 8, 6, 3], 1), net, "deterministic");
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let net = DeepMlp::new(&[4, 7, 5, 2], 3);
+        let acts = net.forward_float(&[0.2, 0.8, 0.1, 0.9]);
+        assert_eq!(acts.len(), 3);
+        assert_eq!(acts[0].len(), 7);
+        assert_eq!(acts[2].len(), 2);
+        for layer in &acts {
+            for &v in layer {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_tracks_float() {
+        let net = DeepMlp::new(&[6, 10, 8, 3], 7);
+        let lut = SigmoidLut::new();
+        let x: Vec<f64> = (0..6).map(|i| i as f64 / 6.0).collect();
+        let ff = net.forward_float(&x).pop().unwrap();
+        let fx = net.forward_fixed(&x, &lut).pop().unwrap();
+        for (a, b) in ff.iter().zip(&fx) {
+            assert!((a - b).abs() < 0.08, "float {a} vs fixed {b}");
+        }
+    }
+
+    #[test]
+    fn deep_network_learns() {
+        let ds = GaussianMixture::new(8, 3)
+            .spread(0.09)
+            .samples(240)
+            .generate("deep", 11);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut net = DeepMlp::new(&[8, 12, 8, 3], 5);
+        let trainer = DeepTrainer::new(0.3, 0.2, 40);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let before = trainer.evaluate(&net, &ds, &idx);
+        trainer.train(&mut net, &ds, &idx, &mut rng);
+        let after = trainer.evaluate(&net, &ds, &idx);
+        assert!(after > 0.9, "deep training acc {after} (before {before})");
+    }
+
+    #[test]
+    fn two_layer_deep_matches_mlp_semantics() {
+        // A DeepMlp with one hidden layer computes the same function
+        // family as Mlp; check the forward value ranges agree on a
+        // shared topology with identical weights copied over.
+        use crate::mlp::{Mlp, Topology};
+        let topo = Topology::new(3, 4, 2);
+        let mlp = Mlp::new(topo, 9);
+        let mut deep = DeepMlp::new(&[3, 4, 2], 9);
+        for j in 0..4 {
+            for i in 0..=3 {
+                *deep.weight_mut(0, j, i) = mlp.w_hidden(j, i);
+            }
+        }
+        for k in 0..2 {
+            for j in 0..=4 {
+                *deep.weight_mut(1, k, j) = mlp.w_output(k, j);
+            }
+        }
+        let lut = SigmoidLut::new();
+        let x = [0.3, 0.6, 0.9];
+        let trace = mlp.forward_fixed(&x, &lut);
+        let acts = deep.forward_fixed(&x, &lut);
+        assert_eq!(trace.hidden, acts[0]);
+        assert_eq!(trace.output, acts[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input and output")]
+    fn single_layer_rejected() {
+        let _ = DeepMlp::new(&[5], 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-neuron fault plans: which operators of which neurons are
+//! defective, and the gate-level circuits that emulate them.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use rand::Rng;
+
+use dta_circuits::{
+    FaultModel, FxMulCircuit, HwAdder, HwMultiplier, HwSigmoid, SatAdderCircuit,
+    SigmoidUnitCircuit,
+};
+use dta_fixed::{Fx, SigmoidLut};
+
+/// Which layer a faulty neuron belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// The hidden layer (the input→hidden stage, where Figure 10 injects).
+    Hidden,
+    /// The output layer (where Figure 11 injects).
+    Output,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Hidden => write!(f, "hidden"),
+            Layer::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// Shared immutable operator netlists: built once per process, since a
+/// 16-bit multiplier netlist has thousands of gates and every faulty
+/// operator instance only needs its own (cheap) simulator state on top.
+fn library() -> &'static (
+    Arc<FxMulCircuit>,
+    Arc<SatAdderCircuit>,
+    Arc<SigmoidUnitCircuit>,
+) {
+    static LIB: OnceLock<(
+        Arc<FxMulCircuit>,
+        Arc<SatAdderCircuit>,
+        Arc<SigmoidUnitCircuit>,
+    )> = OnceLock::new();
+    LIB.get_or_init(|| {
+        (
+            Arc::new(FxMulCircuit::new()),
+            Arc::new(SatAdderCircuit::new()),
+            Arc::new(SigmoidUnitCircuit::new()),
+        )
+    })
+}
+
+/// The faulty operators of one neuron.
+///
+/// In the spatially expanded accelerator every synapse has its own
+/// multiplier, accumulation adder and weight latch, so faults are indexed
+/// by synapse position; the activation unit is one per neuron. Weight
+/// latches are state elements, for which the stuck-at model is accurate
+/// (the paper: such a model "accurately describes faults occurring at
+/// state elements"), so latch defects are stuck bits in the stored word.
+#[derive(Debug, Default)]
+pub struct NeuronFaults {
+    muls: HashMap<usize, HwMultiplier>,
+    adds: HashMap<usize, HwAdder>,
+    act: Option<HwSigmoid>,
+    /// Per-synapse (AND mask, OR mask) applied to the stored weight bits.
+    latches: HashMap<usize, (u16, u16)>,
+}
+
+impl NeuronFaults {
+    /// One past the highest physical synapse index carrying a fault
+    /// (multiplier, adder or latch); 0 if only the activation is faulty.
+    pub fn max_synapse_excl(&self) -> usize {
+        self.muls
+            .keys()
+            .chain(self.adds.keys())
+            .chain(self.latches.keys())
+            .map(|&i| i + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The faulty multiplier at synapse `i`, if any.
+    pub fn multiplier_mut(&mut self, i: usize) -> Option<&mut HwMultiplier> {
+        self.muls.get_mut(&i)
+    }
+
+    /// The faulty accumulation adder at step `i`, if any.
+    pub fn adder_mut(&mut self, i: usize) -> Option<&mut HwAdder> {
+        self.adds.get_mut(&i)
+    }
+
+    /// Applies any latch stuck-bit masks of synapse `i` to a weight.
+    pub fn latch_filter(&self, i: usize, w: Fx) -> Fx {
+        match self.latches.get(&i) {
+            Some(&(and_mask, or_mask)) => {
+                Fx::from_bits((w.to_bits() & and_mask) | or_mask)
+            }
+            None => w,
+        }
+    }
+
+    /// Evaluates the neuron's activation, through the faulty unit if one
+    /// is installed.
+    pub fn activation(&mut self, x: Fx, lut: &SigmoidLut) -> Fx {
+        match self.act.as_mut() {
+            Some(hw) => hw.eval(x),
+            None => lut.eval(x),
+        }
+    }
+
+    /// True if this neuron carries no fault (plans prune such entries).
+    pub fn is_empty(&self) -> bool {
+        self.muls.is_empty()
+            && self.adds.is_empty()
+            && self.act.is_none()
+            && self.latches.is_empty()
+    }
+
+    fn reset_state(&mut self) {
+        for hw in self.muls.values_mut() {
+            hw.reset_state();
+        }
+        for hw in self.adds.values_mut() {
+            hw.reset_state();
+        }
+        if let Some(hw) = self.act.as_mut() {
+            hw.reset_state();
+        }
+    }
+}
+
+/// The set of defective operators across the network, owning the
+/// gate-level circuits that emulate them.
+///
+/// # Example
+///
+/// ```
+/// use dta_ann::FaultPlan;
+/// use dta_circuits::FaultModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let mut plan = FaultPlan::new(90);
+/// plan.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+/// assert_eq!(plan.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// Physical synapses per hidden neuron (90 in the accelerator).
+    hw_inputs: usize,
+    neurons: HashMap<(Layer, usize), NeuronFaults>,
+    records: Vec<String>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan for an accelerator with `hw_inputs` physical
+    /// synapses per hidden neuron.
+    pub fn new(hw_inputs: usize) -> FaultPlan {
+        FaultPlan {
+            hw_inputs,
+            neurons: HashMap::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of injected defects.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no defect has been injected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Descriptions of every injected defect.
+    pub fn records(&self) -> &[String] {
+        &self.records
+    }
+
+    /// The fault state of a neuron, if it has any.
+    pub fn neuron_mut(&mut self, layer: Layer, neuron: usize) -> Option<&mut NeuronFaults> {
+        self.neurons.get_mut(&(layer, neuron))
+    }
+
+    /// Indices of faulty neurons per layer.
+    pub fn faulty_neurons(&self, layer: Layer) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .neurons
+            .keys()
+            .filter(|(l, _)| *l == layer)
+            .map(|(_, n)| *n)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn entry(&mut self, layer: Layer, neuron: usize) -> &mut NeuronFaults {
+        self.neurons.entry((layer, neuron)).or_default()
+    }
+
+    /// Injects one transistor- or gate-level defect at a uniformly random
+    /// operator instance of the input/hidden stage (the Figure 10
+    /// procedure): per hidden neuron the instances are `hw_inputs`
+    /// multipliers, `hw_inputs` adders, `hw_inputs` weight latches, and
+    /// one activation unit.
+    pub fn inject_random_hidden<R: Rng + ?Sized>(
+        &mut self,
+        n_hidden: usize,
+        model: FaultModel,
+        rng: &mut R,
+    ) {
+        assert!(n_hidden >= 1);
+        let neuron = rng.random_range(0..n_hidden);
+        let per_neuron = 3 * self.hw_inputs + 1;
+        let instance = rng.random_range(0..per_neuron);
+        let (lib_mul, lib_add, lib_act) = library();
+        let hw_inputs = self.hw_inputs;
+        let nf = self.entry(Layer::Hidden, neuron);
+        let desc = if instance < hw_inputs {
+            let syn = instance;
+            let hw = nf
+                .muls
+                .entry(syn)
+                .or_insert_with(|| HwMultiplier::with_circuit(Arc::clone(lib_mul)));
+            let d = hw.inject_random(model, 1, rng).pop().expect("one defect");
+            format!("hidden[{neuron}].mul[{syn}]: {d}")
+        } else if instance < 2 * hw_inputs {
+            let step = instance - hw_inputs;
+            let hw = nf
+                .adds
+                .entry(step)
+                .or_insert_with(|| HwAdder::with_circuit(Arc::clone(lib_add)));
+            let d = hw.inject_random(model, 1, rng).pop().expect("one defect");
+            format!("hidden[{neuron}].add[{step}]: {d}")
+        } else if instance < 3 * hw_inputs {
+            let syn = instance - 2 * hw_inputs;
+            let bit = rng.random_range(0..16u32);
+            let stuck_one = rng.random_bool(0.5);
+            let (and_mask, or_mask) =
+                nf.latches.entry(syn).or_insert((0xFFFF, 0x0000));
+            if stuck_one {
+                *or_mask |= 1 << bit;
+            } else {
+                *and_mask &= !(1 << bit);
+            }
+            format!(
+                "hidden[{neuron}].latch[{syn}]: bit {bit} stuck at {}",
+                u8::from(stuck_one)
+            )
+        } else {
+            let hw = nf
+                .act
+                .get_or_insert_with(|| HwSigmoid::with_circuit(Arc::clone(lib_act)));
+            let d = hw.inject_random(model, 1, rng).pop().expect("one defect");
+            format!("hidden[{neuron}].act: {d}")
+        };
+        self.records.push(desc);
+    }
+
+    /// Injects one transistor-level defect into the accumulation adder of
+    /// an output neuron (a Figure 11 site). The defective instance is the
+    /// final accumulation step, whose error reaches the activation input
+    /// directly.
+    pub fn inject_output_adder<R: Rng + ?Sized>(
+        &mut self,
+        neuron: usize,
+        last_step: usize,
+        rng: &mut R,
+    ) {
+        let (_, lib_add, _) = library();
+        let nf = self.entry(Layer::Output, neuron);
+        let hw = nf
+            .adds
+            .entry(last_step)
+            .or_insert_with(|| HwAdder::with_circuit(Arc::clone(lib_add)));
+        let d = hw
+            .inject_random(FaultModel::TransistorLevel, 1, rng)
+            .pop()
+            .expect("one defect");
+        self.records
+            .push(format!("output[{neuron}].add[{last_step}]: {d}"));
+    }
+
+    /// Injects one transistor-level defect into the activation unit of an
+    /// output neuron (the other Figure 11 site).
+    pub fn inject_output_activation<R: Rng + ?Sized>(
+        &mut self,
+        neuron: usize,
+        rng: &mut R,
+    ) {
+        let (_, _, lib_act) = library();
+        let nf = self.entry(Layer::Output, neuron);
+        let hw = nf
+            .act
+            .get_or_insert_with(|| HwSigmoid::with_circuit(Arc::clone(lib_act)));
+        let d = hw
+            .inject_random(FaultModel::TransistorLevel, 1, rng)
+            .pop()
+            .expect("one defect");
+        self.records.push(format!("output[{neuron}].act: {d}"));
+    }
+
+    /// Clears memory effects and delay-line state in every faulty
+    /// circuit; call between independent evaluation runs.
+    pub fn reset_state(&mut self) {
+        for nf in self.neurons.values_mut() {
+            nf.reset_state();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_plan_has_no_faulty_neurons() {
+        let mut plan = FaultPlan::new(90);
+        assert!(plan.is_empty());
+        assert!(plan.neuron_mut(Layer::Hidden, 0).is_none());
+        assert!(plan.faulty_neurons(Layer::Hidden).is_empty());
+    }
+
+    #[test]
+    fn injection_creates_neuron_entries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut plan = FaultPlan::new(90);
+        for _ in 0..25 {
+            plan.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+        }
+        assert_eq!(plan.len(), 25);
+        assert_eq!(plan.records().len(), 25);
+        let faulty = plan.faulty_neurons(Layer::Hidden);
+        assert!(!faulty.is_empty());
+        assert!(faulty.iter().all(|&n| n < 10));
+        for &n in &faulty {
+            assert!(!plan.neuron_mut(Layer::Hidden, n).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn latch_filter_applies_stuck_bits() {
+        let mut nf = NeuronFaults::default();
+        nf.latches.insert(3, (0xFFFE, 0x8000)); // bit0 stuck 0, bit15 stuck 1
+        let w = Fx::from_bits(0x0001);
+        let filtered = nf.latch_filter(3, w);
+        assert_eq!(filtered.to_bits(), 0x8000);
+        // Other synapses pass through.
+        assert_eq!(nf.latch_filter(2, w), w);
+    }
+
+    #[test]
+    fn output_layer_injection_sites() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut plan = FaultPlan::new(90);
+        plan.inject_output_adder(2, 9, &mut rng);
+        plan.inject_output_activation(4, &mut rng);
+        assert_eq!(plan.faulty_neurons(Layer::Output), vec![2, 4]);
+        assert!(plan.records()[0].contains("output[2].add[9]"));
+        assert!(plan.records()[1].contains("output[4].act"));
+        assert!(plan.faulty_neurons(Layer::Hidden).is_empty());
+    }
+
+    #[test]
+    fn max_synapse_tracks_fault_positions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut plan = FaultPlan::new(90);
+        plan.inject_output_adder(0, 42, &mut rng);
+        let nf = plan.neuron_mut(Layer::Output, 0).unwrap();
+        assert_eq!(nf.max_synapse_excl(), 43);
+    }
+
+    #[test]
+    fn reset_state_runs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut plan = FaultPlan::new(90);
+        plan.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+        plan.reset_state(); // must not panic
+    }
+}

@@ -1,0 +1,215 @@
+//! Hyper-parameter grid search over the paper's Table I space.
+
+use std::fmt;
+
+use dta_datasets::Dataset;
+
+use crate::train::{cross_validate, ForwardMode, Trainer};
+
+/// One hyper-parameter configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HyperParams {
+    /// Hidden-layer size.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+}
+
+impl fmt::Display for HyperParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hidden={} epochs={} lr={} momentum={}",
+            self.hidden, self.epochs, self.learning_rate, self.momentum
+        )
+    }
+}
+
+/// A grid of hyper-parameter values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HyperSpace {
+    /// Hidden-layer sizes to try.
+    pub hidden: Vec<usize>,
+    /// Epoch counts to try.
+    pub epochs: Vec<usize>,
+    /// Learning rates to try.
+    pub learning_rates: Vec<f64>,
+    /// Momentum values to try.
+    pub momenta: Vec<f64>,
+}
+
+impl HyperSpace {
+    /// The paper's Table I space: hidden 2..16 step 2, epochs 100..3200
+    /// doubling, learning rate 0.1..0.9 step 0.1, momentum 0.1..0.9 step
+    /// 0.1 — 3888 configurations.
+    pub fn table1() -> HyperSpace {
+        HyperSpace {
+            hidden: (1..=8).map(|h| 2 * h).collect(),
+            epochs: (0..6).map(|e| 100 << e).collect(),
+            learning_rates: (1..=9).map(|r| r as f64 / 10.0).collect(),
+            momenta: (1..=9).map(|m| m as f64 / 10.0).collect(),
+        }
+    }
+
+    /// A coarse sub-grid for quick searches (still spanning the Table I
+    /// ranges): 48 configurations.
+    pub fn coarse() -> HyperSpace {
+        HyperSpace {
+            hidden: vec![2, 6, 10, 14],
+            epochs: vec![100, 400],
+            learning_rates: vec![0.1, 0.3, 0.5],
+            momenta: vec![0.1, 0.5],
+        }
+    }
+
+    /// Every configuration of the grid, in deterministic order.
+    pub fn configs(&self) -> Vec<HyperParams> {
+        let mut out = Vec::with_capacity(
+            self.hidden.len()
+                * self.epochs.len()
+                * self.learning_rates.len()
+                * self.momenta.len(),
+        );
+        for &hidden in &self.hidden {
+            for &epochs in &self.epochs {
+                for &learning_rate in &self.learning_rates {
+                    for &momentum in &self.momenta {
+                        out.push(HyperParams {
+                            hidden,
+                            epochs,
+                            learning_rate,
+                            momentum,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of configurations in the grid.
+    pub fn len(&self) -> usize {
+        self.hidden.len()
+            * self.epochs.len()
+            * self.learning_rates.len()
+            * self.momenta.len()
+    }
+
+    /// True if the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of a grid search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// The best configuration found.
+    pub best: HyperParams,
+    /// Its mean cross-validated accuracy.
+    pub accuracy: f64,
+    /// Number of configurations evaluated.
+    pub evaluated: usize,
+}
+
+/// Exhaustive grid search with k-fold cross-validation on the hardware
+/// (fixed-point) forward path, as the paper did per task to produce
+/// Table II. Ties break toward smaller hidden layers, then fewer epochs
+/// (cheaper hardware mappings).
+pub fn search(ds: &Dataset, space: &HyperSpace, folds: usize, seed: u64) -> SearchResult {
+    assert!(!space.is_empty(), "empty hyper-parameter space");
+    let mut best: Option<(HyperParams, f64)> = None;
+    let configs = space.configs();
+    let evaluated = configs.len();
+    for hp in configs {
+        let trainer = Trainer::new(
+            hp.learning_rate,
+            hp.momentum,
+            hp.epochs,
+            ForwardMode::Fixed,
+        );
+        let cv = cross_validate(&trainer, ds, hp.hidden, folds, seed, None);
+        let acc = cv.mean();
+        let better = match &best {
+            None => true,
+            Some((b, ba)) => {
+                acc > *ba + 1e-12
+                    || ((acc - *ba).abs() <= 1e-12
+                        && (hp.hidden, hp.epochs) < (b.hidden, b.epochs))
+            }
+        };
+        if better {
+            best = Some((hp, acc));
+        }
+    }
+    let (best, accuracy) = best.expect("space is non-empty");
+    SearchResult {
+        best,
+        accuracy,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_datasets::GaussianMixture;
+
+    #[test]
+    fn table1_space_has_3888_configs() {
+        let space = HyperSpace::table1();
+        assert_eq!(space.len(), 8 * 6 * 9 * 9);
+        assert_eq!(space.configs().len(), 3888);
+        assert_eq!(space.hidden, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(space.epochs, vec![100, 200, 400, 800, 1600, 3200]);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn search_finds_a_working_config() {
+        let ds = GaussianMixture::new(5, 2)
+            .spread(0.08)
+            .samples(80)
+            .generate("tiny", 12);
+        let space = HyperSpace {
+            hidden: vec![2, 4],
+            epochs: vec![20],
+            learning_rates: vec![0.3],
+            momenta: vec![0.1],
+        };
+        let result = search(&ds, &space, 4, 3);
+        assert_eq!(result.evaluated, 2);
+        assert!(result.accuracy > 0.8, "best acc {}", result.accuracy);
+        assert!(space.hidden.contains(&result.best.hidden));
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let ds = GaussianMixture::new(4, 2)
+            .spread(0.1)
+            .samples(60)
+            .generate("det", 5);
+        let space = HyperSpace {
+            hidden: vec![2, 4],
+            epochs: vec![10, 20],
+            learning_rates: vec![0.2],
+            momenta: vec![0.1],
+        };
+        assert_eq!(search(&ds, &space, 3, 9), search(&ds, &space, 3, 9));
+    }
+
+    #[test]
+    fn display_formats() {
+        let hp = HyperParams {
+            hidden: 10,
+            epochs: 200,
+            learning_rate: 0.1,
+            momentum: 0.5,
+        };
+        assert_eq!(hp.to_string(), "hidden=10 epochs=200 lr=0.1 momentum=0.5");
+    }
+}

@@ -1,0 +1,59 @@
+//! Microbenchmark: Q6.10 fixed-point arithmetic vs. f64.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dta_fixed::{Fx, SigmoidLut};
+
+fn bench_fixed_ops(c: &mut Criterion) {
+    let xs: Vec<Fx> = (0..1024).map(|i| Fx::from_raw((i * 37) as i16)).collect();
+    let ys: Vec<Fx> = (0..1024).map(|i| Fx::from_raw((i * 91 + 5) as i16)).collect();
+    let fx: Vec<f64> = xs.iter().map(|x| x.to_f64()).collect();
+    let fy: Vec<f64> = ys.iter().map(|y| y.to_f64()).collect();
+
+    c.bench_function("fx_mac_1024", |b| {
+        b.iter(|| {
+            let mut acc = Fx::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc = acc + x * y;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("f64_mac_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (&x, &y) in fx.iter().zip(&fy) {
+                acc += x * y;
+            }
+            black_box(acc)
+        })
+    });
+
+    let lut = SigmoidLut::new();
+    c.bench_function("sigmoid_lut_1024", |b| {
+        b.iter(|| {
+            let mut acc = Fx::ZERO;
+            for &x in &xs {
+                acc = acc.wrapping_add(lut.eval(x));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("sigmoid_exact_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &x in &fx {
+                acc += dta_fixed::sigmoid::sigmoid(x);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fixed_ops
+}
+criterion_main!(benches);

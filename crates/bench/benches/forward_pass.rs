@@ -1,0 +1,46 @@
+//! Microbenchmark: 90-10-10 forward-pass throughput — float, fixed, and
+//! the hybrid path with one gate-level faulty operator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dta_ann::{FaultPlan, Mlp, Topology};
+use dta_circuits::FaultModel;
+use dta_fixed::SigmoidLut;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_forward(c: &mut Criterion) {
+    let topo = Topology::accelerator();
+    let mlp = Mlp::new(topo, 42);
+    let lut = SigmoidLut::new();
+    let x: Vec<f64> = (0..90).map(|i| (i % 13) as f64 / 13.0).collect();
+
+    c.bench_function("forward_float_90_10_10", |b| {
+        b.iter(|| black_box(mlp.forward_float(&x)))
+    });
+
+    c.bench_function("forward_fixed_90_10_10", |b| {
+        b.iter(|| black_box(mlp.forward_fixed(&x, &lut)))
+    });
+
+    let mut plan = FaultPlan::new(90);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    plan.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+    c.bench_function("forward_faulty_1_defect_90_10_10", |b| {
+        b.iter(|| black_box(mlp.forward_faulty(&x, &lut, &mut plan)))
+    });
+
+    let mut plan10 = FaultPlan::new(90);
+    for _ in 0..10 {
+        plan10.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+    }
+    c.bench_function("forward_faulty_10_defects_90_10_10", |b| {
+        b.iter(|| black_box(mlp.forward_faulty(&x, &lut, &mut plan10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward
+}
+criterion_main!(benches);

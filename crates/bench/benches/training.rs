@@ -1,0 +1,52 @@
+//! Microbenchmark: back-propagation epoch throughput (companion-core
+//! training through the hardware forward path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dta_ann::{FaultPlan, ForwardMode, Mlp, Topology, Trainer};
+use dta_circuits::FaultModel;
+use dta_datasets::suite;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_training(c: &mut Criterion) {
+    let ds = suite::load("iris").unwrap();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let topo = Topology::new(4, 8, 3);
+
+    for (label, mode) in [
+        ("train_epoch_iris_float", ForwardMode::Float),
+        ("train_epoch_iris_fixed", ForwardMode::Fixed),
+    ] {
+        let trainer = Trainer::new(0.2, 0.1, 1, mode);
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mlp = Mlp::new(topo, 1);
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                trainer.train(&mut mlp, &ds, &idx, None, &mut rng);
+                black_box(mlp)
+            })
+        });
+    }
+
+    let trainer = Trainer::new(0.2, 0.1, 1, ForwardMode::Fixed);
+    c.bench_function("train_epoch_iris_3_defects", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut plan = FaultPlan::new(90);
+        for _ in 0..3 {
+            plan.inject_random_hidden(8, FaultModel::TransistorLevel, &mut rng);
+        }
+        b.iter(|| {
+            let mut mlp = Mlp::new(topo, 1);
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            trainer.train(&mut mlp, &ds, &idx, Some(&mut plan), &mut rng);
+            black_box(mlp)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

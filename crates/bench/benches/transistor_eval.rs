@@ -1,0 +1,62 @@
+//! Microbenchmark: switch-level CMOS cell evaluation (healthy and
+//! defective) and symbolic reconstruction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dta_logic::gate::GateBehavior;
+use dta_logic::GateKind;
+use dta_transistor::{reconstruct::reconstruct_cell, CmosCell, Defect, FaultyCell};
+
+fn bench_transistor(c: &mut Criterion) {
+    let healthy = CmosCell::for_gate(GateKind::Oai22);
+    let mut cell = FaultyCell::new(healthy.clone());
+    c.bench_function("oai22_switch_eval", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let v = [i & 1 != 0, i & 2 != 0, i & 4 != 0, i & 8 != 0];
+            black_box(cell.eval(&v))
+        })
+    });
+
+    let mut defective = healthy.clone();
+    defective
+        .inject(Defect::Bridge {
+            stage: 0,
+            a: 3,
+            b: 4,
+        })
+        .unwrap();
+    let mut faulty = FaultyCell::new(defective.clone());
+    c.bench_function("oai22_bridged_eval", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let v = [i & 1 != 0, i & 2 != 0, i & 4 != 0, i & 8 != 0];
+            black_box(faulty.eval(&v))
+        })
+    });
+
+    c.bench_function("oai22_reconstruct", |b| {
+        b.iter(|| black_box(reconstruct_cell(&defective)))
+    });
+
+    let xor = CmosCell::for_gate(GateKind::Xor2);
+    c.bench_function("xor2_schematic_build", |b| {
+        b.iter(|| black_box(CmosCell::for_gate(GateKind::Xor2)))
+    });
+    let mut xor_eval = FaultyCell::new(xor);
+    c.bench_function("xor2_switch_eval", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(xor_eval.eval(&[i & 1 != 0, i & 2 != 0]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transistor
+}
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Ablation: arithmetic-operator implementations (the paper's automated
+//! flow exists "to assess different neural networks organizations and
+//! operators — e.g., different sigmoid functions, different
+//! implementations of arithmetic operators").
+//!
+//! Compares ripple-carry vs. carry-lookahead adders and array vs.
+//! Wallace-tree multipliers on structure (transistors, critical-path
+//! depth) and on single-defect visibility (fraction of random operands
+//! where one random transistor defect corrupts the output).
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_ablation_operators
+//! ```
+
+use dta_bench::{pct, rule, Args};
+use dta_circuits::{
+    AdderCircuit, ArrayMultiplier, ClaAdderCircuit, DefectPlan, FaultModel,
+    WallaceMultiplier,
+};
+use dta_logic::{Netlist, NodeId, Simulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Mean single-defect visibility over `defects` random injections ×
+/// `samples` random operand pairs, for any two-operand circuit.
+#[allow(clippy::too_many_arguments)]
+fn visibility(
+    net: &Arc<Netlist>,
+    cells: &[Vec<NodeId>],
+    mut healthy_then_faulty: impl FnMut(&mut Simulator, u64, u64) -> u64,
+    width: usize,
+    defects: usize,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mask = (1u64 << width) - 1;
+    let mut total = 0.0;
+    for d in 0..defects {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (d as u64) << 8);
+        let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+        plan.add_random(net, cells, &mut rng);
+        let mut clean_sim = Simulator::new(Arc::clone(net));
+        let mut faulty_sim = Simulator::new(Arc::clone(net));
+        plan.apply(&mut faulty_sim);
+        let mut visible = 0usize;
+        let mut x = seed ^ 0x9e3779b97f4a7c15;
+        for _ in 0..samples {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let (a, b) = (x & mask, (x >> 20) & mask);
+            let clean = healthy_then_faulty(&mut clean_sim, a, b);
+            let faulty = healthy_then_faulty(&mut faulty_sim, a, b);
+            if clean != faulty {
+                visible += 1;
+            }
+        }
+        total += visible as f64 / samples as f64;
+    }
+    total / defects as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let defects = args.get("defects", 40usize);
+    let samples = args.get("samples", 200usize);
+    let seed = args.get("seed", 0x0950u64);
+
+    println!(
+        "Operator implementations: structure and single-defect visibility \
+         ({defects} defects x {samples} operand pairs)\n"
+    );
+    println!(
+        "{:<26}{:>12}{:>8}{:>14}",
+        "operator", "transistors", "depth", "1-defect vis"
+    );
+    rule(60);
+
+    let ripple = AdderCircuit::new(16);
+    let vis = visibility(
+        ripple.netlist(),
+        ripple.cells(),
+        |sim, a, b| {
+            let (s, c) = ripple.compute(sim, a, b);
+            s | (u64::from(c) << 16)
+        },
+        16,
+        defects,
+        samples,
+        seed,
+    );
+    println!(
+        "{:<26}{:>12}{:>8}{:>14}",
+        "adder: ripple-carry",
+        ripple.netlist().transistor_count(),
+        ripple.netlist().logic_depth(),
+        pct(vis)
+    );
+
+    let cla = ClaAdderCircuit::new(16);
+    let vis = visibility(
+        cla.netlist(),
+        cla.cells(),
+        |sim, a, b| {
+            let (s, c) = cla.compute(sim, a, b);
+            s | (u64::from(c) << 16)
+        },
+        16,
+        defects,
+        samples,
+        seed,
+    );
+    println!(
+        "{:<26}{:>12}{:>8}{:>14}",
+        "adder: carry-lookahead",
+        cla.netlist().transistor_count(),
+        cla.netlist().logic_depth(),
+        pct(vis)
+    );
+
+    let array = ArrayMultiplier::signed(16);
+    let vis = visibility(
+        array.netlist(),
+        array.cells(),
+        |sim, a, b| array.compute(sim, a, b),
+        16,
+        defects,
+        samples,
+        seed,
+    );
+    println!(
+        "{:<26}{:>12}{:>8}{:>14}",
+        "multiplier: array",
+        array.netlist().transistor_count(),
+        array.netlist().logic_depth(),
+        pct(vis)
+    );
+
+    let wallace = WallaceMultiplier::signed(16);
+    let vis = visibility(
+        wallace.netlist(),
+        wallace.cells(),
+        |sim, a, b| wallace.compute(sim, a, b),
+        16,
+        defects,
+        samples,
+        seed,
+    );
+    println!(
+        "{:<26}{:>12}{:>8}{:>14}",
+        "multiplier: Wallace tree",
+        wallace.netlist().transistor_count(),
+        wallace.netlist().logic_depth(),
+        pct(vis)
+    );
+
+    println!(
+        "\ninterpretation: the Wallace tree halves the transistor count (no \
+         idle zero-adds) and cuts the depth, but every surviving gate is \
+         load-bearing, so a single defect is *more* visible — denser \
+         operators trade silent redundancy for area, which matters for the \
+         defect-tolerance budget."
+    );
+}

@@ -1,0 +1,33 @@
+//! §VI-A technology scaling: the key-logic (interface, write decode, TM
+//! control) area fraction across technology generations, assuming the
+//! datapath halves per node while key logic — which must stay
+//! defect-free and therefore cannot shrink aggressively — stays
+//! constant.
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_scaling
+//! ```
+
+use dta_bench::{pct, rule};
+use dta_core::cost::CostModel;
+
+fn main() {
+    let model = CostModel::calibrated_90nm();
+    println!("Key-logic area fraction across technology generations (paper §VI-A)\n");
+    println!("{:<14}{:>10}{:>22}", "generation", "node", "key-logic fraction");
+    rule(46);
+    let nodes = ["90nm", "65nm", "45nm", "32nm", "22nm", "16nm", "11nm"];
+    for (g, node) in nodes.iter().enumerate() {
+        let frac = model.key_logic_area_fraction(g as u32);
+        let marker = match g {
+            4 => "  <- paper: <10% after 4 generations",
+            6 => "  <- paper: 25% at the 6th generation",
+            _ => "",
+        };
+        println!("{:<14}{:>10}{:>22}{marker}", g, node, pct(frac));
+    }
+    println!(
+        "\n(scaling up the neuron count per generation would shrink the \
+         fraction further, as the paper notes)"
+    );
+}

@@ -1,0 +1,96 @@
+//! Table III: accelerator, activation-function and memory-interface
+//! characteristics at 90 nm, plus the §VI-A bandwidth arithmetic.
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_table3
+//! ```
+
+use dta_ann::Topology;
+use dta_bench::rule;
+use dta_core::cost::{table3, CostModel, Inventory, OperatorMetrics, SensitiveAreaReport};
+use dta_core::MemoryInterface;
+
+fn main() {
+    let model = CostModel::calibrated_90nm();
+    let geometry = Topology::accelerator();
+    let report = model.report(geometry);
+    let m = OperatorMetrics::measured();
+    let inv = Inventory::for_geometry(geometry);
+
+    println!("Table III — accelerator characteristics at 90 nm ({geometry})\n");
+    println!(
+        "{:<26}{:>14}{:>14}{:>14}",
+        "characteristic", "accelerator", "activation", "interface"
+    );
+    rule(68);
+    println!(
+        "{:<26}{:>14.2}{:>14.2}{:>14}",
+        "time (ns)", report.latency_ns, report.activation.latency_ns, "-"
+    );
+    println!("{:<26}{:>14}{:>14}{:>14}", "freq (MHz)", "-", "-", 800);
+    println!(
+        "{:<26}{:>14.3}{:>14.4}{:>14.3}",
+        "area (mm^2)", report.area_mm2, report.activation.area_mm2, report.interface.area_mm2
+    );
+    println!(
+        "{:<26}{:>14.3}{:>14.4}{:>14.4}",
+        "power (W)", report.power_w, report.activation.power_w, report.interface.power_w
+    );
+    println!(
+        "{:<26}{:>14.2}{:>14.4}{:>14.4}",
+        "energy/row (nJ)",
+        report.energy_per_row_nj,
+        report.activation.energy_per_row_nj,
+        report.interface.energy_per_row_nj
+    );
+
+    println!("\npaper Table III: 14.92 ns | 9.02 mm^2 | 4.70 W | 70.16 nJ/row");
+    println!(
+        "paper activation: {} ns | {} mm^2 | {} W | {} nJ",
+        table3::ACTIVATION_LATENCY_NS,
+        table3::ACTIVATION_AREA_MM2,
+        table3::ACTIVATION_POWER_W,
+        table3::ACTIVATION_ENERGY_NJ
+    );
+
+    println!("\nStructural inventory behind the model:");
+    println!(
+        "  {} multipliers ({} T each, depth {}), {} adders ({} T, depth {}),",
+        inv.multipliers, m.mul_transistors, m.mul_depth, inv.adders, m.add_transistors, m.add_depth
+    );
+    println!(
+        "  {} activation units ({} T, depth {}), {} latch words -> {} transistors total",
+        inv.activations, m.act_transistors, m.act_depth, inv.latch_words, inv.transistors
+    );
+
+    println!("\nMemory interface / bandwidth (paper §VI-A):");
+    let dma = MemoryInterface::paper_config();
+    let bw = dma.bandwidth_report(report.latency_ns);
+    println!(
+        "  {} bits/row every {:.2} ns -> {:.2} GB/s (paper: 11.23 GB/s, QPI-class)",
+        bw.bits_per_row, report.latency_ns, bw.required_gb_s
+    );
+    println!(
+        "  2 x 64-bit links: {} cycles/row, min clock {:.0} MHz (paper: >= 754, clocked at 800)",
+        bw.cycles_per_row, bw.min_clock_mhz
+    );
+
+    println!("\nDefect-sensitive region (paper §VI-C):");
+    let s = SensitiveAreaReport::for_geometry(geometry);
+    println!(
+        "  output adders + activations: {:.1}% of the output layer, {:.1}% of total",
+        s.fraction_of_output_layer * 100.0,
+        s.fraction_of_total * 100.0
+    );
+    println!("  (paper: 25.9% of the output layer, 2.3% of total area)");
+    println!(
+        "  mitigation overheads: harden as key logic {:.1}% vs one spare output neuron {:.1}% -> {}",
+        s.harden_overhead * 100.0,
+        s.spare_neuron_overhead * 100.0,
+        if s.hardening_preferable() {
+            "hardening preferable (as in the paper)"
+        } else {
+            "spare neurons already cheaper in our structural model"
+        }
+    );
+}

@@ -1,0 +1,92 @@
+//! Analysis: single-defect visibility distribution — *why* the
+//! accelerator tolerates defects.
+//!
+//! For each operator type, many independent single transistor-level
+//! defects are injected and their divergence from the healthy operator
+//! is measured over random operand vectors. The distribution shows that
+//! a large share of physical defects are invisible or flip only
+//! low-significance bits, which retraining absorbs; the tail of
+//! high-impact defects is what eventually breaks accuracy in Figure 10.
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_visibility -- --defects 100
+//! ```
+
+use dta_bench::{pct, rule, Args};
+use dta_circuits::visibility::{
+    adder_visibility, multiplier_visibility, sigmoid_visibility, VisibilityReport,
+};
+use dta_circuits::{FaultModel, HwAdder, HwMultiplier, HwSigmoid};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn summarize(name: &str, reports: &[VisibilityReport]) {
+    let n = reports.len() as f64;
+    let invisible = reports.iter().filter(|r| r.visible_fraction < 0.005).count();
+    let rare = reports
+        .iter()
+        .filter(|r| (0.005..0.25).contains(&r.visible_fraction))
+        .count();
+    let frequent = reports.len() - invisible - rare;
+    let mean_vis = reports.iter().map(|r| r.visible_fraction).sum::<f64>() / n;
+    let mean_err = reports.iter().map(|r| r.mean_abs_error).sum::<f64>() / n;
+    let worst = reports
+        .iter()
+        .map(|r| r.max_abs_error)
+        .fold(0.0f64, f64::max);
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}{:>14.4}{:>12.2}",
+        name,
+        pct(invisible as f64 / n),
+        pct(rare as f64 / n),
+        pct(frequent as f64 / n),
+        pct(mean_vis),
+        mean_err,
+        worst
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let defects = args.get("defects", 60usize);
+    let samples = args.get("samples", 500usize);
+    let seed = args.get("seed", 0x715u64);
+
+    println!(
+        "Single-defect visibility over {samples} random operand vectors, \
+         {defects} defects per operator\n"
+    );
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}{:>14}{:>12}",
+        "operator", "invisible", "<25% vis", ">=25% vis", "mean vis", "mean |err|", "worst |err|"
+    );
+    rule(86);
+
+    let mut mul_reports = Vec::new();
+    let mut add_reports = Vec::new();
+    let mut act_reports = Vec::new();
+    for d in 0..defects {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (d as u64) << 8);
+
+        let mut mul = HwMultiplier::new();
+        mul.inject_random(FaultModel::TransistorLevel, 1, &mut rng);
+        mul_reports.push(multiplier_visibility(&mut mul, samples, seed ^ d as u64));
+
+        let mut add = HwAdder::new();
+        add.inject_random(FaultModel::TransistorLevel, 1, &mut rng);
+        add_reports.push(adder_visibility(&mut add, samples, seed ^ d as u64));
+
+        let mut act = HwSigmoid::new();
+        act.inject_random(FaultModel::TransistorLevel, 1, &mut rng);
+        act_reports.push(sigmoid_visibility(&mut act, samples, seed ^ d as u64));
+    }
+    summarize("multiplier", &mul_reports);
+    summarize("adder", &add_reports);
+    summarize("sigmoid", &act_reports);
+
+    println!(
+        "\ninterpretation: invisible and rarely-visible defects explain the flat \
+         region of Figure 10; the worst-|err| tail (sign/MSB corruption) is what \
+         retraining must silence by de-weighting the affected neuron."
+    );
+}

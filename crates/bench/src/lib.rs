@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the experiment binaries: a tiny `--key value`
+//! argument parser and table-printing helpers.
+//!
+//! Every experiment binary (`exp_*`) regenerates one table or figure of
+//! the paper; run them with `cargo run --release -p dta-bench --bin
+//! exp_<name> -- [--key value ...]`. All accept `--help`-ish defaults:
+//! invoked bare, they run a reduced configuration that finishes in
+//! seconds to a few minutes; flags scale them up to the paper's full
+//! settings.
+
+use std::collections::HashMap;
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parsed `--key value` command-line options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling `--key` without a value.
+    pub fn parse() -> Args {
+        let mut values = HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("--{key} needs a value"));
+                values.insert(key.to_string(), value);
+            } else {
+                panic!("unexpected argument `{arg}` (use --key value)");
+            }
+        }
+        Args { values }
+    }
+
+    /// Fetches a typed option or its default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse as `T`.
+    pub fn get<T: FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: Display,
+    {
+        match self.values.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{key} {v}: {e}")),
+        }
+    }
+
+    /// Fetches a comma-separated list of `usize`, or the default.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--{key} `{s}`: {e}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Fetches a comma-separated list of strings, or the default.
+    pub fn get_str_list(&self, key: &str, default: &[&str]) -> Vec<String> {
+        match self.values.get(key) {
+            None => default.iter().map(|s| s.to_string()).collect(),
+            Some(v) => v.split(',').map(|s| s.trim().to_string()).collect(),
+        }
+    }
+
+    /// True if `--key true` (or any value other than `false`/`0`) was
+    /// passed.
+    pub fn get_bool(&self, key: &str, default: bool) -> bool {
+        match self.values.get(key).map(String::as_str) {
+            None => default,
+            Some("false") | Some("0") => false,
+            Some(_) => true,
+        }
+    }
+}
+
+/// Prints a rule line matching a header width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Total-variation distance between two histograms (after
+/// normalization) — the divergence measure used to compare faulty-
+/// operator output distributions against the error-free one in the
+/// Figure 5 analysis.
+pub fn total_variation(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let sa: u64 = a.iter().sum();
+    let sb: u64 = b.iter().sum();
+    assert!(sa > 0 && sb > 0, "histograms must be non-empty");
+    0.5 * a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 / sa as f64 - y as f64 / sb as f64).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_distance_properties() {
+        let a = [10u64, 0, 10];
+        assert_eq!(total_variation(&a, &a), 0.0);
+        let b = [0u64, 20, 0];
+        assert_eq!(total_variation(&a, &b), 1.0);
+        let c = [10u64, 10, 0];
+        let d = total_variation(&a, &c);
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn tv_rejects_empty() {
+        total_variation(&[0, 0], &[1, 1]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn args_defaults_without_cli() {
+        let args = Args::default();
+        assert_eq!(args.get("reps", 5usize), 5);
+        assert_eq!(args.get_usize_list("counts", &[1, 2]), vec![1, 2]);
+        assert_eq!(args.get_str_list("tasks", &["iris"]), vec!["iris"]);
+        assert!(!args.get_bool("full", false));
+    }
+}

@@ -1,0 +1,238 @@
+//! Carry-lookahead adder — an alternative adder implementation for the
+//! operator-organization studies the paper mentions ("different
+//! implementations of arithmetic operators").
+//!
+//! 4-bit lookahead groups with ripple between groups: inside a group the
+//! carries are computed directly from propagate/generate terms, cutting
+//! the critical path well below the ripple-carry chain at the cost of
+//! wider (more defect-prone) lookahead gates.
+
+use std::sync::Arc;
+
+use dta_logic::{GateKind, Netlist, NetlistBuilder, NodeId, Simulator};
+
+/// A W-bit group-carry-lookahead adder (two's complement wrapping, with
+/// carry-in and carry-out), functionally identical to
+/// [`crate::AdderCircuit`] but with a much shorter critical path.
+///
+/// # Example
+///
+/// ```
+/// use dta_circuits::cla_adder::ClaAdderCircuit;
+/// let adder = ClaAdderCircuit::new(16);
+/// let mut sim = adder.simulator();
+/// assert_eq!(adder.compute(&mut sim, 40_000, 30_000), (4_464, true));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClaAdderCircuit {
+    net: Arc<Netlist>,
+    a: Vec<NodeId>,
+    b: Vec<NodeId>,
+    cin: NodeId,
+    sum: Vec<NodeId>,
+    cout: NodeId,
+    cells: Vec<Vec<NodeId>>,
+    width: usize,
+}
+
+/// Lookahead group width.
+const GROUP: usize = 4;
+
+impl ClaAdderCircuit {
+    /// Builds a W-bit group-CLA adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn new(width: usize) -> ClaAdderCircuit {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        let mut b = NetlistBuilder::new();
+        let a_bus = b.input_bus("a", width);
+        let b_bus = b.input_bus("b", width);
+        let cin = b.input("cin");
+
+        let mut cells: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+        // Propagate / generate per bit.
+        let mut p = Vec::with_capacity(width);
+        let mut g = Vec::with_capacity(width);
+        for i in 0..width {
+            let pi = b.gate(GateKind::Xor2, &[a_bus[i], b_bus[i]]);
+            let gi = b.gate(GateKind::And2, &[a_bus[i], b_bus[i]]);
+            cells[i].extend([pi, gi]);
+            p.push(pi);
+            g.push(gi);
+        }
+
+        // Carries: lookahead within each group, ripple between groups.
+        // c[i+1] = g[i] | p[i]&g[i-1] | ... | p[i]&..&p[lo]&c[lo].
+        let mut carries = Vec::with_capacity(width + 1);
+        carries.push(cin);
+        let mut group_cin = cin;
+        for lo in (0..width).step_by(GROUP) {
+            let hi = (lo + GROUP).min(width);
+            for i in lo..hi {
+                // Build c[i+1] from scratch off group_cin: terms are
+                // g[j] AND p[j+1..=i], plus c_in AND p[lo..=i].
+                let mut terms: Vec<NodeId> = Vec::new();
+                for j in lo..=i {
+                    let mut term = g[j];
+                    for &pk in &p[j + 1..=i] {
+                        term = b.gate(GateKind::And2, &[term, pk]);
+                        cells[i].push(term);
+                    }
+                    terms.push(term);
+                }
+                let mut cin_term = group_cin;
+                for &pk in &p[lo..=i] {
+                    cin_term = b.gate(GateKind::And2, &[cin_term, pk]);
+                    cells[i].push(cin_term);
+                }
+                terms.push(cin_term);
+                let mut carry = terms[0];
+                for &t in &terms[1..] {
+                    carry = b.gate(GateKind::Or2, &[carry, t]);
+                    cells[i].push(carry);
+                }
+                carries.push(carry);
+            }
+            group_cin = carries[hi];
+        }
+
+        // Sums.
+        let mut sum = Vec::with_capacity(width);
+        for i in 0..width {
+            let s = b.gate(GateKind::Xor2, &[p[i], carries[i]]);
+            cells[i].push(s);
+            sum.push(s);
+        }
+        let cout = carries[width];
+        b.output_bus("sum", &sum);
+        b.output("cout", cout);
+
+        ClaAdderCircuit {
+            net: Arc::new(b.build()),
+            a: a_bus,
+            b: b_bus,
+            cin,
+            sum,
+            cout,
+            cells,
+            width,
+        }
+    }
+
+    /// Word width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The underlying netlist (shared).
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.net
+    }
+
+    /// Gate instances grouped by bit position.
+    pub fn cells(&self) -> &[Vec<NodeId>] {
+        &self.cells
+    }
+
+    /// Creates a fresh simulator for this circuit.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(Arc::clone(&self.net))
+    }
+
+    /// Computes `a + b` (no carry-in), returning the wrapped sum and the
+    /// carry-out.
+    pub fn compute(&self, sim: &mut Simulator, a: u64, b: u64) -> (u64, bool) {
+        self.compute_with_carry(sim, a, b, false)
+    }
+
+    /// Computes `a + b + cin`.
+    pub fn compute_with_carry(
+        &self,
+        sim: &mut Simulator,
+        a: u64,
+        b: u64,
+        cin: bool,
+    ) -> (u64, bool) {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        sim.set_input_word(&self.a, a & mask);
+        sim.set_input_word(&self.b, b & mask);
+        sim.set_input(self.cin, cin);
+        sim.settle();
+        (sim.read_word(&self.sum), sim.value(self.cout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::AdderCircuit;
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let adder = ClaAdderCircuit::new(4);
+        let mut sim = adder.simulator();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                for cin in [false, true] {
+                    let (s, c) = adder.compute_with_carry(&mut sim, a, b, cin);
+                    let exact = a + b + u64::from(cin);
+                    assert_eq!(s, exact & 0xF, "{a}+{b}+{cin}");
+                    assert_eq!(c, exact > 15, "{a}+{b}+{cin} carry");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_matches_ripple_sampled() {
+        let cla = ClaAdderCircuit::new(16);
+        let ripple = AdderCircuit::new(16);
+        let mut sim_c = cla.simulator();
+        let mut sim_r = ripple.simulator();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let (a, b) = (x & 0xFFFF, (x >> 16) & 0xFFFF);
+            assert_eq!(
+                cla.compute(&mut sim_c, a, b),
+                ripple.compute(&mut sim_r, a, b),
+                "{a}+{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn shallower_than_ripple() {
+        let cla = ClaAdderCircuit::new(16);
+        let ripple = AdderCircuit::new(16);
+        // Group-ripple CLA: ~30% shallower than the full ripple chain
+        // (a flat CLA would do better at the cost of very wide gates).
+        assert!(
+            cla.netlist().logic_depth() * 10 < ripple.netlist().logic_depth() * 8,
+            "CLA depth {} vs ripple {}",
+            cla.netlist().logic_depth(),
+            ripple.netlist().logic_depth()
+        );
+    }
+
+    #[test]
+    fn cells_cover_all_gates() {
+        let cla = ClaAdderCircuit::new(16);
+        let grouped: usize = cla.cells().iter().map(Vec::len).sum();
+        assert_eq!(grouped, cla.netlist().gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = ClaAdderCircuit::new(0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Random defect placement into operator circuits.
+//!
+//! The paper's §VI-C procedure: "we randomly pick one of the logic
+//! operators or latches ... and one 1-bit operator or wire within the
+//! target operator"; defects are "randomly spread over the operator bits,
+//! and within each 1-bit operation, over all transistors". A
+//! [`DefectPlan`] reproduces this: it first draws a uniformly random
+//! *bit cell* of the circuit, then a gate within that cell, then a
+//! defect site inside that gate — at the transistor level
+//! ([`FaultModel::TransistorLevel`]) or with the stuck-at baseline
+//! ([`FaultModel::GateLevel`], for the Figure 5 comparison).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use dta_logic::{Netlist, Node, NodeId, Simulator, StuckAt, StuckSet};
+use dta_transistor::{CmosCell, FaultyCell};
+
+/// Which fault model to inject with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Physical defects (opens, shorts, bridges, delays) inside the CMOS
+    /// schematic of the gate, evaluated at the switch level — the
+    /// paper's contribution.
+    TransistorLevel,
+    /// Stuck-at-0/1 on gate inputs/outputs — the abstract baseline the
+    /// paper argues is inaccurate.
+    GateLevel,
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::TransistorLevel => write!(f, "transistor-level"),
+            FaultModel::GateLevel => write!(f, "gate-level"),
+        }
+    }
+}
+
+/// One injected defect, for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DefectRecord {
+    /// The affected gate instance.
+    pub gate: NodeId,
+    /// The bit-cell group the gate belongs to.
+    pub bit: usize,
+    /// Human-readable description of the physical defect.
+    pub description: String,
+}
+
+/// An accumulating set of random defects targeting one circuit, applied
+/// to a [`Simulator`] as gate-behavior overrides.
+///
+/// Multiple defects may land in the same gate; the plan accumulates them
+/// into a single faulty-cell model per gate, exactly like multiple
+/// physical defects in one cell.
+///
+/// # Example
+///
+/// ```
+/// use dta_circuits::{AdderCircuit, DefectPlan, FaultModel};
+/// use rand::SeedableRng;
+///
+/// let adder = AdderCircuit::new(4);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+/// for _ in 0..5 {
+///     plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+/// }
+/// assert_eq!(plan.len(), 5);
+/// let mut sim = adder.simulator();
+/// plan.apply(&mut sim); // subsequent compute() calls see the defects
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DefectPlan {
+    model: Option<FaultModel>,
+    trans_cells: HashMap<NodeId, CmosCell>,
+    stuck_sets: HashMap<NodeId, StuckSet>,
+    records: Vec<DefectRecord>,
+}
+
+impl DefectPlan {
+    /// Creates an empty plan using the given fault model.
+    pub fn new(model: FaultModel) -> DefectPlan {
+        DefectPlan {
+            model: Some(model),
+            ..DefectPlan::default()
+        }
+    }
+
+    /// The fault model of this plan.
+    pub fn model(&self) -> FaultModel {
+        self.model.expect("constructed via DefectPlan::new")
+    }
+
+    /// Number of injected defects.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no defect has been injected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Reports of every injected defect, in injection order.
+    pub fn records(&self) -> &[DefectRecord] {
+        &self.records
+    }
+
+    /// Injects one uniformly random defect: random non-empty bit cell →
+    /// random gate within it → random site within the gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` contains no gates, or if a listed id is not a
+    /// gate of `net`.
+    pub fn add_random<R: Rng + ?Sized>(
+        &mut self,
+        net: &Netlist,
+        cells: &[Vec<NodeId>],
+        rng: &mut R,
+    ) {
+        let nonempty: Vec<&Vec<NodeId>> =
+            cells.iter().filter(|c| !c.is_empty()).collect();
+        let group = *nonempty
+            .choose(rng)
+            .expect("circuit must have at least one bit cell");
+        let bit = cells
+            .iter()
+            .position(|c| std::ptr::eq(c, group))
+            .expect("group came from cells");
+        let gate = *group.choose(rng).expect("group is non-empty");
+        self.add_random_in_gate(net, gate, bit, rng);
+    }
+
+    /// Injects one random defect into a specific gate instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not a gate node of `net`.
+    pub fn add_random_in_gate<R: Rng + ?Sized>(
+        &mut self,
+        net: &Netlist,
+        gate: NodeId,
+        bit: usize,
+        rng: &mut R,
+    ) {
+        let kind = match net.node(gate) {
+            Node::Gate { kind, .. } => *kind,
+            other => panic!("{gate} is not a gate: {other:?}"),
+        };
+        let description = match self.model() {
+            FaultModel::TransistorLevel => {
+                let cell = self
+                    .trans_cells
+                    .entry(gate)
+                    .or_insert_with(|| CmosCell::for_gate(kind));
+                let defect = cell.random_defect(rng);
+                cell.inject(defect).expect("site came from this cell");
+                format!("{kind}: {defect}")
+            }
+            FaultModel::GateLevel => {
+                let sites = StuckAt::sites(kind);
+                let &(port, value) = sites.choose(rng).expect("cells have sites");
+                self.stuck_sets
+                    .entry(gate)
+                    .or_insert_with(|| StuckSet::new(kind))
+                    .add(port, value);
+                format!("{kind}: {port:?} stuck at {}", u8::from(value))
+            }
+        };
+        self.records.push(DefectRecord {
+            gate,
+            bit,
+            description,
+        });
+    }
+
+    /// Installs the accumulated faulty-gate behaviors into a simulator.
+    /// Previously installed overrides for other gates are left in place.
+    pub fn apply(&self, sim: &mut Simulator) {
+        for (&gate, cell) in &self.trans_cells {
+            sim.override_gate(gate, Box::new(FaultyCell::new(cell.clone())));
+        }
+        for (&gate, set) in &self.stuck_sets {
+            sim.override_gate(gate, Box::new(set.clone()));
+        }
+    }
+
+    /// Removes this plan's overrides from a simulator (restoring the
+    /// healthy circuit).
+    pub fn remove(&self, sim: &mut Simulator) {
+        for &gate in self.trans_cells.keys().chain(self.stuck_sets.keys()) {
+            sim.clear_override(gate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::AdderCircuit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn transistor_plan_accumulates_and_applies() {
+        let adder = AdderCircuit::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+        for _ in 0..20 {
+            plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+        }
+        assert_eq!(plan.len(), 20);
+        assert_eq!(plan.model(), FaultModel::TransistorLevel);
+        assert!(!plan.is_empty());
+        let mut sim = adder.simulator();
+        plan.apply(&mut sim);
+        assert!(sim.override_count() > 0);
+        assert!(sim.override_count() <= 20);
+        // The circuit still produces *some* 4-bit outputs.
+        let (s, _) = adder.compute(&mut sim, 3, 5);
+        assert!(s < 16);
+        // Removing the plan restores exact arithmetic.
+        plan.remove(&mut sim);
+        assert_eq!(sim.override_count(), 0);
+        assert_eq!(adder.compute(&mut sim, 3, 5), (8, false));
+    }
+
+    #[test]
+    fn gate_plan_uses_stuck_model() {
+        let adder = AdderCircuit::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut plan = DefectPlan::new(FaultModel::GateLevel);
+        plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+        assert_eq!(plan.len(), 1);
+        assert!(plan.records()[0].description.contains("stuck at"));
+        let mut sim = adder.simulator();
+        plan.apply(&mut sim);
+        assert_eq!(sim.override_count(), 1);
+    }
+
+    #[test]
+    fn records_identify_bit_cells() {
+        let adder = AdderCircuit::new(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+        for _ in 0..50 {
+            plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+        }
+        for rec in plan.records() {
+            assert!(rec.bit < 8);
+            assert!(adder.cells()[rec.bit].contains(&rec.gate));
+        }
+        // With 50 draws over 8 bits, several distinct bits are hit.
+        let distinct: std::collections::HashSet<usize> =
+            plan.records().iter().map(|r| r.bit).collect();
+        assert!(distinct.len() >= 4);
+    }
+
+    #[test]
+    fn single_defect_changes_some_output() {
+        // At least one of a handful of seeds must corrupt an output
+        // somewhere in the truth table (sanity: injection does something).
+        let adder = AdderCircuit::new(4);
+        let mut any_changed = false;
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+            let mut sim = adder.simulator();
+            plan.apply(&mut sim);
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    let (s, c) = adder.compute(&mut sim, a, b);
+                    let got = s | (u64::from(c) << 4);
+                    if got != a + b {
+                        any_changed = true;
+                    }
+                }
+            }
+        }
+        assert!(any_changed, "five random defects all invisible is a bug");
+    }
+}

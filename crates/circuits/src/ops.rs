@@ -1,0 +1,269 @@
+//! Self-contained faulty-operator evaluators for the hybrid ANN path.
+//!
+//! The paper trains and tests with a high-level ANN model in which "it is
+//! possible to mark a neuron as having one or several defect(s) for a
+//! specific operator, in which case a software function is called to
+//! perform that operator in place of the native operator". These wrappers
+//! are those software functions: each owns a gate-level operator circuit
+//! plus a simulator with the injected defects, and exposes a plain
+//! `Fx -> Fx` interface that `dta-ann` calls for marked neurons while
+//! every healthy operator runs native Q6.10 arithmetic.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use dta_fixed::Fx;
+
+use crate::adder::SatAdderCircuit;
+use crate::inject::{DefectPlan, FaultModel};
+use crate::multiplier::FxMulCircuit;
+use crate::sigmoid_unit::SigmoidUnitCircuit;
+
+macro_rules! hw_operator {
+    ($(#[$doc:meta])* $name:ident, $circuit:ty) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            circuit: Arc<$circuit>,
+            sim: dta_logic::Simulator,
+            plan: DefectPlan,
+        }
+
+        impl $name {
+            /// Builds a healthy operator with its own circuit instance.
+            pub fn new() -> Self {
+                Self::with_circuit(Arc::new(<$circuit>::new()))
+            }
+
+            /// Builds an operator over a shared circuit (the netlist is
+            /// immutable, so many operators can reuse one instance).
+            pub fn with_circuit(circuit: Arc<$circuit>) -> Self {
+                let sim = circuit.simulator();
+                Self {
+                    circuit,
+                    sim,
+                    plan: DefectPlan::new(FaultModel::TransistorLevel),
+                }
+            }
+
+            /// Injects `n` random defects under the given fault model and
+            /// applies them. Returns a description per defect.
+            pub fn inject_random<R: Rng + ?Sized>(
+                &mut self,
+                model: FaultModel,
+                n: usize,
+                rng: &mut R,
+            ) -> Vec<String> {
+                self.plan.remove(&mut self.sim);
+                if self.plan.model() != model {
+                    self.plan = DefectPlan::new(model);
+                }
+                for _ in 0..n {
+                    self.plan.add_random(
+                        self.circuit.netlist(),
+                        self.circuit.cells(),
+                        rng,
+                    );
+                }
+                self.plan.apply(&mut self.sim);
+                self.plan
+                    .records()
+                    .iter()
+                    .map(|r| format!("bit {}: {}", r.bit, r.description))
+                    .collect()
+            }
+
+            /// Installs a prepared defect plan (replacing any previous one).
+            pub fn install_plan(&mut self, plan: DefectPlan) {
+                self.plan.remove(&mut self.sim);
+                plan.apply(&mut self.sim);
+                self.plan = plan;
+            }
+
+            /// Number of injected defects.
+            pub fn defect_count(&self) -> usize {
+                self.plan.len()
+            }
+
+            /// The shared circuit.
+            pub fn circuit(&self) -> &Arc<$circuit> {
+                &self.circuit
+            }
+
+            /// Clears memory effects and delay-line state left by
+            /// previous evaluations (call between independent runs).
+            pub fn reset_state(&mut self) {
+                self.sim.reset_state();
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+    };
+}
+
+hw_operator!(
+    /// The neuron accumulation adder (16-bit saturating), evaluated at
+    /// the gate level with optional injected defects.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dta_circuits::ops::HwAdder;
+    /// use dta_fixed::Fx;
+    /// let mut adder = HwAdder::new();
+    /// let (a, b) = (Fx::from_f64(1.25), Fx::from_f64(2.5));
+    /// assert_eq!(adder.add(a, b), a + b);
+    /// ```
+    HwAdder,
+    SatAdderCircuit
+);
+
+impl HwAdder {
+    /// Computes the (possibly faulty) saturating sum.
+    pub fn add(&mut self, a: Fx, b: Fx) -> Fx {
+        self.circuit.compute(&mut self.sim, a, b)
+    }
+}
+
+hw_operator!(
+    /// The synaptic multiplier (Q6.10 truncating, saturating), evaluated
+    /// at the gate level with optional injected defects.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dta_circuits::ops::HwMultiplier;
+    /// use dta_fixed::Fx;
+    /// let mut mul = HwMultiplier::new();
+    /// let (a, b) = (Fx::from_f64(0.5), Fx::from_f64(-3.0));
+    /// assert_eq!(mul.mul(a, b), a * b);
+    /// ```
+    HwMultiplier,
+    FxMulCircuit
+);
+
+impl HwMultiplier {
+    /// Computes the (possibly faulty) product.
+    pub fn mul(&mut self, a: Fx, b: Fx) -> Fx {
+        self.circuit.compute(&mut self.sim, a, b)
+    }
+}
+
+hw_operator!(
+    /// The activation unit (16-segment piecewise-linear sigmoid),
+    /// evaluated at the gate level with optional injected defects.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dta_circuits::ops::HwSigmoid;
+    /// use dta_fixed::{Fx, SigmoidLut};
+    /// let mut act = HwSigmoid::new();
+    /// let x = Fx::from_f64(0.7);
+    /// assert_eq!(act.eval(x), SigmoidLut::new().eval(x));
+    /// ```
+    HwSigmoid,
+    SigmoidUnitCircuit
+);
+
+impl HwSigmoid {
+    /// Computes the (possibly faulty) activation.
+    pub fn eval(&mut self, x: Fx) -> Fx {
+        self.circuit.compute(&mut self.sim, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_fixed::SigmoidLut;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn healthy_operators_match_native_datapath() {
+        let mut add = HwAdder::new();
+        let mut mul = HwMultiplier::new();
+        let mut act = HwSigmoid::new();
+        let lut = SigmoidLut::new();
+        let mut raw = -32768i32;
+        while raw <= 32767 {
+            let a = Fx::from_raw(raw as i16);
+            let b = Fx::from_raw((raw.wrapping_mul(37) ^ 0x55aa) as i16);
+            assert_eq!(add.add(a, b), a + b);
+            assert_eq!(mul.mul(a, b), a * b);
+            assert_eq!(act.eval(a), lut.eval(a));
+            raw += 1021;
+        }
+    }
+
+    #[test]
+    fn shared_circuit_instances() {
+        let circuit = Arc::new(FxMulCircuit::new());
+        let mut m1 = HwMultiplier::with_circuit(Arc::clone(&circuit));
+        let mut m2 = HwMultiplier::with_circuit(Arc::clone(&circuit));
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        m2.inject_random(FaultModel::TransistorLevel, 3, &mut rng);
+        assert_eq!(m1.defect_count(), 0);
+        assert_eq!(m2.defect_count(), 3);
+        // The healthy instance is unaffected by the faulty one.
+        let (a, b) = (Fx::from_f64(2.0), Fx::from_f64(3.0));
+        assert_eq!(m1.mul(a, b), a * b);
+    }
+
+    #[test]
+    fn injection_reports_descriptions() {
+        let mut add = HwAdder::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let reports = add.inject_random(FaultModel::TransistorLevel, 4, &mut rng);
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.starts_with("bit "), "report: {r}");
+        }
+    }
+
+    #[test]
+    fn many_defects_visibly_corrupt_the_multiplier() {
+        let mut mul = HwMultiplier::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        mul.inject_random(FaultModel::TransistorLevel, 30, &mut rng);
+        let mut diffs = 0;
+        let mut raw = -32000i32;
+        while raw <= 32000 {
+            let a = Fx::from_raw(raw as i16);
+            let b = Fx::from_raw((raw ^ 0x1f3) as i16);
+            if mul.mul(a, b) != a * b {
+                diffs += 1;
+            }
+            raw += 640;
+        }
+        assert!(diffs > 0, "30 defects must corrupt some products");
+    }
+
+    #[test]
+    fn reset_state_restores_determinism() {
+        let mut mul = HwMultiplier::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        mul.inject_random(FaultModel::TransistorLevel, 8, &mut rng);
+        let inputs: Vec<(Fx, Fx)> = (0..40)
+            .map(|i| {
+                (
+                    Fx::from_raw((i * 997) as i16),
+                    Fx::from_raw((i * 31 - 700) as i16),
+                )
+            })
+            .collect();
+        let run = |m: &mut HwMultiplier| -> Vec<Fx> {
+            m.reset_state();
+            inputs.iter().map(|&(a, b)| m.mul(a, b)).collect()
+        };
+        let first = run(&mut mul);
+        let second = run(&mut mul);
+        assert_eq!(first, second, "same sequence after reset");
+    }
+}

@@ -1,0 +1,115 @@
+//! A 16-bit register of D-latches — the synaptic-weight storage element.
+
+use std::sync::Arc;
+
+use dta_fixed::Fx;
+use dta_logic::{Netlist, NetlistBuilder, NodeId, Simulator};
+
+/// A 16-bit word of D-latches, as used for the distributed synaptic
+/// weight storage and the DMA double buffers of the accelerator.
+///
+/// In the spatially expanded design every synapse owns one of these,
+/// placed next to its multiplier — the paper's "decentralized synaptic
+/// storage means the synapses (data) are located close to the neurons
+/// (operators)".
+///
+/// # Example
+///
+/// ```
+/// use dta_circuits::WordLatch;
+/// use dta_fixed::Fx;
+/// let latch = WordLatch::new();
+/// let mut sim = latch.simulator();
+/// let w = Fx::from_f64(-0.75);
+/// latch.write(&mut sim, w);
+/// assert_eq!(latch.read(&sim), w);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WordLatch {
+    net: Arc<Netlist>,
+    d: Vec<NodeId>,
+    q: Vec<NodeId>,
+}
+
+impl WordLatch {
+    /// Builds a 16-bit latch word initialized to zero.
+    pub fn new() -> WordLatch {
+        let mut b = NetlistBuilder::new();
+        let d = b.input_bus("d", 16);
+        let q: Vec<NodeId> = d.iter().map(|&bit| b.latch(bit, false)).collect();
+        b.output_bus("q", &q);
+        WordLatch {
+            net: Arc::new(b.build()),
+            d,
+            q,
+        }
+    }
+
+    /// The underlying netlist (shared).
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.net
+    }
+
+    /// Creates a fresh simulator for this circuit.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(Arc::clone(&self.net))
+    }
+
+    /// Drives the data inputs and ticks the latches (a write strobe).
+    pub fn write(&self, sim: &mut Simulator, value: Fx) {
+        sim.set_input_word(&self.d, value.to_bits() as u64);
+        sim.settle();
+        sim.tick();
+    }
+
+    /// Reads the stored word.
+    pub fn read(&self, sim: &Simulator) -> Fx {
+        Fx::from_bits(sim.read_word(&self.q) as u16)
+    }
+}
+
+impl Default for WordLatch {
+    fn default() -> WordLatch {
+        WordLatch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initializes_to_zero() {
+        let latch = WordLatch::new();
+        let sim = latch.simulator();
+        assert_eq!(latch.read(&sim), Fx::ZERO);
+    }
+
+    #[test]
+    fn stores_and_overwrites() {
+        let latch = WordLatch::new();
+        let mut sim = latch.simulator();
+        for v in [1.5, -3.25, 0.0, 31.0, -32.0] {
+            let w = Fx::from_f64(v);
+            latch.write(&mut sim, w);
+            assert_eq!(latch.read(&sim), w);
+        }
+    }
+
+    #[test]
+    fn holds_value_when_input_changes_without_tick() {
+        let latch = WordLatch::new();
+        let mut sim = latch.simulator();
+        latch.write(&mut sim, Fx::ONE);
+        // Drive new data but do not strobe.
+        sim.set_input_word(&latch.d, Fx::from_f64(5.0).to_bits() as u64);
+        sim.settle();
+        assert_eq!(latch.read(&sim), Fx::ONE);
+    }
+
+    #[test]
+    fn transistor_count_is_sixteen_latches() {
+        let latch = WordLatch::new();
+        assert_eq!(latch.netlist().transistor_count(), 16 * 8);
+    }
+}

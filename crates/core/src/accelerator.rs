@@ -1,0 +1,437 @@
+//! The spatially expanded accelerator model.
+
+use std::fmt;
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use dta_ann::{FaultPlan, ForwardMode, Mlp, Topology, Trainer};
+use dta_circuits::FaultModel;
+use dta_datasets::Dataset;
+use dta_fixed::SigmoidLut;
+
+use crate::cost::{CostModel, CostReport};
+
+/// Errors returned by accelerator operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccelError {
+    /// The logical network does not fit the physical array.
+    DoesNotFit {
+        /// The logical network dimensions.
+        logical: Topology,
+        /// The physical array dimensions.
+        physical: Topology,
+    },
+    /// No network has been mapped yet.
+    NoNetwork,
+    /// An input row has the wrong number of attributes.
+    WrongRowWidth {
+        /// Attributes provided.
+        got: usize,
+        /// Attributes expected by the mapped network.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::DoesNotFit { logical, physical } => {
+                write!(f, "network {logical} does not fit the {physical} array")
+            }
+            AccelError::NoNetwork => write!(f, "no network mapped"),
+            AccelError::WrongRowWidth { got, expected } => {
+                write!(f, "row has {got} attributes, network expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+/// The spatially expanded hardware ANN accelerator (physical geometry
+/// 90-10-10 by default): every neuron exists in silicon, every synapse
+/// owns a multiplier and a weight latch, and data flows combinationally
+/// from the input latches to the output latches.
+///
+/// A trained [`Mlp`] is *mapped* onto the array (its dimensions must fit
+/// the physical geometry); rows are then processed through the Q6.10
+/// datapath. Defects injected with [`Accelerator::inject_defects`]
+/// persist in the silicon: retraining with
+/// [`Accelerator::retrain`] runs the companion-core training loop
+/// *through the faulty forward hardware*, which is how the paper's
+/// networks learn to silence out defective elements.
+///
+/// # Example
+///
+/// ```
+/// use dta_core::accelerator::Accelerator;
+/// use dta_ann::{Mlp, Topology};
+///
+/// let mut accel = Accelerator::new();
+/// accel.map_network(Mlp::new(Topology::new(13, 4, 3), 7)).unwrap();
+/// let outputs = accel.process_row(&vec![0.5; 13]).unwrap();
+/// assert_eq!(outputs.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Accelerator {
+    physical: Topology,
+    network: Option<Mlp>,
+    faults: FaultPlan,
+    lut: SigmoidLut,
+    rows_processed: u64,
+}
+
+impl Accelerator {
+    /// Builds the paper's 90-10-10 accelerator.
+    pub fn new() -> Accelerator {
+        Accelerator::with_geometry(Topology::accelerator())
+    }
+
+    /// Builds an accelerator with a custom physical geometry (used by
+    /// the cost-model sweeps).
+    pub fn with_geometry(physical: Topology) -> Accelerator {
+        Accelerator {
+            physical,
+            network: None,
+            faults: FaultPlan::new(physical.inputs),
+            lut: SigmoidLut::new(),
+            rows_processed: 0,
+        }
+    }
+
+    /// The physical array dimensions.
+    pub fn geometry(&self) -> Topology {
+        self.physical
+    }
+
+    /// The currently mapped network, if any.
+    pub fn network(&self) -> Option<&Mlp> {
+        self.network.as_ref()
+    }
+
+    /// Maps a trained network onto the array. The logical dimensions
+    /// must fit the physical geometry (larger networks go through
+    /// [`crate::large::LargeNetworkMapper`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DoesNotFit`] if any logical dimension
+    /// exceeds the physical one.
+    pub fn map_network(&mut self, mlp: Mlp) -> Result<(), AccelError> {
+        let l = mlp.topology();
+        let p = self.physical;
+        if l.inputs > p.inputs || l.hidden > p.hidden || l.outputs > p.outputs {
+            return Err(AccelError::DoesNotFit {
+                logical: l,
+                physical: p,
+            });
+        }
+        self.network = Some(mlp);
+        Ok(())
+    }
+
+    /// Removes the mapped network, returning it.
+    pub fn unmap_network(&mut self) -> Option<Mlp> {
+        self.network.take()
+    }
+
+    /// Injects `n` random defects into the input/hidden stage of the
+    /// silicon (the Figure 10 procedure) and returns their descriptions.
+    /// Defects accumulate across calls.
+    pub fn inject_defects<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        model: FaultModel,
+        rng: &mut R,
+    ) -> Vec<String> {
+        let before = self.faults.len();
+        for _ in 0..n {
+            self.faults
+                .inject_random_hidden(self.physical.hidden, model, rng);
+        }
+        self.faults.records()[before..].to_vec()
+    }
+
+    /// The accumulated fault state (for output-layer injections and
+    /// inspection).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Number of injected defects.
+    pub fn defect_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Processes one input row through the (possibly faulty) datapath,
+    /// returning the output activations.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoNetwork`] if nothing is mapped,
+    /// [`AccelError::WrongRowWidth`] on a width mismatch.
+    pub fn process_row(&mut self, row: &[f64]) -> Result<Vec<f64>, AccelError> {
+        let mlp = self.network.as_ref().ok_or(AccelError::NoNetwork)?;
+        let expected = mlp.topology().inputs;
+        if row.len() != expected {
+            return Err(AccelError::WrongRowWidth {
+                got: row.len(),
+                expected,
+            });
+        }
+        self.rows_processed += 1;
+        let trace = mlp.forward_faulty(row, &self.lut, &mut self.faults);
+        Ok(trace.output)
+    }
+
+    /// Classifies one input row (argmax of the outputs).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Accelerator::process_row`].
+    pub fn classify(&mut self, row: &[f64]) -> Result<usize, AccelError> {
+        let outputs = self.process_row(row)?;
+        Ok(outputs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("at least one output"))
+    }
+
+    /// Companion-core retraining: trains the mapped network on `ds`
+    /// with the forward pass running through this accelerator's faulty
+    /// silicon, so the network adapts to the defects.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoNetwork`] if nothing is mapped.
+    pub fn retrain<R: Rng + ?Sized>(
+        &mut self,
+        ds: &Dataset,
+        idx: &[usize],
+        learning_rate: f64,
+        momentum: f64,
+        epochs: usize,
+        rng: &mut R,
+    ) -> Result<(), AccelError> {
+        let mut mlp = self.network.take().ok_or(AccelError::NoNetwork)?;
+        let trainer = Trainer::new(learning_rate, momentum, epochs, ForwardMode::Fixed);
+        self.faults.reset_state();
+        trainer.train(&mut mlp, ds, idx, Some(&mut self.faults), rng);
+        self.network = Some(mlp);
+        Ok(())
+    }
+
+    /// One on-line training step (§IV's continuous-training scenario:
+    /// smart sensors, industrial control): a single SGD update from one
+    /// labelled row, forward through the faulty silicon.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoNetwork`] if nothing is mapped;
+    /// [`AccelError::WrongRowWidth`] on a width mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not below the network's output count or the
+    /// learning rate is not positive.
+    pub fn online_step(
+        &mut self,
+        row: &[f64],
+        label: usize,
+        learning_rate: f64,
+    ) -> Result<(), AccelError> {
+        let mut mlp = self.network.take().ok_or(AccelError::NoNetwork)?;
+        let topo = mlp.topology();
+        if row.len() != topo.inputs {
+            self.network = Some(mlp);
+            return Err(AccelError::WrongRowWidth {
+                got: row.len(),
+                expected: topo.inputs,
+            });
+        }
+        assert!(label < topo.outputs, "label {label} out of range");
+        let ds = Dataset::new(
+            "online",
+            topo.inputs,
+            topo.outputs.max(2),
+            vec![dta_datasets::Sample {
+                features: row.to_vec(),
+                label,
+            }],
+        );
+        // Momentum is meaningless for isolated steps; one epoch = one
+        // SGD update.
+        let trainer = Trainer::new(learning_rate, 0.0, 1, ForwardMode::Fixed);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        trainer.train(&mut mlp, &ds, &[0], Some(&mut self.faults), &mut rng);
+        self.rows_processed += 1;
+        self.network = Some(mlp);
+        Ok(())
+    }
+
+    /// Classification accuracy over the selected samples.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoNetwork`] if nothing is mapped.
+    pub fn evaluate(&mut self, ds: &Dataset, idx: &[usize]) -> Result<f64, AccelError> {
+        if self.network.is_none() {
+            return Err(AccelError::NoNetwork);
+        }
+        let correct = idx
+            .iter()
+            .filter(|&&s| {
+                let sample = &ds.samples()[s];
+                self.classify(&sample.features).expect("validated above")
+                    == sample.label
+            })
+            .count();
+        Ok(correct as f64 / idx.len() as f64)
+    }
+
+    /// Number of rows processed since construction.
+    pub fn rows_processed(&self) -> u64 {
+        self.rows_processed
+    }
+
+    /// The 90 nm cost report for this array's geometry.
+    pub fn cost(&self) -> CostReport {
+        CostModel::calibrated_90nm().report(self.physical)
+    }
+
+    /// Total energy spent so far (nJ), from the cost model.
+    pub fn energy_spent_nj(&self) -> f64 {
+        self.cost().energy_per_row_nj * self.rows_processed as f64
+    }
+}
+
+impl Default for Accelerator {
+    fn default() -> Accelerator {
+        Accelerator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_datasets::suite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mapping_validates_dimensions() {
+        let mut accel = Accelerator::new();
+        assert!(accel.map_network(Mlp::new(Topology::new(90, 10, 10), 1)).is_ok());
+        let err = accel
+            .map_network(Mlp::new(Topology::new(91, 10, 10), 1))
+            .unwrap_err();
+        assert!(matches!(err, AccelError::DoesNotFit { .. }));
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn processing_requires_network_and_width() {
+        let mut accel = Accelerator::new();
+        assert_eq!(accel.process_row(&[0.0; 4]), Err(AccelError::NoNetwork));
+        accel.map_network(Mlp::new(Topology::new(4, 3, 2), 2)).unwrap();
+        assert!(matches!(
+            accel.process_row(&[0.0; 5]),
+            Err(AccelError::WrongRowWidth { got: 5, expected: 4 })
+        ));
+        let out = accel.process_row(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(accel.rows_processed(), 1);
+        assert!(accel.energy_spent_nj() > 0.0);
+    }
+
+    #[test]
+    fn train_inject_retrain_recovers_accuracy() {
+        // The paper's core loop in miniature: train clean, inject
+        // defects, observe degradation risk, retrain on the faulty
+        // silicon, recover.
+        let ds = suite::load("iris").unwrap();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 8, 3), 11))
+            .unwrap();
+        accel.retrain(&ds, &idx, 0.2, 0.1, 40, &mut rng).unwrap();
+        let clean_acc = accel.evaluate(&ds, &idx).unwrap();
+        assert!(clean_acc > 0.85, "clean accuracy {clean_acc}");
+
+        let reports =
+            accel.inject_defects(5, FaultModel::TransistorLevel, &mut rng);
+        assert_eq!(reports.len(), 5);
+        assert_eq!(accel.defect_count(), 5);
+
+        accel.retrain(&ds, &idx, 0.2, 0.1, 40, &mut rng).unwrap();
+        let faulty_acc = accel.evaluate(&ds, &idx).unwrap();
+        assert!(
+            faulty_acc > clean_acc - 0.15,
+            "retraining should recover: clean {clean_acc}, faulty {faulty_acc}"
+        );
+    }
+
+    #[test]
+    fn unmap_returns_network() {
+        let mut accel = Accelerator::new();
+        let mlp = Mlp::new(Topology::new(4, 3, 2), 9);
+        accel.map_network(mlp.clone()).unwrap();
+        assert_eq!(accel.unmap_network(), Some(mlp));
+        assert!(accel.network().is_none());
+    }
+
+    #[test]
+    fn cost_matches_geometry() {
+        let accel = Accelerator::new();
+        let report = accel.cost();
+        assert!((report.area_mm2 - 9.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_training_improves_over_steps() {
+        // Continuous training: stream labelled rows one at a time and
+        // watch accuracy climb without any batch retraining.
+        let ds = suite::load("iris").unwrap();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 8, 3), 17))
+            .unwrap();
+        let before = accel.evaluate(&ds, &idx).unwrap();
+        for pass in 0..8 {
+            for s in 0..ds.len() {
+                let sample = &ds.samples()[(s * 7 + pass) % ds.len()];
+                accel
+                    .online_step(&sample.features, sample.label, 0.3)
+                    .unwrap();
+            }
+        }
+        let after = accel.evaluate(&ds, &idx).unwrap();
+        assert!(
+            after > before + 0.2 && after > 0.8,
+            "online training {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn online_step_validates() {
+        let mut accel = Accelerator::new();
+        assert_eq!(
+            accel.online_step(&[0.0; 4], 0, 0.1),
+            Err(AccelError::NoNetwork)
+        );
+        accel.map_network(Mlp::new(Topology::new(4, 3, 2), 0)).unwrap();
+        assert!(matches!(
+            accel.online_step(&[0.0; 5], 0, 0.1),
+            Err(AccelError::WrongRowWidth { .. })
+        ));
+        // Network survives a failed step.
+        assert!(accel.network().is_some());
+    }
+}

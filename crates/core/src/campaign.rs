@@ -1,0 +1,263 @@
+//! Defect-injection campaigns: the experiment logic behind Figures 10
+//! and 11.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dta_ann::{cross_validate, FaultPlan, ForwardMode, Mlp, Topology, Trainer};
+use dta_circuits::FaultModel;
+use dta_datasets::TaskSpec;
+use dta_fixed::SigmoidLut;
+
+/// Parameters of a defect-tolerance campaign. The paper uses 100
+/// repetitions, 10 folds and the Table II epochs; those are expensive,
+/// so the config scales every axis (the experiment binaries expose
+/// flags, the defaults keep turnaround in minutes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignConfig {
+    /// Defect counts to sweep (the Figure 10 x-axis, 0..27).
+    pub defect_counts: Vec<usize>,
+    /// Independent repetitions per defect count (random defect sets).
+    pub repetitions: usize,
+    /// Cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Training epochs; `None` uses the task's Table II value.
+    pub epochs: Option<usize>,
+    /// Fault model to inject with.
+    pub model: FaultModel,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            defect_counts: (0..=27).step_by(3).collect(),
+            repetitions: 3,
+            folds: 3,
+            epochs: Some(40),
+            model: FaultModel::TransistorLevel,
+            seed: 0xD7A,
+        }
+    }
+}
+
+/// One point of the Figure 10 curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Number of injected defects.
+    pub defects: usize,
+    /// Mean cross-validated accuracy over repetitions.
+    pub mean_accuracy: f64,
+    /// Worst repetition.
+    pub min_accuracy: f64,
+    /// Best repetition.
+    pub max_accuracy: f64,
+}
+
+/// Runs the Figure 10 experiment for one task: for each defect count,
+/// draw random defect sets in the input/hidden stage of the 90-synapse
+/// silicon, retrain through the faulty forward path, and measure
+/// cross-validated accuracy. "The N defects of a network remain the same
+/// while the network is re-trained and tested."
+pub fn defect_tolerance_curve(spec: &TaskSpec, cfg: &CampaignConfig) -> Vec<CurvePoint> {
+    let ds = spec.dataset();
+    let epochs = cfg.epochs.unwrap_or(spec.epochs);
+    let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
+    let mut points = Vec::with_capacity(cfg.defect_counts.len());
+    for &n_defects in &cfg.defect_counts {
+        let mut accs = Vec::with_capacity(cfg.repetitions);
+        for rep in 0..cfg.repetitions {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ (n_defects as u64) << 24 ^ (rep as u64) << 8,
+            );
+            let mut plan = FaultPlan::new(90);
+            for _ in 0..n_defects {
+                plan.inject_random_hidden(spec.hidden, cfg.model, &mut rng);
+            }
+            let cv = cross_validate(
+                &trainer,
+                &ds,
+                spec.hidden,
+                cfg.folds,
+                cfg.seed ^ rep as u64,
+                Some(&mut plan),
+            );
+            accs.push(cv.mean());
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        points.push(CurvePoint {
+            defects: n_defects,
+            mean_accuracy: mean,
+            min_accuracy: accs.iter().copied().fold(f64::INFINITY, f64::min),
+            max_accuracy: accs.iter().copied().fold(0.0, f64::max),
+        });
+    }
+    points
+}
+
+/// Where a Figure 11 defect was injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputSite {
+    /// The final accumulation adder of an output neuron.
+    Adder,
+    /// The activation unit of an output neuron.
+    Activation,
+}
+
+/// One Figure 11 measurement: a single output-layer defect, retrained,
+/// with the resulting accuracy and the error amplitude it induces at the
+/// faulty neuron.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AmplitudePoint {
+    /// Mean absolute error at the faulty neuron's adder output (or the
+    /// activation output for activation-unit defects), over test rows.
+    pub amplitude: f64,
+    /// Cross-validated accuracy after retraining with the defect.
+    pub accuracy: f64,
+    /// Which unit was hit.
+    pub site: OutputSite,
+    /// Affected output neuron.
+    pub neuron: usize,
+}
+
+/// Runs the Figure 11 experiment for one task: single random defects in
+/// the output layer's most sensitive units (final adders, activation
+/// functions), retraining, and per-row error-amplitude measurement.
+pub fn output_amplitude_curve(
+    spec: &TaskSpec,
+    repetitions: usize,
+    epochs: Option<usize>,
+    seed: u64,
+) -> Vec<AmplitudePoint> {
+    let ds = spec.dataset();
+    let epochs = epochs.unwrap_or(spec.epochs);
+    let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
+    let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
+    let lut = SigmoidLut::new();
+    let mut points = Vec::with_capacity(repetitions);
+
+    for rep in 0..repetitions {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (rep as u64) << 16);
+        let neuron = rng.random_range(0..ds.n_classes());
+        let site = if rng.random_bool(0.5) {
+            OutputSite::Adder
+        } else {
+            OutputSite::Activation
+        };
+        let mut plan = FaultPlan::new(90);
+        match site {
+            OutputSite::Adder => {
+                // The final accumulation step feeds the activation
+                // directly.
+                plan.inject_output_adder(neuron, spec.hidden - 1, &mut rng)
+            }
+            OutputSite::Activation => plan.inject_output_activation(neuron, &mut rng),
+        }
+
+        // Single train/test split (the fold structure is immaterial for
+        // the amplitude measurement; accuracy still uses held-out data).
+        let folds = ds.k_folds(5, seed ^ rep as u64);
+        let fold = &folds[0];
+        let mut mlp = Mlp::new(topo, seed ^ 0xA5A5 ^ rep as u64);
+        plan.reset_state();
+        trainer.train(&mut mlp, &ds, &fold.train, Some(&mut plan), &mut rng);
+        let accuracy = trainer.evaluate(&mlp, &ds, &fold.test, Some(&mut plan));
+
+        // Amplitude: |faulty - healthy| at the defective unit, averaged
+        // over the test rows.
+        let mut total = 0.0;
+        for &s in &fold.test {
+            let x = &ds.samples()[s].features;
+            let healthy = mlp.forward_fixed(x, &lut);
+            let faulty = mlp.forward_faulty(x, &lut, &mut plan);
+            total += match site {
+                OutputSite::Adder => {
+                    (faulty.output_pre[neuron] - healthy.output_pre[neuron]).abs()
+                }
+                OutputSite::Activation => {
+                    (faulty.output[neuron] - healthy.output[neuron]).abs()
+                }
+            };
+        }
+        points.push(AmplitudePoint {
+            amplitude: total / fold.test.len() as f64,
+            accuracy,
+            site,
+            neuron,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_datasets::suite;
+
+    fn tiny_cfg() -> CampaignConfig {
+        CampaignConfig {
+            defect_counts: vec![0, 8],
+            repetitions: 1,
+            folds: 2,
+            epochs: Some(8),
+            model: FaultModel::TransistorLevel,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn curve_has_one_point_per_count() {
+        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let curve = defect_tolerance_curve(&spec, &tiny_cfg());
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].defects, 0);
+        assert_eq!(curve[1].defects, 8);
+        for p in &curve {
+            assert!((0.0..=1.0).contains(&p.mean_accuracy));
+            assert!(p.min_accuracy <= p.mean_accuracy);
+            assert!(p.mean_accuracy <= p.max_accuracy);
+        }
+    }
+
+    #[test]
+    fn zero_defects_trains_well_even_tiny() {
+        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let cfg = CampaignConfig {
+            defect_counts: vec![0],
+            repetitions: 1,
+            folds: 3,
+            epochs: Some(25),
+            ..tiny_cfg()
+        };
+        let curve = defect_tolerance_curve(&spec, &cfg);
+        assert!(
+            curve[0].mean_accuracy > 0.8,
+            "clean iris accuracy {}",
+            curve[0].mean_accuracy
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let a = defect_tolerance_curve(&spec, &tiny_cfg());
+        let b = defect_tolerance_curve(&spec, &tiny_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn amplitude_experiment_produces_points() {
+        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let points = output_amplitude_curve(&spec, 3, Some(8), 11);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.amplitude >= 0.0);
+            assert!((0.0..=1.0).contains(&p.accuracy));
+            assert!(p.neuron < 3);
+        }
+        // Determinism.
+        assert_eq!(points, output_amplitude_curve(&spec, 3, Some(8), 11));
+    }
+}

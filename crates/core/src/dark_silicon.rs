@@ -1,0 +1,159 @@
+//! Dark-silicon accounting — the paper's framing context (§I).
+//!
+//! "The lack of voltage scaling is breeding the so-called 'Dark Silicon'
+//! constraint where only a fraction of transistors can be used
+//! simultaneously due to the limited on-chip power budget. That
+//! constraint, in turn, is likely to induce a novel shift towards
+//! heterogeneous multi-cores, composed of a mix of cores and
+//! accelerators, where only a few accelerators are used at any given
+//! time." This module quantifies that trade for a chip mixing
+//! Stealey-class cores with ANN accelerators.
+
+use dta_ann::Topology;
+
+use crate::cost::CostReport;
+use crate::processor::ProcessorModel;
+
+/// A heterogeneous chip: an area budget populated with cores and
+/// accelerators, and a power budget that limits how many can run at
+/// once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeterogeneousChip {
+    /// Total die area available for compute units, in mm².
+    pub area_budget_mm2: f64,
+    /// Total power budget (TDP), in W.
+    pub power_budget_w: f64,
+    /// Area of one general-purpose core, in mm² (a Stealey-class core
+    /// at 90 nm is in the tens of mm²; 25 by default).
+    pub core_area_mm2: f64,
+}
+
+/// How the chip splits between lit and dark silicon for a given unit mix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DarkSiliconReport {
+    /// Compute units of this type that fit the area budget.
+    pub units_placeable: u64,
+    /// Units that can be powered simultaneously.
+    pub units_lit: u64,
+    /// Fraction of the placed units' area that must stay dark.
+    pub dark_fraction: f64,
+    /// Aggregate throughput of the lit units, rows per second.
+    pub lit_rows_per_s: f64,
+}
+
+impl HeterogeneousChip {
+    /// A 90 nm mobile-class chip: 100 mm² of compute area, 10 W budget,
+    /// 25 mm² cores.
+    pub fn mobile_90nm() -> HeterogeneousChip {
+        HeterogeneousChip {
+            area_budget_mm2: 100.0,
+            power_budget_w: 10.0,
+            core_area_mm2: 25.0,
+        }
+    }
+
+    /// Fills the area budget with accelerators of the given cost and
+    /// lights as many as the power budget allows.
+    pub fn accelerators_only(&self, accel: &CostReport) -> DarkSiliconReport {
+        let placeable = (self.area_budget_mm2 / accel.area_mm2).floor() as u64;
+        let powerable = (self.power_budget_w / accel.power_w).floor() as u64;
+        let lit = placeable.min(powerable);
+        DarkSiliconReport {
+            units_placeable: placeable,
+            units_lit: lit,
+            dark_fraction: if placeable == 0 {
+                0.0
+            } else {
+                1.0 - lit as f64 / placeable as f64
+            },
+            lit_rows_per_s: lit as f64 * 1e9 / accel.latency_ns,
+        }
+    }
+
+    /// Fills the area budget with cores running the software ANN.
+    pub fn cores_only(&self, proc: &ProcessorModel, topo: Topology) -> DarkSiliconReport {
+        let placeable = (self.area_budget_mm2 / self.core_area_mm2).floor() as u64;
+        let powerable = (self.power_budget_w / proc.avg_power_w).floor() as u64;
+        let lit = placeable.min(powerable);
+        let run = proc.run(topo);
+        DarkSiliconReport {
+            units_placeable: placeable,
+            units_lit: lit,
+            dark_fraction: if placeable == 0 {
+                0.0
+            } else {
+                1.0 - lit as f64 / placeable as f64
+            },
+            lit_rows_per_s: lit as f64 * 1e9 / run.time_per_row_ns,
+        }
+    }
+
+    /// Throughput advantage of filling the chip with accelerators
+    /// instead of cores, under the same area and power budgets.
+    pub fn accelerator_advantage(
+        &self,
+        accel: &CostReport,
+        proc: &ProcessorModel,
+        topo: Topology,
+    ) -> f64 {
+        let a = self.accelerators_only(accel);
+        let c = self.cores_only(proc, topo);
+        if c.lit_rows_per_s == 0.0 {
+            f64::INFINITY
+        } else {
+            a.lit_rows_per_s / c.lit_rows_per_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn setup() -> (HeterogeneousChip, CostReport, ProcessorModel) {
+        (
+            HeterogeneousChip::mobile_90nm(),
+            CostModel::calibrated_90nm().report(Topology::accelerator()),
+            ProcessorModel::stealey(),
+        )
+    }
+
+    #[test]
+    fn accelerators_hit_the_power_wall_first() {
+        let (chip, accel, _) = setup();
+        let report = chip.accelerators_only(&accel);
+        // 100/9.02 = 11 placeable; 10/4.70 = 2 powerable -> dark silicon.
+        assert_eq!(report.units_placeable, 11);
+        assert_eq!(report.units_lit, 2);
+        assert!(report.dark_fraction > 0.7, "dark {}", report.dark_fraction);
+    }
+
+    #[test]
+    fn cores_are_area_limited_not_power_limited() {
+        let (chip, _, proc) = setup();
+        let report = chip.cores_only(&proc, Topology::accelerator());
+        // 100/25 = 4 placeable; 10/2.78 = 3 powerable.
+        assert_eq!(report.units_placeable, 4);
+        assert_eq!(report.units_lit, 3);
+        assert!(report.dark_fraction < 0.5);
+    }
+
+    #[test]
+    fn accelerator_chip_wins_on_throughput_by_orders_of_magnitude() {
+        let (chip, accel, proc) = setup();
+        let adv = chip.accelerator_advantage(&accel, &proc, Topology::accelerator());
+        // 2 accelerators at 14.92 ns/row vs 3 cores at 24.6 us/row:
+        // ~1100x. Even power-starved, the dark-silicon bet pays.
+        assert!(adv > 500.0, "advantage {adv}");
+    }
+
+    #[test]
+    fn zero_power_chip_lights_nothing() {
+        let (mut chip, accel, _) = setup();
+        chip.power_budget_w = 0.5; // below one accelerator
+        let report = chip.accelerators_only(&accel);
+        assert_eq!(report.units_lit, 0);
+        assert_eq!(report.lit_rows_per_s, 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The DMA / memory-interface model (paper §IV "Input/Output" and §VI-A
+//! "Memory interface and key logic").
+//!
+//! The accelerator fetches input rows through a DMA with a 2-latch
+//! double buffer per input (one row in use while the next is fetched) and
+//! a 2-signal ready/accept handshake; the same port writes synaptic
+//! weights during (re)training. The interface is *key logic*: it must be
+//! defect-free, which is why the cost model tracks its area separately
+//! across technology nodes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dta_ann::Topology;
+use dta_fixed::Fx;
+
+/// Static bandwidth characterization of the interface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandwidthReport {
+    /// Bits fetched per input row.
+    pub bits_per_row: u64,
+    /// Bandwidth needed to keep the accelerator busy (GB/s).
+    pub required_gb_s: f64,
+    /// Minimum interface clock for the given link width (MHz).
+    pub min_clock_mhz: f64,
+    /// Interface cycles per row at the chosen link width.
+    pub cycles_per_row: u64,
+}
+
+impl fmt::Display for BandwidthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bits/row | {:.2} GB/s | >= {:.0} MHz",
+            self.bits_per_row, self.required_gb_s, self.min_clock_mhz
+        )
+    }
+}
+
+/// The DMA and its double buffers.
+///
+/// Functionally, the interface accepts rows from memory ([`MemoryInterface::push_row`])
+/// into the back buffer and hands them to the accelerator
+/// ([`MemoryInterface::take_row`]) from the front buffer, enforcing the
+/// 2-deep pipeline; statistics feed the bandwidth report.
+///
+/// # Example
+///
+/// ```
+/// use dta_core::MemoryInterface;
+/// use dta_ann::Topology;
+///
+/// let mut dma = MemoryInterface::new(Topology::accelerator(), 2, 64, 800.0);
+/// let report = dma.bandwidth_report(14.92);
+/// // The paper: 1440 bits every 14.92 ns = 11.23 GB/s? No —
+/// // 1440 bits / 14.92 ns ≈ 12.06 GB/s raw; with 16-bit words over 90
+/// // inputs the paper reports 11.23 GB/s (decimal GB). Both are checked
+/// // in the module tests.
+/// assert_eq!(report.bits_per_row, 1440);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryInterface {
+    geometry: Topology,
+    /// Number of parallel links.
+    links: u32,
+    /// Bits per link per cycle.
+    link_bits: u32,
+    /// Interface clock in MHz.
+    clock_mhz: f64,
+    /// The double buffer: at most 2 pending rows.
+    buffer: VecDeque<Vec<Fx>>,
+    rows_pushed: u64,
+    rows_taken: u64,
+    stalls: u64,
+}
+
+impl MemoryInterface {
+    /// Creates the interface for a geometry with `links` × `link_bits`
+    /// wide transfers at `clock_mhz` (the paper: 2 × 64 bits at
+    /// 800 MHz).
+    pub fn new(
+        geometry: Topology,
+        links: u32,
+        link_bits: u32,
+        clock_mhz: f64,
+    ) -> MemoryInterface {
+        assert!(links >= 1 && link_bits >= 1 && clock_mhz > 0.0);
+        MemoryInterface {
+            geometry,
+            links,
+            link_bits,
+            clock_mhz,
+            buffer: VecDeque::with_capacity(2),
+            rows_pushed: 0,
+            rows_taken: 0,
+            stalls: 0,
+        }
+    }
+
+    /// The paper's configuration: two 64-bit links at 800 MHz feeding
+    /// the 90-input accelerator.
+    pub fn paper_config() -> MemoryInterface {
+        MemoryInterface::new(Topology::accelerator(), 2, 64, 800.0)
+    }
+
+    /// Bits that must be fetched per input row (16 bits per input).
+    pub fn bits_per_row(&self) -> u64 {
+        16 * self.geometry.inputs as u64
+    }
+
+    /// Static bandwidth report given the accelerator row latency.
+    pub fn bandwidth_report(&self, row_latency_ns: f64) -> BandwidthReport {
+        let bits = self.bits_per_row();
+        let bytes_per_ns = bits as f64 / 8.0 / row_latency_ns;
+        let required_gb_s = bytes_per_ns; // GB/s == bytes/ns
+        let bits_per_cycle = (self.links * self.link_bits) as u64;
+        let cycles_per_row = bits.div_ceil(bits_per_cycle);
+        let min_clock_mhz = cycles_per_row as f64 / row_latency_ns * 1e3;
+        BandwidthReport {
+            bits_per_row: bits,
+            required_gb_s,
+            min_clock_mhz,
+            cycles_per_row,
+        }
+    }
+
+    /// True if the back buffer can accept another row (ready signal).
+    pub fn ready(&self) -> bool {
+        self.buffer.len() < 2
+    }
+
+    /// Pushes a fetched row into the double buffer.
+    ///
+    /// Returns `false` (and counts a stall) if both buffers are full —
+    /// the accelerator is the bottleneck and the DMA must wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the geometry's input count.
+    pub fn push_row(&mut self, row: Vec<Fx>) -> bool {
+        assert_eq!(row.len(), self.geometry.inputs, "row width mismatch");
+        if !self.ready() {
+            self.stalls += 1;
+            return false;
+        }
+        self.buffer.push_back(row);
+        self.rows_pushed += 1;
+        true
+    }
+
+    /// Hands the front row to the accelerator (accept signal), if any.
+    pub fn take_row(&mut self) -> Option<Vec<Fx>> {
+        let row = self.buffer.pop_front();
+        if row.is_some() {
+            self.rows_taken += 1;
+        }
+        row
+    }
+
+    /// `(pushed, taken, stalls)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.rows_pushed, self.rows_taken, self.stalls)
+    }
+
+    /// The configured interface clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Models a full synaptic-weight reload (paper §IV: "each neuron of
+    /// layer l is reloaded one by one: all its N_{l-1} synaptic weights
+    /// are loaded, then stored. A write signal ... is activated by the
+    /// DMA"): per neuron, its fan-in words stream over the links, then
+    /// one strobe cycle latches them.
+    pub fn weight_reload_report(&self) -> WeightReloadReport {
+        let g = self.geometry;
+        let bits_per_cycle = (self.links * self.link_bits) as u64;
+        let mut words = 0u64;
+        let mut cycles = 0u64;
+        for (fan_in, neurons) in [(g.inputs, g.hidden), (g.hidden, g.outputs)] {
+            let per_neuron_bits = 16 * fan_in as u64 + 16; // weights + bias
+            let per_neuron_cycles = per_neuron_bits.div_ceil(bits_per_cycle) + 1;
+            words += (fan_in as u64 + 1) * neurons as u64;
+            cycles += per_neuron_cycles * neurons as u64;
+        }
+        WeightReloadReport {
+            words,
+            cycles,
+            time_us: cycles as f64 / (self.clock_mhz * 1e6) * 1e6,
+        }
+    }
+}
+
+/// Cost of streaming a full set of synaptic weights into the array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightReloadReport {
+    /// 16-bit weight words transferred (including biases).
+    pub words: u64,
+    /// Interface cycles consumed (transfers + per-neuron write strobes).
+    pub cycles: u64,
+    /// Wall-clock time at the configured interface clock, in µs.
+    pub time_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidth_numbers() {
+        let dma = MemoryInterface::paper_config();
+        let report = dma.bandwidth_report(14.92);
+        // 90 × 16 = 1440 bits per row.
+        assert_eq!(report.bits_per_row, 1440);
+        // 1440 bits / 14.92 ns = 12.06 GB/s raw; the paper quotes
+        // 11.23 GB/s (computed with GiB-style rounding); both land in
+        // the Intel QPI class (~12.8 GB/s one direction).
+        assert!(
+            (11.0..12.5).contains(&report.required_gb_s),
+            "{}",
+            report.required_gb_s
+        );
+        // 1440 / 128 bits per cycle = 12 cycles; >= 754 MHz required.
+        assert_eq!(report.cycles_per_row, 12);
+        assert!(
+            (report.min_clock_mhz - 804.0).abs() < 10.0,
+            "min clock {} MHz (paper needs >= 754 and clocks at 800)",
+            report.min_clock_mhz
+        );
+    }
+
+    #[test]
+    fn double_buffer_holds_two_rows() {
+        let mut dma = MemoryInterface::new(Topology::new(4, 2, 2), 1, 64, 800.0);
+        let row = vec![Fx::ZERO; 4];
+        assert!(dma.ready());
+        assert!(dma.push_row(row.clone()));
+        assert!(dma.push_row(row.clone()));
+        assert!(!dma.ready());
+        assert!(!dma.push_row(row.clone()), "third push stalls");
+        assert_eq!(dma.stats(), (2, 0, 1));
+        assert!(dma.take_row().is_some());
+        assert!(dma.ready(), "freed a slot");
+        assert!(dma.push_row(row));
+        assert_eq!(dma.stats(), (3, 1, 1));
+    }
+
+    #[test]
+    fn take_from_empty_is_none() {
+        let mut dma = MemoryInterface::paper_config();
+        assert!(dma.take_row().is_none());
+    }
+
+    #[test]
+    fn rows_flow_in_fifo_order() {
+        let mut dma = MemoryInterface::new(Topology::new(1, 2, 2), 1, 16, 100.0);
+        dma.push_row(vec![Fx::from_f64(1.0)]);
+        dma.push_row(vec![Fx::from_f64(2.0)]);
+        assert_eq!(dma.take_row().unwrap()[0], Fx::from_f64(1.0));
+        assert_eq!(dma.take_row().unwrap()[0], Fx::from_f64(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_width_rejected() {
+        let mut dma = MemoryInterface::paper_config();
+        dma.push_row(vec![Fx::ZERO; 3]);
+    }
+
+    #[test]
+    fn display_mentions_bandwidth() {
+        let dma = MemoryInterface::paper_config();
+        let s = dma.bandwidth_report(14.92).to_string();
+        assert!(s.contains("GB/s"));
+    }
+
+    #[test]
+    fn weight_reload_accounting() {
+        let dma = MemoryInterface::paper_config();
+        let r = dma.weight_reload_report();
+        // 10 hidden x 91 + 10 output x 11 = 1020 words.
+        assert_eq!(r.words, 1020);
+        // Per hidden neuron: ceil(91*16/128)+1 = 13 cycles; per output
+        // neuron: ceil(11*16/128)+1 = 3 cycles.
+        assert_eq!(r.cycles, 13 * 10 + 3 * 10);
+        // At 800 MHz that is a fifth of a microsecond — retraining cost
+        // is dominated by the companion core, not the reload.
+        assert!(r.time_us < 1.0, "reload time {} us", r.time_us);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! The paper's primary contribution: a **spatially expanded, defect-
+//! tolerant hardware ANN accelerator**, with everything needed to
+//! reproduce its evaluation.
+//!
+//! * [`accelerator`] — the spatially expanded 90-10-10 accelerator: all
+//!   neurons in silicon, synaptic weights in distributed latches next to
+//!   their multipliers, combinational data flow from inputs to outputs.
+//!   Supports transistor-level defect injection and companion-core
+//!   retraining.
+//! * [`time_multiplexed`] — the conventional baseline: a few shared
+//!   hardware neurons, an SRAM weight bank and the control logic that a
+//!   single defect can wreck; used by the spatial-vs-time-multiplexed
+//!   ablation.
+//! * [`large`] — partial time-multiplexing of networks larger than the
+//!   physical array (paper §IV), with pass counting and the defect
+//!   multiplication effect.
+//! * [`interface`] — the DMA / memory-interface model: double buffering,
+//!   handshake, and the bandwidth arithmetic behind the 11.23 GB/s
+//!   requirement.
+//! * [`cost`] — the 90 nm area/power/latency/energy model calibrated to
+//!   the paper's synthesis results (Table III), including technology-node
+//!   scaling of the key-logic fraction.
+//! * [`processor`] — the Intel Stealey-class in-order core model behind
+//!   Table IV and the ~1000× energy ratio.
+//! * [`campaign`] — the defect-injection campaigns of Figures 10 and 11:
+//!   accuracy vs. defect count with retraining, and output-layer
+//!   sensitivity vs. error amplitude.
+//!
+//! # Example
+//!
+//! ```
+//! use dta_core::accelerator::Accelerator;
+//! use dta_ann::{Mlp, Topology};
+//!
+//! let mut accel = Accelerator::new();
+//! let mlp = Mlp::new(Topology::new(4, 8, 3), 42);
+//! accel.map_network(mlp).unwrap();
+//! let class = accel.classify(&[0.1, 0.9, 0.4, 0.2]).unwrap();
+//! assert!(class < 3);
+//! ```
+
+pub mod accelerator;
+pub mod campaign;
+pub mod cost;
+pub mod dark_silicon;
+pub mod interface;
+pub mod large;
+pub mod processor;
+pub mod time_multiplexed;
+
+pub use accelerator::{AccelError, Accelerator};
+pub use campaign::{AmplitudePoint, CampaignConfig, CurvePoint};
+pub use cost::{CostModel, CostReport, SensitiveAreaReport};
+pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
+pub use interface::MemoryInterface;
+pub use processor::ProcessorModel;
+pub use time_multiplexed::TimeMultiplexedAccelerator;

@@ -1,0 +1,172 @@
+//! The Intel Stealey-class processor model behind Table IV.
+//!
+//! The paper runs a trimmed-down C version of the 90-10-10 ANN on a
+//! Wattch/SimpleScalar configuration emulating an Intel Stealey (A110):
+//! 800 MHz, ~3 W, 90 nm, with a perfect 1-cycle L1 so the comparison
+//! isolates compute from the memory system. We reproduce that as an
+//! operation-count × per-operation-cycle model calibrated to Table IV's
+//! 19 680 cycles per 90-10-10 row at 2.78 W average power.
+
+use std::fmt;
+
+use dta_ann::Topology;
+
+use crate::cost::CostReport;
+
+/// Execution characteristics of the software ANN on the modeled core.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessorRun {
+    /// Cycles to process one input row.
+    pub cycles_per_row: u64,
+    /// Wall-clock time per row in ns.
+    pub time_per_row_ns: f64,
+    /// Energy per row in nJ.
+    pub energy_per_row_nj: f64,
+}
+
+impl fmt::Display for ProcessorRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles/row | {:.0} ns/row | {:.0} nJ/row",
+            self.cycles_per_row, self.time_per_row_ns, self.energy_per_row_nj
+        )
+    }
+}
+
+/// An in-order low-power core executing the trimmed-down software ANN.
+///
+/// The per-operation cycle counts model the inner loop of the C version
+/// (load weight, load activation, multiply, accumulate, loop bookkeeping
+/// — a handful of instructions on a 2-wide in-order core without FMA)
+/// and are calibrated so the 90-10-10 network costs exactly the paper's
+/// 19 680 cycles per row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessorModel {
+    /// Core clock in Hz (the Stealey's maximum, also used for the DMA).
+    pub clock_hz: f64,
+    /// Average power per cycle in W (Wattch measurement in the paper).
+    pub avg_power_w: f64,
+    /// Cycles per multiply-accumulate (incl. loads and loop overhead).
+    pub cycles_per_mac: u64,
+    /// Cycles per activation-function evaluation.
+    pub cycles_per_activation: u64,
+    /// Fixed per-row overhead cycles (row setup, output readout).
+    pub row_overhead_cycles: u64,
+}
+
+impl ProcessorModel {
+    /// The Stealey-class configuration of the paper (800 MHz, 2.78 W
+    /// measured average power, Table IV calibration).
+    pub fn stealey() -> ProcessorModel {
+        ProcessorModel {
+            clock_hz: 800e6,
+            avg_power_w: 2.78,
+            cycles_per_mac: 19,
+            cycles_per_activation: 24,
+            row_overhead_cycles: 20,
+        }
+    }
+
+    /// Cycles to process one input row of a network.
+    pub fn cycles_per_row(&self, topo: Topology) -> u64 {
+        let macs =
+            (topo.inputs as u64 + 1) * topo.hidden as u64
+                + (topo.hidden as u64 + 1) * topo.outputs as u64;
+        // The +1 bias terms are loads+adds folded into the MAC loop in
+        // the C version; count them at MAC cost minus the multiply.
+        let activations = (topo.hidden + topo.outputs) as u64;
+        let plain_macs = (topo.inputs as u64) * topo.hidden as u64
+            + (topo.hidden as u64) * topo.outputs as u64;
+        let bias_adds = macs - plain_macs;
+        plain_macs * self.cycles_per_mac
+            + bias_adds * (self.cycles_per_mac / 2)
+            + activations * self.cycles_per_activation
+            + self.row_overhead_cycles
+    }
+
+    /// The full Table IV characterization for a network.
+    pub fn run(&self, topo: Topology) -> ProcessorRun {
+        let cycles = self.cycles_per_row(topo);
+        let time_ns = cycles as f64 / self.clock_hz * 1e9;
+        let energy_nj = self.avg_power_w * time_ns; // W × ns = nJ
+        ProcessorRun {
+            cycles_per_row: cycles,
+            time_per_row_ns: time_ns,
+            energy_per_row_nj: energy_nj,
+        }
+    }
+
+    /// Accelerator-vs-processor energy ratio for a geometry (the paper's
+    /// headline ~1000×).
+    pub fn energy_ratio(&self, topo: Topology, accel: &CostReport) -> f64 {
+        self.run(topo).energy_per_row_nj / accel.energy_per_row_nj
+    }
+
+    /// Accelerator-vs-processor speedup for a geometry.
+    pub fn speedup(&self, topo: Topology, accel: &CostReport) -> f64 {
+        self.run(topo).time_per_row_ns / accel.latency_ns
+    }
+}
+
+impl Default for ProcessorModel {
+    fn default() -> ProcessorModel {
+        ProcessorModel::stealey()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn table4_cycles_reproduced() {
+        let p = ProcessorModel::stealey();
+        let cycles = p.cycles_per_row(Topology::accelerator());
+        // Paper: 19 680 cycles per 90-input row.
+        assert_eq!(cycles, 19_680);
+    }
+
+    #[test]
+    fn table4_energy_reproduced() {
+        let p = ProcessorModel::stealey();
+        let run = p.run(Topology::accelerator());
+        // Paper: 24 600 ns and 68 388 nJ per row at 800 MHz / 2.78 W.
+        assert!((run.time_per_row_ns - 24_600.0).abs() < 1.0);
+        assert!((run.energy_per_row_nj - 68_388.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn energy_ratio_is_three_orders_of_magnitude() {
+        let p = ProcessorModel::stealey();
+        let accel = CostModel::calibrated_90nm().report(Topology::accelerator());
+        let ratio = p.energy_ratio(Topology::accelerator(), &accel);
+        // 68388 / 70.16 ≈ 975×.
+        assert!((900.0..1050.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn speedup_is_three_orders_of_magnitude() {
+        let p = ProcessorModel::stealey();
+        let accel = CostModel::calibrated_90nm().report(Topology::accelerator());
+        let s = p.speedup(Topology::accelerator(), &accel);
+        // 24600 ns / 14.92 ns ≈ 1650×.
+        assert!((1500.0..1800.0).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn smaller_networks_cost_fewer_cycles() {
+        let p = ProcessorModel::stealey();
+        assert!(
+            p.cycles_per_row(Topology::new(4, 8, 3))
+                < p.cycles_per_row(Topology::accelerator()) / 10
+        );
+    }
+
+    #[test]
+    fn display_mentions_cycles() {
+        let p = ProcessorModel::stealey();
+        assert!(p.run(Topology::accelerator()).to_string().contains("19680"));
+    }
+}

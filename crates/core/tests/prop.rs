@@ -1,0 +1,97 @@
+//! Property tests for the analytical models: structural monotonicity
+//! and calibration invariants that must hold for every geometry.
+
+use dta_ann::Topology;
+use dta_core::cost::{CostModel, Inventory, SensitiveAreaReport};
+use dta_core::ProcessorModel;
+use proptest::prelude::*;
+
+fn any_topology() -> impl Strategy<Value = Topology> {
+    (1usize..200, 1usize..40, 1usize..20)
+        .prop_map(|(i, h, o)| Topology::new(i, h, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_is_positive_and_consistent(topo in any_topology()) {
+        let model = CostModel::calibrated_90nm();
+        let r = model.report(topo);
+        prop_assert!(r.area_mm2 > 0.0);
+        prop_assert!(r.latency_ns > 0.0);
+        prop_assert!(r.energy_per_row_nj > 0.0);
+        // Power is defined as energy over latency.
+        prop_assert!((r.power_w - r.energy_per_row_nj / r.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_monotone_in_every_dimension(topo in any_topology()) {
+        let model = CostModel::calibrated_90nm();
+        let base = model.report(topo).area_mm2;
+        let more_in = model
+            .report(Topology::new(topo.inputs + 1, topo.hidden, topo.outputs))
+            .area_mm2;
+        let more_hid = model
+            .report(Topology::new(topo.inputs, topo.hidden + 1, topo.outputs))
+            .area_mm2;
+        let more_out = model
+            .report(Topology::new(topo.inputs, topo.hidden, topo.outputs + 1))
+            .area_mm2;
+        prop_assert!(more_in > base);
+        prop_assert!(more_hid > base);
+        prop_assert!(more_out > base);
+    }
+
+    #[test]
+    fn latency_monotone_in_fan_in(topo in any_topology()) {
+        // Doubling the inputs deepens (or keeps) the accumulation tree.
+        let model = CostModel::calibrated_90nm();
+        let base = model.report(topo).latency_ns;
+        let wider = model
+            .report(Topology::new(topo.inputs * 2, topo.hidden, topo.outputs))
+            .latency_ns;
+        prop_assert!(wider >= base);
+    }
+
+    #[test]
+    fn processor_cycles_scale_with_macs(topo in any_topology()) {
+        let p = ProcessorModel::stealey();
+        let cycles = p.cycles_per_row(topo);
+        let macs = (topo.inputs * topo.hidden + topo.hidden * topo.outputs) as u64;
+        // Each MAC costs at least a dozen cycles on the in-order core
+        // and the model never charges more than ~2x the MAC bill.
+        prop_assert!(cycles >= macs * p.cycles_per_mac);
+        prop_assert!(cycles <= macs * p.cycles_per_mac * 2 + 10_000);
+    }
+
+    #[test]
+    fn energy_ratio_always_large(topo in any_topology()) {
+        // The paper's two-orders-of-magnitude claim holds across
+        // geometries in the calibrated model (the ratio is driven by
+        // per-MAC energy, which is geometry-independent).
+        let model = CostModel::calibrated_90nm();
+        let p = ProcessorModel::stealey();
+        let ratio = p.energy_ratio(topo, &model.report(topo));
+        prop_assert!(ratio > 100.0, "ratio {} at {}", ratio, topo);
+    }
+
+    #[test]
+    fn inventory_transistors_match_components(topo in any_topology()) {
+        let inv = Inventory::for_geometry(topo);
+        prop_assert_eq!(
+            inv.multipliers,
+            (topo.inputs * topo.hidden + topo.hidden * topo.outputs) as u64
+        );
+        prop_assert!(inv.transistors > inv.multipliers);
+        prop_assert!(inv.depth > 0);
+    }
+
+    #[test]
+    fn sensitive_fraction_bounded(topo in any_topology()) {
+        let r = SensitiveAreaReport::for_geometry(topo);
+        prop_assert!((0.0..=1.0).contains(&r.fraction_of_output_layer));
+        prop_assert!((0.0..=1.0).contains(&r.fraction_of_total));
+        prop_assert!(r.fraction_of_total <= r.fraction_of_output_layer);
+    }
+}

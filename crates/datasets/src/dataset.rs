@@ -1,0 +1,263 @@
+//! In-memory labelled datasets with cross-validation splitting.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One labelled example: a feature vector (normalized to `[0, 1]`) and a
+/// class index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Feature values, one per attribute, in `[0, 1]`.
+    pub features: Vec<f64>,
+    /// Class index in `0..n_classes`.
+    pub label: usize,
+}
+
+/// A labelled classification dataset.
+///
+/// Invariants (checked at construction): every sample has exactly
+/// `n_features` features and a label below `n_classes`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    name: String,
+    n_features: usize,
+    n_classes: usize,
+    samples: Vec<Sample>,
+}
+
+/// One cross-validation fold: indices into [`Dataset::samples`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fold {
+    /// Training-set sample indices.
+    pub train: Vec<usize>,
+    /// Held-out test-set sample indices.
+    pub test: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample has the wrong number of features or an
+    /// out-of-range label, or if the dataset is empty.
+    pub fn new(
+        name: impl Into<String>,
+        n_features: usize,
+        n_classes: usize,
+        samples: Vec<Sample>,
+    ) -> Dataset {
+        assert!(!samples.is_empty(), "dataset must not be empty");
+        assert!(n_classes >= 2, "need at least two classes");
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(
+                s.features.len(),
+                n_features,
+                "sample {i} has {} features, expected {n_features}",
+                s.features.len()
+            );
+            assert!(
+                s.label < n_classes,
+                "sample {i} label {} out of range 0..{n_classes}",
+                s.label
+            );
+        }
+        Dataset {
+            name: name.into(),
+            n_features,
+            n_classes,
+            samples,
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes per sample.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The examples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the dataset has no examples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into `k` cross-validation folds after a seeded shuffle —
+    /// the paper evaluates every accuracy with 10-fold cross-validation.
+    ///
+    /// Every sample appears in exactly one test set; fold sizes differ by
+    /// at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > len()`.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<Fold> {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(k <= self.len(), "more folds than samples");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let test: Vec<usize> = order
+                .iter()
+                .copied()
+                .skip(f)
+                .step_by(k)
+                .collect();
+            let train: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|i| !test.contains(i))
+                .collect();
+            folds.push(Fold { train, test });
+        }
+        folds
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// The accuracy a majority-class predictor achieves — the baseline
+    /// any trained network must beat.
+    pub fn majority_baseline(&self) -> f64 {
+        let max = self.class_counts().into_iter().max().unwrap_or(0);
+        max as f64 / self.len() as f64
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} samples, {} attributes, {} classes)",
+            self.name,
+            self.len(),
+            self.n_features,
+            self.n_classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let samples = (0..n)
+            .map(|i| Sample {
+                features: vec![i as f64 / n as f64, 0.5],
+                label: i % 2,
+            })
+            .collect();
+        Dataset::new("toy", 2, 2, samples)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy(10);
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.len(), 10);
+        assert!(!d.is_empty());
+        assert_eq!(d.class_counts(), vec![5, 5]);
+        assert_eq!(d.majority_baseline(), 0.5);
+        assert!(d.to_string().contains("10 samples"));
+    }
+
+    #[test]
+    fn k_folds_partition_everything() {
+        let d = toy(23);
+        let folds = d.k_folds(10, 7);
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0u32; d.len()];
+        for fold in &folds {
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint and together cover everything.
+            assert_eq!(fold.train.len() + fold.test.len(), d.len());
+            for &i in &fold.test {
+                assert!(!fold.train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample tested once");
+    }
+
+    #[test]
+    fn k_folds_deterministic_per_seed() {
+        let d = toy(30);
+        assert_eq!(d.k_folds(5, 1), d.k_folds(5, 1));
+        assert_ne!(d.k_folds(5, 1), d.k_folds(5, 2));
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let d = toy(25);
+        for fold in d.k_folds(10, 0) {
+            assert!(fold.test.len() == 2 || fold.test.len() == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn bad_label_rejected() {
+        Dataset::new(
+            "bad",
+            1,
+            2,
+            vec![Sample {
+                features: vec![0.0],
+                label: 5,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn bad_width_rejected() {
+        Dataset::new(
+            "bad",
+            3,
+            2,
+            vec![Sample {
+                features: vec![0.0],
+                label: 0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        Dataset::new("bad", 1, 2, vec![]);
+    }
+}

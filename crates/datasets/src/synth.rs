@@ -1,0 +1,219 @@
+//! Seeded Gaussian-mixture generators for synthetic classification tasks.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::{Dataset, Sample};
+
+/// A synthetic classification task: each class is a mixture of Gaussian
+/// clusters in `[0, 1]^d`, with optional label noise controlling how
+/// learnable the task is.
+///
+/// Generation is fully deterministic given the seed, so every experiment
+/// binary regenerates identical data.
+///
+/// # Example
+///
+/// ```
+/// use dta_datasets::GaussianMixture;
+/// let ds = GaussianMixture::new(8, 3)
+///     .clusters_per_class(2)
+///     .spread(0.12)
+///     .samples(300)
+///     .generate("demo", 42);
+/// assert_eq!(ds.len(), 300);
+/// assert_eq!(ds.n_features(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GaussianMixture {
+    n_features: usize,
+    n_classes: usize,
+    clusters_per_class: usize,
+    spread: f64,
+    label_noise: f64,
+    samples: usize,
+}
+
+impl GaussianMixture {
+    /// Starts a generator for `n_features`-dimensional data over
+    /// `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0` or `n_classes < 2`.
+    pub fn new(n_features: usize, n_classes: usize) -> GaussianMixture {
+        assert!(n_features >= 1, "need at least one feature");
+        assert!(n_classes >= 2, "need at least two classes");
+        GaussianMixture {
+            n_features,
+            n_classes,
+            clusters_per_class: 1,
+            spread: 0.12,
+            label_noise: 0.0,
+            samples: 200,
+        }
+    }
+
+    /// Number of Gaussian clusters per class (default 1). More clusters
+    /// make the decision boundary less linear.
+    pub fn clusters_per_class(mut self, k: usize) -> GaussianMixture {
+        assert!(k >= 1);
+        self.clusters_per_class = k;
+        self
+    }
+
+    /// Standard deviation of each cluster (default 0.12). Larger spread
+    /// means more class overlap and a harder task.
+    pub fn spread(mut self, sigma: f64) -> GaussianMixture {
+        assert!(sigma > 0.0);
+        self.spread = sigma;
+        self
+    }
+
+    /// Fraction of samples whose label is replaced by a random class
+    /// (default 0), bounding the achievable accuracy.
+    pub fn label_noise(mut self, p: f64) -> GaussianMixture {
+        assert!((0.0..=1.0).contains(&p));
+        self.label_noise = p;
+        self
+    }
+
+    /// Number of samples to generate (default 200).
+    pub fn samples(mut self, n: usize) -> GaussianMixture {
+        assert!(n >= 1);
+        self.samples = n;
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, name: &str, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        // Cluster centres, kept away from the borders so the spread does
+        // not clip too often.
+        let mut centres: Vec<Vec<Vec<f64>>> = Vec::with_capacity(self.n_classes);
+        for _class in 0..self.n_classes {
+            let class_centres = (0..self.clusters_per_class)
+                .map(|_| {
+                    (0..self.n_features)
+                        .map(|_| rng.random_range(0.15..0.85))
+                        .collect()
+                })
+                .collect();
+            centres.push(class_centres);
+        }
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for i in 0..self.samples {
+            let class = i % self.n_classes; // balanced classes
+            let cluster = rng.random_range(0..self.clusters_per_class);
+            let centre = &centres[class][cluster];
+            let features = centre
+                .iter()
+                .map(|&c| (c + gaussian(&mut rng) * self.spread).clamp(0.0, 1.0))
+                .collect();
+            let label = if self.label_noise > 0.0 && rng.random_bool(self.label_noise)
+            {
+                rng.random_range(0..self.n_classes)
+            } else {
+                class
+            };
+            samples.push(Sample { features, label });
+        }
+        Dataset::new(name, self.n_features, self.n_classes, samples)
+    }
+}
+
+/// Standard normal variate by Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = GaussianMixture::new(5, 3).samples(100);
+        assert_eq!(g.generate("a", 7), g.generate("a", 7));
+        assert_ne!(g.generate("a", 7), g.generate("a", 8));
+    }
+
+    #[test]
+    fn features_stay_in_unit_box() {
+        let ds = GaussianMixture::new(10, 4)
+            .spread(0.5)
+            .samples(500)
+            .generate("wide", 3);
+        for s in ds.samples() {
+            for &f in &s.features {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_balanced() {
+        let ds = GaussianMixture::new(4, 5).samples(500).generate("bal", 1);
+        for count in ds.class_counts() {
+            assert_eq!(count, 100);
+        }
+    }
+
+    #[test]
+    fn label_noise_moves_labels() {
+        let clean = GaussianMixture::new(3, 2).samples(400).generate("c", 9);
+        let noisy = GaussianMixture::new(3, 2)
+            .samples(400)
+            .label_noise(0.3)
+            .generate("n", 9);
+        let clean_major = clean.majority_baseline();
+        // With 30% label noise the class counts shift away from perfect
+        // balance only slightly, but individual labels differ.
+        let differing = clean
+            .samples()
+            .iter()
+            .zip(noisy.samples())
+            .filter(|(a, b)| a.label != b.label)
+            .count();
+        assert!(differing > 40, "noise must flip a chunk of labels");
+        assert!(clean_major <= 0.51);
+    }
+
+    #[test]
+    fn separable_classes_have_distinct_means() {
+        let ds = GaussianMixture::new(6, 2)
+            .spread(0.05)
+            .samples(200)
+            .generate("sep", 5);
+        let mut means = vec![vec![0.0f64; 6]; 2];
+        let counts = ds.class_counts();
+        for s in ds.samples() {
+            for (m, &f) in means[s.label].iter_mut().zip(&s.features) {
+                *m += f;
+            }
+        }
+        for (c, m) in means.iter_mut().enumerate() {
+            for v in m.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+        }
+        let dist: f64 = means[0]
+            .iter()
+            .zip(&means[1])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.2, "class means too close: {dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn one_class_rejected() {
+        let _ = GaussianMixture::new(3, 1);
+    }
+}

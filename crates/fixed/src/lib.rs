@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! 16-bit fixed-point arithmetic for the defect-tolerant ANN accelerator.
+//!
+//! The accelerator of Temam's ISCA 2012 paper uses a 16-bit datapath with a
+//! 6-bit integral part and a 10-bit fractional part (Q6.10). This crate
+//! provides:
+//!
+//! * [`Fx`] — the Q6.10 number type used throughout the accelerator model.
+//!   Multiplication truncates (floor) exactly like the hardware array
+//!   multiplier that keeps bits `[25:10]` of the 32-bit product, so the
+//!   behavioral model is bit-identical to the gate-level circuits in
+//!   `dta-circuits`.
+//! * [`QFormat`] — a runtime-parameterized Qm.n format used by the
+//!   precision-ablation experiments (8/12/16/24-bit forward paths).
+//! * [`sigmoid`] — the exact sigmoid, and the paper's 16-segment
+//!   piecewise-linear approximation (`x -> a_i * x + b_i`, coefficients in
+//!   Q6.10) backed by the same lookup table the hardware activation unit
+//!   uses.
+//!
+//! # Example
+//!
+//! ```
+//! use dta_fixed::{Fx, sigmoid::SigmoidLut};
+//!
+//! let w = Fx::from_f64(0.75);
+//! let x = Fx::from_f64(-2.5);
+//! let prod = w * x; // truncating Q6.10 multiply, like the hardware
+//! assert!((prod.to_f64() - (-1.875)).abs() < Fx::RESOLUTION);
+//!
+//! let lut = SigmoidLut::new();
+//! let y = lut.eval(prod);
+//! assert!((y.to_f64() - 1.0 / (1.0 + (1.875f64).exp())).abs() < 0.01);
+//! ```
+
+pub mod format;
+pub mod fx;
+pub mod sigmoid;
+
+pub use format::QFormat;
+pub use fx::Fx;
+pub use sigmoid::{PwlSigmoid, SigmoidLut};

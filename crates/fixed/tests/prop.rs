@@ -1,0 +1,100 @@
+//! Property-based tests for the Q6.10 datapath numeric.
+
+use dta_fixed::{Fx, QFormat, SigmoidLut};
+use proptest::prelude::*;
+
+fn any_fx() -> impl Strategy<Value = Fx> {
+    any::<i16>().prop_map(Fx::from_raw)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_commutes(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_identity(a in any_fx()) {
+        prop_assert_eq!(a + Fx::ZERO, a);
+        prop_assert_eq!(a - Fx::ZERO, a);
+    }
+
+    #[test]
+    fn mul_identity(a in any_fx()) {
+        prop_assert_eq!(a * Fx::ONE, a);
+    }
+
+    #[test]
+    fn mul_zero(a in any_fx()) {
+        prop_assert_eq!(a * Fx::ZERO, Fx::ZERO);
+    }
+
+    #[test]
+    fn add_matches_f64_when_in_range(a in -15.0f64..15.0, b in -15.0f64..15.0) {
+        let fa = Fx::from_f64(a);
+        let fb = Fx::from_f64(b);
+        let sum = (fa + fb).to_f64();
+        // Exact: both operands are on the grid and the sum is in range.
+        prop_assert_eq!(sum, fa.to_f64() + fb.to_f64());
+    }
+
+    #[test]
+    fn mul_error_bounded(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let fa = Fx::from_f64(a);
+        let fb = Fx::from_f64(b);
+        let exact = fa.to_f64() * fb.to_f64();
+        let got = (fa * fb).to_f64();
+        // Truncating multiply loses at most one LSB.
+        prop_assert!(got <= exact + 1e-12);
+        prop_assert!(exact - got <= Fx::RESOLUTION + 1e-12);
+    }
+
+    #[test]
+    fn saturating_ops_stay_in_range(a in any_fx(), b in any_fx()) {
+        for v in [a + b, a - b, a * b, -a, a.abs()] {
+            prop_assert!(v >= Fx::MIN && v <= Fx::MAX);
+        }
+    }
+
+    #[test]
+    fn wrapping_add_is_group_op(a in any_fx(), b in any_fx()) {
+        // wrapping add then wrapping sub recovers the original value.
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn from_f64_to_f64_error_half_ulp(x in -31.9f64..31.9) {
+        let err = (Fx::from_f64(x).to_f64() - x).abs();
+        prop_assert!(err <= Fx::RESOLUTION / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn qformat_quantize_within_resolution(x in -20.0f64..20.0,
+                                          frac in 2u32..12) {
+        let q = QFormat::new(6, frac);
+        let y = q.quantize(x);
+        prop_assert!((x - y).abs() <= q.resolution() + 1e-12);
+        prop_assert!(y <= x + 1e-12, "floor quantization never rounds up");
+    }
+
+    #[test]
+    fn sigmoid_lut_close_to_exact(x in -12.0f64..12.0) {
+        let lut = SigmoidLut::new();
+        let approx = lut.eval(Fx::from_f64(x)).to_f64();
+        let exact = dta_fixed::sigmoid::sigmoid(x);
+        prop_assert!((approx - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn sigmoid_lut_bit_exact_vs_bits_roundtrip(raw in any::<i16>()) {
+        // Feeding the wire word through bits round-trips the evaluation.
+        let lut = SigmoidLut::new();
+        let x = Fx::from_raw(raw);
+        prop_assert_eq!(lut.eval(Fx::from_bits(x.to_bits())), lut.eval(x));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Gate-level netlist representation and simulation.
+//!
+//! The accelerator's arithmetic operators (ripple-carry adders, array
+//! multipliers, latches, the sigmoid look-up unit) are built in
+//! `dta-circuits` as netlists of the CMOS standard-cell library defined
+//! here. This crate provides:
+//!
+//! * [`GateKind`] — the cell library (inverter, NAND/NOR, XOR, AOI/OAI
+//!   complex gates, 2:1 mux, constants), each with its CMOS transistor
+//!   count for the cost model;
+//! * [`Netlist`] / [`NetlistBuilder`] — an immutable combinational +
+//!   latch DAG with named input/output buses;
+//! * [`Simulator`] — an evaluation engine that settles the combinational
+//!   logic in topological order and steps latches on [`Simulator::tick`];
+//!   any gate can be overridden with a [`GateBehavior`], which is how both
+//!   fault models plug in;
+//! * [`stuck`] — the classic **gate-level stuck-at fault model** (inputs
+//!   or output of a logic gate stuck at 0/1). The paper uses this model as
+//!   the *inaccurate baseline* that transistor-level injection
+//!   (`dta-transistor`) is compared against in Figure 5.
+//!
+//! # Example
+//!
+//! ```
+//! use dta_logic::{GateKind, NetlistBuilder, Simulator};
+//!
+//! // Build a half adder: sum = a ^ b, carry = a & b.
+//! let mut b = NetlistBuilder::new();
+//! let a = b.input("a");
+//! let bb = b.input("b");
+//! let sum = b.gate(GateKind::Xor2, &[a, bb]);
+//! let carry = b.gate(GateKind::And2, &[a, bb]);
+//! b.output("sum", sum);
+//! b.output("carry", carry);
+//! let net = std::sync::Arc::new(b.build());
+//! let mut sim = Simulator::new(net);
+//! sim.set_input(a, true);
+//! sim.set_input(bb, true);
+//! sim.settle();
+//! assert!(!sim.value(sum));
+//! assert!(sim.value(carry));
+//! ```
+
+pub mod gate;
+pub mod netlist;
+pub mod sim;
+pub mod sim64;
+pub mod stuck;
+
+pub use gate::{GateBehavior, GateKind};
+pub use netlist::{Netlist, NetlistBuilder, NetlistError, Node, NodeId};
+pub use sim::Simulator;
+pub use sim64::{Behavior64, Simulator64};
+pub use stuck::{StuckAt, StuckPort, StuckSet};

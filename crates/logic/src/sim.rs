@@ -1,0 +1,321 @@
+//! Netlist evaluation engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::gate::GateBehavior;
+use crate::netlist::{Netlist, Node, NodeId};
+
+/// Evaluates a [`Netlist`]: settles combinational logic, steps latches,
+/// and applies per-gate behavioral overrides (the fault-injection hook).
+///
+/// Typical cycle:
+///
+/// 1. [`Simulator::set_input`] for each primary input;
+/// 2. [`Simulator::settle`] to propagate through the combinational logic;
+/// 3. read outputs with [`Simulator::value`] / [`Simulator::output`];
+/// 4. optionally [`Simulator::tick`] to capture latch data inputs.
+///
+/// # Example
+///
+/// ```
+/// use dta_logic::{GateKind, NetlistBuilder, Simulator};
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input("a");
+/// let q = b.gate(GateKind::Not, &[a]);
+/// b.output("q", q);
+/// let net = std::sync::Arc::new(b.build());
+/// let mut sim = Simulator::new(net);
+/// sim.set_input(a, false);
+/// sim.settle();
+/// assert!(sim.output("q").unwrap());
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    net: Arc<Netlist>,
+    values: Vec<bool>,
+    overrides: HashMap<NodeId, Box<dyn GateBehavior>>,
+    scratch: Vec<bool>,
+}
+
+impl Simulator {
+    /// Creates a simulator with all inputs low and latches at their init
+    /// values. The netlist is shared via [`Arc`], so several simulators
+    /// (e.g. a healthy and a defective instance) can run the same circuit.
+    pub fn new(net: Arc<Netlist>) -> Simulator {
+        let mut values = vec![false; net.len()];
+        for &l in net.latches() {
+            if let Node::Latch { init, .. } = net.node(l) {
+                values[l.index()] = *init;
+            }
+        }
+        Simulator {
+            net,
+            values,
+            overrides: HashMap::new(),
+            scratch: Vec::with_capacity(4),
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
+    /// Drives a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an input node.
+    pub fn set_input(&mut self, id: NodeId, value: bool) {
+        assert!(
+            matches!(self.net.node(id), Node::Input { .. }),
+            "{id} is not a primary input"
+        );
+        self.values[id.index()] = value;
+    }
+
+    /// Drives a bus of inputs from the low bits of `word`, LSB first.
+    pub fn set_input_word(&mut self, bus: &[NodeId], word: u64) {
+        for (i, &id) in bus.iter().enumerate() {
+            self.set_input(id, (word >> i) & 1 == 1);
+        }
+    }
+
+    /// Settles the combinational logic in topological order.
+    pub fn settle(&mut self) {
+        // Clone the Arc (cheap) so the netlist borrow does not conflict
+        // with mutating values/scratch/overrides.
+        let net = Arc::clone(&self.net);
+        for &id in net.order() {
+            match net.node(id) {
+                Node::Input { .. } | Node::Latch { .. } => {
+                    // Inputs keep their driven value; latches drive state.
+                }
+                Node::Gate { kind, inputs } => {
+                    self.scratch.clear();
+                    for &inp in inputs {
+                        self.scratch.push(self.values[inp.index()]);
+                    }
+                    let v = match self.overrides.get_mut(&id) {
+                        Some(behavior) => behavior.eval(&self.scratch),
+                        None => kind.eval(&self.scratch),
+                    };
+                    self.values[id.index()] = v;
+                }
+            }
+        }
+    }
+
+    /// Captures each latch's data input into its stored value. Call after
+    /// [`Simulator::settle`].
+    pub fn tick(&mut self) {
+        let net = Arc::clone(&self.net);
+        for &l in net.latches() {
+            if let Node::Latch { data, .. } = net.node(l) {
+                self.values[l.index()] = self.values[data.index()];
+            }
+        }
+    }
+
+    /// Reads the settled value of any node.
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Reads a named output, if it exists.
+    pub fn output(&self, name: &str) -> Option<bool> {
+        self.net.output(name).map(|id| self.value(id))
+    }
+
+    /// Packs a bus of node values into the low bits of a `u64`, LSB first.
+    pub fn read_word(&self, bus: &[NodeId]) -> u64 {
+        bus.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &id)| acc | (u64::from(self.value(id)) << i))
+    }
+
+    /// Replaces a gate's function with a behavioral model (fault
+    /// injection). Returns the previous override, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a gate node.
+    pub fn override_gate(
+        &mut self,
+        id: NodeId,
+        behavior: Box<dyn GateBehavior>,
+    ) -> Option<Box<dyn GateBehavior>> {
+        assert!(
+            matches!(self.net.node(id), Node::Gate { .. }),
+            "{id} is not a gate"
+        );
+        self.overrides.insert(id, behavior)
+    }
+
+    /// Removes a gate override, restoring the healthy cell function.
+    pub fn clear_override(&mut self, id: NodeId) -> Option<Box<dyn GateBehavior>> {
+        self.overrides.remove(&id)
+    }
+
+    /// Number of gates currently overridden.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Resets latches to their init values and clears the internal state
+    /// of every override (memory effects, delay pipelines). Driven input
+    /// values are preserved.
+    pub fn reset_state(&mut self) {
+        let net = Arc::clone(&self.net);
+        for &l in net.latches() {
+            if let Node::Latch { init, .. } = net.node(l) {
+                self.values[l.index()] = *init;
+            }
+        }
+        for behavior in self.overrides.values_mut() {
+            behavior.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn full_adder() -> (std::sync::Arc<Netlist>, [NodeId; 3], [NodeId; 2]) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let x = b.input("b");
+        let cin = b.input("cin");
+        let axb = b.gate(GateKind::Xor2, &[a, x]);
+        let sum = b.gate(GateKind::Xor2, &[axb, cin]);
+        let t1 = b.gate(GateKind::And2, &[axb, cin]);
+        let t2 = b.gate(GateKind::And2, &[a, x]);
+        let cout = b.gate(GateKind::Or2, &[t1, t2]);
+        b.output("sum", sum);
+        b.output("cout", cout);
+        (std::sync::Arc::new(b.build()), [a, x, cin], [sum, cout])
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let (net, ins, outs) = full_adder();
+        let mut sim = Simulator::new(net.clone());
+        for bits in 0u8..8 {
+            let (a, b_, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            sim.set_input(ins[0], a);
+            sim.set_input(ins[1], b_);
+            sim.set_input(ins[2], c);
+            sim.settle();
+            let total = u8::from(a) + u8::from(b_) + u8::from(c);
+            assert_eq!(sim.value(outs[0]), total & 1 == 1, "sum at {bits:03b}");
+            assert_eq!(sim.value(outs[1]), total >= 2, "cout at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn word_helpers_roundtrip() {
+        let mut b = NetlistBuilder::new();
+        let bus = b.input_bus("x", 8);
+        let inverted: Vec<_> = bus
+            .iter()
+            .map(|&n| b.gate(GateKind::Not, &[n]))
+            .collect();
+        b.output_bus("y", &inverted);
+        let net = std::sync::Arc::new(b.build());
+        let mut sim = Simulator::new(net.clone());
+        sim.set_input_word(&bus, 0b1010_0110);
+        sim.settle();
+        assert_eq!(sim.read_word(&bus), 0b1010_0110);
+        assert_eq!(sim.read_word(&inverted) as u8, !0b1010_0110u8);
+    }
+
+    #[test]
+    fn latch_toggles_through_inverter() {
+        let mut b = NetlistBuilder::new();
+        let l = NodeId(1);
+        let inv = b.gate(GateKind::Not, &[l]);
+        let l_real = b.latch(inv, false);
+        assert_eq!(l_real, l);
+        b.output("q", l_real);
+        let net = std::sync::Arc::new(b.build());
+        let mut sim = Simulator::new(net.clone());
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.settle();
+            seen.push(sim.output("q").unwrap());
+            sim.tick();
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn reset_restores_latch_init() {
+        let mut b = NetlistBuilder::new();
+        let d = b.input("d");
+        let q = b.latch(d, true);
+        b.output("q", q);
+        let net = std::sync::Arc::new(b.build());
+        let mut sim = Simulator::new(net.clone());
+        assert!(sim.output("q").unwrap(), "init value");
+        sim.set_input(d, false);
+        sim.settle();
+        sim.tick();
+        assert!(!sim.output("q").unwrap());
+        sim.reset_state();
+        assert!(sim.output("q").unwrap(), "back to init");
+    }
+
+    #[derive(Debug)]
+    struct AlwaysHigh;
+    impl GateBehavior for AlwaysHigh {
+        fn eval(&mut self, _inputs: &[bool]) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn override_replaces_gate_function() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, &[a]);
+        b.output("y", g);
+        let net = std::sync::Arc::new(b.build());
+        let mut sim = Simulator::new(net.clone());
+        sim.set_input(a, true);
+        sim.settle();
+        assert!(!sim.output("y").unwrap());
+
+        sim.override_gate(g, Box::new(AlwaysHigh));
+        assert_eq!(sim.override_count(), 1);
+        sim.settle();
+        assert!(sim.output("y").unwrap(), "faulty gate forces 1");
+
+        sim.clear_override(g);
+        sim.settle();
+        assert!(!sim.output("y").unwrap(), "healthy again");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn driving_gate_panics() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, &[a]);
+        b.output("y", g);
+        let net = std::sync::Arc::new(b.build());
+        let mut sim = Simulator::new(net.clone());
+        sim.set_input(g, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gate")]
+    fn overriding_input_panics() {
+        let (net, ins, _) = full_adder();
+        let mut sim = Simulator::new(net.clone());
+        sim.override_gate(ins[0], Box::new(AlwaysHigh));
+    }
+}

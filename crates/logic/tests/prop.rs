@@ -1,0 +1,141 @@
+//! Property tests: random combinational netlists must evaluate
+//! identically under the scalar engine, the 64-lane engine, and a
+//! direct recursive reference evaluator.
+
+use std::sync::Arc;
+
+use dta_logic::{GateKind, Netlist, NetlistBuilder, Node, NodeId, Simulator, Simulator64};
+use proptest::prelude::*;
+
+/// A recipe for one random gate: kind selector and input selectors
+/// (resolved modulo the number of available nodes at build time).
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind_sel: u8,
+    input_sels: [u16; 4],
+}
+
+fn kinds() -> [GateKind; 13] {
+    GateKind::ALL
+}
+
+fn build(n_inputs: usize, recipes: &[GateRecipe]) -> (Arc<Netlist>, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = NetlistBuilder::new();
+    let inputs = b.input_bus("x", n_inputs);
+    let mut pool: Vec<NodeId> = inputs.clone();
+    for r in recipes {
+        let kind = kinds()[r.kind_sel as usize % kinds().len()];
+        let ins: Vec<NodeId> = (0..kind.arity())
+            .map(|k| pool[r.input_sels[k] as usize % pool.len()])
+            .collect();
+        let g = b.gate(kind, &ins);
+        pool.push(g);
+    }
+    let outputs: Vec<NodeId> = pool.iter().rev().take(4).copied().collect();
+    b.output_bus("y", &outputs);
+    (Arc::new(b.build()), inputs, outputs)
+}
+
+/// Reference: recursively evaluate a node from the netlist structure.
+fn reference_eval(net: &Netlist, id: NodeId, input_vals: &[(NodeId, bool)]) -> bool {
+    match net.node(id) {
+        Node::Input { .. } => {
+            input_vals
+                .iter()
+                .find(|(i, _)| *i == id)
+                .expect("all inputs driven")
+                .1
+        }
+        Node::Gate { kind, inputs } => {
+            let vals: Vec<bool> = inputs
+                .iter()
+                .map(|&i| reference_eval(net, i, input_vals))
+                .collect();
+            kind.eval(&vals)
+        }
+        Node::Latch { .. } => unreachable!("no latches generated"),
+    }
+}
+
+fn recipe_strategy() -> impl Strategy<Value = GateRecipe> {
+    (any::<u8>(), any::<[u16; 4]>()).prop_map(|(kind_sel, input_sels)| GateRecipe {
+        kind_sel,
+        input_sels,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_netlists(
+        n_inputs in 1usize..6,
+        recipes in prop::collection::vec(recipe_strategy(), 1..40),
+        stimulus in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let (net, inputs, outputs) = build(n_inputs, &recipes);
+        let mut scalar = Simulator::new(net.clone());
+        let mut vector = Simulator64::new(net.clone());
+
+        for word in &stimulus {
+            let word = *word as u64;
+            scalar.set_input_word(&inputs, word);
+            scalar.settle();
+            vector.set_input_words(&inputs, &[word]);
+            vector.settle();
+
+            let driven: Vec<(NodeId, bool)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, word >> i & 1 == 1))
+                .collect();
+            for &out in &outputs {
+                let want = reference_eval(&net, out, &driven);
+                prop_assert_eq!(scalar.value(out), want, "scalar vs reference");
+                prop_assert_eq!(
+                    vector.lanes(out) & 1 == 1,
+                    want,
+                    "vector lane 0 vs reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_lanes_are_independent(
+        n_inputs in 1usize..5,
+        recipes in prop::collection::vec(recipe_strategy(), 1..25),
+        words in prop::collection::vec(any::<u8>(), 2..32),
+    ) {
+        let (net, inputs, outputs) = build(n_inputs, &recipes);
+        let lane_words: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+        let mut vector = Simulator64::new(net.clone());
+        vector.set_input_words(&inputs, &lane_words);
+        vector.settle();
+
+        let mut scalar = Simulator::new(net.clone());
+        for (lane, &w) in lane_words.iter().enumerate() {
+            scalar.set_input_word(&inputs, w);
+            scalar.settle();
+            for &out in &outputs {
+                prop_assert_eq!(
+                    vector.lanes(out) >> lane & 1 == 1,
+                    scalar.value(out),
+                    "lane {} of {:?}",
+                    lane,
+                    out
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logic_depth_bounded_by_gate_count(
+        n_inputs in 1usize..5,
+        recipes in prop::collection::vec(recipe_strategy(), 1..40),
+    ) {
+        let (net, _, _) = build(n_inputs, &recipes);
+        prop_assert!(net.logic_depth() <= net.gate_count());
+        prop_assert!(net.transistor_count() >= 2 * net.gate_count() as u64);
+    }
+}

@@ -1,0 +1,496 @@
+//! CMOS transistor schematics for every standard-cell type.
+
+use dta_logic::GateKind;
+use std::fmt;
+
+/// Channel polarity of a MOS transistor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel: conducts when its gate signal is 1; lives in the
+    /// pull-down network.
+    Nmos,
+    /// P-channel: conducts when its gate signal is 0; lives in the
+    /// pull-up network.
+    Pmos,
+}
+
+/// The logical signal driving a transistor gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Primary input pin `k` of the cell.
+    Pin(usize),
+    /// Output of an earlier stage of the same cell (e.g. an internal
+    /// input inverter of an XOR cell).
+    Stage(usize),
+}
+
+/// Conduction health of a transistor after defect injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Health {
+    /// Conducts according to gate signal and polarity.
+    #[default]
+    Healthy,
+    /// Drain or source open: the conduction path is stuck off.
+    Open,
+    /// Source–drain short: the conduction path is stuck on.
+    Shorted,
+}
+
+/// One MOS transistor: a switch between net nodes `a` and `b`, controlled
+/// by `gate`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transistor {
+    pub(crate) pol: Polarity,
+    pub(crate) gate: Signal,
+    pub(crate) a: usize,
+    pub(crate) b: usize,
+    pub(crate) health: Health,
+    /// Partial-defect delay: the gate line propagates its value one
+    /// evaluation late (a state element on the line).
+    pub(crate) delayed: bool,
+}
+
+impl Transistor {
+    /// Channel polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.pol
+    }
+
+    /// True for an N-channel device.
+    pub fn is_nmos(&self) -> bool {
+        self.pol == Polarity::Nmos
+    }
+
+    /// Gate signal source.
+    pub fn gate(&self) -> Signal {
+        self.gate
+    }
+
+    /// The two net nodes this switch connects.
+    pub fn terminals(&self) -> (usize, usize) {
+        (self.a, self.b)
+    }
+
+    /// Conduction health after defect injection.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Whether a delay defect was injected on the gate line.
+    pub fn is_delayed(&self) -> bool {
+        self.delayed
+    }
+}
+
+/// Net node index of the positive rail within a stage.
+pub const VDD: usize = 0;
+/// Net node index of the ground rail within a stage.
+pub const VSS: usize = 1;
+/// Net node index of the stage output.
+pub const OUT: usize = 2;
+
+/// One complementary stage of a cell: a pull-up and pull-down switch
+/// network over a small set of net nodes (`VDD`, `VSS`, `OUT`, plus
+/// internal nodes), driving `OUT`.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    pub(crate) name: &'static str,
+    pub(crate) num_nodes: usize,
+    pub(crate) transistors: Vec<Transistor>,
+    /// Defect-injected shorts between net-node pairs.
+    pub(crate) bridges: Vec<(usize, usize)>,
+}
+
+impl Stage {
+    fn new(name: &'static str, num_nodes: usize) -> Stage {
+        assert!(num_nodes >= 3, "a stage has at least Vdd, Vss and OUT");
+        Stage {
+            name,
+            num_nodes,
+            transistors: Vec::new(),
+            bridges: Vec::new(),
+        }
+    }
+
+    fn t(&mut self, pol: Polarity, gate: Signal, a: usize, b: usize) -> &mut Stage {
+        debug_assert!(a < self.num_nodes && b < self.num_nodes);
+        self.transistors.push(Transistor {
+            pol,
+            gate,
+            a,
+            b,
+            health: Health::Healthy,
+            delayed: false,
+        });
+        self
+    }
+
+    /// Stage label (e.g. `"nand-core"`, `"out-inv"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of net nodes including the rails and the output.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The transistors of this stage.
+    pub fn transistors(&self) -> &[Transistor] {
+        &self.transistors
+    }
+
+    /// Injected bridges (net-node shorts) of this stage.
+    pub fn bridges(&self) -> &[(usize, usize)] {
+        &self.bridges
+    }
+
+    /// An inverter stage: 2 transistors driving `OUT` from `sig`.
+    fn inverter(sig: Signal) -> Stage {
+        let mut s = Stage::new("inv", 3);
+        s.t(Polarity::Pmos, sig, VDD, OUT);
+        s.t(Polarity::Nmos, sig, VSS, OUT);
+        s
+    }
+
+    /// A k-input NAND stage: parallel pull-ups, series pull-down chain.
+    fn nand(sigs: &[Signal]) -> Stage {
+        let k = sigs.len();
+        let mut s = Stage::new("nand-core", 3 + (k - 1));
+        for &sig in sigs {
+            s.t(Polarity::Pmos, sig, VDD, OUT);
+        }
+        // Series chain VSS - n3 - n4 - ... - OUT.
+        let mut prev = VSS;
+        for (i, &sig) in sigs.iter().enumerate() {
+            let next = if i == k - 1 { OUT } else { 3 + i };
+            s.t(Polarity::Nmos, sig, prev, next);
+            prev = next;
+        }
+        s
+    }
+
+    /// A k-input NOR stage: series pull-up chain, parallel pull-downs.
+    fn nor(sigs: &[Signal]) -> Stage {
+        let k = sigs.len();
+        let mut s = Stage::new("nor-core", 3 + (k - 1));
+        let mut prev = VDD;
+        for (i, &sig) in sigs.iter().enumerate() {
+            let next = if i == k - 1 { OUT } else { 3 + i };
+            s.t(Polarity::Pmos, sig, prev, next);
+            prev = next;
+        }
+        for &sig in sigs {
+            s.t(Polarity::Nmos, sig, VSS, OUT);
+        }
+        s
+    }
+
+    /// AOI22 stage: `OUT = !((a&b) | (c&d))`.
+    ///
+    /// Pull-down: two series pairs in parallel; pull-up: two parallel
+    /// pairs in series (the classic 8T complex gate).
+    fn aoi22(a: Signal, b: Signal, c: Signal, d: Signal) -> Stage {
+        let mut s = Stage::new("aoi22-core", 6);
+        let (n_ab, n_cd, p_mid) = (3, 4, 5);
+        // N: VSS -n(a)- n_ab -n(b)- OUT, and VSS -n(c)- n_cd -n(d)- OUT.
+        s.t(Polarity::Nmos, a, VSS, n_ab);
+        s.t(Polarity::Nmos, b, n_ab, OUT);
+        s.t(Polarity::Nmos, c, VSS, n_cd);
+        s.t(Polarity::Nmos, d, n_cd, OUT);
+        // P: (p(a) || p(b)) in series with (p(c) || p(d)).
+        s.t(Polarity::Pmos, a, VDD, p_mid);
+        s.t(Polarity::Pmos, b, VDD, p_mid);
+        s.t(Polarity::Pmos, c, p_mid, OUT);
+        s.t(Polarity::Pmos, d, p_mid, OUT);
+        s
+    }
+
+    /// OAI22 stage: `OUT = !((a|b) & (c|d))` — the complex gate of the
+    /// paper's Figures 6–9.
+    fn oai22(a: Signal, b: Signal, c: Signal, d: Signal) -> Stage {
+        let mut s = Stage::new("oai22-core", 6);
+        let (n_mid, p_ab, p_cd) = (3, 4, 5);
+        // N: (n(a) || n(b)) in series with (n(c) || n(d)).
+        s.t(Polarity::Nmos, a, VSS, n_mid);
+        s.t(Polarity::Nmos, b, VSS, n_mid);
+        s.t(Polarity::Nmos, c, n_mid, OUT);
+        s.t(Polarity::Nmos, d, n_mid, OUT);
+        // P: VDD -p(a)- p_ab -p(b)- OUT, and VDD -p(c)- p_cd -p(d)- OUT.
+        s.t(Polarity::Pmos, a, VDD, p_ab);
+        s.t(Polarity::Pmos, b, p_ab, OUT);
+        s.t(Polarity::Pmos, c, VDD, p_cd);
+        s.t(Polarity::Pmos, d, p_cd, OUT);
+        s
+    }
+
+    /// Complementary XOR core over `a`, `b` and their complements:
+    /// `OUT = a ^ b`.
+    fn xor_core(a: Signal, an: Signal, b: Signal, bn: Signal) -> Stage {
+        let mut s = Stage::new("xor-core", 7);
+        let (n1, n2, p1, p2) = (3, 4, 5, 6);
+        // Pull-down (OUT = 0 when a == b): n(a)·n(b) || n(a̅)·n(b̅).
+        s.t(Polarity::Nmos, a, VSS, n1);
+        s.t(Polarity::Nmos, b, n1, OUT);
+        s.t(Polarity::Nmos, an, VSS, n2);
+        s.t(Polarity::Nmos, bn, n2, OUT);
+        // Pull-up (OUT = 1 when a != b): p(a)·p(b̅) || p(a̅)·p(b).
+        s.t(Polarity::Pmos, a, VDD, p1);
+        s.t(Polarity::Pmos, bn, p1, OUT);
+        s.t(Polarity::Pmos, an, VDD, p2);
+        s.t(Polarity::Pmos, b, p2, OUT);
+        s
+    }
+
+    /// Complementary XNOR core: `OUT = !(a ^ b)`.
+    fn xnor_core(a: Signal, an: Signal, b: Signal, bn: Signal) -> Stage {
+        let mut s = Stage::new("xnor-core", 7);
+        let (n1, n2, p1, p2) = (3, 4, 5, 6);
+        // Pull-down when a != b.
+        s.t(Polarity::Nmos, a, VSS, n1);
+        s.t(Polarity::Nmos, bn, n1, OUT);
+        s.t(Polarity::Nmos, an, VSS, n2);
+        s.t(Polarity::Nmos, b, n2, OUT);
+        // Pull-up when a == b.
+        s.t(Polarity::Pmos, a, VDD, p1);
+        s.t(Polarity::Pmos, b, p1, OUT);
+        s.t(Polarity::Pmos, an, VDD, p2);
+        s.t(Polarity::Pmos, bn, p2, OUT);
+        s
+    }
+
+    /// Inverting 2:1 mux core: `OUT = !(s̅·a + s·b)` with `sel=s`.
+    fn muxi_core(s_: Signal, sn: Signal, a: Signal, b: Signal) -> Stage {
+        let mut st = Stage::new("muxi-core", 6);
+        let (n1, n2, p_mid) = (3, 4, 5);
+        // Pull-down when (s̅ & a) | (s & b).
+        st.t(Polarity::Nmos, sn, VSS, n1);
+        st.t(Polarity::Nmos, a, n1, OUT);
+        st.t(Polarity::Nmos, s_, VSS, n2);
+        st.t(Polarity::Nmos, b, n2, OUT);
+        // Pull-up: dual network (p(s̅) || p(a)) series (p(s) || p(b)).
+        st.t(Polarity::Pmos, sn, VDD, p_mid);
+        st.t(Polarity::Pmos, a, VDD, p_mid);
+        st.t(Polarity::Pmos, s_, p_mid, OUT);
+        st.t(Polarity::Pmos, b, p_mid, OUT);
+        st
+    }
+}
+
+/// The full CMOS schematic of one standard cell, possibly multi-stage.
+///
+/// The output of the **last** stage is the cell output. Stages may
+/// reference primary pins or earlier stage outputs as gate signals.
+#[derive(Clone, Debug)]
+pub struct CmosCell {
+    kind: GateKind,
+    stages: Vec<Stage>,
+}
+
+impl CmosCell {
+    /// Builds the transistor schematic for a library cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`GateKind::Const`], which is a tie cell with no
+    /// transistors and therefore no defect sites.
+    pub fn for_gate(kind: GateKind) -> CmosCell {
+        use Signal::{Pin, Stage as St};
+        let stages = match kind {
+            GateKind::Const(_) => {
+                panic!("tie cells have no transistor schematic")
+            }
+            GateKind::Not => vec![Stage::inverter(Pin(0))],
+            GateKind::Buf => vec![Stage::inverter(Pin(0)), Stage::inverter(St(0))],
+            GateKind::Nand2 => vec![Stage::nand(&[Pin(0), Pin(1)])],
+            GateKind::Nor2 => vec![Stage::nor(&[Pin(0), Pin(1)])],
+            GateKind::Nand3 => vec![Stage::nand(&[Pin(0), Pin(1), Pin(2)])],
+            GateKind::Nor3 => vec![Stage::nor(&[Pin(0), Pin(1), Pin(2)])],
+            GateKind::And2 => vec![
+                Stage::nand(&[Pin(0), Pin(1)]),
+                Stage::inverter(St(0)),
+            ],
+            GateKind::Or2 => vec![
+                Stage::nor(&[Pin(0), Pin(1)]),
+                Stage::inverter(St(0)),
+            ],
+            GateKind::Xor2 => vec![
+                Stage::inverter(Pin(0)),
+                Stage::inverter(Pin(1)),
+                Stage::xor_core(Pin(0), St(0), Pin(1), St(1)),
+            ],
+            GateKind::Xnor2 => vec![
+                Stage::inverter(Pin(0)),
+                Stage::inverter(Pin(1)),
+                Stage::xnor_core(Pin(0), St(0), Pin(1), St(1)),
+            ],
+            GateKind::Aoi22 => vec![Stage::aoi22(Pin(0), Pin(1), Pin(2), Pin(3))],
+            GateKind::Oai22 => vec![Stage::oai22(Pin(0), Pin(1), Pin(2), Pin(3))],
+            GateKind::Mux2 => vec![
+                Stage::inverter(Pin(0)),
+                Stage::muxi_core(Pin(0), St(0), Pin(1), Pin(2)),
+                Stage::inverter(St(1)),
+            ],
+        };
+        // Every stage may only reference earlier stages.
+        for (i, stage) in stages.iter().enumerate() {
+            for t in &stage.transistors {
+                if let Signal::Stage(j) = t.gate {
+                    assert!(j < i, "stage {i} references later stage {j}");
+                }
+            }
+        }
+        CmosCell { kind, stages }
+    }
+
+    /// The library cell this schematic implements.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The stages, in evaluation order; the last stage drives the cell
+    /// output.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    pub(crate) fn stages_mut(&mut self) -> &mut [Stage] {
+        &mut self.stages
+    }
+
+    /// Total transistor count of the schematic.
+    pub fn transistor_count(&self) -> usize {
+        self.stages.iter().map(|s| s.transistors.len()).sum()
+    }
+}
+
+impl CmosCell {
+    /// Renders the schematic as a human-readable transistor table (one
+    /// line per device: polarity, gate signal, terminals, health) — the
+    /// textual analogue of the paper's Figure 7.
+    pub fn schematic_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let node_name = |n: usize| match n {
+            VDD => "Vdd".to_string(),
+            VSS => "Vss".to_string(),
+            OUT => "Z".to_string(),
+            other => format!("n{other}"),
+        };
+        for (si, stage) in self.stages.iter().enumerate() {
+            let _ = writeln!(out, "stage {si} ({}):", stage.name());
+            for (ti, t) in stage.transistors().iter().enumerate() {
+                let pol = if t.is_nmos() { "NMOS" } else { "PMOS" };
+                let gate = match t.gate() {
+                    Signal::Pin(k) => format!("pin {k}"),
+                    Signal::Stage(j) => format!("stage {j} out"),
+                };
+                let (a, b) = t.terminals();
+                let health = match t.health() {
+                    Health::Healthy => "",
+                    Health::Open => "  [OPEN]",
+                    Health::Shorted => "  [S-D SHORT]",
+                };
+                let delay = if t.is_delayed() { "  [DELAYED]" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  t{ti}: {pol} gate={gate} {}--{}{health}{delay}",
+                    node_name(a),
+                    node_name(b)
+                );
+            }
+            for &(a, b) in stage.bridges() {
+                let _ = writeln!(
+                    out,
+                    "  bridge: {} ~ {}",
+                    node_name(a),
+                    node_name(b)
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CmosCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} stages, {} transistors)",
+            self.kind,
+            self.stages.len(),
+            self.transistor_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_counts_match_library() {
+        for kind in GateKind::ALL {
+            let cell = CmosCell::for_gate(kind);
+            assert_eq!(
+                cell.transistor_count() as u32,
+                kind.transistor_count(),
+                "count mismatch for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn networks_are_complementary_in_size() {
+        // Static CMOS: equal numbers of N and P devices per cell.
+        for kind in GateKind::ALL {
+            let cell = CmosCell::for_gate(kind);
+            let n: usize = cell
+                .stages()
+                .iter()
+                .flat_map(|s| s.transistors())
+                .filter(|t| t.is_nmos())
+                .count();
+            assert_eq!(n * 2, cell.transistor_count(), "N/P imbalance in {kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tie cells")]
+    fn const_has_no_schematic() {
+        let _ = CmosCell::for_gate(GateKind::Const(true));
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        let cell = CmosCell::for_gate(GateKind::Oai22);
+        assert!(cell.to_string().contains("OAI22"));
+        assert!(cell.to_string().contains("8 transistors"));
+    }
+
+    #[test]
+    fn stage_accessors() {
+        let cell = CmosCell::for_gate(GateKind::Xor2);
+        assert_eq!(cell.stages().len(), 3);
+        assert_eq!(cell.stages()[2].name(), "xor-core");
+        assert_eq!(cell.stages()[2].num_nodes(), 7);
+        assert!(cell.stages()[0].bridges().is_empty());
+        let t = &cell.stages()[0].transistors()[0];
+        assert_eq!(t.polarity(), Polarity::Pmos);
+        assert_eq!(t.terminals(), (VDD, OUT));
+        assert_eq!(t.health(), Health::Healthy);
+        assert!(!t.is_delayed());
+    }
+
+    #[test]
+    fn schematic_text_lists_devices_and_defects() {
+        let mut cell = CmosCell::for_gate(GateKind::Nand2);
+        cell.inject(crate::Defect::Open { stage: 0, transistor: 2 }).unwrap();
+        cell.inject(crate::Defect::Bridge { stage: 0, a: 0, b: 2 }).unwrap();
+        let text = cell.schematic_text();
+        assert!(text.contains("stage 0 (nand-core):"));
+        assert!(text.contains("PMOS gate=pin 0 Vdd--Z"));
+        assert!(text.contains("[OPEN]"));
+        assert!(text.contains("bridge: Vdd ~ Z"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Transistor-level defect types, site enumeration, and injection.
+
+use std::fmt;
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::cell::{CmosCell, Health};
+
+/// A physical defect inside one CMOS cell.
+///
+/// The two fundamental silicon failure mechanisms are **shorts**
+/// (insufficient metal removed) and **opens** (excess removed); following
+/// the paper they manifest at the switch level as:
+///
+/// * [`Defect::Open`] — a full open at a transistor's drain or source:
+///   its conduction path is stuck off. (Drain opens and source opens are
+///   electrically equivalent in a switch-level model, so one variant
+///   covers both.)
+/// * [`Defect::Short`] — a source–drain short: the path is stuck on.
+/// * [`Defect::Bridge`] — a short between two nets of the same stage
+///   (e.g. the drains of two neighbouring transistors). Bridges can
+///   rewrite the gate's logic function and break N/P symmetry.
+/// * [`Defect::Delay`] — a partial short/open or a gate-terminal short:
+///   the transistor's gate line becomes a state element that propagates
+///   its value one transition late.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Defect {
+    /// Drain/source full open on transistor `transistor` of `stage`.
+    Open {
+        /// Stage index within the cell.
+        stage: usize,
+        /// Transistor index within the stage.
+        transistor: usize,
+    },
+    /// Source–drain short on a transistor: conduction path stuck on.
+    Short {
+        /// Stage index within the cell.
+        stage: usize,
+        /// Transistor index within the stage.
+        transistor: usize,
+    },
+    /// Delay on a transistor's gate line (state element on the line).
+    Delay {
+        /// Stage index within the cell.
+        stage: usize,
+        /// Transistor index within the stage.
+        transistor: usize,
+    },
+    /// Short between net nodes `a` and `b` of `stage`.
+    Bridge {
+        /// Stage index within the cell.
+        stage: usize,
+        /// First net node.
+        a: usize,
+        /// Second net node.
+        b: usize,
+    },
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Defect::Open { stage, transistor } => {
+                write!(f, "open at t{transistor} of stage {stage}")
+            }
+            Defect::Short { stage, transistor } => {
+                write!(f, "source-drain short at t{transistor} of stage {stage}")
+            }
+            Defect::Delay { stage, transistor } => {
+                write!(f, "delayed gate line at t{transistor} of stage {stage}")
+            }
+            Defect::Bridge { stage, a, b } => {
+                write!(f, "bridge between nets {a} and {b} of stage {stage}")
+            }
+        }
+    }
+}
+
+/// Error returned when a defect does not fit the target cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DefectError {
+    /// The stage index is out of range.
+    NoSuchStage {
+        /// Offending index.
+        stage: usize,
+        /// Stages in the cell.
+        available: usize,
+    },
+    /// The transistor index is out of range for the stage.
+    NoSuchTransistor {
+        /// Stage index.
+        stage: usize,
+        /// Offending transistor index.
+        transistor: usize,
+    },
+    /// A bridge references a missing net node or connects a node to
+    /// itself.
+    BadBridge {
+        /// Stage index.
+        stage: usize,
+        /// First net node.
+        a: usize,
+        /// Second net node.
+        b: usize,
+    },
+}
+
+impl fmt::Display for DefectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefectError::NoSuchStage { stage, available } => {
+                write!(f, "stage {stage} does not exist (cell has {available})")
+            }
+            DefectError::NoSuchTransistor { stage, transistor } => {
+                write!(f, "transistor {transistor} does not exist in stage {stage}")
+            }
+            DefectError::BadBridge { stage, a, b } => {
+                write!(f, "invalid bridge ({a},{b}) in stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DefectError {}
+
+impl CmosCell {
+    /// Enumerates every defect site of the cell: per transistor an open,
+    /// a short and a delay; per stage a bridge between every unordered
+    /// pair of net nodes (the paper does not model layout adjacency, and
+    /// neither do we — every intra-stage pair is a candidate).
+    pub fn defect_sites(&self) -> Vec<Defect> {
+        let mut sites = Vec::new();
+        for (si, stage) in self.stages().iter().enumerate() {
+            for ti in 0..stage.transistors().len() {
+                sites.push(Defect::Open {
+                    stage: si,
+                    transistor: ti,
+                });
+                sites.push(Defect::Short {
+                    stage: si,
+                    transistor: ti,
+                });
+                sites.push(Defect::Delay {
+                    stage: si,
+                    transistor: ti,
+                });
+            }
+            for a in 0..stage.num_nodes() {
+                for b in (a + 1)..stage.num_nodes() {
+                    sites.push(Defect::Bridge { stage: si, a, b });
+                }
+            }
+        }
+        sites
+    }
+
+    /// Draws one uniformly random defect site.
+    pub fn random_defect<R: Rng + ?Sized>(&self, rng: &mut R) -> Defect {
+        *self
+            .defect_sites()
+            .choose(rng)
+            .expect("every non-tie cell has defect sites")
+    }
+
+    /// Applies a defect to the schematic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefectError`] if the defect references a stage,
+    /// transistor or net node that does not exist in this cell.
+    pub fn inject(&mut self, defect: Defect) -> Result<(), DefectError> {
+        let n_stages = self.stages().len();
+        let check_stage = |stage: usize| {
+            if stage >= n_stages {
+                Err(DefectError::NoSuchStage {
+                    stage,
+                    available: n_stages,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match defect {
+            Defect::Open { stage, transistor }
+            | Defect::Short { stage, transistor }
+            | Defect::Delay { stage, transistor } => {
+                check_stage(stage)?;
+                let st = &mut self.stages_mut()[stage];
+                let t = st.transistors.get_mut(transistor).ok_or(
+                    DefectError::NoSuchTransistor { stage, transistor },
+                )?;
+                match defect {
+                    Defect::Open { .. } => t.health = Health::Open,
+                    Defect::Short { .. } => t.health = Health::Shorted,
+                    Defect::Delay { .. } => t.delayed = true,
+                    Defect::Bridge { .. } => unreachable!(),
+                }
+            }
+            Defect::Bridge { stage, a, b } => {
+                check_stage(stage)?;
+                let st = &mut self.stages_mut()[stage];
+                if a == b || a >= st.num_nodes || b >= st.num_nodes {
+                    return Err(DefectError::BadBridge { stage, a, b });
+                }
+                st.bridges.push((a, b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: injects several defects, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DefectError`].
+    pub fn inject_all(
+        &mut self,
+        defects: impl IntoIterator<Item = Defect>,
+    ) -> Result<(), DefectError> {
+        for d in defects {
+            self.inject(d)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_logic::GateKind;
+    use rand::SeedableRng;
+
+    #[test]
+    fn site_count_inverter() {
+        // 2 transistors x 3 defect kinds + C(3,2) bridges = 6 + 3 = 9.
+        let cell = CmosCell::for_gate(GateKind::Not);
+        assert_eq!(cell.defect_sites().len(), 9);
+    }
+
+    #[test]
+    fn site_count_oai22() {
+        // 8 transistors x 3 + C(6,2) bridges = 24 + 15 = 39.
+        let cell = CmosCell::for_gate(GateKind::Oai22);
+        assert_eq!(cell.defect_sites().len(), 39);
+    }
+
+    #[test]
+    fn inject_marks_transistor() {
+        let mut cell = CmosCell::for_gate(GateKind::Nand2);
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: 1,
+        })
+        .unwrap();
+        assert_eq!(cell.stages()[0].transistors()[1].health(), Health::Open);
+        cell.inject(Defect::Short {
+            stage: 0,
+            transistor: 0,
+        })
+        .unwrap();
+        assert_eq!(cell.stages()[0].transistors()[0].health(), Health::Shorted);
+        cell.inject(Defect::Delay {
+            stage: 0,
+            transistor: 2,
+        })
+        .unwrap();
+        assert!(cell.stages()[0].transistors()[2].is_delayed());
+    }
+
+    #[test]
+    fn inject_bridge_records_pair() {
+        let mut cell = CmosCell::for_gate(GateKind::Nor2);
+        cell.inject(Defect::Bridge { stage: 0, a: 0, b: 2 }).unwrap();
+        assert_eq!(cell.stages()[0].bridges(), &[(0, 2)]);
+    }
+
+    #[test]
+    fn bad_defects_rejected() {
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        assert!(matches!(
+            cell.inject(Defect::Open { stage: 5, transistor: 0 }),
+            Err(DefectError::NoSuchStage { .. })
+        ));
+        assert!(matches!(
+            cell.inject(Defect::Short { stage: 0, transistor: 9 }),
+            Err(DefectError::NoSuchTransistor { .. })
+        ));
+        assert!(matches!(
+            cell.inject(Defect::Bridge { stage: 0, a: 1, b: 1 }),
+            Err(DefectError::BadBridge { .. })
+        ));
+        assert!(matches!(
+            cell.inject(Defect::Bridge { stage: 0, a: 0, b: 99 }),
+            Err(DefectError::BadBridge { .. })
+        ));
+    }
+
+    #[test]
+    fn random_defect_is_a_valid_site() {
+        let cell = CmosCell::for_gate(GateKind::Xor2);
+        let sites = cell.defect_sites();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            let d = cell.random_defect(&mut rng);
+            assert!(sites.contains(&d));
+            let mut c = cell.clone();
+            c.inject(d).unwrap();
+        }
+    }
+
+    #[test]
+    fn inject_all_propagates_errors() {
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        let res = cell.inject_all([
+            Defect::Open { stage: 0, transistor: 0 },
+            Defect::Open { stage: 9, transistor: 0 },
+        ]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(Defect::Bridge { stage: 0, a: 1, b: 2 }
+            .to_string()
+            .contains("bridge"));
+        assert!(DefectError::NoSuchStage { stage: 1, available: 1 }
+            .to_string()
+            .contains("stage 1"));
+    }
+}

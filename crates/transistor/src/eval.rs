@@ -1,0 +1,401 @@
+//! Switch-level evaluation of (possibly defective) CMOS cells with
+//! B-block resolution.
+
+use dta_logic::gate::GateBehavior;
+
+use crate::cell::{CmosCell, Health, Polarity, Signal, OUT, VDD, VSS};
+
+/// A CMOS cell instance evaluated at the switch level, including any
+/// injected defects. Implements [`GateBehavior`] so it can replace a gate
+/// inside a `dta-logic` netlist.
+///
+/// Evaluation per stage:
+///
+/// 1. each transistor conducts according to its gate signal, polarity and
+///    health (opens never conduct, source–drain shorts always conduct;
+///    delayed gate lines see the *previous* signal value);
+/// 2. injected bridges add unconditional connections between nets;
+/// 3. `Z_P` = is the stage output connected to Vdd, `Z_N` = to Vss, via a
+///    flood fill over the conducting-switch graph;
+/// 4. B-block resolution: `Z_N` ⇒ 0 (ground dominates), else `Z_P` ⇒ 1,
+///    else the stage *retains its previous value* (memory effect —
+///    asymmetric N/P networks turn the gate into a state element).
+///
+/// A defect-free cell never exercises rule 4 and is combinational; the
+/// exhaustive library tests below verify it matches
+/// [`dta_logic::GateKind::eval`] bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use dta_logic::gate::{GateBehavior, GateKind};
+/// use dta_transistor::{CmosCell, FaultyCell};
+///
+/// let mut healthy = FaultyCell::new(CmosCell::for_gate(GateKind::Xor2));
+/// assert!(healthy.eval(&[true, false]));
+/// assert!(!healthy.eval(&[true, true]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultyCell {
+    cell: CmosCell,
+    /// Previous output of each stage (for the memory effect).
+    stage_mem: Vec<bool>,
+    /// Previous gate-signal value of each transistor (for delay faults),
+    /// flattened per stage.
+    delay_prev: Vec<Vec<bool>>,
+    /// Scratch output of each stage during one evaluation.
+    stage_out: Vec<bool>,
+    /// Scratch flood-fill mark buffer.
+    marks: Vec<u8>,
+}
+
+impl FaultyCell {
+    /// Wraps a (possibly defect-injected) schematic into an evaluator.
+    pub fn new(cell: CmosCell) -> FaultyCell {
+        let stage_mem = vec![false; cell.stages().len()];
+        let delay_prev = cell
+            .stages()
+            .iter()
+            .map(|s| vec![false; s.transistors().len()])
+            .collect();
+        let stage_out = vec![false; cell.stages().len()];
+        FaultyCell {
+            cell,
+            stage_mem,
+            delay_prev,
+            stage_out,
+            marks: Vec::new(),
+        }
+    }
+
+    /// The underlying schematic.
+    pub fn cell(&self) -> &CmosCell {
+        &self.cell
+    }
+
+    /// Evaluates one stage given resolved gate-signal values, returning
+    /// `(z_p, z_n)` connectivity.
+    fn stage_connectivity(
+        stage: &crate::cell::Stage,
+        sig_of: impl Fn(Signal) -> bool,
+        delay_prev: &mut [bool],
+        marks: &mut Vec<u8>,
+    ) -> (bool, bool) {
+        let n = stage.num_nodes();
+        // Adjacency as a small edge list; stages have <= 12 switches.
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(16);
+        for (ti, t) in stage.transistors().iter().enumerate() {
+            let raw = sig_of(t.gate());
+            let g = if t.is_delayed() {
+                let prev = delay_prev[ti];
+                delay_prev[ti] = raw;
+                prev
+            } else {
+                raw
+            };
+            let conducts = match t.health() {
+                Health::Open => false,
+                Health::Shorted => true,
+                Health::Healthy => match t.polarity() {
+                    Polarity::Nmos => g,
+                    Polarity::Pmos => !g,
+                },
+            };
+            if conducts {
+                let (a, b) = t.terminals();
+                edges.push((a, b));
+            }
+        }
+        edges.extend(stage.bridges().iter().copied());
+
+        // Flood fill from VDD (mark 1) and VSS (mark 2) simultaneously;
+        // a node reachable from both carries mark 3.
+        marks.clear();
+        marks.resize(n, 0);
+        for (start, bit) in [(VDD, 1u8), (VSS, 2u8)] {
+            let mut stack = vec![start];
+            marks[start] |= bit;
+            while let Some(v) = stack.pop() {
+                for &(a, b) in &edges {
+                    let w = if a == v {
+                        b
+                    } else if b == v {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if marks[w] & bit == 0 {
+                        marks[w] |= bit;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        (marks[OUT] & 1 != 0, marks[OUT] & 2 != 0)
+    }
+
+    /// Evaluates the cell for one input vector, updating internal state
+    /// (stage memories and delay lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the cell's pin count.
+    pub fn eval_cell(&mut self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.cell.kind().arity(),
+            "{} expects {} inputs",
+            self.cell.kind(),
+            self.cell.kind().arity()
+        );
+        let n_stages = self.cell.stages().len();
+        for si in 0..n_stages {
+            let stage = &self.cell.stages()[si];
+            let stage_out_prefix: &[bool] = &self.stage_out[..si];
+            let sig_of = |s: Signal| match s {
+                Signal::Pin(k) => inputs[k],
+                Signal::Stage(j) => stage_out_prefix[j],
+            };
+            let (zp, zn) = Self::stage_connectivity(
+                stage,
+                sig_of,
+                &mut self.delay_prev[si],
+                &mut self.marks,
+            );
+            let out = if zn {
+                false // the path from ground dominates
+            } else if zp {
+                true
+            } else {
+                self.stage_mem[si] // memory effect
+            };
+            self.stage_mem[si] = out;
+            self.stage_out[si] = out;
+        }
+        self.stage_out[n_stages - 1]
+    }
+}
+
+impl GateBehavior for FaultyCell {
+    fn eval(&mut self, inputs: &[bool]) -> bool {
+        self.eval_cell(inputs)
+    }
+
+    fn reset(&mut self) {
+        for m in &mut self.stage_mem {
+            *m = false;
+        }
+        for v in &mut self.delay_prev {
+            for p in v.iter_mut() {
+                *p = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::Defect;
+    use dta_logic::GateKind;
+
+    fn all_input_vectors(arity: usize) -> Vec<Vec<bool>> {
+        (0..1u32 << arity)
+            .map(|bits| (0..arity).map(|i| bits >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn healthy_cells_match_library_exhaustively() {
+        for kind in GateKind::ALL {
+            let mut cell = FaultyCell::new(CmosCell::for_gate(kind));
+            for v in all_input_vectors(kind.arity()) {
+                assert_eq!(
+                    cell.eval_cell(&v),
+                    kind.eval(&v),
+                    "{kind} disagrees on {v:?}"
+                );
+            }
+            // Second pass in reverse order: healthy cells are stateless.
+            for v in all_input_vectors(kind.arity()).into_iter().rev() {
+                assert_eq!(cell.eval_cell(&v), kind.eval(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn open_breaks_pulldown_of_nand() {
+        // Open the first N transistor of NAND2: the series pull-down is
+        // dead, so the output can never be driven low; at (1,1) neither
+        // network conducts -> memory effect keeps the last driven value.
+        let mut cell = CmosCell::for_gate(GateKind::Nand2);
+        let nmos = cell.stages()[0]
+            .transistors()
+            .iter()
+            .position(|t| t.is_nmos())
+            .unwrap();
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: nmos,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        assert!(f.eval_cell(&[false, false])); // healthy: pull-up drives 1
+        assert!(f.eval_cell(&[true, true]), "retains 1 via memory effect");
+    }
+
+    #[test]
+    fn paper_example_memory_effect_on_oai22() {
+        // Paper §III-B: open at the drain of the first pull-up transistor
+        // of the (a+b)(c+d) complex gate. With a=b=0, c=d=1 the healthy
+        // pull-up would drive 1 through the broken path; the N network is
+        // off too, so the faulty gate floats and keeps its old output.
+        let mut cell = CmosCell::for_gate(GateKind::Oai22);
+        // Transistor 4 is the first P device (gate a, VDD side).
+        assert_eq!(cell.stages()[0].transistors()[4].polarity(), Polarity::Pmos);
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: 4,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        // Drive an input that forces output 0 first (remembered value 0).
+        assert!(!f.eval_cell(&[true, false, true, false]));
+        // a=b=0, c=d=1: healthy OAI22 = !((0|0)&(1|1)) = 1, faulty floats.
+        assert!(!f.eval_cell(&[false, false, true, true]), "retains 0");
+        // Drive 1 through the intact c/d pull-up path: c=d=0 forces
+        // !((a|b)&0) = 1 via the second branch.
+        assert!(f.eval_cell(&[false, false, false, false]));
+        // Same floating input now retains 1.
+        assert!(f.eval_cell(&[false, false, true, true]), "retains 1");
+    }
+
+    #[test]
+    fn ground_dominates_when_both_networks_conduct() {
+        // Short the second pull-up of OAI22 (gate b). For a=0,b=1,c=d=1
+        // the pull-up conducts through p(a)+short while the pull-down
+        // also conducts; B-block says the output is 0.
+        let mut cell = CmosCell::for_gate(GateKind::Oai22);
+        assert_eq!(cell.stages()[0].transistors()[5].polarity(), Polarity::Pmos);
+        cell.inject(Defect::Short {
+            stage: 0,
+            transistor: 5,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        assert!(!f.eval_cell(&[false, true, true, true]));
+        // And the changed pull-up function now drives 1 where the healthy
+        // gate would have: a=0,b=1,c=1,d=0 -> healthy !(1&1)=0... pull-down
+        // conducts, still 0. Check a case where only pull-up changed:
+        // a=0,b=1,c=0,d=0: healthy = !((0|1)&0) = 1, faulty also 1.
+        assert!(f.eval_cell(&[false, true, false, false]));
+    }
+
+    #[test]
+    fn bridge_to_ground_sticks_output_low() {
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        cell.inject(Defect::Bridge {
+            stage: 0,
+            a: VSS,
+            b: OUT,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        assert!(!f.eval_cell(&[false]), "bridged to ground");
+        assert!(!f.eval_cell(&[true]));
+    }
+
+    #[test]
+    fn bridge_to_vdd_loses_to_ground() {
+        // Vdd-OUT bridge: output 1 when input 0 (as healthy), but for
+        // input 1 both rails connect and ground still wins -> healthy
+        // inverter behavior survives this particular bridge.
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        cell.inject(Defect::Bridge {
+            stage: 0,
+            a: VDD,
+            b: OUT,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        assert!(f.eval_cell(&[false]));
+        assert!(!f.eval_cell(&[true]));
+    }
+
+    #[test]
+    fn delay_fault_shifts_transitions() {
+        // Delay the N transistor of an inverter. On a 0->1 input step the
+        // pull-down still sees the old 0, the pull-up sees the new 1:
+        // neither conducts, so the output lags one evaluation.
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        let nmos = cell.stages()[0]
+            .transistors()
+            .iter()
+            .position(|t| t.is_nmos())
+            .unwrap();
+        cell.inject(Defect::Delay {
+            stage: 0,
+            transistor: nmos,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        assert!(f.eval_cell(&[false])); // settles at 1
+        assert!(f.eval_cell(&[true]), "transition lags: still 1");
+        assert!(!f.eval_cell(&[true]), "one evaluation later it falls");
+    }
+
+    #[test]
+    fn reset_clears_memory_and_delays() {
+        let mut cell = CmosCell::for_gate(GateKind::Nand2);
+        let nmos = cell.stages()[0]
+            .transistors()
+            .iter()
+            .position(|t| t.is_nmos())
+            .unwrap();
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: nmos,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        assert!(f.eval_cell(&[false, false]));
+        assert!(f.eval_cell(&[true, true]), "memory holds 1");
+        f.reset();
+        // After reset the floating state falls back to the power-on 0.
+        assert!(!f.eval_cell(&[true, true]));
+    }
+
+    #[test]
+    fn defective_xor_changes_function_not_just_stuck() {
+        // Short one pull-down of the XOR core: the output is no longer a
+        // pure XOR nor a constant — the logic *function changed*, which is
+        // exactly what gate-level stuck-at models cannot express.
+        let mut cell = CmosCell::for_gate(GateKind::Xor2);
+        cell.inject(Defect::Short {
+            stage: 2,
+            transistor: 1,
+        })
+        .unwrap();
+        let mut f = FaultyCell::new(cell);
+        let truth: Vec<bool> = all_input_vectors(2)
+            .iter()
+            .map(|v| f.eval_cell(v))
+            .collect();
+        let healthy: Vec<bool> = all_input_vectors(2)
+            .iter()
+            .map(|v| GateKind::Xor2.eval(v))
+            .collect();
+        assert_ne!(truth, healthy, "function must differ somewhere");
+        assert!(
+            truth.iter().any(|&b| b) && truth.iter().any(|&b| !b),
+            "but it is not simply stuck at a constant: {truth:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let mut f = FaultyCell::new(CmosCell::for_gate(GateKind::Nand2));
+        let _ = f.eval_cell(&[true]);
+    }
+}

@@ -1,0 +1,658 @@
+//! Symbolic reconstruction of defective stages as logic expressions.
+//!
+//! This mirrors the paper's §III-B flow: after injecting transistor-level
+//! defects, the altered schematic is reconstructed into a *logic
+//! expression* (one for the pull-up connectivity `Z_P`, one for the
+//! pull-down connectivity `Z_N`) combined by a **B-block** that models the
+//! asymmetric-network cases (`Z_N` dominance, memory effect).
+//!
+//! The reconstruction used here enumerates conducting paths from each
+//! rail to the stage output: each simple path contributes a product term
+//! (AND of per-switch conduction conditions) and the expression is the OR
+//! of all path terms. This is equivalent to the paper's TLogic rewriting
+//! (series → AND, parallel → OR, bypasses eliminating transistors) but
+//! also handles the arbitrary graphs created by bridges without needing
+//! connection splitting. Delay defects "take the form of a state element
+//! that stores the line value and propagates it at the next
+//! transition(s)" (§III-B): they reconstruct as **delayed literals**,
+//! whose evaluation reads the *previous* value of the driving signal.
+
+use std::fmt;
+
+use crate::cell::{CmosCell, Health, Polarity, Signal, Stage, OUT, VDD, VSS};
+
+/// A reconstructed Boolean expression over cell pins and internal stage
+/// outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant.
+    Const(bool),
+    /// A (possibly complemented) gate signal: the conduction condition of
+    /// one healthy transistor (complemented for P-channel devices).
+    /// A *delayed* literal models the §III-B state element on a gate
+    /// line: it reads the signal's value from the previous evaluation.
+    Literal {
+        /// The driving signal.
+        sig: Signal,
+        /// True if the condition is the complement of the signal.
+        complemented: bool,
+        /// True if a delay defect makes this condition read the
+        /// previous value of the signal.
+        delayed: bool,
+    },
+    /// Conjunction of conditions along a conduction path.
+    And(Vec<Expr>),
+    /// Disjunction over alternative conduction paths.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression given a signal resolver; delayed
+    /// literals read the same resolver (use
+    /// [`Expr::eval_with_prev`] when delay state matters).
+    pub fn eval(&self, sig_of: &impl Fn(Signal) -> bool) -> bool {
+        self.eval_with_prev(sig_of, sig_of)
+    }
+
+    /// Evaluates with separate resolvers for current and
+    /// previous-evaluation signal values (delay defects read the
+    /// latter).
+    pub fn eval_with_prev(
+        &self,
+        sig_of: &impl Fn(Signal) -> bool,
+        prev_of: &impl Fn(Signal) -> bool,
+    ) -> bool {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Literal {
+                sig,
+                complemented,
+                delayed,
+            } => {
+                let raw = if *delayed { prev_of(*sig) } else { sig_of(*sig) };
+                raw ^ complemented
+            }
+            Expr::And(terms) => terms
+                .iter()
+                .all(|t| t.eval_with_prev(sig_of, prev_of)),
+            Expr::Or(terms) => terms
+                .iter()
+                .any(|t| t.eval_with_prev(sig_of, prev_of)),
+        }
+    }
+
+    /// True if any literal is delayed (the expression is stateful).
+    pub fn has_delay(&self) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Literal { delayed, .. } => *delayed,
+            Expr::And(ts) | Expr::Or(ts) => ts.iter().any(Expr::has_delay),
+        }
+    }
+
+    /// Number of literal occurrences (a rough size measure).
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Literal { .. } => 1,
+            Expr::And(ts) | Expr::Or(ts) => ts.iter().map(Expr::literal_count).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{}", u8::from(*v)),
+            Expr::Literal {
+                sig,
+                complemented,
+                delayed,
+            } => {
+                match sig {
+                    Signal::Pin(k) => write!(f, "x{k}")?,
+                    Signal::Stage(j) => write!(f, "s{j}")?,
+                }
+                if *complemented {
+                    write!(f, "'")?;
+                }
+                if *delayed {
+                    write!(f, "~")?; // previous-value marker
+                }
+                Ok(())
+            }
+            Expr::And(ts) => {
+                if ts.is_empty() {
+                    return write!(f, "1");
+                }
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    match t {
+                        Expr::Or(_) => write!(f, "({t})")?,
+                        _ => write!(f, "{t}")?,
+                    }
+                }
+                Ok(())
+            }
+            Expr::Or(ts) => {
+                if ts.is_empty() {
+                    return write!(f, "0");
+                }
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The reconstructed `(Z_P, Z_N)` pair of one stage, combined by the
+/// B-block truth table of Jain & Agrawal:
+///
+/// | `Z_P` | `Z_N` | output |
+/// |-------|-------|--------|
+/// | 0     | 0     | previous value (memory) |
+/// | 0     | 1     | 0 |
+/// | 1     | 0     | 1 |
+/// | 1     | 1     | 0 (ground dominates) |
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BBlockExpr {
+    /// Conduction expression from Vdd to the stage output.
+    pub zp: Expr,
+    /// Conduction expression from Vss to the stage output.
+    pub zn: Expr,
+}
+
+impl BBlockExpr {
+    /// Reconstructs one stage; delay defects become delayed literals.
+    pub fn for_stage(stage: &Stage) -> Option<BBlockExpr> {
+        Some(BBlockExpr {
+            zp: rail_expr(stage, VDD),
+            zn: rail_expr(stage, VSS),
+        })
+    }
+
+    /// Applies the B-block truth table (delayed literals read the
+    /// current resolver; see [`BBlockExpr::resolve_with_prev`]).
+    pub fn resolve(&self, sig_of: &impl Fn(Signal) -> bool, prev: bool) -> bool {
+        self.resolve_with_prev(sig_of, sig_of, prev)
+    }
+
+    /// Applies the B-block truth table with delay-aware resolvers.
+    pub fn resolve_with_prev(
+        &self,
+        sig_of: &impl Fn(Signal) -> bool,
+        prev_of: &impl Fn(Signal) -> bool,
+        prev: bool,
+    ) -> bool {
+        let zn = self.zn.eval_with_prev(sig_of, prev_of);
+        let zp = self.zp.eval_with_prev(sig_of, prev_of);
+        if zn {
+            false
+        } else if zp {
+            true
+        } else {
+            prev
+        }
+    }
+}
+
+impl fmt::Display for BBlockExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Zp = {}; Zn = {}", self.zp, self.zn)
+    }
+}
+
+/// Sum-of-products of conduction conditions over all simple paths from
+/// `rail` to the stage output.
+fn rail_expr(stage: &Stage, rail: usize) -> Expr {
+    // Edge list: (from, to, condition). Open transistors contribute no
+    // edge; shorts and bridges contribute unconditional edges.
+    let mut edges: Vec<(usize, usize, Option<Expr>)> = Vec::new();
+    for t in stage.transistors() {
+        let cond = match t.health() {
+            Health::Open => continue,
+            Health::Shorted => None,
+            Health::Healthy => Some(Expr::Literal {
+                sig: t.gate(),
+                complemented: t.polarity() == Polarity::Pmos,
+                delayed: t.is_delayed(),
+            }),
+        };
+        let (a, b) = t.terminals();
+        edges.push((a, b, cond));
+    }
+    for &(a, b) in stage.bridges() {
+        edges.push((a, b, None));
+    }
+
+    let mut products: Vec<Expr> = Vec::new();
+    let mut visited = vec![false; stage.num_nodes()];
+    let mut path: Vec<Expr> = Vec::new();
+    dfs_paths(rail, &edges, &mut visited, &mut path, &mut products);
+
+    if products.is_empty() {
+        Expr::Const(false)
+    } else {
+        Expr::Or(products)
+    }
+}
+
+/// Depth-first enumeration of simple paths to [`OUT`], accumulating the
+/// conduction condition of each traversed switch.
+fn dfs_paths(
+    node: usize,
+    edges: &[(usize, usize, Option<Expr>)],
+    visited: &mut [bool],
+    path: &mut Vec<Expr>,
+    products: &mut Vec<Expr>,
+) {
+    if node == OUT {
+        products.push(if path.is_empty() {
+            Expr::Const(true)
+        } else {
+            Expr::And(path.clone())
+        });
+        return;
+    }
+    visited[node] = true;
+    for (a, b, cond) in edges {
+        let next = if *a == node {
+            *b
+        } else if *b == node {
+            *a
+        } else {
+            continue;
+        };
+        if visited[next] {
+            continue;
+        }
+        let pushed = if let Some(c) = cond {
+            path.push(c.clone());
+            true
+        } else {
+            false
+        };
+        dfs_paths(next, edges, visited, path, products);
+        if pushed {
+            path.pop();
+        }
+    }
+    visited[node] = false;
+}
+
+/// Reconstructs every stage of a cell (delay defects become delayed
+/// literals; the `Option` is kept for API stability and is always
+/// `Some`).
+pub fn reconstruct_cell(cell: &CmosCell) -> Option<Vec<BBlockExpr>> {
+    cell.stages().iter().map(BBlockExpr::for_stage).collect()
+}
+
+/// Evaluates a cell through its reconstructed expressions, tracking the
+/// per-stage memory exactly like the switch-level evaluator. Used to
+/// cross-validate the two semantics.
+#[derive(Clone, Debug)]
+pub struct ExprCellEvaluator {
+    exprs: Vec<BBlockExpr>,
+    arity: usize,
+    mem: Vec<bool>,
+    /// Previous-evaluation pin values (for delayed literals).
+    prev_pins: Vec<bool>,
+    /// Previous-evaluation stage outputs.
+    prev_stages: Vec<bool>,
+}
+
+impl ExprCellEvaluator {
+    /// Builds the evaluator (always succeeds; the `Option` mirrors
+    /// `reconstruct_cell`).
+    pub fn new(cell: &CmosCell) -> Option<ExprCellEvaluator> {
+        let exprs = reconstruct_cell(cell)?;
+        Some(ExprCellEvaluator {
+            mem: vec![false; exprs.len()],
+            prev_pins: vec![false; cell.kind().arity()],
+            prev_stages: vec![false; exprs.len()],
+            arity: cell.kind().arity(),
+            exprs,
+        })
+    }
+
+    /// Evaluates one input vector, updating stage memories and the
+    /// delay-line state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the cell arity.
+    pub fn eval(&mut self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity);
+        let n = self.exprs.len();
+        let mut outs = vec![false; n];
+        for i in 0..n {
+            let prefix: &[bool] = &outs[..i];
+            let sig_of = |s: Signal| match s {
+                Signal::Pin(k) => inputs[k],
+                Signal::Stage(j) => prefix[j],
+            };
+            let prev_pins = &self.prev_pins;
+            let prev_stages = &self.prev_stages;
+            let prev_of = |s: Signal| match s {
+                Signal::Pin(k) => prev_pins[k],
+                Signal::Stage(j) => prev_stages[j],
+            };
+            outs[i] = self.exprs[i].resolve_with_prev(&sig_of, &prev_of, self.mem[i]);
+            self.mem[i] = outs[i];
+        }
+        self.prev_pins.copy_from_slice(inputs);
+        self.prev_stages.copy_from_slice(&outs);
+        outs[n - 1]
+    }
+}
+
+/// How a defect set changed a cell's behavior — the paper's §III-B
+/// taxonomy of effects that "cannot be modeled using a stuck logic gate
+/// input": the logic function changes, the gate turns into a state
+/// element, or a delay appears.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultAnalysis {
+    /// The combinational function differs from the healthy cell for at
+    /// least one input (evaluated with all memories at their power-on
+    /// value).
+    pub changes_function: bool,
+    /// Some input combination leaves a stage neither pulled up nor
+    /// pulled down: the cell became a state element (memory effect).
+    pub introduces_state: bool,
+    /// Some input combination connects a stage output to both rails
+    /// (the ground-dominates case of the B-block).
+    pub ground_fights: bool,
+    /// A delay defect is present (delayed literal in the reconstruction).
+    pub has_delay: bool,
+}
+
+impl FaultAnalysis {
+    /// True if the defect set is behaviorally invisible at the gate
+    /// level (no function change, no state, no fight, no delay).
+    pub fn is_equivalent(&self) -> bool {
+        !self.changes_function
+            && !self.introduces_state
+            && !self.ground_fights
+            && !self.has_delay
+    }
+}
+
+/// Analyzes a (possibly defective) cell by sweeping every pin
+/// combination through the reconstructed stage expressions with
+/// power-on memory state.
+pub fn analyze_cell(cell: &CmosCell) -> FaultAnalysis {
+    let exprs = reconstruct_cell(cell).expect("reconstruction always succeeds");
+    let kind = cell.kind();
+    let arity = kind.arity();
+    let mut analysis = FaultAnalysis {
+        has_delay: exprs.iter().any(|e| e.zp.has_delay() || e.zn.has_delay()),
+        ..FaultAnalysis::default()
+    };
+    for bits in 0u32..1 << arity {
+        let pins: Vec<bool> = (0..arity).map(|i| bits >> i & 1 == 1).collect();
+        // Evaluate stages with memories at power-on (false); delayed
+        // literals read the same (power-on) values, which is the
+        // first-evaluation semantics.
+        let n = exprs.len();
+        let mut outs = vec![false; n];
+        for (i, e) in exprs.iter().enumerate() {
+            let prefix: &[bool] = &outs[..i];
+            let sig_of = |s: Signal| match s {
+                Signal::Pin(k) => pins[k],
+                Signal::Stage(j) => prefix[j],
+            };
+            let prev_of = |s: Signal| match s {
+                Signal::Pin(_) | Signal::Stage(_) => false,
+            };
+            let zp = e.zp.eval_with_prev(&sig_of, &prev_of);
+            let zn = e.zn.eval_with_prev(&sig_of, &prev_of);
+            if !zp && !zn {
+                analysis.introduces_state = true;
+            }
+            if zp && zn {
+                analysis.ground_fights = true;
+            }
+            outs[i] = if zn { false } else { zp };
+        }
+        if outs[n - 1] != kind.eval(&pins) {
+            analysis.changes_function = true;
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::Defect;
+    use crate::eval::FaultyCell;
+    use dta_logic::GateKind;
+
+    #[test]
+    fn healthy_inverter_expressions() {
+        let cell = CmosCell::for_gate(GateKind::Not);
+        let exprs = reconstruct_cell(&cell).unwrap();
+        assert_eq!(exprs.len(), 1);
+        assert_eq!(exprs[0].to_string(), "Zp = x0'; Zn = x0");
+    }
+
+    #[test]
+    fn healthy_nand_expressions() {
+        let cell = CmosCell::for_gate(GateKind::Nand2);
+        let e = &reconstruct_cell(&cell).unwrap()[0];
+        // Zp: two parallel pull-ups; Zn: one series chain.
+        assert_eq!(e.zp.to_string(), "x0' + x1'");
+        assert_eq!(e.zn.to_string(), "x0.x1");
+    }
+
+    #[test]
+    fn short_rewrites_pullup_like_paper() {
+        // Paper: short on a pull-up of (a+b)(c+d) gives
+        // "Z can be connected either when a=b=0 or when d=0".
+        // Our OAI22 with p(b) shorted: Zp gains the unconditional hop
+        // p_ab -> OUT, so Zp = x0' (through the short) + x2'.x3'.
+        let mut cell = CmosCell::for_gate(GateKind::Oai22);
+        cell.inject(Defect::Short {
+            stage: 0,
+            transistor: 5,
+        })
+        .unwrap();
+        let e = &reconstruct_cell(&cell).unwrap()[0];
+        let s = e.zp.to_string();
+        assert!(s.contains("x0'"), "Zp = {s}");
+        // The x0' term must appear without x1' (the short bypasses it).
+        assert!(
+            !s.contains("x0'.x1'"),
+            "short must bypass the x1 condition: Zp = {s}"
+        );
+    }
+
+    #[test]
+    fn open_removes_paths() {
+        let mut cell = CmosCell::for_gate(GateKind::Nand2);
+        // Open the first pull-up (gate x0): Zp loses the x0' term.
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: 0,
+        })
+        .unwrap();
+        let e = &reconstruct_cell(&cell).unwrap()[0];
+        assert_eq!(e.zp.to_string(), "x1'");
+    }
+
+    #[test]
+    fn fully_open_rail_is_const_false() {
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: 0,
+        })
+        .unwrap();
+        let e = &reconstruct_cell(&cell).unwrap()[0];
+        assert_eq!(e.zp, Expr::Const(false));
+    }
+
+    #[test]
+    fn delay_defect_reconstructs_as_delayed_literal() {
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        cell.inject(Defect::Delay {
+            stage: 0,
+            transistor: 0, // the P transistor
+        })
+        .unwrap();
+        let e = &reconstruct_cell(&cell).unwrap()[0];
+        assert_eq!(e.zp.to_string(), "x0'~", "delayed pull-up condition");
+        assert_eq!(e.zn.to_string(), "x0");
+        assert!(e.zp.has_delay() && !e.zn.has_delay());
+    }
+
+    #[test]
+    fn delayed_evaluator_matches_switch_level() {
+        // A delayed N transistor in an inverter lags falling output
+        // transitions by one evaluation; both evaluators must agree on
+        // the whole stimulus stream.
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        let nmos = cell.stages()[0]
+            .transistors()
+            .iter()
+            .position(|t| t.is_nmos())
+            .unwrap();
+        cell.inject(Defect::Delay {
+            stage: 0,
+            transistor: nmos,
+        })
+        .unwrap();
+        let mut switch = FaultyCell::new(cell.clone());
+        let mut expr = ExprCellEvaluator::new(&cell).unwrap();
+        for x in [false, true, true, false, true, false, false, true, true] {
+            assert_eq!(switch.eval_cell(&[x]), expr.eval(&[x]), "at input {x}");
+        }
+    }
+
+    #[test]
+    fn bblock_truth_table() {
+        let e = BBlockExpr {
+            zp: Expr::Const(false),
+            zn: Expr::Const(false),
+        };
+        let sig = |_s: Signal| false;
+        assert!(e.resolve(&sig, true), "memory keeps 1");
+        assert!(!e.resolve(&sig, false), "memory keeps 0");
+        let e = BBlockExpr {
+            zp: Expr::Const(true),
+            zn: Expr::Const(true),
+        };
+        assert!(!e.resolve(&sig, true), "ground dominates");
+    }
+
+    #[test]
+    fn expr_display_and_count() {
+        let e = Expr::Or(vec![
+            Expr::And(vec![
+                Expr::Literal {
+                    sig: Signal::Pin(0),
+                    complemented: false,
+                    delayed: false,
+                },
+                Expr::Literal {
+                    sig: Signal::Stage(1),
+                    complemented: true,
+                    delayed: true,
+                },
+            ]),
+            Expr::Const(true),
+        ]);
+        assert_eq!(e.to_string(), "x0.s1'~ + 1");
+        assert_eq!(e.literal_count(), 2);
+        assert!(e.has_delay());
+    }
+
+    /// Cross-validation: for every cell type and a battery of defect
+    /// sets (no delays), the reconstructed-expression evaluator and the
+    /// switch-level evaluator agree on long random-ish input sequences.
+    #[test]
+    fn reconstruction_matches_switch_level() {
+        for kind in GateKind::ALL {
+            let base = CmosCell::for_gate(kind);
+            let sites: Vec<Defect> = base
+                .defect_sites()
+                .into_iter()
+                .filter(|d| !matches!(d, Defect::Delay { .. }))
+                .collect();
+            // Try each single defect site, plus a few pairs.
+            for (i, &d) in sites.iter().enumerate() {
+                let mut cell = base.clone();
+                cell.inject(d).unwrap();
+                compare_evaluators(&cell, kind, i as u64);
+            }
+            for pair in sites.chunks(2).take(8) {
+                let mut cell = base.clone();
+                cell.inject_all(pair.iter().copied()).unwrap();
+                compare_evaluators(&cell, kind, 999);
+            }
+        }
+    }
+
+    fn compare_evaluators(cell: &CmosCell, kind: GateKind, salt: u64) {
+        let mut switch = FaultyCell::new(cell.clone());
+        let mut expr = ExprCellEvaluator::new(cell).expect("no delays injected");
+        let arity = kind.arity();
+        // Deterministic pseudo-random input sequence touching all combos.
+        let mut x = 0x9e3779b97f4a7c15u64 ^ salt;
+        for step in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bits = (x >> 33) as u32 | step; // mix in step for coverage
+            let v: Vec<bool> = (0..arity).map(|k| bits >> k & 1 == 1).collect();
+            assert_eq!(
+                switch.eval_cell(&v),
+                expr.eval(&v),
+                "{kind} diverges on {v:?} (cell: {cell})"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_cells_analyze_clean() {
+        for kind in GateKind::ALL {
+            let a = analyze_cell(&CmosCell::for_gate(kind));
+            assert!(a.is_equivalent(), "{kind}: {a:?}");
+        }
+    }
+
+    #[test]
+    fn open_introduces_state() {
+        let mut cell = CmosCell::for_gate(GateKind::Nand2);
+        let nmos = cell.stages()[0]
+            .transistors()
+            .iter()
+            .position(|t| t.is_nmos())
+            .unwrap();
+        cell.inject(Defect::Open { stage: 0, transistor: nmos }).unwrap();
+        let a = analyze_cell(&cell);
+        assert!(a.introduces_state, "{a:?}");
+        assert!(!a.is_equivalent());
+    }
+
+    #[test]
+    fn short_changes_function_and_fights() {
+        let mut cell = CmosCell::for_gate(GateKind::Oai22);
+        cell.inject(Defect::Short { stage: 0, transistor: 5 }).unwrap();
+        let a = analyze_cell(&cell);
+        assert!(a.ground_fights, "{a:?}");
+    }
+
+    #[test]
+    fn delay_flagged() {
+        let mut cell = CmosCell::for_gate(GateKind::Not);
+        cell.inject(Defect::Delay { stage: 0, transistor: 0 }).unwrap();
+        let a = analyze_cell(&cell);
+        assert!(a.has_delay && !a.is_equivalent());
+    }
+}

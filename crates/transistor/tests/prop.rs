@@ -1,0 +1,108 @@
+//! Property tests: arbitrary defect sets must never break the
+//! switch-level evaluator, and the symbolic reconstruction must stay
+//! equivalent to it.
+
+use dta_logic::gate::GateBehavior;
+use dta_logic::GateKind;
+use dta_transistor::reconstruct::ExprCellEvaluator;
+use dta_transistor::{CmosCell, Defect, FaultyCell};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = GateKind> {
+    prop::sample::select(GateKind::ALL.to_vec())
+}
+
+/// Picks up to `n` random defect sites of a cell by index.
+fn pick_defects(cell: &CmosCell, picks: &[u16], skip_delays: bool) -> Vec<Defect> {
+    let sites: Vec<Defect> = cell
+        .defect_sites()
+        .into_iter()
+        .filter(|d| !skip_delays || !matches!(d, Defect::Delay { .. }))
+        .collect();
+    picks
+        .iter()
+        .map(|&p| sites[p as usize % sites.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_defect_set_evaluates_without_panic(
+        kind in any_kind(),
+        picks in prop::collection::vec(any::<u16>(), 1..6),
+        stimulus in prop::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let mut cell = CmosCell::for_gate(kind);
+        cell.inject_all(pick_defects(&cell, &picks, false)).unwrap();
+        let mut f = FaultyCell::new(cell);
+        for s in stimulus {
+            let v: Vec<bool> = (0..kind.arity()).map(|i| s >> i & 1 == 1).collect();
+            let _ = f.eval(&v); // must not panic, any output is legal
+        }
+    }
+
+    #[test]
+    fn faulty_cells_are_deterministic_after_reset(
+        kind in any_kind(),
+        picks in prop::collection::vec(any::<u16>(), 1..4),
+        stimulus in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut cell = CmosCell::for_gate(kind);
+        cell.inject_all(pick_defects(&cell, &picks, false)).unwrap();
+        let mut f = FaultyCell::new(cell);
+        let run = |f: &mut FaultyCell| -> Vec<bool> {
+            f.reset();
+            stimulus
+                .iter()
+                .map(|&s| {
+                    let v: Vec<bool> =
+                        (0..kind.arity()).map(|i| s >> i & 1 == 1).collect();
+                    f.eval(&v)
+                })
+                .collect()
+        };
+        prop_assert_eq!(run(&mut f), run(&mut f));
+    }
+
+    #[test]
+    fn reconstruction_equivalent_for_random_defect_sets(
+        kind in any_kind(),
+        picks in prop::collection::vec(any::<u16>(), 1..4),
+        stimulus in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        // Delay defects included: they reconstruct as delayed literals.
+        let mut cell = CmosCell::for_gate(kind);
+        cell.inject_all(pick_defects(&cell, &picks, false)).unwrap();
+        let mut switch = FaultyCell::new(cell.clone());
+        let mut expr = ExprCellEvaluator::new(&cell).expect("always Some");
+        for s in stimulus {
+            let v: Vec<bool> = (0..kind.arity()).map(|i| s >> i & 1 == 1).collect();
+            prop_assert_eq!(switch.eval(&v), expr.eval(&v), "{:?} at {:?}", kind, v);
+        }
+    }
+
+    #[test]
+    fn healthy_cells_have_complementary_expressions(kind in any_kind()) {
+        // In a defect-free gate Z_P and Z_N are complementary for every
+        // input: the B-block never floats and never shorts.
+        let cell = CmosCell::for_gate(kind);
+        let exprs = dta_transistor::reconstruct::reconstruct_cell(&cell).unwrap();
+        // Check the first stage exhaustively over its signals (pins only
+        // appear in single-stage cells; multi-stage cells are covered by
+        // the library equivalence tests).
+        let stage_expr = &exprs[0];
+        for bits in 0u32..1 << kind.arity() {
+            let sig = |s: dta_transistor::Signal| match s {
+                dta_transistor::Signal::Pin(k) => bits >> k & 1 == 1,
+                dta_transistor::Signal::Stage(_) => false,
+            };
+            let zp = stage_expr.zp.eval(&sig);
+            let zn = stage_expr.zn.eval(&sig);
+            // Only meaningful when no Stage refs exist in stage 0, which
+            // holds for every cell (stage 0 sees pins only).
+            prop_assert!(zp != zn, "{:?}: floating or fighting at {:032b}", kind, bits);
+        }
+    }
+}

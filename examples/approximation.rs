@@ -1,0 +1,78 @@
+//! Function approximation on faulty silicon: the accelerator fits a
+//! sine through the Q6.10 datapath, defects are injected, and
+//! retraining restores the fit — the paper's claim that "the ANN design
+//! would be the same for approximation tasks".
+//!
+//! ```sh
+//! cargo run --release --example approximation
+//! ```
+
+use dta::ann::{FaultPlan, Mlp, RegressionSet, RegressionTrainer, Topology};
+use dta::circuits::FaultModel;
+use dta::fixed::SigmoidLut;
+use rand::SeedableRng;
+
+fn plot(mlp: &Mlp, set: &RegressionSet, faults: Option<&mut FaultPlan>) {
+    let lut = SigmoidLut::new();
+    let mut faults = faults;
+    const COLS: usize = 64;
+    const ROWS: usize = 12;
+    let mut grid = vec![[b' '; COLS]; ROWS];
+    for c in 0..COLS {
+        let x = c as f64 / (COLS - 1) as f64;
+        let target = 0.5 + 0.4 * (std::f64::consts::TAU * x).sin();
+        let y = match faults.as_deref_mut() {
+            Some(plan) => mlp.forward_faulty(&[x], &lut, plan).output[0],
+            None => mlp.forward_fixed(&[x], &lut).output[0],
+        };
+        let to_row = |v: f64| ((1.0 - v) * (ROWS - 1) as f64).round() as usize;
+        grid[to_row(target).min(ROWS - 1)][c] = b'.';
+        grid[to_row(y).min(ROWS - 1)][c] = b'#';
+    }
+    for row in &grid {
+        println!("  |{}", String::from_utf8_lossy(row));
+    }
+    println!("  ('.' = target sine, '#' = accelerator output)");
+    let _ = set;
+}
+
+fn main() {
+    let set = RegressionSet::from_function("sine", 1, 1, 240, 7, |x| {
+        vec![0.5 + 0.4 * (std::f64::consts::TAU * x[0]).sin()]
+    });
+    let idx: Vec<usize> = (0..set.len()).collect();
+    let trainer = RegressionTrainer::new(0.6, 0.5, 250);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+
+    // 1. Clean fit.
+    let mut mlp = Mlp::new(Topology::new(1, 10, 1), 3);
+    trainer.train(&mut mlp, &set, &idx, None, &mut rng);
+    println!(
+        "clean fit, MSE = {:.5}",
+        trainer.mse(&mlp, &set, &idx, None)
+    );
+    plot(&mlp, &set, None);
+
+    // 2. Break the silicon.
+    let mut plan = FaultPlan::new(90);
+    for _ in 0..4 {
+        plan.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+    }
+    println!("\ninjected 4 transistor-level defects:");
+    for r in plan.records() {
+        println!("  - {r}");
+    }
+    println!(
+        "MSE with fresh defects = {:.5}",
+        trainer.mse(&mlp, &set, &idx, Some(&mut plan))
+    );
+
+    // 3. Retrain on the faulty silicon.
+    let quick = RegressionTrainer::new(0.6, 0.5, 120);
+    quick.train(&mut mlp, &set, &idx, Some(&mut plan), &mut rng);
+    println!(
+        "\nMSE after retraining    = {:.5}",
+        quick.mse(&mlp, &set, &idx, Some(&mut plan))
+    );
+    plot(&mlp, &set, Some(&mut plan));
+}

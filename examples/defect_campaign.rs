@@ -1,0 +1,47 @@
+//! A miniature Figure 10 campaign: accuracy vs. defect count with
+//! retraining, on two benchmark tasks.
+//!
+//! ```sh
+//! cargo run --release --example defect_campaign
+//! ```
+
+use dta::circuits::FaultModel;
+use dta::core::campaign::{defect_tolerance_curve, CampaignConfig};
+use dta::datasets::suite;
+
+fn main() {
+    let cfg = CampaignConfig {
+        defect_counts: vec![0, 4, 8, 12, 20],
+        repetitions: 2,
+        folds: 3,
+        epochs: Some(30),
+        model: FaultModel::TransistorLevel,
+        seed: 7,
+    };
+
+    println!("accuracy after retraining vs. number of injected defects");
+    println!("(transistor-level faults in the input/hidden stage)\n");
+    print!("{:<12}", "task");
+    for &d in &cfg.defect_counts {
+        print!("{d:>8}");
+    }
+    println!();
+
+    for name in ["iris", "wine"] {
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("task exists");
+        let curve = defect_tolerance_curve(&spec, &cfg);
+        print!("{name:<12}");
+        for p in &curve {
+            print!("{:>7.1}%", p.mean_accuracy * 100.0);
+        }
+        println!();
+    }
+
+    println!(
+        "\nThe paper's Figure 10 shape: accuracy holds up to ~12 defects \
+         for every task because retraining silences the faulty elements."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train a classifier, map it onto the accelerator, break
+//! the silicon, retrain, and watch the accuracy recover.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dta::ann::{Mlp, Topology};
+use dta::circuits::FaultModel;
+use dta::core::accelerator::Accelerator;
+use dta::datasets::suite;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = suite::load("wine").expect("wine is in the suite");
+    println!("task: {ds}");
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // 1. Train a 13-4-3 network on the companion core (forward passes
+    //    run through the hardware Q6.10 datapath).
+    let mut accel = Accelerator::new();
+    println!("accelerator geometry: {}", accel.geometry());
+    accel
+        .map_network(Mlp::new(Topology::new(13, 4, 3), 42))
+        .expect("13-4-3 fits the 90-10-10 array");
+    accel
+        .retrain(&ds, &idx, 0.2, 0.1, 60, &mut rng)
+        .expect("network is mapped");
+    let clean = accel.evaluate(&ds, &idx).expect("mapped");
+    println!("clean accuracy:              {:.1}%", clean * 100.0);
+
+    // 2. Break the silicon: 8 random transistor-level defects in the
+    //    input/hidden stage.
+    let reports = accel.inject_defects(8, FaultModel::TransistorLevel, &mut rng);
+    println!("injected {} transistor-level defects:", reports.len());
+    for r in &reports {
+        println!("  - {r}");
+    }
+    let degraded = accel.evaluate(&ds, &idx).expect("mapped");
+    println!("accuracy with fresh defects: {:.1}%", degraded * 100.0);
+
+    // 3. Retrain on the faulty silicon: back-propagation silences the
+    //    defective elements.
+    accel
+        .retrain(&ds, &idx, 0.2, 0.1, 60, &mut rng)
+        .expect("network is mapped");
+    let recovered = accel.evaluate(&ds, &idx).expect("mapped");
+    println!("accuracy after retraining:   {:.1}%", recovered * 100.0);
+
+    // 4. What did this cost?
+    let cost = accel.cost();
+    println!("\n90nm cost model: {cost}");
+    println!(
+        "energy spent on {} rows: {:.1} µJ",
+        accel.rows_processed(),
+        accel.energy_spent_nj() / 1000.0
+    );
+}

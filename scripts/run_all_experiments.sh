@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the ablations.
+# Pass FULL=1 for the paper-scale configurations (hours).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN="cargo run --release -p dta-bench --bin"
+
+$RUN exp_fig2
+if [[ "${FULL:-0}" == "1" ]]; then
+  $RUN exp_fig5 -- --trials 1000
+  $RUN exp_table2 -- --tasks breast,glass,ionosphere,iris,optdigits,robot,sonar,spam,vehicle,wine --full true
+  $RUN exp_fig10 -- --tasks all --reps 100 --folds 10 --epochs 0 --counts 0,3,6,9,12,15,18,21,24,27
+  $RUN exp_fig11 -- --tasks iris,ionosphere,wine,robot --reps 100 --epochs 0
+else
+  $RUN exp_fig5 -- --trials 200
+  $RUN exp_table2
+  $RUN exp_fig10 -- --tasks all --reps 3 --epochs 30
+  $RUN exp_fig11
+fi
+$RUN exp_table3
+$RUN exp_table4
+$RUN exp_scaling
+$RUN exp_visibility
+$RUN exp_fault_classes
+$RUN exp_multiplexed
+$RUN exp_deep
+$RUN exp_ablation_spatial
+$RUN exp_ablation_sigmoid
+$RUN exp_ablation_fixed
+$RUN exp_ablation_hidden
+$RUN exp_ablation_operators

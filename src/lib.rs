@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! **dta** — a defect-tolerant, spatially expanded hardware ANN
+//! accelerator, reproducing Olivier Temam's ISCA 2012 paper
+//! *"A Defect-Tolerant Accelerator for Emerging High-Performance
+//! Applications"* as a pure-Rust stack.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`fixed`] | `dta-fixed` | Q6.10 datapath arithmetic, 16-segment sigmoid |
+//! | [`logic`] | `dta-logic` | gate-level netlists, simulation, stuck-at faults |
+//! | [`transistor`] | `dta-transistor` | switch-level CMOS cells, transistor defects, B-block reconstruction |
+//! | [`circuits`] | `dta-circuits` | adders, multipliers, activation unit, defect injection |
+//! | [`datasets`] | `dta-datasets` | the synthetic UCI benchmark suite, Figure 2 catalog |
+//! | [`ann`] | `dta-ann` | MLP, back-propagation, fault hooks, hyper-parameter search |
+//! | [`core`] | `dta-core` | the accelerator, baselines, cost/processor models, campaigns |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dta::core::accelerator::Accelerator;
+//! use dta::ann::{Mlp, Topology};
+//! use dta::datasets::suite;
+//! use dta::circuits::FaultModel;
+//! use rand::SeedableRng;
+//!
+//! // Train a network for the iris task on the companion core, map it
+//! // onto the accelerator, break some silicon, retrain, and classify.
+//! let ds = suite::load("iris").unwrap();
+//! let idx: Vec<usize> = (0..ds.len()).collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//!
+//! let mut accel = Accelerator::new();
+//! accel.map_network(Mlp::new(Topology::new(4, 8, 3), 42)).unwrap();
+//! accel.retrain(&ds, &idx, 0.2, 0.1, 30, &mut rng).unwrap();
+//!
+//! accel.inject_defects(4, FaultModel::TransistorLevel, &mut rng);
+//! accel.retrain(&ds, &idx, 0.2, 0.1, 30, &mut rng).unwrap();
+//!
+//! let acc = accel.evaluate(&ds, &idx).unwrap();
+//! assert!(acc > 0.8, "defect-tolerant after retraining: {acc}");
+//! ```
+
+pub use dta_ann as ann;
+pub use dta_circuits as circuits;
+pub use dta_core as core;
+pub use dta_datasets as datasets;
+pub use dta_fixed as fixed;
+pub use dta_logic as logic;
+pub use dta_transistor as transistor;

@@ -1,0 +1,91 @@
+//! Cross-crate equivalence: the behavioral Q6.10 datapath, the
+//! gate-level circuits, and the switch-level CMOS cells must all agree
+//! when healthy — the foundation that makes defect injection meaningful.
+
+use dta::ann::{FaultPlan, Mlp, Topology};
+use dta::circuits::{HwAdder, HwMultiplier, HwSigmoid};
+use dta::fixed::{Fx, SigmoidLut};
+use dta::logic::GateKind;
+use dta::transistor::reconstruct::ExprCellEvaluator;
+use dta::transistor::{CmosCell, FaultyCell};
+use dta_logic::gate::GateBehavior;
+use proptest::prelude::*;
+
+fn any_fx() -> impl Strategy<Value = Fx> {
+    any::<i16>().prop_map(Fx::from_raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hw_adder_equals_fx(a in any_fx(), b in any_fx()) {
+        let mut hw = HwAdder::new();
+        prop_assert_eq!(hw.add(a, b), a + b);
+    }
+
+    #[test]
+    fn hw_multiplier_equals_fx(a in any_fx(), b in any_fx()) {
+        let mut hw = HwMultiplier::new();
+        prop_assert_eq!(hw.mul(a, b), a * b);
+    }
+
+    #[test]
+    fn hw_sigmoid_equals_lut(x in any_fx()) {
+        let mut hw = HwSigmoid::new();
+        prop_assert_eq!(hw.eval(x), SigmoidLut::new().eval(x));
+    }
+
+    #[test]
+    fn faulty_forward_with_empty_plan_is_fixed_forward(
+        seed in 0u64..1000,
+        x0 in 0.0f64..1.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0
+    ) {
+        let mlp = Mlp::new(Topology::new(3, 4, 2), seed);
+        let lut = SigmoidLut::new();
+        let mut plan = FaultPlan::new(90);
+        let x = [x0, x1, x2];
+        prop_assert_eq!(
+            mlp.forward_fixed(&x, &lut),
+            mlp.forward_faulty(&x, &lut, &mut plan)
+        );
+    }
+}
+
+#[test]
+fn switch_level_cells_equal_library_truth_tables() {
+    for kind in GateKind::ALL {
+        let mut cell = FaultyCell::new(CmosCell::for_gate(kind));
+        for bits in 0u32..1 << kind.arity() {
+            let v: Vec<bool> = (0..kind.arity()).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(cell.eval(&v), kind.eval(&v), "{kind} at {v:?}");
+        }
+    }
+}
+
+#[test]
+fn reconstruction_equals_switch_level_for_every_single_defect() {
+    for kind in [GateKind::Nand2, GateKind::Aoi22, GateKind::Mux2] {
+        let base = CmosCell::for_gate(kind);
+        // Every site, including delay defects (delayed literals).
+        for defect in base.defect_sites() {
+            let mut cell = base.clone();
+            cell.inject(defect).unwrap();
+            let mut switch = FaultyCell::new(cell.clone());
+            let mut expr = ExprCellEvaluator::new(&cell).unwrap();
+            // Two sweeps (ascending then descending) exercise memory.
+            let sweep: Vec<u32> = (0..1u32 << kind.arity())
+                .chain((0..1u32 << kind.arity()).rev())
+                .collect();
+            for bits in sweep {
+                let v: Vec<bool> =
+                    (0..kind.arity()).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(
+                    switch.eval(&v),
+                    expr.eval(&v),
+                    "{kind} with {defect:?} at {v:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration: the full paper pipeline from dataset to
+//! defect-tolerant accelerator.
+
+use dta::ann::{cross_validate, ForwardMode, HyperSpace, Mlp, Topology, Trainer};
+use dta::circuits::FaultModel;
+use dta::core::accelerator::Accelerator;
+use dta::core::{CostModel, ProcessorModel};
+use dta::datasets::suite;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn full_pipeline_train_map_inject_retrain() {
+    let ds = suite::load("glass").unwrap();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let mut accel = Accelerator::new();
+    accel
+        .map_network(Mlp::new(Topology::new(9, 10, 6), 5))
+        .unwrap();
+    accel.retrain(&ds, &idx, 0.1, 0.1, 60, &mut rng).unwrap();
+    let clean = accel.evaluate(&ds, &idx).unwrap();
+    assert!(clean > ds.majority_baseline() + 0.1, "clean {clean}");
+
+    accel.inject_defects(6, FaultModel::TransistorLevel, &mut rng);
+    accel.retrain(&ds, &idx, 0.1, 0.1, 60, &mut rng).unwrap();
+    let faulty = accel.evaluate(&ds, &idx).unwrap();
+    assert!(
+        faulty > clean - 0.2,
+        "retraining recovers: clean {clean} vs faulty {faulty}"
+    );
+}
+
+#[test]
+fn every_suite_task_fits_and_trains_above_baseline() {
+    // A fast sweep: 2-fold CV with few epochs must beat the majority
+    // baseline on every one of the 10 Table II tasks.
+    for spec in suite::specs() {
+        let ds = spec.dataset();
+        let trainer = Trainer::new(
+            spec.learning_rate.max(0.2),
+            0.1,
+            15,
+            ForwardMode::Fixed,
+        );
+        let cv = cross_validate(&trainer, &ds, spec.hidden, 2, 3, None);
+        assert!(
+            cv.mean() > ds.majority_baseline(),
+            "{}: cv {} <= baseline {}",
+            spec.name,
+            cv.mean(),
+            ds.majority_baseline()
+        );
+    }
+}
+
+#[test]
+fn hyper_search_composes_with_suite() {
+    let ds = suite::load("iris").unwrap();
+    let space = HyperSpace {
+        hidden: vec![4, 8],
+        epochs: vec![30],
+        learning_rates: vec![0.3],
+        momenta: vec![0.2],
+    };
+    let result = dta::ann::hyper::search(&ds, &space, 3, 1);
+    assert!(result.accuracy > 0.8, "iris search acc {}", result.accuracy);
+    assert_eq!(result.evaluated, 2);
+}
+
+#[test]
+fn cost_and_processor_models_are_consistent() {
+    let accel = CostModel::calibrated_90nm().report(Topology::accelerator());
+    let proc = ProcessorModel::stealey();
+    // The three headline numbers of the paper's comparison.
+    let ratio = proc.energy_ratio(Topology::accelerator(), &accel);
+    assert!(ratio > 500.0, "two orders of magnitude, got {ratio}");
+    // The accelerator draws MORE power than the core (4.70 vs 2.78 W)
+    // yet wins on energy by finishing ~1650x sooner — the paper's point.
+    assert!(accel.power_w > proc.avg_power_w);
+    assert!(proc.speedup(Topology::accelerator(), &accel) > 1000.0);
+}
+
+#[test]
+fn accelerator_geometry_covers_every_suite_task() {
+    let geometry = Topology::accelerator();
+    for spec in suite::specs() {
+        assert!(spec.n_features <= geometry.inputs, "{}", spec.name);
+        assert!(spec.n_classes <= geometry.outputs, "{}", spec.name);
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration coverage for the extension features: deep networks,
+//! approximation, on-line training, visibility analysis, and the
+//! vectorized simulator — all through the facade crate.
+
+use dta::ann::deep::{DeepMlp, DeepTrainer};
+use dta::ann::{Mlp, RegressionSet, RegressionTrainer, Topology};
+use dta::circuits::visibility::multiplier_visibility;
+use dta::circuits::{FaultModel, HwMultiplier};
+use dta::core::accelerator::Accelerator;
+use dta::core::large::LargeNetworkMapper;
+use dta::datasets::suite;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn deep_network_maps_and_learns_through_facade() {
+    let ds = suite::load("wine").unwrap();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut net = DeepMlp::new(&[13, 10, 6, 3], 4);
+    let trainer = DeepTrainer::new(0.3, 0.2, 30);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    trainer.train(&mut net, &ds, &idx, &mut rng);
+    let acc = trainer.evaluate(&net, &ds, &idx);
+    assert!(acc > 0.9, "deep wine accuracy {acc}");
+
+    // The 3-layer network still maps onto the physical array.
+    let mapper = LargeNetworkMapper::new(Topology::accelerator());
+    let passes = mapper.passes_for_layers(net.dims());
+    assert!(passes >= 1 && passes <= 3, "passes {passes}");
+}
+
+#[test]
+fn online_and_batch_training_reach_similar_accuracy() {
+    let ds = suite::load("iris").unwrap();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+    let mut batch = Accelerator::new();
+    batch
+        .map_network(Mlp::new(Topology::new(4, 8, 3), 21))
+        .unwrap();
+    batch.retrain(&ds, &idx, 0.3, 0.0, 10, &mut rng).unwrap();
+    let batch_acc = batch.evaluate(&ds, &idx).unwrap();
+
+    let mut online = Accelerator::new();
+    online
+        .map_network(Mlp::new(Topology::new(4, 8, 3), 21))
+        .unwrap();
+    for pass in 0..15 {
+        for s in 0..ds.len() {
+            // A coprime stride stands in for the batch trainer's shuffle.
+            let sample = &ds.samples()[(s * 7 + pass) % ds.len()];
+            online
+                .online_step(&sample.features, sample.label, 0.3)
+                .unwrap();
+        }
+    }
+    let online_acc = online.evaluate(&ds, &idx).unwrap();
+    assert!(
+        (batch_acc - online_acc).abs() < 0.15,
+        "batch {batch_acc} vs online {online_acc}"
+    );
+    assert!(online_acc > 0.8);
+}
+
+#[test]
+fn regression_composes_with_fault_plan() {
+    let set = RegressionSet::from_function("ramp", 2, 1, 120, 3, |x| {
+        vec![(0.3 * x[0] + 0.5 * x[1]).clamp(0.0, 1.0)]
+    });
+    let idx: Vec<usize> = (0..set.len()).collect();
+    let mut mlp = Mlp::new(Topology::new(2, 6, 1), 2);
+    let trainer = RegressionTrainer::new(0.5, 0.3, 60);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let mut plan = dta::ann::FaultPlan::new(90);
+    plan.inject_random_hidden(6, FaultModel::TransistorLevel, &mut rng);
+    trainer.train(&mut mlp, &set, &idx, Some(&mut plan), &mut rng);
+    let mse = trainer.mse(&mlp, &set, &idx, Some(&mut plan));
+    assert!(mse < 0.01, "faulty ramp fit MSE {mse}");
+}
+
+#[test]
+fn visibility_distinguishes_fault_models() {
+    // Gate-level output-stuck faults tend to be far more visible than
+    // the average transistor-level defect; check the aggregate ordering
+    // over a batch of seeds.
+    let mut trans_total = 0.0;
+    let mut gate_total = 0.0;
+    for seed in 0..8 {
+        let mut hw = HwMultiplier::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        hw.inject_random(FaultModel::TransistorLevel, 1, &mut rng);
+        trans_total += multiplier_visibility(&mut hw, 300, seed).visible_fraction;
+
+        let mut hw = HwMultiplier::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        hw.inject_random(FaultModel::GateLevel, 1, &mut rng);
+        gate_total += multiplier_visibility(&mut hw, 300, seed).visible_fraction;
+    }
+    assert!(
+        trans_total <= gate_total + 1.0,
+        "transistor {trans_total} vs gate {gate_total}"
+    );
+}
+
+#[test]
+fn mnist_sized_network_trains_and_runs_multiplexed() {
+    // The full §IV story: a network too wide for the array is trained on
+    // the companion core, then executed chunk-by-chunk on the physical
+    // accelerator; the multiplexed path is bit-identical to the direct
+    // fixed path, at a pass-count (latency) cost.
+    use dta::ann::{ForwardMode, Trainer};
+    use dta::fixed::SigmoidLut;
+
+    let ds = suite::mnist_like();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let topo = Topology::new(784, 20, 10);
+    let mut mlp = Mlp::new(topo, 12);
+    let trainer = Trainer::new(0.3, 0.2, 8, ForwardMode::Fixed);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    trainer.train(&mut mlp, &ds, &idx, None, &mut rng);
+    let direct_acc = trainer.evaluate(&mlp, &ds, &idx, None);
+    assert!(direct_acc > 0.85, "mnist-like accuracy {direct_acc}");
+
+    let mut mapper = LargeNetworkMapper::new(Topology::accelerator());
+    assert!(mapper.passes(topo) > 1, "must need multiplexing");
+    let lut = SigmoidLut::new();
+    let mut agree = 0usize;
+    for s in (0..ds.len()).step_by(7) {
+        let x = &ds.samples()[s].features;
+        let direct = mlp.forward_fixed(x, &lut);
+        let mapped = mapper.forward(&mlp, x);
+        assert_eq!(direct, mapped, "chunked execution must be bit-exact");
+        agree += 1;
+    }
+    assert!(agree > 20);
+}
