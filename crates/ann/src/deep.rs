@@ -131,7 +131,7 @@ impl DeepMlp {
                 .map(|j| {
                     let mut acc = Fx::from_f64(self.weight(l, j, self.dims[l]));
                     for (i, &v) in current.iter().enumerate() {
-                        acc = acc + Fx::from_f64(self.weight(l, j, i)) * v;
+                        acc += Fx::from_f64(self.weight(l, j, i)) * v;
                     }
                     lut.eval(acc)
                 })
@@ -198,8 +198,7 @@ impl DeepTrainer {
         assert_eq!(net.dims[0], ds.n_features(), "network/dataset mismatch");
         assert!(*net.dims.last().unwrap() >= ds.n_classes());
         let lut = SigmoidLut::new();
-        let mut velocity: Vec<Vec<f64>> =
-            net.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut velocity: Vec<Vec<f64>> = net.weights.iter().map(|w| vec![0.0; w.len()]).collect();
         let mut order: Vec<usize> = idx.to_vec();
         for _ in 0..self.epochs {
             order.shuffle(rng);
@@ -238,6 +237,9 @@ impl DeepTrainer {
                     let n_in = net.dims[l];
                     let delta_l = deltas[l].clone();
                     for (j, &dj) in delta_l.iter().enumerate() {
+                        // The inclusive bound is the bias slot, one past
+                        // the activation slice.
+                        #[allow(clippy::needless_range_loop)]
                         for i in 0..=n_in {
                             let y_in = if i == n_in {
                                 1.0
@@ -247,8 +249,8 @@ impl DeepTrainer {
                                 acts[l - 1][i]
                             };
                             let vi = j * (n_in + 1) + i;
-                            velocity[l][vi] = self.learning_rate * dj * y_in
-                                + self.momentum * velocity[l][vi];
+                            velocity[l][vi] =
+                                self.learning_rate * dj * y_in + self.momentum * velocity[l][vi];
                             *net.weight_mut(l, j, i) += velocity[l][vi];
                         }
                     }

@@ -8,8 +8,7 @@ use std::sync::{Arc, OnceLock};
 use rand::Rng;
 
 use dta_circuits::{
-    FaultModel, FxMulCircuit, HwAdder, HwMultiplier, HwSigmoid, SatAdderCircuit,
-    SigmoidUnitCircuit,
+    FaultModel, FxMulCircuit, HwAdder, HwMultiplier, HwSigmoid, SatAdderCircuit, SigmoidUnitCircuit,
 };
 use dta_fixed::{Fx, SigmoidLut};
 
@@ -96,9 +95,7 @@ impl NeuronFaults {
     /// Applies any latch stuck-bit masks of synapse `i` to a weight.
     pub fn latch_filter(&self, i: usize, w: Fx) -> Fx {
         match self.latches.get(&i) {
-            Some(&(and_mask, or_mask)) => {
-                Fx::from_bits((w.to_bits() & and_mask) | or_mask)
-            }
+            Some(&(and_mask, or_mask)) => Fx::from_bits((w.to_bits() & and_mask) | or_mask),
             None => w,
         }
     }
@@ -110,6 +107,25 @@ impl NeuronFaults {
             Some(hw) => hw.eval(x),
             None => lut.eval(x),
         }
+    }
+
+    /// Evaluates a batch of activations (64 lanes per settle through a
+    /// vectorizable faulty unit). Identical to mapping
+    /// [`NeuronFaults::activation`].
+    pub fn activation_batch(&mut self, xs: &[Fx], lut: &SigmoidLut) -> Vec<Fx> {
+        match self.act.as_mut() {
+            Some(hw) => hw.eval_batch(xs),
+            None => xs.iter().map(|&x| lut.eval(x)).collect(),
+        }
+    }
+
+    /// True if every faulty operator of this neuron is combinational,
+    /// i.e. safe for lane-parallel evaluation (latch stuck-bit masks
+    /// are pure functions and never disqualify).
+    pub fn vectorizable(&self) -> bool {
+        self.muls.values().all(|hw| hw.vectorizable())
+            && self.adds.values().all(|hw| hw.vectorizable())
+            && self.act.as_ref().is_none_or(|hw| hw.vectorizable())
     }
 
     /// True if this neuron carries no fault (plans prune such entries).
@@ -241,8 +257,7 @@ impl FaultPlan {
             let syn = instance - 2 * hw_inputs;
             let bit = rng.random_range(0..16u32);
             let stuck_one = rng.random_bool(0.5);
-            let (and_mask, or_mask) =
-                nf.latches.entry(syn).or_insert((0xFFFF, 0x0000));
+            let (and_mask, or_mask) = nf.latches.entry(syn).or_insert((0xFFFF, 0x0000));
             if stuck_one {
                 *or_mask |= 1 << bit;
             } else {
@@ -288,11 +303,7 @@ impl FaultPlan {
 
     /// Injects one transistor-level defect into the activation unit of an
     /// output neuron (the other Figure 11 site).
-    pub fn inject_output_activation<R: Rng + ?Sized>(
-        &mut self,
-        neuron: usize,
-        rng: &mut R,
-    ) {
+    pub fn inject_output_activation<R: Rng + ?Sized>(&mut self, neuron: usize, rng: &mut R) {
         let (_, _, lib_act) = library();
         let nf = self.entry(Layer::Output, neuron);
         let hw = nf
@@ -311,6 +322,15 @@ impl FaultPlan {
         for nf in self.neurons.values_mut() {
             nf.reset_state();
         }
+    }
+
+    /// True if every faulty operator in the plan is combinational, so
+    /// whole-dataset forward passes can run 64 samples per settle (see
+    /// [`crate::Mlp::forward_faulty_batch`]). Stateful defects (memory
+    /// effects, delays) force the scalar path, whose per-sample
+    /// evaluation order is part of the semantics.
+    pub fn vectorizable(&self) -> bool {
+        self.neurons.values().all(|nf| nf.vectorizable())
     }
 }
 

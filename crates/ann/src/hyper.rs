@@ -69,10 +69,7 @@ impl HyperSpace {
     /// Every configuration of the grid, in deterministic order.
     pub fn configs(&self) -> Vec<HyperParams> {
         let mut out = Vec::with_capacity(
-            self.hidden.len()
-                * self.epochs.len()
-                * self.learning_rates.len()
-                * self.momenta.len(),
+            self.hidden.len() * self.epochs.len() * self.learning_rates.len() * self.momenta.len(),
         );
         for &hidden in &self.hidden {
             for &epochs in &self.epochs {
@@ -93,10 +90,7 @@ impl HyperSpace {
 
     /// Number of configurations in the grid.
     pub fn len(&self) -> usize {
-        self.hidden.len()
-            * self.epochs.len()
-            * self.learning_rates.len()
-            * self.momenta.len()
+        self.hidden.len() * self.epochs.len() * self.learning_rates.len() * self.momenta.len()
     }
 
     /// True if the grid is degenerate.
@@ -126,20 +120,14 @@ pub fn search(ds: &Dataset, space: &HyperSpace, folds: usize, seed: u64) -> Sear
     let configs = space.configs();
     let evaluated = configs.len();
     for hp in configs {
-        let trainer = Trainer::new(
-            hp.learning_rate,
-            hp.momentum,
-            hp.epochs,
-            ForwardMode::Fixed,
-        );
+        let trainer = Trainer::new(hp.learning_rate, hp.momentum, hp.epochs, ForwardMode::Fixed);
         let cv = cross_validate(&trainer, ds, hp.hidden, folds, seed, None);
         let acc = cv.mean();
         let better = match &best {
             None => true,
             Some((b, ba)) => {
                 acc > *ba + 1e-12
-                    || ((acc - *ba).abs() <= 1e-12
-                        && (hp.hidden, hp.epochs) < (b.hidden, b.epochs))
+                    || ((acc - *ba).abs() <= 1e-12 && (hp.hidden, hp.epochs) < (b.hidden, b.epochs))
             }
         };
         if better {

@@ -190,7 +190,7 @@ impl Mlp {
         for j in 0..self.topo.hidden {
             let mut acc = Fx::from_f64(self.w_hidden(j, self.topo.inputs));
             for (i, &xi) in xq.iter().enumerate() {
-                acc = acc + Fx::from_f64(self.w_hidden(j, i)) * xi;
+                acc += Fx::from_f64(self.w_hidden(j, i)) * xi;
             }
             hidden_fx.push(lut.eval(acc));
         }
@@ -199,7 +199,7 @@ impl Mlp {
         for k in 0..self.topo.outputs {
             let mut acc = Fx::from_f64(self.w_output(k, self.topo.hidden));
             for (j, &hj) in hidden_fx.iter().enumerate() {
-                acc = acc + Fx::from_f64(self.w_output(k, j)) * hj;
+                acc += Fx::from_f64(self.w_output(k, j)) * hj;
             }
             output_pre.push(acc.to_f64());
             output.push(lut.eval(acc).to_f64());
@@ -263,6 +263,144 @@ impl Mlp {
         }
     }
 
+    /// Batched hardware forward pass with faults: evaluates every row of
+    /// `xs` like [`Mlp::forward_faulty`], but when the fault plan is
+    /// [vectorizable](FaultPlan::vectorizable) each faulty operator runs
+    /// 64 samples per settle through its lane-parallel simulator (the
+    /// memoized pin truth table of each faulty cell, broadcast across
+    /// lanes). Stateful plans fall back to per-sample evaluation, so the
+    /// results are identical to the scalar path in every case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `topology().inputs`.
+    pub fn forward_faulty_batch(
+        &self,
+        xs: &[impl AsRef<[f64]>],
+        lut: &SigmoidLut,
+        faults: &mut FaultPlan,
+    ) -> Vec<ForwardTrace> {
+        if !faults.vectorizable() {
+            // Memory effects make per-sample order semantic: replay the
+            // scalar path exactly.
+            return xs
+                .iter()
+                .map(|x| self.forward_faulty(x.as_ref(), lut, faults))
+                .collect();
+        }
+        let n = xs.len();
+        let xq: Vec<Vec<Fx>> = xs
+            .iter()
+            .map(|x| {
+                let x = x.as_ref();
+                assert_eq!(x.len(), self.topo.inputs);
+                x.iter().map(|&v| Fx::from_f64(v)).collect()
+            })
+            .collect();
+
+        // Hidden layer, sample-major.
+        let mut hidden_fx: Vec<Vec<Fx>> = vec![Vec::with_capacity(self.topo.hidden); n];
+        for j in 0..self.topo.hidden {
+            let bias = Fx::from_f64(self.w_hidden(j, self.topo.inputs));
+            let accs = self.neuron_sum_batch(Layer::Hidden, j, bias, &xq, faults, |s, i| {
+                Fx::from_f64(s.w_hidden(j, i))
+            });
+            let ys = match faults.neuron_mut(Layer::Hidden, j) {
+                Some(nf) => nf.activation_batch(&accs, lut),
+                None => accs.iter().map(|&a| lut.eval(a)).collect(),
+            };
+            for (row, y) in hidden_fx.iter_mut().zip(ys) {
+                row.push(y);
+            }
+        }
+
+        // Output layer.
+        let mut traces: Vec<ForwardTrace> = hidden_fx
+            .iter()
+            .map(|row| ForwardTrace {
+                hidden: row.iter().map(|h| h.to_f64()).collect(),
+                output_pre: Vec::with_capacity(self.topo.outputs),
+                output: Vec::with_capacity(self.topo.outputs),
+            })
+            .collect();
+        for k in 0..self.topo.outputs {
+            let bias = Fx::from_f64(self.w_output(k, self.topo.hidden));
+            let accs = self.neuron_sum_batch(Layer::Output, k, bias, &hidden_fx, faults, |s, j| {
+                Fx::from_f64(s.w_output(k, j))
+            });
+            let ys = match faults.neuron_mut(Layer::Output, k) {
+                Some(nf) => nf.activation_batch(&accs, lut),
+                None => accs.iter().map(|&a| lut.eval(a)).collect(),
+            };
+            for ((trace, acc), y) in traces.iter_mut().zip(&accs).zip(ys) {
+                trace.output_pre.push(acc.to_f64());
+                trace.output.push(y.to_f64());
+            }
+        }
+        traces
+    }
+
+    /// Batched multiply-accumulate for one neuron over sample-major
+    /// inputs: per physical synapse, one 64-lane pass through any faulty
+    /// multiplier/adder instead of a per-sample circuit settle. Only
+    /// called on vectorizable (stateless) plans, where the per-sample
+    /// results cannot depend on evaluation order.
+    fn neuron_sum_batch(
+        &self,
+        layer: Layer,
+        neuron: usize,
+        bias: Fx,
+        inputs: &[Vec<Fx>],
+        faults: &mut FaultPlan,
+        weight_of: impl Fn(&Mlp, usize) -> Fx,
+    ) -> Vec<Fx> {
+        let n = inputs.len();
+        let Some(nf) = faults.neuron_mut(layer, neuron) else {
+            // Fully native accumulation per sample.
+            return inputs
+                .iter()
+                .map(|x| {
+                    let mut acc = bias;
+                    for (i, &xi) in x.iter().enumerate() {
+                        acc += weight_of(self, i) * xi;
+                    }
+                    acc
+                })
+                .collect();
+        };
+        let n_logical = inputs.first().map_or(0, Vec::len);
+        let n_eff = n_logical.max(nf.max_synapse_excl());
+        let mut accs = vec![bias; n];
+        for i in 0..n_eff {
+            let w = nf.latch_filter(
+                i,
+                if i < n_logical {
+                    weight_of(self, i)
+                } else {
+                    Fx::ZERO
+                },
+            );
+            let lane: Vec<Fx> = if i < n_logical {
+                inputs.iter().map(|x| x[i]).collect()
+            } else {
+                vec![Fx::ZERO; n]
+            };
+            let prods: Vec<Fx> = match nf.multiplier_mut(i) {
+                Some(hw) => hw.mul_batch(&vec![w; n], &lane),
+                None => lane.iter().map(|&xi| w * xi).collect(),
+            };
+            match nf.adder_mut(i) {
+                Some(hw) => accs = hw.add_batch(&accs, &prods),
+                None => {
+                    for (acc, &p) in accs.iter_mut().zip(&prods) {
+                        *acc += p;
+                    }
+                }
+            }
+        }
+        accs
+    }
+
     /// Multiply-accumulate for one neuron, routing individual operations
     /// through faulty circuits where the plan marks them.
     fn neuron_sum(
@@ -278,13 +416,16 @@ impl Mlp {
             // Fast path: fully native accumulation.
             let mut acc = bias;
             for (i, &xi) in inputs.iter().enumerate() {
-                acc = acc + weight_of(self, i) * xi;
+                acc += weight_of(self, i) * xi;
             }
             return acc;
         };
         let n_logical = inputs.len();
         let n_eff = n_logical.max(nf.max_synapse_excl());
         let mut acc = bias;
+        // The physical synapse range can extend past `inputs` (defective
+        // columns beyond the task width), so this cannot iterate the slice.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n_eff {
             let (w, xi) = if i < n_logical {
                 (weight_of(self, i), inputs[i])
@@ -362,6 +503,62 @@ mod tests {
             mlp.forward_fixed(&x, &lut),
             mlp.forward_faulty(&x, &lut, &mut plan)
         );
+    }
+
+    #[test]
+    fn batch_forward_matches_scalar_under_faults() {
+        use dta_circuits::FaultModel;
+        use rand::SeedableRng;
+        let topo = Topology::new(6, 4, 3);
+        let lut = SigmoidLut::new();
+        let rows: Vec<Vec<f64>> = (0..130)
+            .map(|s| {
+                (0..6)
+                    .map(|i| ((s * 7 + i * 13) % 29) as f64 / 29.0)
+                    .collect()
+            })
+            .collect();
+        let mut vectorized = 0;
+        let mut scalar_fallback = 0;
+        for seed in 0..10u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = FaultPlan::new(90);
+            for _ in 0..5 {
+                plan.inject_random_hidden(4, FaultModel::TransistorLevel, &mut rng);
+            }
+            if plan.vectorizable() {
+                vectorized += 1;
+            } else {
+                scalar_fallback += 1;
+            }
+            let mlp = Mlp::new(topo, seed ^ 0xB17);
+            plan.reset_state();
+            let batch = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
+            plan.reset_state();
+            let scalar: Vec<ForwardTrace> = rows
+                .iter()
+                .map(|x| mlp.forward_faulty(x, &lut, &mut plan))
+                .collect();
+            assert_eq!(batch, scalar, "seed {seed}");
+        }
+        // The sweep must exercise both the 64-lane path and the
+        // stateful fallback, or the test proves less than it claims.
+        assert!(vectorized > 0, "no vectorizable plan in 10 seeds");
+        assert!(scalar_fallback > 0, "no stateful plan in 10 seeds");
+    }
+
+    #[test]
+    fn batch_forward_with_empty_plan_equals_fixed() {
+        let mlp = Mlp::new(Topology::new(5, 3, 2), 9);
+        let lut = SigmoidLut::new();
+        let mut plan = FaultPlan::new(90);
+        let rows: Vec<Vec<f64>> = (0..70)
+            .map(|s| (0..5).map(|i| ((s + i * 3) % 11) as f64 / 11.0).collect())
+            .collect();
+        let batch = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
+        for (row, trace) in rows.iter().zip(&batch) {
+            assert_eq!(mlp.forward_fixed(row, &lut), *trace);
+        }
     }
 
     #[test]

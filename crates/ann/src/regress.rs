@@ -80,8 +80,9 @@ impl RegressionSet {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let samples = (0..n_samples)
             .map(|_| {
-                let features: Vec<f64> =
-                    (0..n_features).map(|_| rng.random_range(0.0..1.0)).collect();
+                let features: Vec<f64> = (0..n_features)
+                    .map(|_| rng.random_range(0.0..1.0))
+                    .collect();
                 let targets = f(&features);
                 RegressionSample { features, targets }
             })
@@ -175,19 +176,19 @@ impl RegressionTrainer {
                     None => mlp.forward_fixed(&sample.features, &lut),
                 };
                 let mut delta_out = vec![0.0f64; topo.outputs];
-                for k in 0..topo.outputs {
+                for (k, d) in delta_out.iter_mut().enumerate() {
                     let y = trace.output[k];
-                    delta_out[k] = (sample.targets[k] - y) * y * (1.0 - y);
+                    *d = (sample.targets[k] - y) * y * (1.0 - y);
                 }
                 let mut delta_hid = vec![0.0f64; topo.hidden];
-                for j in 0..topo.hidden {
+                for (j, d) in delta_hid.iter_mut().enumerate() {
                     let h = trace.hidden[j];
                     let back: f64 = delta_out
                         .iter()
                         .enumerate()
                         .map(|(k, &dk)| dk * mlp.w_output(k, j))
                         .sum();
-                    delta_hid[j] = h * (1.0 - h) * back;
+                    *d = h * (1.0 - h) * back;
                 }
                 for (k, &dk) in delta_out.iter().enumerate() {
                     for j in 0..=topo.hidden {

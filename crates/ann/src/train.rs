@@ -47,12 +47,7 @@ impl Trainer {
     /// # Panics
     ///
     /// Panics if the learning rate is not positive or `epochs` is zero.
-    pub fn new(
-        learning_rate: f64,
-        momentum: f64,
-        epochs: usize,
-        mode: ForwardMode,
-    ) -> Trainer {
+    pub fn new(learning_rate: f64, momentum: f64, epochs: usize, mode: ForwardMode) -> Trainer {
         assert!(learning_rate > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
         assert!(epochs >= 1, "need at least one epoch");
@@ -78,10 +73,12 @@ impl Trainer {
     ) {
         let lut = SigmoidLut::new();
         let mode = self.mode;
-        self.train_with(mlp, ds, idx, rng, move |m, x| match (mode, faults.as_deref_mut()) {
-            (ForwardMode::Float, _) => m.forward_float(x),
-            (ForwardMode::Fixed, None) => m.forward_fixed(x, &lut),
-            (ForwardMode::Fixed, Some(plan)) => m.forward_faulty(x, &lut, plan),
+        self.train_with(mlp, ds, idx, rng, move |m, x| {
+            match (mode, faults.as_deref_mut()) {
+                (ForwardMode::Float, _) => m.forward_float(x),
+                (ForwardMode::Fixed, None) => m.forward_fixed(x, &lut),
+                (ForwardMode::Fixed, Some(plan)) => m.forward_faulty(x, &lut, plan),
+            }
         });
     }
 
@@ -114,20 +111,20 @@ impl Trainer {
 
                 // Output deltas: (t - y) f'(o), with f' from the output.
                 let mut delta_out = vec![0.0f64; topo.outputs];
-                for k in 0..topo.outputs {
+                for (k, d) in delta_out.iter_mut().enumerate() {
                     let t = if k == sample.label { 1.0 } else { 0.0 };
                     let y = trace.output[k];
-                    delta_out[k] = (t - y) * y * (1.0 - y);
+                    *d = (t - y) * y * (1.0 - y);
                 }
                 // Hidden deltas.
                 let mut delta_hid = vec![0.0f64; topo.hidden];
-                for j in 0..topo.hidden {
+                for (j, d) in delta_hid.iter_mut().enumerate() {
                     let h = trace.hidden[j];
                     let mut back = 0.0;
                     for (k, &dk) in delta_out.iter().enumerate() {
                         back += dk * mlp.w_output(k, j);
                     }
-                    delta_hid[j] = h * (1.0 - h) * back;
+                    *d = h * (1.0 - h) * back;
                 }
                 // Output-layer update.
                 for (k, &dk) in delta_out.iter().enumerate() {
@@ -138,8 +135,8 @@ impl Trainer {
                             trace.hidden[j]
                         };
                         let vi = k * (topo.hidden + 1) + j;
-                        v_output[vi] = self.learning_rate * dk * y_in
-                            + self.momentum * v_output[vi];
+                        v_output[vi] =
+                            self.learning_rate * dk * y_in + self.momentum * v_output[vi];
                         *mlp.w_output_mut(k, j) += v_output[vi];
                     }
                 }
@@ -152,8 +149,8 @@ impl Trainer {
                             sample.features[i]
                         };
                         let vi = j * (topo.inputs + 1) + i;
-                        v_hidden[vi] = self.learning_rate * dj * x_in
-                            + self.momentum * v_hidden[vi];
+                        v_hidden[vi] =
+                            self.learning_rate * dj * x_in + self.momentum * v_hidden[vi];
                         *mlp.w_hidden_mut(j, i) += v_hidden[vi];
                     }
                 }
@@ -162,31 +159,41 @@ impl Trainer {
     }
 
     /// Classification accuracy over the samples selected by `idx`.
+    ///
+    /// With a fault plan on the fixed-point path, the whole selection is
+    /// evaluated through [`Mlp::forward_faulty_batch`]: combinational
+    /// fault sets run 64 samples per circuit settle, stateful ones fall
+    /// back to per-sample order. Accuracies are identical either way.
     pub fn evaluate(
         &self,
         mlp: &Mlp,
         ds: &Dataset,
         idx: &[usize],
-        mut faults: Option<&mut FaultPlan>,
+        faults: Option<&mut FaultPlan>,
     ) -> f64 {
         let lut = SigmoidLut::new();
+        if let (ForwardMode::Fixed, Some(plan)) = (self.mode, faults) {
+            let rows: Vec<&[f64]> = idx
+                .iter()
+                .map(|&s| ds.samples()[s].features.as_slice())
+                .collect();
+            let traces = mlp.forward_faulty_batch(&rows, &lut, plan);
+            let correct = idx
+                .iter()
+                .zip(&traces)
+                .filter(|&(&s, t)| t.predicted() == ds.samples()[s].label)
+                .count();
+            return correct as f64 / idx.len() as f64;
+        }
         let mode = self.mode;
-        Self::evaluate_with(mlp, ds, idx, move |m, x| {
-            match (mode, faults.as_deref_mut()) {
-                (ForwardMode::Float, _) => m.forward_float(x),
-                (ForwardMode::Fixed, None) => m.forward_fixed(x, &lut),
-                (ForwardMode::Fixed, Some(plan)) => m.forward_faulty(x, &lut, plan),
-            }
+        Self::evaluate_with(mlp, ds, idx, move |m, x| match mode {
+            ForwardMode::Float => m.forward_float(x),
+            ForwardMode::Fixed => m.forward_fixed(x, &lut),
         })
     }
 
     /// Classification accuracy with an arbitrary forward function.
-    pub fn evaluate_with<F>(
-        mlp: &Mlp,
-        ds: &Dataset,
-        idx: &[usize],
-        mut forward: F,
-    ) -> f64
+    pub fn evaluate_with<F>(mlp: &Mlp, ds: &Dataset, idx: &[usize], mut forward: F) -> f64
     where
         F: FnMut(&Mlp, &[f64]) -> ForwardTrace,
     {

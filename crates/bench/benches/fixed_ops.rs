@@ -5,7 +5,9 @@ use dta_fixed::{Fx, SigmoidLut};
 
 fn bench_fixed_ops(c: &mut Criterion) {
     let xs: Vec<Fx> = (0..1024).map(|i| Fx::from_raw((i * 37) as i16)).collect();
-    let ys: Vec<Fx> = (0..1024).map(|i| Fx::from_raw((i * 91 + 5) as i16)).collect();
+    let ys: Vec<Fx> = (0..1024)
+        .map(|i| Fx::from_raw((i * 91 + 5) as i16))
+        .collect();
     let fx: Vec<f64> = xs.iter().map(|x| x.to_f64()).collect();
     let fy: Vec<f64> = ys.iter().map(|y| y.to_f64()).collect();
 
@@ -13,7 +15,7 @@ fn bench_fixed_ops(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = Fx::ZERO;
             for (&x, &y) in xs.iter().zip(&ys) {
-                acc = acc + x * y;
+                acc += x * y;
             }
             black_box(acc)
         })

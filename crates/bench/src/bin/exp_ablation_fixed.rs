@@ -55,7 +55,7 @@ fn main() {
     let args = Args::parse();
     let task_names = args.get_str_list("tasks", &["iris", "wine", "vehicle"]);
     let epochs = args.get("epochs", 30usize);
-    let seed = args.get("seed", 0xF17Edu64);
+    let seed = args.get("seed", 0xF17ED_u64);
 
     // Formats: total width 8/12/16/20/24 with ~1/3 integral bits.
     let formats = [
@@ -76,18 +76,13 @@ fn main() {
     for name in &task_names {
         let spec = suite::specs()
             .into_iter()
-            .find(|s| &s.name == name)
+            .find(|s| s.name == name)
             .expect("task exists");
         let ds = spec.dataset();
         let idx: Vec<usize> = (0..ds.len()).collect();
         // One float-trained network per task; evaluate it through each
         // quantized path (training stays on the companion core).
-        let trainer = Trainer::new(
-            spec.learning_rate,
-            0.1,
-            epochs,
-            dta_ann::ForwardMode::Float,
-        );
+        let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, dta_ann::ForwardMode::Float);
         let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
         let mut mlp = Mlp::new(topo, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -96,8 +91,7 @@ fn main() {
         let float_acc = Trainer::evaluate_with(&mlp, &ds, &idx, |m, x| m.forward_float(x));
         print!("{:<12}{:>10}", spec.name, pct(float_acc));
         for &q in &formats {
-            let acc =
-                Trainer::evaluate_with(&mlp, &ds, &idx, |m, x| forward_quantized(m, x, q));
+            let acc = Trainer::evaluate_with(&mlp, &ds, &idx, |m, x| forward_quantized(m, x, q));
             print!("{:>10}", pct(acc));
         }
         println!();

@@ -37,11 +37,10 @@ fn main() {
     for name in &task_names {
         let spec = suite::specs()
             .into_iter()
-            .find(|s| &s.name == name)
+            .find(|s| s.name == name)
             .expect("task exists");
         let ds = spec.dataset();
-        let trainer =
-            Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
+        let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
         print!("{:<12}", spec.name);
         for (i, &h) in hiddens.iter().enumerate() {
             let cv = cross_validate(&trainer, &ds, h, folds, seed, None);

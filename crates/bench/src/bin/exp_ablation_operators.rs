@@ -14,8 +14,7 @@
 
 use dta_bench::{pct, rule, Args};
 use dta_circuits::{
-    AdderCircuit, ArrayMultiplier, ClaAdderCircuit, DefectPlan, FaultModel,
-    WallaceMultiplier,
+    AdderCircuit, ArrayMultiplier, ClaAdderCircuit, DefectPlan, FaultModel, WallaceMultiplier,
 };
 use dta_logic::{Netlist, NodeId, Simulator};
 use rand::SeedableRng;

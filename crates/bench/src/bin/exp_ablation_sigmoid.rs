@@ -23,7 +23,10 @@ fn main() {
 
     // Approximation error of the LUT itself.
     let lut = SigmoidLut::new();
-    println!("16-segment PWL sigmoid: max |error| over all Q6.10 inputs = {:.4}", lut.max_abs_error());
+    println!(
+        "16-segment PWL sigmoid: max |error| over all Q6.10 inputs = {:.4}",
+        lut.max_abs_error()
+    );
     let mut worst_mid = 0.0f64;
     for raw in (-8192i32..8192).step_by(16) {
         let x = Fx::from_raw(raw as i16);
@@ -54,7 +57,7 @@ fn main() {
     for name in &task_names {
         let spec = suite::specs()
             .into_iter()
-            .find(|s| &s.name == name)
+            .find(|s| s.name == name)
             .expect("task exists");
         let ds = spec.dataset();
         let float = cross_validate(

@@ -46,6 +46,7 @@ fn main() {
         epochs: Some(epochs),
         model: FaultModel::TransistorLevel,
         seed,
+        threads: args.get("threads", 1usize),
     };
     let spatial = defect_tolerance_curve(&spec, &cfg);
 
@@ -53,12 +54,8 @@ fn main() {
     // defects into the shared hardware and measure (no retraining can
     // fix a wrecked control path; per the paper the design is simply
     // more fragile).
-    let trainer = dta_ann::Trainer::new(
-        spec.learning_rate,
-        0.1,
-        epochs,
-        dta_ann::ForwardMode::Fixed,
-    );
+    let trainer =
+        dta_ann::Trainer::new(spec.learning_rate, 0.1, epochs, dta_ann::ForwardMode::Fixed);
     let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
     let mut tm_rows = Vec::new();
     for &n in &counts {

@@ -10,13 +10,41 @@
 //!
 //! ```sh
 //! cargo run --release -p dta-bench --bin exp_fault_classes
+//! cargo run --release -p dta-bench --bin exp_fault_classes -- --threads 0
 //! ```
 
-use dta_bench::{pct, rule};
+use dta_bench::{pct, rule, Args};
+use dta_core::parallel::parallel_map;
 use dta_logic::GateKind;
 use dta_transistor::{analyze_cell, CmosCell};
 
+/// Per-cell tallies: `[sites, equivalent, fn changed, stateful, fights,
+/// delayed]`.
+fn classify(kind: GateKind) -> [usize; 6] {
+    let base = CmosCell::for_gate(kind);
+    let sites = base.defect_sites();
+    let mut row = [sites.len(), 0, 0, 0, 0, 0];
+    for &site in &sites {
+        let mut cell = base.clone();
+        cell.inject(site).unwrap();
+        let a = analyze_cell(&cell);
+        for (slot, hit) in row.iter_mut().skip(1).zip([
+            a.is_equivalent(),
+            a.changes_function,
+            a.introduces_state,
+            a.ground_fights,
+            a.has_delay,
+        ]) {
+            *slot += usize::from(hit);
+        }
+    }
+    row
+}
+
 fn main() {
+    let args = Args::parse();
+    let threads = args.get("threads", 1usize);
+
     println!("Single-defect effect classes per standard cell (all sites)\n");
     println!(
         "{:<8}{:>7}{:>12}{:>14}{:>12}{:>10}{:>12}",
@@ -24,36 +52,15 @@ fn main() {
     );
     rule(75);
 
+    // Each cell kind reconstructs and analyzes every defect site
+    // independently, so the kinds fan out over the worker pool; rows are
+    // returned (and printed) in `GateKind::ALL` order regardless of the
+    // thread count.
+    let rows = parallel_map(GateKind::ALL.len(), threads, |i| classify(GateKind::ALL[i]));
+
     let mut totals = [0usize; 6];
-    for kind in GateKind::ALL {
-        let base = CmosCell::for_gate(kind);
-        let sites = base.defect_sites();
-        let mut equivalent = 0;
-        let mut fn_changed = 0;
-        let mut stateful = 0;
-        let mut fights = 0;
-        let mut delayed = 0;
-        for &site in &sites {
-            let mut cell = base.clone();
-            cell.inject(site).unwrap();
-            let a = analyze_cell(&cell);
-            if a.is_equivalent() {
-                equivalent += 1;
-            }
-            if a.changes_function {
-                fn_changed += 1;
-            }
-            if a.introduces_state {
-                stateful += 1;
-            }
-            if a.ground_fights {
-                fights += 1;
-            }
-            if a.has_delay {
-                delayed += 1;
-            }
-        }
-        let n = sites.len();
+    for (kind, row) in GateKind::ALL.iter().zip(&rows) {
+        let [n, equivalent, fn_changed, stateful, fights, delayed] = *row;
         println!(
             "{:<8}{:>7}{:>12}{:>14}{:>12}{:>10}{:>12}",
             kind.to_string(),
@@ -64,10 +71,7 @@ fn main() {
             pct(fights as f64 / n as f64),
             pct(delayed as f64 / n as f64),
         );
-        for (t, v) in totals
-            .iter_mut()
-            .zip([n, equivalent, fn_changed, stateful, fights, delayed])
-        {
+        for (t, v) in totals.iter_mut().zip(row) {
             *t += v;
         }
     }

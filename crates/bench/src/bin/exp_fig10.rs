@@ -9,12 +9,35 @@
 //! ```sh
 //! cargo run --release -p dta-bench --bin exp_fig10
 //! cargo run --release -p dta-bench --bin exp_fig10 -- --tasks iris,wine --reps 5
+//! cargo run --release -p dta-bench --bin exp_fig10 -- --threads 0 --serial true
 //! ```
+//!
+//! Every run times the campaign and writes a machine-readable perf
+//! record to `BENCH_campaign.json` (`--bench-out` overrides the path).
+//! `--threads N` fans the (defect-count × repetition) grid over N
+//! workers (0 = all cores) with bit-identical results; `--serial true`
+//! adds a one-thread reference run, `--baseline true` adds a reference
+//! run on the seed's uncached switch-level evaluator, so the JSON
+//! records honest speedup factors for both optimizations.
 
-use dta_bench::{rule, Args};
-use dta_circuits::FaultModel;
-use dta_core::campaign::{defect_tolerance_curve, CampaignConfig};
-use dta_datasets::suite;
+use std::time::Instant;
+
+use dta_bench::{rule, Args, JsonMap};
+use dta_circuits::{force_switch_level_baseline, FaultModel};
+use dta_core::campaign::{defect_tolerance_curve, CampaignConfig, CurvePoint};
+use dta_core::parallel::effective_threads;
+use dta_datasets::{suite, TaskSpec};
+
+/// Runs the full campaign (every task) once and returns the per-task
+/// curves plus the wall time.
+fn run_campaign(specs: &[TaskSpec], cfg: &CampaignConfig) -> (Vec<Vec<CurvePoint>>, f64) {
+    let started = Instant::now();
+    let curves = specs
+        .iter()
+        .map(|spec| defect_tolerance_curve(spec, cfg))
+        .collect();
+    (curves, started.elapsed().as_secs_f64())
+}
 
 fn main() {
     let args = Args::parse();
@@ -37,11 +60,10 @@ fn main() {
             _ => FaultModel::TransistorLevel,
         },
         seed: args.get("seed", 0xF1610u64),
+        threads: args.get("threads", 1usize),
     };
 
-    println!(
-        "Figure 10 — accuracy vs. #defects in input+hidden layers, after retraining"
-    );
+    println!("Figure 10 — accuracy vs. #defects in input+hidden layers, after retraining");
     println!(
         "({} reps, {} folds, epochs {:?}, {:?} faults)\n",
         cfg.repetitions, cfg.folds, cfg.epochs, cfg.model
@@ -53,16 +75,24 @@ fn main() {
     println!();
     rule(12 + 8 * cfg.defect_counts.len());
 
+    let specs: Vec<TaskSpec> = task_names
+        .iter()
+        .filter_map(|name| {
+            let spec = suite::specs().into_iter().find(|s| s.name == name);
+            if spec.is_none() {
+                eprintln!("unknown task `{name}`, skipping");
+            }
+            spec
+        })
+        .collect();
+
+    let (curves, wall_s) = run_campaign(&specs, &cfg);
+
     let mut clean_acc = Vec::new();
     let mut at_12 = Vec::new();
-    for name in &task_names {
-        let Some(spec) = suite::specs().into_iter().find(|s| &s.name == name) else {
-            eprintln!("unknown task `{name}`, skipping");
-            continue;
-        };
-        let curve = defect_tolerance_curve(&spec, &cfg);
+    for (spec, curve) in specs.iter().zip(&curves) {
         print!("{:<12}", spec.name);
-        for p in &curve {
+        for p in curve {
             print!("{:>7.1}%", p.mean_accuracy * 100.0);
         }
         println!();
@@ -85,5 +115,73 @@ fn main() {
             "paper claim: 'the accelerator can tolerate up to 12 defects' — \
              degradation should stay small here, then steepen toward 27."
         );
+    }
+
+    // --- Perf record -----------------------------------------------------
+    // One grid cell = train + cross-validate one (defect count, rep) pair
+    // for one task. Optional reference runs quantify the two tentpole
+    // optimizations: `--serial true` re-runs on one thread (parallel
+    // speedup), `--baseline true` re-runs on the seed's uncached
+    // switch-level evaluator (truth-table-cache speedup). Both re-runs
+    // reproduce the measured curves bit-for-bit; only the wall time moves.
+    let cells = (specs.len() * cfg.defect_counts.len() * cfg.repetitions) as u64;
+    let threads_used = effective_threads(cfg.threads);
+    println!(
+        "\ncampaign: {cells} cells in {wall_s:.2} s on {threads_used} thread(s) \
+         ({:.2} cells/s)",
+        cells as f64 / wall_s
+    );
+
+    let serial_wall_s = (args.get_bool("serial", false) && threads_used != 1).then(|| {
+        let serial_cfg = CampaignConfig {
+            threads: 1,
+            ..cfg.clone()
+        };
+        let (serial_curves, t) = run_campaign(&specs, &serial_cfg);
+        assert_eq!(serial_curves, curves, "serial run must be bit-identical");
+        println!("serial reference: {t:.2} s ({:.2}x speedup)", t / wall_s);
+        t
+    });
+
+    let switch_level_wall_s = args.get_bool("baseline", false).then(|| {
+        force_switch_level_baseline(true);
+        let (baseline_curves, t) = run_campaign(&specs, &cfg);
+        force_switch_level_baseline(false);
+        assert_eq!(
+            baseline_curves, curves,
+            "switch-level baseline must be bit-identical"
+        );
+        println!(
+            "uncached switch-level reference: {t:.2} s \
+             (truth-table cache speedup {:.2}x)",
+            t / wall_s
+        );
+        t
+    });
+
+    let out_path = args.get("bench-out", "BENCH_campaign.json".to_string());
+    let record = JsonMap::new()
+        .str("bin", "exp_fig10")
+        .str_list(
+            "tasks",
+            &specs.iter().map(|s| s.name.to_string()).collect::<Vec<_>>(),
+        )
+        .int_list("defect_counts", &cfg.defect_counts)
+        .int("repetitions", cfg.repetitions as u64)
+        .int("folds", cfg.folds as u64)
+        .int("threads", threads_used as u64)
+        .int("cells", cells)
+        .num("wall_s", wall_s)
+        .num("cells_per_s", cells as f64 / wall_s)
+        .opt_num("serial_wall_s", serial_wall_s)
+        .opt_num("speedup_vs_serial", serial_wall_s.map(|t| t / wall_s))
+        .opt_num("switch_level_wall_s", switch_level_wall_s)
+        .opt_num(
+            "speedup_vs_switch_level",
+            switch_level_wall_s.map(|t| t / wall_s),
+        );
+    match record.write(&out_path) {
+        Ok(()) => println!("perf record written to {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
 }

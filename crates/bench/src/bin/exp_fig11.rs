@@ -16,10 +16,9 @@ fn main() {
     let reps = args.get("reps", 12usize);
     let epochs = args.get("epochs", 25usize);
     let seed = args.get("seed", 0xF1611u64);
+    let threads = args.get("threads", 1usize);
 
-    println!(
-        "Figure 11 — accuracy vs. error amplitude for single output-layer defects"
-    );
+    println!("Figure 11 — accuracy vs. error amplitude for single output-layer defects");
     println!("({reps} random single-defect networks per task, retrained)\n");
 
     // Amplitude decades, as on the paper's log x-axis.
@@ -33,11 +32,11 @@ fn main() {
     };
 
     for name in &task_names {
-        let Some(spec) = suite::specs().into_iter().find(|s| &s.name == name) else {
+        let Some(spec) = suite::specs().into_iter().find(|s| s.name == name) else {
             eprintln!("unknown task `{name}`, skipping");
             continue;
         };
-        let points = output_amplitude_curve(&spec, reps, Some(epochs), seed);
+        let points = output_amplitude_curve(&spec, reps, Some(epochs), seed, threads);
         println!("== {} ==", spec.name);
         println!(
             "{:<14}{:>8}{:>12}{:>10}",
@@ -52,8 +51,7 @@ fn main() {
             if bucket.is_empty() {
                 continue;
             }
-            let mean_acc =
-                bucket.iter().map(|p| p.accuracy).sum::<f64>() / bucket.len() as f64;
+            let mean_acc = bucket.iter().map(|p| p.accuracy).sum::<f64>() / bucket.len() as f64;
             let adders = bucket
                 .iter()
                 .filter(|p| p.site == OutputSite::Adder)

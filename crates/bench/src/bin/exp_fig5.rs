@@ -29,9 +29,7 @@ fn adder_histogram(
     // Healthy x+y lies in 0..=30, but a faulty adder can emit any 5-bit
     // pattern including 31.
     let mut hist = vec![0u64; 32];
-    let mut pairs: Vec<(u64, u64)> = (0..16)
-        .flat_map(|a| (0..16).map(move |b| (a, b)))
-        .collect();
+    let mut pairs: Vec<(u64, u64)> = (0..16).flat_map(|a| (0..16).map(move |b| (a, b))).collect();
     for trial in 0..trials {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (trial as u64) << 8);
         let mut sim = adder.simulator();
@@ -59,9 +57,7 @@ fn multiplier_histogram(
     seed: u64,
 ) -> Vec<u64> {
     let mut hist = vec![0u64; 256]; // x*y in 0..=225, 8-bit output
-    let mut pairs: Vec<(u64, u64)> = (0..16)
-        .flat_map(|a| (0..16).map(move |b| (a, b)))
-        .collect();
+    let mut pairs: Vec<(u64, u64)> = (0..16).flat_map(|a| (0..16).map(move |b| (a, b))).collect();
     for trial in 0..trials {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (trial as u64) << 8);
         let mut sim = mul.simulator();
@@ -85,15 +81,25 @@ fn print_panel(title: &str, hist_none: &[u64], hist_trans: &[u64], hist_gate: &[
     println!("\n== {title} ==");
     let tv_trans = total_variation(hist_trans, hist_none);
     let tv_gate = total_variation(hist_gate, hist_none);
-    println!("TV distance to error-free: transistor {:.4}, gate {:.4}", tv_trans, tv_gate);
+    println!(
+        "TV distance to error-free: transistor {:.4}, gate {:.4}",
+        tv_trans, tv_gate
+    );
     println!(
         "transistor-level closer to error-free: {}",
-        if tv_trans < tv_gate { "YES (paper's finding)" } else { "no" }
+        if tv_trans < tv_gate {
+            "YES (paper's finding)"
+        } else {
+            "no"
+        }
     );
     // Coarse histogram: 8 buckets.
     let buckets = 8;
     let per = hist_none.len().div_ceil(buckets);
-    println!("{:>12} {:>12} {:>12} {:>12}", "value range", "none", "trans.", "gate");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "value range", "none", "trans.", "gate"
+    );
     for b in 0..buckets {
         let lo = b * per;
         let hi = ((b + 1) * per).min(hist_none.len());
@@ -130,8 +136,7 @@ fn main() {
             trials,
             seed,
         );
-        let gate =
-            adder_histogram(&adder, Some(FaultModel::GateLevel), defects, trials, seed);
+        let gate = adder_histogram(&adder, Some(FaultModel::GateLevel), defects, trials, seed);
         print_panel(
             &format!("4-bit adder, {defects} defect(s)"),
             &clean_scaled,
@@ -143,13 +148,7 @@ fn main() {
     let mul = ArrayMultiplier::unsigned(4);
     let clean = multiplier_histogram(&mul, None, 0, 1, seed);
     let clean_scaled: Vec<u64> = clean.iter().map(|&c| c * trials as u64).collect();
-    let trans = multiplier_histogram(
-        &mul,
-        Some(FaultModel::TransistorLevel),
-        20,
-        trials,
-        seed,
-    );
+    let trans = multiplier_histogram(&mul, Some(FaultModel::TransistorLevel), 20, trials, seed);
     let gate = multiplier_histogram(&mul, Some(FaultModel::GateLevel), 20, trials, seed);
     print_panel("4-bit multiplier, 20 defects", &clean_scaled, &trans, &gate);
 }

@@ -37,9 +37,7 @@ fn main() {
     let physical = Topology::accelerator();
 
     let probe = LargeNetworkMapper::new(physical);
-    println!(
-        "Partial time-multiplexing under defects: {logical} over the {physical} array"
-    );
+    println!("Partial time-multiplexing under defects: {logical} over the {physical} array");
     println!(
         "({} jobs/row over {} slots = {} passes; defect multiplier {})\n",
         probe.jobs(logical),
@@ -65,15 +63,12 @@ fn main() {
             }
             let fold = &folds[rep % folds.len()];
             let mut mlp = Mlp::new(logical, seed ^ rep as u64);
-            let trainer =
-                Trainer::new(0.3, 0.2, epochs, dta_ann::ForwardMode::Fixed);
+            let trainer = Trainer::new(0.3, 0.2, epochs, dta_ann::ForwardMode::Fixed);
             // Train and evaluate through the multiplexed (faulty) path.
             trainer.train_with(&mut mlp, &ds, &fold.train, &mut rng, |m, x| {
                 mapper.forward(m, x)
             });
-            let acc = Trainer::evaluate_with(&mlp, &ds, &fold.test, |m, x| {
-                mapper.forward(m, x)
-            });
+            let acc = Trainer::evaluate_with(&mlp, &ds, &fold.test, |m, x| mapper.forward(m, x));
             accs.push(acc);
         }
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;

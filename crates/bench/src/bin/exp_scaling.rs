@@ -14,7 +14,10 @@ use dta_core::cost::CostModel;
 fn main() {
     let model = CostModel::calibrated_90nm();
     println!("Key-logic area fraction across technology generations (paper §VI-A)\n");
-    println!("{:<14}{:>10}{:>22}", "generation", "node", "key-logic fraction");
+    println!(
+        "{:<14}{:>10}{:>22}",
+        "generation", "node", "key-logic fraction"
+    );
     rule(46);
     let nodes = ["90nm", "65nm", "45nm", "32nm", "22nm", "16nm", "11nm"];
     for (g, node) in nodes.iter().enumerate() {

@@ -18,10 +18,7 @@ fn main() {
     let args = Args::parse();
     let full = args.get_bool("full", false);
     let folds = args.get("folds", if full { 10 } else { 3 });
-    let task_names = args.get_str_list(
-        "tasks",
-        &["iris", "wine", "glass", "vehicle"],
-    );
+    let task_names = args.get_str_list("tasks", &["iris", "wine", "glass", "vehicle"]);
     let seed = args.get("seed", 0x7AB1Eu64);
 
     let space = if full {
@@ -34,19 +31,20 @@ fn main() {
         "Table II — best hyper-parameters per task ({} configs x {folds}-fold CV)",
         space.len()
     );
-    println!("Table I space: hidden {:?}, epochs {:?}, lr {:?}, momentum {:?}\n",
+    println!(
+        "Table I space: hidden {:?}, epochs {:?}, lr {:?}, momentum {:?}\n",
         HyperSpace::table1().hidden,
         HyperSpace::table1().epochs,
         HyperSpace::table1().learning_rates,
         HyperSpace::table1().momenta,
     );
     println!(
-        "{:<12}{:>8}{:>8}{:>8}{:>10}{:>10}   {}",
-        "task", "lr", "epochs", "hidden", "momentum", "accuracy", "paper (lr, epochs, hidden)"
+        "{:<12}{:>8}{:>8}{:>8}{:>10}{:>10}   paper (lr, epochs, hidden)",
+        "task", "lr", "epochs", "hidden", "momentum", "accuracy"
     );
     rule(86);
     for name in &task_names {
-        let Some(spec) = suite::specs().into_iter().find(|s| &s.name == name) else {
+        let Some(spec) = suite::specs().into_iter().find(|s| s.name == name) else {
             eprintln!("unknown task `{name}`, skipping");
             continue;
         };

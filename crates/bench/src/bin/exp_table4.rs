@@ -19,7 +19,12 @@ fn main() {
     println!("Table IV — Stealey-class processor running the {topo} software ANN\n");
     println!("{:<28}{:>14}{:>12}", "characteristic", "measured", "paper");
     rule(54);
-    println!("{:<28}{:>14.0}{:>12}", "clock (MHz)", proc.clock_hz / 1e6, 800);
+    println!(
+        "{:<28}{:>14.0}{:>12}",
+        "clock (MHz)",
+        proc.clock_hz / 1e6,
+        800
+    );
     println!(
         "{:<28}{:>14}{:>12}",
         "cycles per row", run.cycles_per_row, 19_680

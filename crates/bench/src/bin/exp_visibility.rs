@@ -22,7 +22,10 @@ use rand_chacha::ChaCha8Rng;
 
 fn summarize(name: &str, reports: &[VisibilityReport]) {
     let n = reports.len() as f64;
-    let invisible = reports.iter().filter(|r| r.visible_fraction < 0.005).count();
+    let invisible = reports
+        .iter()
+        .filter(|r| r.visible_fraction < 0.005)
+        .count();
     let rare = reports
         .iter()
         .filter(|r| (0.005..0.25).contains(&r.visible_fraction))

@@ -14,6 +14,37 @@ use std::collections::HashMap;
 use std::fmt::Display;
 use std::str::FromStr;
 
+/// The `--key value` options the experiment binaries read, with one-line
+/// help. Not every binary reads every key; unread keys are ignored.
+const KNOWN_KEYS: &[(&str, &str)] = &[
+    ("tasks", "comma-separated task list, or `all`"),
+    ("task", "single benchmark task"),
+    ("reps", "repetitions per configuration"),
+    ("folds", "cross-validation folds"),
+    ("epochs", "training epochs (0 = task's Table II value)"),
+    ("counts", "comma-separated defect counts"),
+    ("defects", "number of injected defects"),
+    ("samples", "stimulus sample count"),
+    ("trials", "trial count"),
+    ("hidden", "hidden-layer size"),
+    ("model", "fault model: transistor | gate"),
+    ("seed", "master RNG seed"),
+    (
+        "threads",
+        "worker threads for campaign grids (0 = all cores)",
+    ),
+    ("full", "true = paper-scale configuration"),
+    ("serial", "exp_fig10: also time a --threads 1 reference run"),
+    (
+        "baseline",
+        "exp_fig10: also time the uncached switch-level engine",
+    ),
+    (
+        "bench-out",
+        "exp_fig10: path for the machine-readable timing JSON",
+    ),
+];
+
 /// Parsed `--key value` command-line options.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
@@ -23,30 +54,50 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args()`.
     ///
-    /// # Panics
-    ///
-    /// Panics on a dangling `--key` without a value.
+    /// On `--help`/`-h`, a bare argument, or a dangling `--key` without
+    /// a value, prints a usage summary listing the accepted keys and
+    /// exits with status 0.
     pub fn parse() -> Args {
-        let mut values = HashMap::new();
-        let mut iter = std::env::args().skip(1).peekable();
-        while let Some(arg) = iter.next() {
-            if let Some(key) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .unwrap_or_else(|| panic!("--{key} needs a value"));
-                values.insert(key.to_string(), value);
-            } else {
-                panic!("unexpected argument `{arg}` (use --key value)");
+        match Args::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(HelpRequested(detail)) => {
+                if let Some(detail) = detail {
+                    println!("{detail}\n");
+                }
+                print_usage();
+                std::process::exit(0);
             }
         }
-        Args { values }
     }
 
-    /// Fetches a typed option or its default.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the value does not parse as `T`.
+    /// Parses an explicit argument stream (without the program name).
+    /// `Err` carries the message to print above the usage text, if any.
+    fn try_parse<I: Iterator<Item = String>>(iter: I) -> Result<Args, HelpRequested> {
+        let mut values = HashMap::new();
+        let mut iter = iter.peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--help" || arg == "-h" {
+                return Err(HelpRequested(None));
+            }
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.next() {
+                    Some(value) => {
+                        values.insert(key.to_string(), value);
+                    }
+                    None => return Err(HelpRequested(Some(format!("--{key} needs a value")))),
+                }
+            } else {
+                return Err(HelpRequested(Some(format!(
+                    "unexpected argument `{arg}` (use --key value)"
+                ))));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// Fetches a typed option or its default. A value that does not
+    /// parse as `T` prints the error plus the usage summary and exits
+    /// with status 2.
     pub fn get<T: FromStr>(&self, key: &str, default: T) -> T
     where
         T::Err: Display,
@@ -55,7 +106,7 @@ impl Args {
             None => default,
             Some(v) => v
                 .parse()
-                .unwrap_or_else(|e| panic!("--{key} {v}: {e}")),
+                .unwrap_or_else(|e| bad_value(&format!("--{key} {v}: {e}"))),
         }
     }
 
@@ -68,7 +119,7 @@ impl Args {
                 .map(|s| {
                     s.trim()
                         .parse()
-                        .unwrap_or_else(|e| panic!("--{key} `{s}`: {e}"))
+                        .unwrap_or_else(|e| bad_value(&format!("--{key} `{s}`: {e}")))
                 })
                 .collect(),
         }
@@ -91,6 +142,128 @@ impl Args {
             Some(_) => true,
         }
     }
+}
+
+/// Internal marker: the argument stream asked for (or forced) the usage
+/// text. The payload is an optional explanation line.
+struct HelpRequested(Option<String>);
+
+fn print_usage() {
+    println!("usage: exp_* [--key value]...\n");
+    println!("accepted keys (unread keys are ignored by a given binary):");
+    for (key, help) in KNOWN_KEYS {
+        println!("  --{key:<12} {help}");
+    }
+}
+
+/// Reports an unparseable option value and exits with status 2.
+fn bad_value(msg: &str) -> ! {
+    eprintln!("{msg}\n");
+    print_usage();
+    std::process::exit(2);
+}
+
+/// A hand-rolled flat JSON object writer — enough to emit the
+/// `BENCH_campaign.json` perf record without a serde dependency.
+///
+/// Keys appear in insertion order; numbers are rendered with
+/// [`format_json_number`] (finite floats only — NaN/∞ become `null`).
+#[derive(Clone, Debug, Default)]
+pub struct JsonMap {
+    entries: Vec<(String, String)>,
+}
+
+impl JsonMap {
+    /// Creates an empty object.
+    pub fn new() -> JsonMap {
+        JsonMap::default()
+    }
+
+    fn push(&mut self, key: &str, rendered: String) {
+        self.entries.push((key.to_string(), rendered));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonMap {
+        self.push(key, json_string(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> JsonMap {
+        self.push(key, value.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn num(mut self, key: &str, value: f64) -> JsonMap {
+        self.push(key, format_json_number(value));
+        self
+    }
+
+    /// Adds an optional float field (`null` when absent or non-finite).
+    pub fn opt_num(mut self, key: &str, value: Option<f64>) -> JsonMap {
+        self.push(key, value.map_or_else(|| "null".into(), format_json_number));
+        self
+    }
+
+    /// Adds a list-of-integers field.
+    pub fn int_list(mut self, key: &str, values: &[usize]) -> JsonMap {
+        let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.push(key, format!("[{}]", body.join(", ")));
+        self
+    }
+
+    /// Adds a list-of-strings field.
+    pub fn str_list(mut self, key: &str, values: &[String]) -> JsonMap {
+        let body: Vec<String> = values.iter().map(|v| json_string(v)).collect();
+        self.push(key, format!("[{}]", body.join(", ")));
+        self
+    }
+
+    /// Renders the object as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!("  {}: {value}{comma}\n", json_string(key)));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the rendered object to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Renders a float as a JSON number: finite values via `{:?}` (shortest
+/// round-trip form), non-finite as `null` (JSON has no NaN/∞).
+pub fn format_json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Prints a rule line matching a header width.
@@ -143,6 +316,61 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    fn argv(args: &[&str]) -> std::vec::IntoIter<String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn try_parse_accepts_key_value_pairs() {
+        let Ok(args) = Args::try_parse(argv(&["--reps", "7", "--tasks", "iris,wine"])) else {
+            panic!("valid argument stream rejected");
+        };
+        assert_eq!(args.get("reps", 1usize), 7);
+        assert_eq!(
+            args.get_str_list("tasks", &[]),
+            vec!["iris".to_string(), "wine".to_string()]
+        );
+    }
+
+    #[test]
+    fn try_parse_requests_help_instead_of_panicking() {
+        assert!(Args::try_parse(argv(&["--help"])).is_err());
+        assert!(Args::try_parse(argv(&["-h"])).is_err());
+        assert!(Args::try_parse(argv(&["stray"])).is_err());
+        let dangling = Args::try_parse(argv(&["--reps"]));
+        let Err(HelpRequested(Some(detail))) = dangling else {
+            panic!("dangling key must carry an explanation");
+        };
+        assert!(detail.contains("--reps"));
+    }
+
+    #[test]
+    fn json_map_renders_all_field_kinds() {
+        let json = JsonMap::new()
+            .str("bin", "exp_fig10")
+            .int("threads", 4)
+            .num("wall_s", 1.5)
+            .opt_num("speedup", None)
+            .num("bad", f64::NAN)
+            .int_list("counts", &[0, 3, 6])
+            .str_list("tasks", &["iris".into(), "wi\"ne".into()])
+            .render();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"bin\": \"exp_fig10\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"wall_s\": 1.5"));
+        assert!(json.contains("\"speedup\": null"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("\"counts\": [0, 3, 6]"));
+        assert!(json.contains("\"tasks\": [\"iris\", \"wi\\\"ne\"]"));
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n}"));
     }
 
     #[test]

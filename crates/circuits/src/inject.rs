@@ -12,12 +12,35 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rand::seq::IndexedRandom;
 use rand::Rng;
 
-use dta_logic::{Netlist, Node, NodeId, Simulator, StuckAt, StuckSet};
-use dta_transistor::{CmosCell, FaultyCell};
+use dta_logic::{Netlist, Node, NodeId, Simulator, Simulator64, StuckAt, StuckSet};
+use dta_transistor::{CachedCell, CellTable, CmosCell, FaultyCell};
+
+/// Benchmark hook: when set, [`DefectPlan::apply`] installs the uncached
+/// switch-level evaluator and [`DefectPlan::apply64`] always refuses, so
+/// every campaign layer above runs exactly the engine the seed shipped
+/// with. Process-global because the campaign drivers build their fault
+/// plans many layers below the experiment binaries.
+static SWITCH_LEVEL_BASELINE: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the seed's uncached switch-level evaluation
+/// engine for every subsequently applied [`DefectPlan`] in the process.
+///
+/// Only meant for benchmarks that measure the truth-table cache against
+/// the original engine (`exp_fig10 --baseline`, `benches/campaign.rs`);
+/// results are bit-identical either way, only the speed differs.
+pub fn force_switch_level_baseline(on: bool) {
+    SWITCH_LEVEL_BASELINE.store(on, Ordering::SeqCst);
+}
+
+/// True while [`force_switch_level_baseline`] is in effect.
+pub fn switch_level_baseline() -> bool {
+    SWITCH_LEVEL_BASELINE.load(Ordering::SeqCst)
+}
 
 /// Which fault model to inject with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -124,8 +147,7 @@ impl DefectPlan {
         cells: &[Vec<NodeId>],
         rng: &mut R,
     ) {
-        let nonempty: Vec<&Vec<NodeId>> =
-            cells.iter().filter(|c| !c.is_empty()).collect();
+        let nonempty: Vec<&Vec<NodeId>> = cells.iter().filter(|c| !c.is_empty()).collect();
         let group = *nonempty
             .choose(rng)
             .expect("circuit must have at least one bit cell");
@@ -182,13 +204,62 @@ impl DefectPlan {
 
     /// Installs the accumulated faulty-gate behaviors into a simulator.
     /// Previously installed overrides for other gates are left in place.
+    ///
+    /// Transistor-level faults evaluate through the memoized truth
+    /// tables of [`CachedCell`]: the first plan to see a given
+    /// `(kind, defect set)` compiles its table, every later plan in the
+    /// process reuses it. Bit-identical to the switch-level evaluator
+    /// installed by [`DefectPlan::apply_switch_level`].
     pub fn apply(&self, sim: &mut Simulator) {
+        if switch_level_baseline() {
+            return self.apply_switch_level(sim);
+        }
+        for (&gate, cell) in &self.trans_cells {
+            sim.override_gate(gate, Box::new(CachedCell::new(cell)));
+        }
+        for (&gate, set) in &self.stuck_sets {
+            sim.override_gate(gate, Box::new(set.clone()));
+        }
+    }
+
+    /// Installs the faulty-gate behaviors using the uncached
+    /// switch-level evaluator ([`FaultyCell`]). Same results as
+    /// [`DefectPlan::apply`], minus the truth-table memoization — kept
+    /// as the baseline for benchmarks and equivalence tests.
+    pub fn apply_switch_level(&self, sim: &mut Simulator) {
         for (&gate, cell) in &self.trans_cells {
             sim.override_gate(gate, Box::new(FaultyCell::new(cell.clone())));
         }
         for (&gate, set) in &self.stuck_sets {
             sim.override_gate(gate, Box::new(set.clone()));
         }
+    }
+
+    /// Installs this plan into a 64-lane simulator, if every faulty
+    /// cell is purely combinational under its defect set (no delay
+    /// defect, no reachable memory state). Returns `false` — without
+    /// touching `sim` — when any cell is stateful, in which case the
+    /// caller must fall back to the scalar path; lane-parallel
+    /// evaluation cannot order the per-lane state updates of a latching
+    /// cell.
+    pub fn apply64(&self, sim: &mut Simulator64) -> bool {
+        if switch_level_baseline() {
+            return false;
+        }
+        let mut tables = Vec::with_capacity(self.trans_cells.len());
+        for (&gate, cell) in &self.trans_cells {
+            match CellTable::cached(cell).truth64() {
+                Some(t64) => tables.push((gate, t64)),
+                None => return false,
+            }
+        }
+        for (gate, t64) in tables {
+            sim.override_gate(gate, Box::new(t64));
+        }
+        for (&gate, set) in &self.stuck_sets {
+            sim.override_gate(gate, Box::new(set.clone()));
+        }
+        true
     }
 
     /// Removes this plan's overrides from a simulator (restoring the
@@ -260,6 +331,57 @@ mod tests {
         let distinct: std::collections::HashSet<usize> =
             plan.records().iter().map(|r| r.bit).collect();
         assert!(distinct.len() >= 4);
+    }
+
+    #[test]
+    fn cached_apply_matches_switch_level_apply() {
+        // The memoized truth tables installed by `apply` must reproduce
+        // the uncached switch-level evaluator exactly, including state
+        // carried across calls, over many random plans.
+        let adder = AdderCircuit::new(4);
+        for seed in 0..12 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            for _ in 0..4 {
+                plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+            }
+            let mut cached = adder.simulator();
+            plan.apply(&mut cached);
+            let mut switch = adder.simulator();
+            plan.apply_switch_level(&mut switch);
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    assert_eq!(
+                        adder.compute(&mut cached, a, b),
+                        adder.compute(&mut switch, a, b),
+                        "seed {seed}: diverged at {a}+{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply64_rejects_stateful_plans_and_accepts_combinational() {
+        use std::sync::Arc;
+        let adder = AdderCircuit::new(4);
+        let (mut combinational, mut stateful) = (0, 0);
+        for seed in 0..30 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            for _ in 0..3 {
+                plan.add_random(adder.netlist(), adder.cells(), &mut rng);
+            }
+            let mut sim64 = Simulator64::new(Arc::clone(adder.netlist()));
+            if plan.apply64(&mut sim64) {
+                combinational += 1;
+            } else {
+                stateful += 1;
+                assert_eq!(sim64.override_count(), 0, "must not touch sim on refusal");
+            }
+        }
+        assert!(combinational > 0, "no combinational plan in 30 seeds");
+        assert!(stateful > 0, "no stateful plan in 30 seeds");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use dta_fixed::Fx;
-use dta_logic::{GateKind, Netlist, NetlistBuilder, NodeId, Simulator};
+use dta_logic::{GateKind, Netlist, NetlistBuilder, NodeId, Simulator, Simulator64};
 
 use crate::adder::full_adder;
 
@@ -247,8 +247,8 @@ impl FxMulCircuit {
         let sign = acc[PW - 1];
         let mut ovf_gates = Vec::new();
         let mut diff_bits = Vec::new();
-        for k in top..(PW - 1) {
-            let d = b.gate(GateKind::Xor2, &[acc[k], sign]);
+        for &bit in &acc[top..(PW - 1)] {
+            let d = b.gate(GateKind::Xor2, &[bit, sign]);
             diff_bits.push(d);
             ovf_gates.push(d);
         }
@@ -301,6 +301,35 @@ impl FxMulCircuit {
         sim.set_input_word(&self.b, b.to_bits() as u64);
         sim.settle();
         Fx::from_bits(sim.read_word(&self.out) as u16)
+    }
+
+    /// Creates a fresh 64-lane simulator for this circuit.
+    pub fn simulator64(&self) -> Simulator64 {
+        Simulator64::new(Arc::clone(&self.net))
+    }
+
+    /// Multiplies a whole batch through the lane-parallel simulator, 64
+    /// products per settle. Only valid with combinational overrides
+    /// (see [`crate::DefectPlan::apply64`]); results are then identical
+    /// to repeated [`FxMulCircuit::compute`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length.
+    pub fn compute64(&self, sim: &mut Simulator64, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
+        assert_eq!(a.len(), b.len(), "operand batches must match");
+        let mut out = Vec::with_capacity(a.len());
+        for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
+            let wa: Vec<u64> = ca.iter().map(|v| v.to_bits() as u64).collect();
+            let wb: Vec<u64> = cb.iter().map(|v| v.to_bits() as u64).collect();
+            sim.set_input_words(&self.a, &wa);
+            sim.set_input_words(&self.b, &wb);
+            sim.settle();
+            out.extend(
+                (0..ca.len()).map(|l| Fx::from_bits(sim.read_word_lane(&self.out, l) as u16)),
+            );
+        }
+        out
     }
 }
 
@@ -380,10 +409,10 @@ mod tests {
         let mul = FxMulCircuit::new();
         let mut sim = mul.simulator();
         for (a, b) in [
-            (Fx::MAX, Fx::MAX),   // saturates high
-            (Fx::MIN, Fx::MIN),   // saturates high (positive product)
-            (Fx::MAX, Fx::MIN),   // saturates low
-            (Fx::MIN, Fx::ONE),   // exactly MIN
+            (Fx::MAX, Fx::MAX), // saturates high
+            (Fx::MIN, Fx::MIN), // saturates high (positive product)
+            (Fx::MAX, Fx::MIN), // saturates low
+            (Fx::MIN, Fx::ONE), // exactly MIN
             (Fx::ONE, Fx::ONE),
             (Fx::ZERO, Fx::MAX),
             (Fx::from_raw(-1), Fx::from_raw(1)), // floor(-1/1024)

@@ -27,6 +27,10 @@ macro_rules! hw_operator {
         pub struct $name {
             circuit: Arc<$circuit>,
             sim: dta_logic::Simulator,
+            /// Lane-parallel twin of `sim`, present iff every injected
+            /// fault is combinational (see [`DefectPlan::apply64`]);
+            /// batch entry points go through it 64 stimuli per settle.
+            sim64: Option<dta_logic::Simulator64>,
             plan: DefectPlan,
         }
 
@@ -40,11 +44,27 @@ macro_rules! hw_operator {
             /// immutable, so many operators can reuse one instance).
             pub fn with_circuit(circuit: Arc<$circuit>) -> Self {
                 let sim = circuit.simulator();
+                let sim64 = Some(circuit.simulator64());
                 Self {
                     circuit,
                     sim,
+                    sim64,
                     plan: DefectPlan::new(FaultModel::TransistorLevel),
                 }
+            }
+
+            /// Rebuilds the lane-parallel simulator for the current
+            /// plan, dropping it when any faulty cell is stateful.
+            fn rebuild_sim64(&mut self) {
+                let mut s = self.circuit.simulator64();
+                self.sim64 = self.plan.apply64(&mut s).then_some(s);
+            }
+
+            /// True if every injected fault is combinational, i.e. the
+            /// batch entry points run 64 lanes per settle instead of
+            /// falling back to the scalar simulator.
+            pub fn vectorizable(&self) -> bool {
+                self.sim64.is_some()
             }
 
             /// Injects `n` random defects under the given fault model and
@@ -67,6 +87,7 @@ macro_rules! hw_operator {
                     );
                 }
                 self.plan.apply(&mut self.sim);
+                self.rebuild_sim64();
                 self.plan
                     .records()
                     .iter()
@@ -79,6 +100,7 @@ macro_rules! hw_operator {
                 self.plan.remove(&mut self.sim);
                 plan.apply(&mut self.sim);
                 self.plan = plan;
+                self.rebuild_sim64();
             }
 
             /// Number of injected defects.
@@ -128,6 +150,20 @@ impl HwAdder {
     pub fn add(&mut self, a: Fx, b: Fx) -> Fx {
         self.circuit.compute(&mut self.sim, a, b)
     }
+
+    /// Computes a whole batch of sums — 64 per settle when the fault
+    /// set is combinational, element by element otherwise. Identical to
+    /// mapping [`HwAdder::add`] over the pairs.
+    pub fn add_batch(&mut self, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
+        match self.sim64.as_mut() {
+            Some(sim64) => self.circuit.compute64(sim64, a, b),
+            None => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.circuit.compute(&mut self.sim, x, y))
+                .collect(),
+        }
+    }
 }
 
 hw_operator!(
@@ -152,6 +188,20 @@ impl HwMultiplier {
     pub fn mul(&mut self, a: Fx, b: Fx) -> Fx {
         self.circuit.compute(&mut self.sim, a, b)
     }
+
+    /// Computes a whole batch of products — 64 per settle when the
+    /// fault set is combinational, element by element otherwise.
+    /// Identical to mapping [`HwMultiplier::mul`] over the pairs.
+    pub fn mul_batch(&mut self, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
+        match self.sim64.as_mut() {
+            Some(sim64) => self.circuit.compute64(sim64, a, b),
+            None => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.circuit.compute(&mut self.sim, x, y))
+                .collect(),
+        }
+    }
 }
 
 hw_operator!(
@@ -175,6 +225,19 @@ impl HwSigmoid {
     /// Computes the (possibly faulty) activation.
     pub fn eval(&mut self, x: Fx) -> Fx {
         self.circuit.compute(&mut self.sim, x)
+    }
+
+    /// Computes a whole batch of activations — 64 per settle when the
+    /// fault set is combinational, element by element otherwise.
+    /// Identical to mapping [`HwSigmoid::eval`] over the inputs.
+    pub fn eval_batch(&mut self, xs: &[Fx]) -> Vec<Fx> {
+        match self.sim64.as_mut() {
+            Some(sim64) => self.circuit.compute64(sim64, xs),
+            None => xs
+                .iter()
+                .map(|&x| self.circuit.compute(&mut self.sim, x))
+                .collect(),
+        }
     }
 }
 
@@ -243,6 +306,84 @@ mod tests {
             raw += 640;
         }
         assert!(diffs > 0, "30 defects must corrupt some products");
+    }
+
+    #[test]
+    fn batch_matches_scalar_for_combinational_faults() {
+        // Hunt for a seed whose defects stay combinational, then check
+        // the 64-lane path against element-wise evaluation.
+        let mut found = false;
+        for seed in 0..20 {
+            let mut mul = HwMultiplier::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            mul.inject_random(FaultModel::TransistorLevel, 4, &mut rng);
+            if !mul.vectorizable() {
+                continue;
+            }
+            found = true;
+            let a: Vec<Fx> = (0..150).map(|i| Fx::from_raw((i * 431) as i16)).collect();
+            let b: Vec<Fx> = (0..150)
+                .map(|i| Fx::from_raw((i * 77 - 999) as i16))
+                .collect();
+            let batch = mul.mul_batch(&a, &b);
+            let scalar: Vec<Fx> = a.iter().zip(&b).map(|(&x, &y)| mul.mul(x, y)).collect();
+            assert_eq!(batch, scalar, "seed {seed}");
+        }
+        assert!(
+            found,
+            "no combinational 4-defect seed in 0..20 is suspicious"
+        );
+    }
+
+    #[test]
+    fn stateful_faults_disable_vectorization_but_batch_still_works() {
+        // Find a plan with a latching/delay cell: vectorizable() must
+        // be false and the batch entry point must fall back to the
+        // scalar simulator (sequencing the same state updates).
+        let mut found = false;
+        for seed in 0..40 {
+            let mut add = HwAdder::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            add.inject_random(FaultModel::TransistorLevel, 6, &mut rng);
+            if add.vectorizable() {
+                continue;
+            }
+            found = true;
+            let a: Vec<Fx> = (0..40).map(|i| Fx::from_raw((i * 997) as i16)).collect();
+            let b: Vec<Fx> = (0..40).map(|i| Fx::from_raw((i * 13 + 5) as i16)).collect();
+            add.reset_state();
+            let batch = add.add_batch(&a, &b);
+            add.reset_state();
+            let scalar: Vec<Fx> = a.iter().zip(&b).map(|(&x, &y)| add.add(x, y)).collect();
+            assert_eq!(batch, scalar, "seed {seed}");
+            break;
+        }
+        assert!(found, "no stateful 6-defect seed in 0..40 is suspicious");
+    }
+
+    #[test]
+    fn healthy_batch_paths_are_vectorized_and_exact() {
+        let mut add = HwAdder::new();
+        let mut mul = HwMultiplier::new();
+        let mut act = HwSigmoid::new();
+        assert!(add.vectorizable());
+        assert!(mul.vectorizable());
+        assert!(act.vectorizable());
+        let lut = SigmoidLut::new();
+        let a: Vec<Fx> = (0..100)
+            .map(|i| Fx::from_raw((i * 653 - 30000) as i16))
+            .collect();
+        let b: Vec<Fx> = (0..100)
+            .map(|i| Fx::from_raw((i * 389 + 11) as i16))
+            .collect();
+        let sums = add.add_batch(&a, &b);
+        let prods = mul.mul_batch(&a, &b);
+        let acts = act.eval_batch(&a);
+        for i in 0..a.len() {
+            assert_eq!(sums[i], a[i] + b[i]);
+            assert_eq!(prods[i], a[i] * b[i]);
+            assert_eq!(acts[i], lut.eval(a[i]));
+        }
     }
 
     #[test]

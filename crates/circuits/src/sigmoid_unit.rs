@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use dta_fixed::{Fx, SigmoidLut};
-use dta_logic::{GateKind, Netlist, NetlistBuilder, NodeId, Simulator};
+use dta_logic::{GateKind, Netlist, NetlistBuilder, NodeId, Simulator, Simulator64};
 
 use crate::adder::full_adder;
 
@@ -139,8 +139,8 @@ impl SigmoidUnitCircuit {
         let top = W + FRAC - 1;
         let psign = acc[PW - 1];
         let mut diff = Vec::new();
-        for k in top..(PW - 1) {
-            let d = b.gate(GateKind::Xor2, &[acc[k], psign]);
+        for &bit in &acc[top..(PW - 1)] {
+            let d = b.gate(GateKind::Xor2, &[bit, psign]);
             mul_cells.push(d);
             diff.push(d);
         }
@@ -251,6 +251,28 @@ impl SigmoidUnitCircuit {
         sim.settle();
         Fx::from_bits(sim.read_word(&self.out) as u16)
     }
+
+    /// Creates a fresh 64-lane simulator for this circuit.
+    pub fn simulator64(&self) -> Simulator64 {
+        Simulator64::new(Arc::clone(&self.net))
+    }
+
+    /// Evaluates a whole batch of activations, 64 lanes per settle.
+    /// Only valid with combinational overrides (see
+    /// [`crate::DefectPlan::apply64`]); results are then identical to
+    /// repeated [`SigmoidUnitCircuit::compute`] calls.
+    pub fn compute64(&self, sim: &mut Simulator64, xs: &[Fx]) -> Vec<Fx> {
+        let mut out = Vec::with_capacity(xs.len());
+        for chunk in xs.chunks(64) {
+            let wx: Vec<u64> = chunk.iter().map(|v| v.to_bits() as u64).collect();
+            sim.set_input_words(&self.x, &wx);
+            sim.settle();
+            out.extend(
+                (0..chunk.len()).map(|l| Fx::from_bits(sim.read_word_lane(&self.out, l) as u16)),
+            );
+        }
+        out
+    }
 }
 
 impl Default for SigmoidUnitCircuit {
@@ -282,8 +304,7 @@ mod tests {
         let lut = SigmoidLut::new();
         let mut sim = unit.simulator();
         for v in [
-            -32.0, -8.001, -8.0, -7.999, -1.0, -0.001, 0.0, 0.001, 1.0,
-            7.999, 8.0, 8.001, 31.9,
+            -32.0, -8.001, -8.0, -7.999, -1.0, -0.001, 0.0, 0.001, 1.0, 7.999, 8.0, 8.001, 31.9,
         ] {
             let x = Fx::from_f64(v);
             assert_eq!(unit.compute(&mut sim, x), lut.eval(x), "x={x}");

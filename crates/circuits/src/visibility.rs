@@ -41,11 +41,7 @@ fn random_fx<R: Rng + ?Sized>(rng: &mut R) -> Fx {
 
 /// Measures a (possibly faulty) multiplier against native `Fx` multiply
 /// over `samples` random operand pairs.
-pub fn multiplier_visibility(
-    hw: &mut HwMultiplier,
-    samples: usize,
-    seed: u64,
-) -> VisibilityReport {
+pub fn multiplier_visibility(hw: &mut HwMultiplier, samples: usize, seed: u64) -> VisibilityReport {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     measure(samples, |_| {
         let (a, b) = (random_fx(&mut rng), random_fx(&mut rng));
@@ -63,11 +59,7 @@ pub fn adder_visibility(hw: &mut HwAdder, samples: usize, seed: u64) -> Visibili
 }
 
 /// Measures a (possibly faulty) activation unit against the LUT sigmoid.
-pub fn sigmoid_visibility(
-    hw: &mut HwSigmoid,
-    samples: usize,
-    seed: u64,
-) -> VisibilityReport {
+pub fn sigmoid_visibility(hw: &mut HwSigmoid, samples: usize, seed: u64) -> VisibilityReport {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let lut = SigmoidLut::new();
     measure(samples, |_| {

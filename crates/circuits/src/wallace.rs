@@ -86,8 +86,7 @@ impl WallaceMultiplier {
                 let col = &columns[k];
                 let mut idx = 0;
                 while col.len() - idx >= 3 {
-                    let (s, c, gates) =
-                        full_adder(&mut b, col[idx], col[idx + 1], col[idx + 2]);
+                    let (s, c, gates) = full_adder(&mut b, col[idx], col[idx + 1], col[idx + 2]);
                     cells[k].extend(gates);
                     next[k].push(s);
                     if k + 1 < pw {

@@ -285,8 +285,7 @@ impl Accelerator {
             .iter()
             .filter(|&&s| {
                 let sample = &ds.samples()[s];
-                self.classify(&sample.features).expect("validated above")
-                    == sample.label
+                self.classify(&sample.features).expect("validated above") == sample.label
             })
             .count();
         Ok(correct as f64 / idx.len() as f64)
@@ -324,7 +323,9 @@ mod tests {
     #[test]
     fn mapping_validates_dimensions() {
         let mut accel = Accelerator::new();
-        assert!(accel.map_network(Mlp::new(Topology::new(90, 10, 10), 1)).is_ok());
+        assert!(accel
+            .map_network(Mlp::new(Topology::new(90, 10, 10), 1))
+            .is_ok());
         let err = accel
             .map_network(Mlp::new(Topology::new(91, 10, 10), 1))
             .unwrap_err();
@@ -336,10 +337,15 @@ mod tests {
     fn processing_requires_network_and_width() {
         let mut accel = Accelerator::new();
         assert_eq!(accel.process_row(&[0.0; 4]), Err(AccelError::NoNetwork));
-        accel.map_network(Mlp::new(Topology::new(4, 3, 2), 2)).unwrap();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 2), 2))
+            .unwrap();
         assert!(matches!(
             accel.process_row(&[0.0; 5]),
-            Err(AccelError::WrongRowWidth { got: 5, expected: 4 })
+            Err(AccelError::WrongRowWidth {
+                got: 5,
+                expected: 4
+            })
         ));
         let out = accel.process_row(&[0.1, 0.2, 0.3, 0.4]).unwrap();
         assert_eq!(out.len(), 2);
@@ -364,8 +370,7 @@ mod tests {
         let clean_acc = accel.evaluate(&ds, &idx).unwrap();
         assert!(clean_acc > 0.85, "clean accuracy {clean_acc}");
 
-        let reports =
-            accel.inject_defects(5, FaultModel::TransistorLevel, &mut rng);
+        let reports = accel.inject_defects(5, FaultModel::TransistorLevel, &mut rng);
         assert_eq!(reports.len(), 5);
         assert_eq!(accel.defect_count(), 5);
 
@@ -404,7 +409,7 @@ mod tests {
             .map_network(Mlp::new(Topology::new(4, 8, 3), 17))
             .unwrap();
         let before = accel.evaluate(&ds, &idx).unwrap();
-        for pass in 0..8 {
+        for pass in 0..14 {
             for s in 0..ds.len() {
                 let sample = &ds.samples()[(s * 7 + pass) % ds.len()];
                 accel
@@ -426,7 +431,9 @@ mod tests {
             accel.online_step(&[0.0; 4], 0, 0.1),
             Err(AccelError::NoNetwork)
         );
-        accel.map_network(Mlp::new(Topology::new(4, 3, 2), 0)).unwrap();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 2), 0))
+            .unwrap();
         assert!(matches!(
             accel.online_step(&[0.0; 5], 0, 0.1),
             Err(AccelError::WrongRowWidth { .. })

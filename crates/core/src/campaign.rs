@@ -7,8 +7,10 @@ use rand_chacha::ChaCha8Rng;
 
 use dta_ann::{cross_validate, FaultPlan, ForwardMode, Mlp, Topology, Trainer};
 use dta_circuits::FaultModel;
-use dta_datasets::TaskSpec;
+use dta_datasets::{Dataset, TaskSpec};
 use dta_fixed::SigmoidLut;
+
+use crate::parallel::parallel_map;
 
 /// Parameters of a defect-tolerance campaign. The paper uses 100
 /// repetitions, 10 folds and the Table II epochs; those are expensive,
@@ -28,6 +30,11 @@ pub struct CampaignConfig {
     pub model: FaultModel,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the (defect-count × repetition) grid:
+    /// `1` = serial on the calling thread, `0` = all available cores.
+    /// Results are bit-identical for every value — each cell's RNG is
+    /// derived from `seed` and the cell coordinates alone.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -39,6 +46,7 @@ impl Default for CampaignConfig {
             epochs: Some(40),
             model: FaultModel::TransistorLevel,
             seed: 0xD7A,
+            threads: 1,
         }
     }
 }
@@ -65,36 +73,59 @@ pub fn defect_tolerance_curve(spec: &TaskSpec, cfg: &CampaignConfig) -> Vec<Curv
     let ds = spec.dataset();
     let epochs = cfg.epochs.unwrap_or(spec.epochs);
     let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
-    let mut points = Vec::with_capacity(cfg.defect_counts.len());
-    for &n_defects in &cfg.defect_counts {
-        let mut accs = Vec::with_capacity(cfg.repetitions);
-        for rep in 0..cfg.repetitions {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                cfg.seed ^ (n_defects as u64) << 24 ^ (rep as u64) << 8,
-            );
-            let mut plan = FaultPlan::new(90);
-            for _ in 0..n_defects {
-                plan.inject_random_hidden(spec.hidden, cfg.model, &mut rng);
-            }
-            let cv = cross_validate(
-                &trainer,
-                &ds,
-                spec.hidden,
-                cfg.folds,
-                cfg.seed ^ rep as u64,
-                Some(&mut plan),
-            );
-            accs.push(cv.mean());
-        }
-        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-        points.push(CurvePoint {
+
+    // Flatten the (defect-count × repetition) grid into independent
+    // cells and fan them over the worker pool. Each cell seeds its own
+    // ChaCha8 stream from the master seed and its coordinates — the
+    // derivation below is byte-for-byte the one the serial loop always
+    // used, so any thread count reproduces the serial accuracies
+    // exactly.
+    let reps = cfg.repetitions;
+    assert!(reps > 0, "campaign needs at least one repetition");
+    let accs = parallel_map(cfg.defect_counts.len() * reps, cfg.threads, |cell| {
+        let n_defects = cfg.defect_counts[cell / reps];
+        let rep = cell % reps;
+        campaign_cell(spec, cfg, &trainer, &ds, n_defects, rep)
+    });
+
+    cfg.defect_counts
+        .iter()
+        .zip(accs.chunks_exact(reps))
+        .map(|(&n_defects, accs)| CurvePoint {
             defects: n_defects,
-            mean_accuracy: mean,
+            mean_accuracy: accs.iter().sum::<f64>() / accs.len() as f64,
             min_accuracy: accs.iter().copied().fold(f64::INFINITY, f64::min),
             max_accuracy: accs.iter().copied().fold(0.0, f64::max),
-        });
+        })
+        .collect()
+}
+
+/// One grid cell of the Figure 10 campaign: draw the defect set for
+/// `(n_defects, rep)`, retrain through the faulty forward path, return
+/// the cross-validated accuracy.
+fn campaign_cell(
+    spec: &TaskSpec,
+    cfg: &CampaignConfig,
+    trainer: &Trainer,
+    ds: &Dataset,
+    n_defects: usize,
+    rep: usize,
+) -> f64 {
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(cfg.seed ^ (n_defects as u64) << 24 ^ (rep as u64) << 8);
+    let mut plan = FaultPlan::new(90);
+    for _ in 0..n_defects {
+        plan.inject_random_hidden(spec.hidden, cfg.model, &mut rng);
     }
-    points
+    let cv = cross_validate(
+        trainer,
+        ds,
+        spec.hidden,
+        cfg.folds,
+        cfg.seed ^ rep as u64,
+        Some(&mut plan),
+    );
+    cv.mean()
 }
 
 /// Where a Figure 11 defect was injected.
@@ -125,20 +156,26 @@ pub struct AmplitudePoint {
 /// Runs the Figure 11 experiment for one task: single random defects in
 /// the output layer's most sensitive units (final adders, activation
 /// functions), retraining, and per-row error-amplitude measurement.
+///
+/// Repetitions are independent cells and fan out over `threads` workers
+/// (`1` = serial, `0` = all cores); as with
+/// [`defect_tolerance_curve`], every thread count yields bit-identical
+/// points because each repetition's RNG is derived from `seed ^ rep`
+/// alone.
 pub fn output_amplitude_curve(
     spec: &TaskSpec,
     repetitions: usize,
     epochs: Option<usize>,
     seed: u64,
+    threads: usize,
 ) -> Vec<AmplitudePoint> {
     let ds = spec.dataset();
     let epochs = epochs.unwrap_or(spec.epochs);
     let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
     let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
     let lut = SigmoidLut::new();
-    let mut points = Vec::with_capacity(repetitions);
 
-    for rep in 0..repetitions {
+    parallel_map(repetitions, threads, |rep| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (rep as u64) << 16);
         let neuron = rng.random_range(0..ds.n_classes());
         let site = if rng.random_bool(0.5) {
@@ -173,22 +210,17 @@ pub fn output_amplitude_curve(
             let healthy = mlp.forward_fixed(x, &lut);
             let faulty = mlp.forward_faulty(x, &lut, &mut plan);
             total += match site {
-                OutputSite::Adder => {
-                    (faulty.output_pre[neuron] - healthy.output_pre[neuron]).abs()
-                }
-                OutputSite::Activation => {
-                    (faulty.output[neuron] - healthy.output[neuron]).abs()
-                }
+                OutputSite::Adder => (faulty.output_pre[neuron] - healthy.output_pre[neuron]).abs(),
+                OutputSite::Activation => (faulty.output[neuron] - healthy.output[neuron]).abs(),
             };
         }
-        points.push(AmplitudePoint {
+        AmplitudePoint {
             amplitude: total / fold.test.len() as f64,
             accuracy,
             site,
             neuron,
-        });
-    }
-    points
+        }
+    })
 }
 
 #[cfg(test)]
@@ -204,12 +236,16 @@ mod tests {
             epochs: Some(8),
             model: FaultModel::TransistorLevel,
             seed: 7,
+            threads: 1,
         }
     }
 
     #[test]
     fn curve_has_one_point_per_count() {
-        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap();
         let curve = defect_tolerance_curve(&spec, &tiny_cfg());
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0].defects, 0);
@@ -223,7 +259,10 @@ mod tests {
 
     #[test]
     fn zero_defects_trains_well_even_tiny() {
-        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap();
         let cfg = CampaignConfig {
             defect_counts: vec![0],
             repetitions: 1,
@@ -241,7 +280,10 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic() {
-        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap();
         let a = defect_tolerance_curve(&spec, &tiny_cfg());
         let b = defect_tolerance_curve(&spec, &tiny_cfg());
         assert_eq!(a, b);
@@ -249,8 +291,11 @@ mod tests {
 
     #[test]
     fn amplitude_experiment_produces_points() {
-        let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
-        let points = output_amplitude_curve(&spec, 3, Some(8), 11);
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap();
+        let points = output_amplitude_curve(&spec, 3, Some(8), 11, 1);
         assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.amplitude >= 0.0);
@@ -258,6 +303,37 @@ mod tests {
             assert!(p.neuron < 3);
         }
         // Determinism.
-        assert_eq!(points, output_amplitude_curve(&spec, 3, Some(8), 11));
+        assert_eq!(points, output_amplitude_curve(&spec, 3, Some(8), 11, 1));
+    }
+
+    #[test]
+    fn parallel_curve_is_bit_identical_to_serial() {
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap();
+        let mut cfg = tiny_cfg();
+        cfg.repetitions = 2;
+        let serial = defect_tolerance_curve(&spec, &cfg);
+        for threads in [2, 4] {
+            cfg.threads = threads;
+            let parallel = defect_tolerance_curve(&spec, &cfg);
+            // PartialEq on f64 fields: bit-identical, not approximately
+            // equal.
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_amplitude_curve_is_bit_identical_to_serial() {
+        let spec = suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap();
+        let serial = output_amplitude_curve(&spec, 4, Some(6), 11, 1);
+        for threads in [2, 3] {
+            let parallel = output_amplitude_curve(&spec, 4, Some(6), 11, threads);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 }

@@ -203,8 +203,7 @@ impl CostModel {
         let inv = Inventory::for_geometry(Topology::accelerator());
         CostModel {
             area_per_transistor_mm2: table3::AREA_MM2 / inv.transistors as f64,
-            energy_per_transistor_nj: table3::ENERGY_PER_ROW_NJ
-                / inv.transistors as f64,
+            energy_per_transistor_nj: table3::ENERGY_PER_ROW_NJ / inv.transistors as f64,
             delay_per_level_ns: table3::LATENCY_NS / inv.depth as f64,
         }
     }
@@ -214,8 +213,7 @@ impl CostModel {
         let m = OperatorMetrics::measured();
         let inv = Inventory::for_geometry(geometry);
         let area_mm2 = inv.transistors as f64 * self.area_per_transistor_mm2;
-        let energy_per_row_nj =
-            inv.transistors as f64 * self.energy_per_transistor_nj;
+        let energy_per_row_nj = inv.transistors as f64 * self.energy_per_transistor_nj;
         let latency_ns = inv.depth as f64 * self.delay_per_level_ns;
         let power_w = energy_per_row_nj / latency_ns;
 
@@ -262,8 +260,7 @@ impl CostModel {
         );
         let synapses = i * h + h * o;
         let neurons = h + o;
-        let extra = synapses
-            * (m.mul_transistors + m.add_transistors + m.latch_word_transistors)
+        let extra = synapses * (m.mul_transistors + m.add_transistors + m.latch_word_transistors)
             + neurons * m.mul_transistors;
         let base = Inventory::for_geometry(geometry).transistors;
         extra as f64 / base as f64
@@ -356,9 +353,7 @@ mod tests {
         let report = model.report(Topology::accelerator());
         assert!((report.area_mm2 - table3::AREA_MM2).abs() < 1e-9);
         assert!((report.latency_ns - table3::LATENCY_NS).abs() < 1e-9);
-        assert!(
-            (report.energy_per_row_nj - table3::ENERGY_PER_ROW_NJ).abs() < 1e-9
-        );
+        assert!((report.energy_per_row_nj - table3::ENERGY_PER_ROW_NJ).abs() < 1e-9);
         // Power is energy/latency, which Table III is consistent with.
         assert!((report.power_w - table3::POWER_W).abs() < 0.01);
     }
@@ -428,10 +423,7 @@ mod tests {
         assert_eq!(inv.multipliers, 90 * 10 + 10 * 10);
         assert_eq!(inv.adders, 90 * 10 + 10 * 10);
         assert_eq!(inv.activations, 20);
-        assert_eq!(
-            inv.latch_words,
-            (90 * 10 + 100) + 2 * (90 + 10) + 2 * 10
-        );
+        assert_eq!(inv.latch_words, (90 * 10 + 100) + 2 * (90 + 10) + 2 * 10);
         assert!(inv.transistors > 1_000_000, "it is a real array");
         assert!(inv.depth > 100, "combinational path through two stages");
     }

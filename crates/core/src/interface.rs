@@ -78,12 +78,7 @@ impl MemoryInterface {
     /// Creates the interface for a geometry with `links` × `link_bits`
     /// wide transfers at `clock_mhz` (the paper: 2 × 64 bits at
     /// 800 MHz).
-    pub fn new(
-        geometry: Topology,
-        links: u32,
-        link_bits: u32,
-        clock_mhz: f64,
-    ) -> MemoryInterface {
+    pub fn new(geometry: Topology, links: u32, link_bits: u32, clock_mhz: f64) -> MemoryInterface {
         assert!(links >= 1 && link_bits >= 1 && clock_mhz > 0.0);
         MemoryInterface {
             geometry,

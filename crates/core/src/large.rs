@@ -102,13 +102,17 @@ impl LargeNetworkMapper {
 
     /// Row latency of an arbitrary-depth network, in ns.
     pub fn latency_ns_for_layers(&self, dims: &[usize]) -> f64 {
-        let base = CostModel::calibrated_90nm().report(self.physical).latency_ns;
+        let base = CostModel::calibrated_90nm()
+            .report(self.physical)
+            .latency_ns;
         base * self.passes_for_layers(dims) as f64
     }
 
     /// Row latency of the logical network on this array, in ns.
     pub fn latency_ns(&self, logical: Topology) -> f64 {
-        let base = CostModel::calibrated_90nm().report(self.physical).latency_ns;
+        let base = CostModel::calibrated_90nm()
+            .report(self.physical)
+            .latency_ns;
         base * self.passes(logical) as f64
     }
 
@@ -202,12 +206,15 @@ impl LargeNetworkMapper {
         let operands: Vec<(Fx, Fx)> = (start..end).map(operand_of).collect();
         let Some(nf) = self.faults.neuron_mut(Layer::Hidden, slot) else {
             for (wq, xi) in operands {
-                acc = acc + wq * xi;
+                acc += wq * xi;
             }
             return acc;
         };
         let n_logical = operands.len();
         let n_eff = n_logical.max(nf.max_synapse_excl());
+        // The physical synapse range can extend past `operands` (defective
+        // columns beyond the task width), so this cannot iterate the slice.
+        #[allow(clippy::needless_range_loop)]
         for p in 0..n_eff {
             let (wq, xi) = if p < n_logical {
                 operands[p]

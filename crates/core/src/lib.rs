@@ -47,6 +47,7 @@ pub mod cost;
 pub mod dark_silicon;
 pub mod interface;
 pub mod large;
+pub mod parallel;
 pub mod processor;
 pub mod time_multiplexed;
 
@@ -55,5 +56,6 @@ pub use campaign::{AmplitudePoint, CampaignConfig, CurvePoint};
 pub use cost::{CostModel, CostReport, SensitiveAreaReport};
 pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
 pub use interface::MemoryInterface;
+pub use parallel::parallel_map;
 pub use processor::ProcessorModel;
 pub use time_multiplexed::TimeMultiplexedAccelerator;

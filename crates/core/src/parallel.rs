@@ -1,0 +1,143 @@
+//! Dependency-free parallel execution for embarrassingly parallel
+//! campaign grids.
+//!
+//! [`parallel_map`] fans a function over the index range `0..n` on
+//! scoped OS threads ([`std::thread::scope`]), with workers claiming
+//! indices through a shared [`AtomicUsize`] cursor — classic chunked
+//! work-stealing without any external crate. Results are written to
+//! their own pre-allocated slots, so the output order is always
+//! `f(0), f(1), …, f(n-1)` regardless of which worker computed what.
+//! Campaign cells each derive their RNG from the master seed and the
+//! cell index alone, which is what makes the parallel schedule
+//! bit-identical to the serial one.
+//!
+//! The chunk size is 1: campaign cells are seconds-scale (train +
+//! cross-validate a network), so cursor contention is irrelevant and
+//! the finest granularity gives the best load balance across cells of
+//! very different cost (0 defects trains faster than 27).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested thread count: `0` means "all available cores".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped worker threads and
+/// returns the results in index order.
+///
+/// * `threads == 0` uses every available core.
+/// * `threads <= 1` (or `n <= 1`) degrades to a plain serial loop on
+///   the calling thread — no pool, no atomics.
+/// * `f` must be [`Sync`] because all workers share it; any per-cell
+///   state (RNGs, simulators, fault plans) belongs inside the call.
+///
+/// A panic inside `f` propagates to the caller once the scope joins,
+/// like the serial loop would.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = match handle.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, value) in local {
+                slots[i] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("cell {i} never computed")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_threads_resolves_to_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let out = parallel_map(64, 4, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out.len(), 64);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_grids() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        assert_eq!(parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        parallel_map(8, 2, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -70,14 +70,13 @@ impl ProcessorModel {
 
     /// Cycles to process one input row of a network.
     pub fn cycles_per_row(&self, topo: Topology) -> u64 {
-        let macs =
-            (topo.inputs as u64 + 1) * topo.hidden as u64
-                + (topo.hidden as u64 + 1) * topo.outputs as u64;
+        let macs = (topo.inputs as u64 + 1) * topo.hidden as u64
+            + (topo.hidden as u64 + 1) * topo.outputs as u64;
         // The +1 bias terms are loads+adds folded into the MAC loop in
         // the C version; count them at MAC cost minus the multiply.
         let activations = (topo.hidden + topo.outputs) as u64;
-        let plain_macs = (topo.inputs as u64) * topo.hidden as u64
-            + (topo.hidden as u64) * topo.outputs as u64;
+        let plain_macs =
+            (topo.inputs as u64) * topo.hidden as u64 + (topo.hidden as u64) * topo.outputs as u64;
         let bias_adds = macs - plain_macs;
         plain_macs * self.cycles_per_mac
             + bias_adds * (self.cycles_per_mac / 2)

@@ -52,7 +52,11 @@ impl fmt::Display for TmDefect {
         match self {
             TmDefect::Control => write!(f, "control logic (catastrophic)"),
             TmDefect::SramBit { word, bit, value } => {
-                write!(f, "SRAM word {word} bit {bit} stuck at {}", u8::from(*value))
+                write!(
+                    f,
+                    "SRAM word {word} bit {bit} stuck at {}",
+                    u8::from(*value)
+                )
             }
             TmDefect::SharedNeuron { neuron } => {
                 write!(f, "shared hardware neuron {neuron}")
@@ -193,8 +197,11 @@ impl TimeMultiplexedAccelerator {
             self.sram_stuck.push((word, and_mask, or_mask));
             TmDefect::SramBit { word, bit, value }
         } else {
-            let before: std::collections::HashSet<usize> =
-                self.faults.faulty_neurons(Layer::Hidden).into_iter().collect();
+            let before: std::collections::HashSet<usize> = self
+                .faults
+                .faulty_neurons(Layer::Hidden)
+                .into_iter()
+                .collect();
             self.faults.inject_random_hidden(
                 self.physical_neurons,
                 FaultModel::TransistorLevel,
@@ -278,9 +285,7 @@ impl TimeMultiplexedAccelerator {
             // the hidden count (round-robin schedule).
             let phys = (topo.hidden + o) % k;
             let ws: Vec<Fx> = (0..topo.hidden)
-                .map(|j| {
-                    self.weight(out_base + o * (topo.hidden + 1) + j, mlp.w_output(o, j))
-                })
+                .map(|j| self.weight(out_base + o * (topo.hidden + 1) + j, mlp.w_output(o, j)))
                 .collect();
             let acc = self.shared_neuron_sum(phys, bias, &hidden_fx, &ws);
             output_pre.push(acc.to_f64());
@@ -302,7 +307,7 @@ impl TimeMultiplexedAccelerator {
         let Some(nf) = self.faults.neuron_mut(Layer::Hidden, phys) else {
             let mut acc = bias;
             for (w, &xi) in ws.iter().zip(inputs) {
-                acc = acc + *w * xi;
+                acc += *w * xi;
             }
             return acc;
         };
@@ -331,12 +336,7 @@ impl TimeMultiplexedAccelerator {
     /// Classification accuracy of a logical network on this (possibly
     /// defective) baseline. A broken accelerator classifies everything
     /// as class 0, i.e. near-chance accuracy.
-    pub fn accuracy(
-        &mut self,
-        mlp: &Mlp,
-        ds: &dta_datasets::Dataset,
-        idx: &[usize],
-    ) -> f64 {
+    pub fn accuracy(&mut self, mlp: &Mlp, ds: &dta_datasets::Dataset, idx: &[usize]) -> f64 {
         let correct = idx
             .iter()
             .filter(|&&s| {

@@ -7,8 +7,7 @@ use dta_core::ProcessorModel;
 use proptest::prelude::*;
 
 fn any_topology() -> impl Strategy<Value = Topology> {
-    (1usize..200, 1usize..40, 1usize..20)
-        .prop_map(|(i, h, o)| Topology::new(i, h, o))
+    (1usize..200, 1usize..40, 1usize..20).prop_map(|(i, h, o)| Topology::new(i, h, o))
 }
 
 proptest! {

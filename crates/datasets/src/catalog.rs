@@ -181,10 +181,24 @@ pub fn cumulative_fraction(attributes: u32) -> f64 {
 
 /// The Figure 2 curve: cumulative fraction at the paper's x-axis points.
 pub fn figure2_points() -> Vec<(u32, f64)> {
-    [10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 1000, 10000, u32::MAX]
-        .iter()
-        .map(|&x| (x, cumulative_fraction(x)))
-        .collect()
+    [
+        10,
+        20,
+        30,
+        40,
+        50,
+        60,
+        70,
+        80,
+        90,
+        100,
+        1000,
+        10000,
+        u32::MAX,
+    ]
+    .iter()
+    .map(|&x| (x, cumulative_fraction(x)))
+    .collect()
 }
 
 #[cfg(test)]

@@ -120,12 +120,7 @@ impl Dataset {
         order.shuffle(&mut rng);
         let mut folds = Vec::with_capacity(k);
         for f in 0..k {
-            let test: Vec<usize> = order
-                .iter()
-                .copied()
-                .skip(f)
-                .step_by(k)
-                .collect();
+            let test: Vec<usize> = order.iter().copied().skip(f).step_by(k).collect();
             let train: Vec<usize> = order
                 .iter()
                 .copied()

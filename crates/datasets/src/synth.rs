@@ -113,8 +113,7 @@ impl GaussianMixture {
                 .iter()
                 .map(|&c| (c + gaussian(&mut rng) * self.spread).clamp(0.0, 1.0))
                 .collect();
-            let label = if self.label_noise > 0.0 && rng.random_bool(self.label_noise)
-            {
+            let label = if self.label_noise > 0.0 && rng.random_bool(self.label_noise) {
                 rng.random_range(0..self.n_classes)
             } else {
                 class

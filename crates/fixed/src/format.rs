@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn quantize_is_idempotent() {
         let q = QFormat::new(4, 6);
-        for x in [-7.99, -1.0, 0.0, 0.015625, 3.14159, 7.98] {
+        for x in [-7.99, -1.0, 0.0, 0.015625, std::f64::consts::PI, 7.98] {
             let once = q.quantize(x);
             assert_eq!(q.quantize(once), once);
         }

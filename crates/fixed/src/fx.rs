@@ -318,10 +318,7 @@ mod tests {
 
     #[test]
     fn mul_matches_exact_when_representable() {
-        assert_eq!(
-            Fx::from_f64(1.5) * Fx::from_f64(-2.0),
-            Fx::from_f64(-3.0)
-        );
+        assert_eq!(Fx::from_f64(1.5) * Fx::from_f64(-2.0), Fx::from_f64(-3.0));
         assert_eq!(Fx::from_f64(0.5) * Fx::from_f64(0.5), Fx::from_f64(0.25));
     }
 

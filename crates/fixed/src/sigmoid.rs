@@ -162,7 +162,6 @@ impl Default for SigmoidLut {
     }
 }
 
-
 /// A runtime-parameterized piecewise-linear sigmoid over `[-8, 8)` with
 /// any segment count — the design-space companion of the fixed 16-entry
 /// hardware [`SigmoidLut`], used by the segment-count ablation ("we

@@ -209,14 +209,8 @@ mod tests {
     fn nand_nor_duality() {
         for a in [false, true] {
             for b in [false, true] {
-                assert_eq!(
-                    GateKind::Nand2.eval(&[a, b]),
-                    GateKind::Or2.eval(&[!a, !b])
-                );
-                assert_eq!(
-                    GateKind::Nor2.eval(&[a, b]),
-                    GateKind::And2.eval(&[!a, !b])
-                );
+                assert_eq!(GateKind::Nand2.eval(&[a, b]), GateKind::Or2.eval(&[!a, !b]));
+                assert_eq!(GateKind::Nor2.eval(&[a, b]), GateKind::And2.eval(&[!a, !b]));
             }
         }
     }

@@ -102,6 +102,22 @@ impl fmt::Display for NetlistError {
 
 impl std::error::Error for NetlistError {}
 
+/// One gate in the compiled evaluation schedule: the cell type, the
+/// output slot, and a window into the flat pin array. Everything the
+/// settle loop needs sits in 12 contiguous bytes, so a sweep touches no
+/// `Node` enums and chases no per-gate `Vec`s.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SchedGate {
+    /// Cell type.
+    pub(crate) kind: GateKind,
+    /// Output slot (= the gate's node index).
+    pub(crate) out: u32,
+    /// First pin in the netlist's flat pin array.
+    pub(crate) in_start: u32,
+    /// Number of pins (= the cell arity, at most 4).
+    pub(crate) in_len: u8,
+}
+
 /// An immutable, validated gate-level netlist.
 ///
 /// Construct with [`NetlistBuilder`]. Combinational nodes are stored in a
@@ -113,6 +129,10 @@ pub struct Netlist {
     pub(crate) outputs: Vec<(String, NodeId)>,
     pub(crate) order: Vec<NodeId>,
     pub(crate) latches: Vec<NodeId>,
+    /// Gates of `order`, compiled to a flat schedule at build time.
+    sched: Vec<SchedGate>,
+    /// Flat pin (driver-index) array referenced by `sched`.
+    sched_pins: Vec<u32>,
     input_index: HashMap<String, NodeId>,
     output_index: HashMap<String, NodeId>,
 }
@@ -174,16 +194,14 @@ impl Netlist {
     /// Total CMOS transistor count: gates plus 8 transistors per latch
     /// (transmission-gate D-latch).
     pub fn transistor_count(&self) -> u64 {
-        let gate_t: u64 = self
-            .gates()
-            .map(|(_, k)| k.transistor_count() as u64)
-            .sum();
+        let gate_t: u64 = self.gates().map(|(_, k)| k.transistor_count() as u64).sum();
         gate_t + 8 * self.latches.len() as u64
     }
 
-    /// The topological evaluation order of combinational nodes.
-    pub(crate) fn order(&self) -> &[NodeId] {
-        &self.order
+    /// The compiled gate schedule and its flat pin array, for the settle
+    /// loops of both simulation engines.
+    pub(crate) fn schedule(&self) -> (&[SchedGate], &[u32]) {
+        (&self.sched, &self.sched_pins)
     }
 
     /// Counts gate instances per cell type — the structural summary the
@@ -196,7 +214,7 @@ impl Netlist {
                 None => hist.push((kind, 1)),
             }
         }
-        hist.sort_by(|a, b| b.1.cmp(&a.1));
+        hist.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         hist
     }
 
@@ -256,11 +274,7 @@ impl Netlist {
                 if matches!(kind, GateKind::Const(_)) {
                     continue;
                 }
-                let d = 1 + inputs
-                    .iter()
-                    .map(|i| depth[i.index()])
-                    .max()
-                    .unwrap_or(0);
+                let d = 1 + inputs.iter().map(|i| depth[i.index()]).max().unwrap_or(0);
                 depth[id.index()] = d;
                 max = max.max(d);
             }
@@ -312,7 +326,9 @@ impl NetlistBuilder {
     /// Declares a bus of primary inputs named `name[0]..name[width-1]`,
     /// LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NodeId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Instantiates a gate.
@@ -426,6 +442,23 @@ impl NetlistBuilder {
             return Err(NetlistError::CombinationalCycle { on });
         }
 
+        // Compile the gate schedule: the gates of `order`, with their
+        // pins flattened into one contiguous array.
+        let mut sched = Vec::new();
+        let mut sched_pins = Vec::new();
+        for &id in &order {
+            if let Node::Gate { kind, inputs } = &self.nodes[id.index()] {
+                let in_start = sched_pins.len() as u32;
+                sched_pins.extend(inputs.iter().map(|n| n.0));
+                sched.push(SchedGate {
+                    kind: *kind,
+                    out: id.0,
+                    in_start,
+                    in_len: inputs.len() as u8,
+                });
+            }
+        }
+
         let mut input_index = HashMap::new();
         for &id in &self.inputs {
             if let Node::Input { name } = &self.nodes[id.index()] {
@@ -445,6 +478,8 @@ impl NetlistBuilder {
             outputs: self.outputs,
             order,
             latches: self.latches,
+            sched,
+            sched_pins,
             input_index,
             output_index,
         })

@@ -1,10 +1,43 @@
 //! Netlist evaluation engine.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::gate::GateBehavior;
+use crate::gate::{GateBehavior, GateKind};
 use crate::netlist::{Netlist, Node, NodeId};
+
+/// Largest cell arity in the standard-cell library (AOI22/OAI22).
+pub(crate) const MAX_ARITY: usize = 4;
+
+/// Evaluates a healthy cell reading its pins straight out of the value
+/// array — the hot inner statement of [`Simulator::settle`]. Keeping the
+/// reads here (instead of copying pins into a scratch buffer and calling
+/// [`GateKind::eval`]) saves a copy and an arity assert per gate.
+#[inline(always)]
+fn eval_pins(kind: GateKind, values: &[bool], pins: &[u32]) -> bool {
+    let v = |k: usize| values[pins[k] as usize];
+    match kind {
+        GateKind::Const(b) => b,
+        GateKind::Buf => v(0),
+        GateKind::Not => !v(0),
+        GateKind::And2 => v(0) & v(1),
+        GateKind::Or2 => v(0) | v(1),
+        GateKind::Nand2 => !(v(0) & v(1)),
+        GateKind::Nor2 => !(v(0) | v(1)),
+        GateKind::Nand3 => !(v(0) & v(1) & v(2)),
+        GateKind::Nor3 => !(v(0) | v(1) | v(2)),
+        GateKind::Xor2 => v(0) ^ v(1),
+        GateKind::Xnor2 => !(v(0) ^ v(1)),
+        GateKind::Aoi22 => !((v(0) & v(1)) | (v(2) & v(3))),
+        GateKind::Oai22 => !((v(0) | v(1)) & (v(2) | v(3))),
+        GateKind::Mux2 => {
+            if v(0) {
+                v(2)
+            } else {
+                v(1)
+            }
+        }
+    }
+}
 
 /// Evaluates a [`Netlist`]: settles combinational logic, steps latches,
 /// and applies per-gate behavioral overrides (the fault-injection hook).
@@ -34,8 +67,11 @@ use crate::netlist::{Netlist, Node, NodeId};
 pub struct Simulator {
     net: Arc<Netlist>,
     values: Vec<bool>,
-    overrides: HashMap<NodeId, Box<dyn GateBehavior>>,
-    scratch: Vec<bool>,
+    /// Dense per-node override slots (indexed by node index): the settle
+    /// loop runs once per gate per evaluation, so the lookup must be an
+    /// array index, not a hash.
+    overrides: Vec<Option<Box<dyn GateBehavior>>>,
+    n_overrides: usize,
 }
 
 impl Simulator {
@@ -49,11 +85,12 @@ impl Simulator {
                 values[l.index()] = *init;
             }
         }
+        let overrides = std::iter::repeat_with(|| None).take(values.len()).collect();
         Simulator {
             net,
             values,
-            overrides: HashMap::new(),
-            scratch: Vec::with_capacity(4),
+            overrides,
+            n_overrides: 0,
         }
     }
 
@@ -85,25 +122,32 @@ impl Simulator {
     /// Settles the combinational logic in topological order.
     pub fn settle(&mut self) {
         // Clone the Arc (cheap) so the netlist borrow does not conflict
-        // with mutating values/scratch/overrides.
+        // with mutating values/overrides.
         let net = Arc::clone(&self.net);
-        for &id in net.order() {
-            match net.node(id) {
-                Node::Input { .. } | Node::Latch { .. } => {
-                    // Inputs keep their driven value; latches drive state.
-                }
-                Node::Gate { kind, inputs } => {
-                    self.scratch.clear();
-                    for &inp in inputs {
-                        self.scratch.push(self.values[inp.index()]);
-                    }
-                    let v = match self.overrides.get_mut(&id) {
-                        Some(behavior) => behavior.eval(&self.scratch),
-                        None => kind.eval(&self.scratch),
-                    };
-                    self.values[id.index()] = v;
-                }
+        let (sched, pins) = net.schedule();
+        let values = &mut self.values;
+        if self.n_overrides == 0 {
+            // Healthy fast path: no override slot checks at all.
+            for g in sched {
+                let p = &pins[g.in_start as usize..][..g.in_len as usize];
+                values[g.out as usize] = eval_pins(g.kind, values, p);
             }
+            return;
+        }
+        let overrides = &mut self.overrides;
+        for g in sched {
+            let p = &pins[g.in_start as usize..][..g.in_len as usize];
+            let v = match overrides[g.out as usize].as_mut() {
+                Some(behavior) => {
+                    let mut buf = [false; MAX_ARITY];
+                    for (k, &i) in p.iter().enumerate() {
+                        buf[k] = values[i as usize];
+                    }
+                    behavior.eval(&buf[..p.len()])
+                }
+                None => eval_pins(g.kind, values, p),
+            };
+            values[g.out as usize] = v;
         }
     }
 
@@ -150,17 +194,25 @@ impl Simulator {
             matches!(self.net.node(id), Node::Gate { .. }),
             "{id} is not a gate"
         );
-        self.overrides.insert(id, behavior)
+        let prev = self.overrides[id.index()].replace(behavior);
+        if prev.is_none() {
+            self.n_overrides += 1;
+        }
+        prev
     }
 
     /// Removes a gate override, restoring the healthy cell function.
     pub fn clear_override(&mut self, id: NodeId) -> Option<Box<dyn GateBehavior>> {
-        self.overrides.remove(&id)
+        let prev = self.overrides[id.index()].take();
+        if prev.is_some() {
+            self.n_overrides -= 1;
+        }
+        prev
     }
 
     /// Number of gates currently overridden.
     pub fn override_count(&self) -> usize {
-        self.overrides.len()
+        self.n_overrides
     }
 
     /// Resets latches to their init values and clears the internal state
@@ -173,7 +225,7 @@ impl Simulator {
                 self.values[l.index()] = *init;
             }
         }
-        for behavior in self.overrides.values_mut() {
+        for behavior in self.overrides.iter_mut().flatten() {
             behavior.reset();
         }
     }
@@ -220,10 +272,7 @@ mod tests {
     fn word_helpers_roundtrip() {
         let mut b = NetlistBuilder::new();
         let bus = b.input_bus("x", 8);
-        let inverted: Vec<_> = bus
-            .iter()
-            .map(|&n| b.gate(GateKind::Not, &[n]))
-            .collect();
+        let inverted: Vec<_> = bus.iter().map(|&n| b.gate(GateKind::Not, &[n])).collect();
         b.output_bus("y", &inverted);
         let net = std::sync::Arc::new(b.build());
         let mut sim = Simulator::new(net.clone());

@@ -12,11 +12,11 @@
 //! effects are *sequence-dependent* and must stay on the scalar
 //! [`crate::Simulator`], which is why both engines exist.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, Node, NodeId};
+use crate::sim::MAX_ARITY;
 use crate::stuck::{StuckPort, StuckSet};
 
 /// Vectorized replacement behavior for a gate: every input and the
@@ -79,13 +79,43 @@ pub fn eval_kind64(kind: GateKind, v: &[u64]) -> u64 {
     }
 }
 
+/// Lane-wise healthy cell evaluation reading pins straight out of the
+/// value array — the hot inner statement of [`Simulator64::settle`].
+#[inline(always)]
+fn eval_pins64(kind: GateKind, values: &[u64], pins: &[u32]) -> u64 {
+    let v = |k: usize| values[pins[k] as usize];
+    match kind {
+        GateKind::Const(b) => {
+            if b {
+                !0
+            } else {
+                0
+            }
+        }
+        GateKind::Buf => v(0),
+        GateKind::Not => !v(0),
+        GateKind::And2 => v(0) & v(1),
+        GateKind::Or2 => v(0) | v(1),
+        GateKind::Nand2 => !(v(0) & v(1)),
+        GateKind::Nor2 => !(v(0) | v(1)),
+        GateKind::Nand3 => !(v(0) & v(1) & v(2)),
+        GateKind::Nor3 => !(v(0) | v(1) | v(2)),
+        GateKind::Xor2 => v(0) ^ v(1),
+        GateKind::Xnor2 => !(v(0) ^ v(1)),
+        GateKind::Aoi22 => !((v(0) & v(1)) | (v(2) & v(3))),
+        GateKind::Oai22 => !((v(0) | v(1)) & (v(2) | v(3))),
+        GateKind::Mux2 => (v(0) & v(2)) | (!v(0) & v(1)),
+    }
+}
+
 /// The 64-lane evaluation engine; mirrors [`crate::Simulator`] lane-wise.
 #[derive(Debug)]
 pub struct Simulator64 {
     net: Arc<Netlist>,
     values: Vec<u64>,
-    overrides: HashMap<NodeId, Box<dyn Behavior64>>,
-    scratch: Vec<u64>,
+    /// Dense per-node override slots — see [`crate::Simulator`].
+    overrides: Vec<Option<Box<dyn Behavior64>>>,
+    n_overrides: usize,
 }
 
 impl Simulator64 {
@@ -98,11 +128,12 @@ impl Simulator64 {
                 values[l.index()] = if *init { !0 } else { 0 };
             }
         }
+        let overrides = std::iter::repeat_with(|| None).take(values.len()).collect();
         Simulator64 {
             net,
             values,
-            overrides: HashMap::new(),
-            scratch: Vec::with_capacity(4),
+            overrides,
+            n_overrides: 0,
         }
     }
 
@@ -139,21 +170,29 @@ impl Simulator64 {
     /// Settles the combinational logic across all lanes.
     pub fn settle(&mut self) {
         let net = Arc::clone(&self.net);
-        for &id in net.order() {
-            match net.node(id) {
-                Node::Input { .. } | Node::Latch { .. } => {}
-                Node::Gate { kind, inputs } => {
-                    self.scratch.clear();
-                    for &inp in inputs {
-                        self.scratch.push(self.values[inp.index()]);
-                    }
-                    let v = match self.overrides.get_mut(&id) {
-                        Some(b) => b.eval64(&self.scratch),
-                        None => eval_kind64(*kind, &self.scratch),
-                    };
-                    self.values[id.index()] = v;
-                }
+        let (sched, pins) = net.schedule();
+        let values = &mut self.values;
+        if self.n_overrides == 0 {
+            for g in sched {
+                let p = &pins[g.in_start as usize..][..g.in_len as usize];
+                values[g.out as usize] = eval_pins64(g.kind, values, p);
             }
+            return;
+        }
+        let overrides = &mut self.overrides;
+        for g in sched {
+            let p = &pins[g.in_start as usize..][..g.in_len as usize];
+            let v = match overrides[g.out as usize].as_mut() {
+                Some(b) => {
+                    let mut buf = [0u64; MAX_ARITY];
+                    for (k, &i) in p.iter().enumerate() {
+                        buf[k] = values[i as usize];
+                    }
+                    b.eval64(&buf[..p.len()])
+                }
+                None => eval_pins64(g.kind, values, p),
+            };
+            values[g.out as usize] = v;
         }
     }
 
@@ -195,12 +234,21 @@ impl Simulator64 {
             matches!(self.net.node(id), Node::Gate { .. }),
             "{id} is not a gate"
         );
-        self.overrides.insert(id, behavior);
+        if self.overrides[id.index()].replace(behavior).is_none() {
+            self.n_overrides += 1;
+        }
     }
 
     /// Removes an override.
     pub fn clear_override(&mut self, id: NodeId) {
-        self.overrides.remove(&id);
+        if self.overrides[id.index()].take().is_some() {
+            self.n_overrides -= 1;
+        }
+    }
+
+    /// Number of installed gate overrides.
+    pub fn override_count(&self) -> usize {
+        self.n_overrides
     }
 }
 
@@ -257,10 +305,7 @@ mod tests {
             let n = kind.arity();
             for bits in 0u32..1 << n {
                 let scalar: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-                let lanes: Vec<u64> = scalar
-                    .iter()
-                    .map(|&b| if b { !0 } else { 0 })
-                    .collect();
+                let lanes: Vec<u64> = scalar.iter().map(|&b| if b { !0 } else { 0 }).collect();
                 let want = kind.eval(&scalar);
                 let got = eval_kind64(kind, &lanes);
                 assert_eq!(got, if want { !0u64 } else { 0 }, "{kind} {scalar:?}");

@@ -306,14 +306,8 @@ impl CmosCell {
             GateKind::Nor2 => vec![Stage::nor(&[Pin(0), Pin(1)])],
             GateKind::Nand3 => vec![Stage::nand(&[Pin(0), Pin(1), Pin(2)])],
             GateKind::Nor3 => vec![Stage::nor(&[Pin(0), Pin(1), Pin(2)])],
-            GateKind::And2 => vec![
-                Stage::nand(&[Pin(0), Pin(1)]),
-                Stage::inverter(St(0)),
-            ],
-            GateKind::Or2 => vec![
-                Stage::nor(&[Pin(0), Pin(1)]),
-                Stage::inverter(St(0)),
-            ],
+            GateKind::And2 => vec![Stage::nand(&[Pin(0), Pin(1)]), Stage::inverter(St(0))],
+            GateKind::Or2 => vec![Stage::nor(&[Pin(0), Pin(1)]), Stage::inverter(St(0))],
             GateKind::Xor2 => vec![
                 Stage::inverter(Pin(0)),
                 Stage::inverter(Pin(1)),
@@ -400,12 +394,7 @@ impl CmosCell {
                 );
             }
             for &(a, b) in stage.bridges() {
-                let _ = writeln!(
-                    out,
-                    "  bridge: {} ~ {}",
-                    node_name(a),
-                    node_name(b)
-                );
+                let _ = writeln!(out, "  bridge: {} ~ {}", node_name(a), node_name(b));
             }
         }
         out
@@ -485,8 +474,17 @@ mod tests {
     #[test]
     fn schematic_text_lists_devices_and_defects() {
         let mut cell = CmosCell::for_gate(GateKind::Nand2);
-        cell.inject(crate::Defect::Open { stage: 0, transistor: 2 }).unwrap();
-        cell.inject(crate::Defect::Bridge { stage: 0, a: 0, b: 2 }).unwrap();
+        cell.inject(crate::Defect::Open {
+            stage: 0,
+            transistor: 2,
+        })
+        .unwrap();
+        cell.inject(crate::Defect::Bridge {
+            stage: 0,
+            a: 0,
+            b: 2,
+        })
+        .unwrap();
         let text = cell.schematic_text();
         assert!(text.contains("stage 0 (nand-core):"));
         assert!(text.contains("PMOS gate=pin 0 Vdd--Z"));

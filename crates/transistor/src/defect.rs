@@ -187,9 +187,10 @@ impl CmosCell {
             | Defect::Delay { stage, transistor } => {
                 check_stage(stage)?;
                 let st = &mut self.stages_mut()[stage];
-                let t = st.transistors.get_mut(transistor).ok_or(
-                    DefectError::NoSuchTransistor { stage, transistor },
-                )?;
+                let t = st
+                    .transistors
+                    .get_mut(transistor)
+                    .ok_or(DefectError::NoSuchTransistor { stage, transistor })?;
                 match defect {
                     Defect::Open { .. } => t.health = Health::Open,
                     Defect::Short { .. } => t.health = Health::Shorted,
@@ -271,7 +272,12 @@ mod tests {
     #[test]
     fn inject_bridge_records_pair() {
         let mut cell = CmosCell::for_gate(GateKind::Nor2);
-        cell.inject(Defect::Bridge { stage: 0, a: 0, b: 2 }).unwrap();
+        cell.inject(Defect::Bridge {
+            stage: 0,
+            a: 0,
+            b: 2,
+        })
+        .unwrap();
         assert_eq!(cell.stages()[0].bridges(), &[(0, 2)]);
     }
 
@@ -279,19 +285,33 @@ mod tests {
     fn bad_defects_rejected() {
         let mut cell = CmosCell::for_gate(GateKind::Not);
         assert!(matches!(
-            cell.inject(Defect::Open { stage: 5, transistor: 0 }),
+            cell.inject(Defect::Open {
+                stage: 5,
+                transistor: 0
+            }),
             Err(DefectError::NoSuchStage { .. })
         ));
         assert!(matches!(
-            cell.inject(Defect::Short { stage: 0, transistor: 9 }),
+            cell.inject(Defect::Short {
+                stage: 0,
+                transistor: 9
+            }),
             Err(DefectError::NoSuchTransistor { .. })
         ));
         assert!(matches!(
-            cell.inject(Defect::Bridge { stage: 0, a: 1, b: 1 }),
+            cell.inject(Defect::Bridge {
+                stage: 0,
+                a: 1,
+                b: 1
+            }),
             Err(DefectError::BadBridge { .. })
         ));
         assert!(matches!(
-            cell.inject(Defect::Bridge { stage: 0, a: 0, b: 99 }),
+            cell.inject(Defect::Bridge {
+                stage: 0,
+                a: 0,
+                b: 99
+            }),
             Err(DefectError::BadBridge { .. })
         ));
     }
@@ -313,19 +333,32 @@ mod tests {
     fn inject_all_propagates_errors() {
         let mut cell = CmosCell::for_gate(GateKind::Not);
         let res = cell.inject_all([
-            Defect::Open { stage: 0, transistor: 0 },
-            Defect::Open { stage: 9, transistor: 0 },
+            Defect::Open {
+                stage: 0,
+                transistor: 0,
+            },
+            Defect::Open {
+                stage: 9,
+                transistor: 0,
+            },
         ]);
         assert!(res.is_err());
     }
 
     #[test]
     fn display_nonempty() {
-        assert!(Defect::Bridge { stage: 0, a: 1, b: 2 }
-            .to_string()
-            .contains("bridge"));
-        assert!(DefectError::NoSuchStage { stage: 1, available: 1 }
-            .to_string()
-            .contains("stage 1"));
+        assert!(Defect::Bridge {
+            stage: 0,
+            a: 1,
+            b: 2
+        }
+        .to_string()
+        .contains("bridge"));
+        assert!(DefectError::NoSuchStage {
+            stage: 1,
+            available: 1
+        }
+        .to_string()
+        .contains("stage 1"));
     }
 }

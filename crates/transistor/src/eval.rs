@@ -156,12 +156,8 @@ impl FaultyCell {
                 Signal::Pin(k) => inputs[k],
                 Signal::Stage(j) => stage_out_prefix[j],
             };
-            let (zp, zn) = Self::stage_connectivity(
-                stage,
-                sig_of,
-                &mut self.delay_prev[si],
-                &mut self.marks,
-            );
+            let (zp, zn) =
+                Self::stage_connectivity(stage, sig_of, &mut self.delay_prev[si], &mut self.marks);
             let out = if zn {
                 false // the path from ground dominates
             } else if zp {

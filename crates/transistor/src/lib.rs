@@ -55,8 +55,10 @@ pub mod cell;
 pub mod defect;
 pub mod eval;
 pub mod reconstruct;
+pub mod table;
 
 pub use cell::{CmosCell, Polarity, Signal, Stage, Transistor};
 pub use defect::{Defect, DefectError};
 pub use eval::FaultyCell;
 pub use reconstruct::{analyze_cell, BBlockExpr, Expr, FaultAnalysis};
+pub use table::{CachedCell, CellTable, TruthTable64};

@@ -69,15 +69,15 @@ impl Expr {
                 complemented,
                 delayed,
             } => {
-                let raw = if *delayed { prev_of(*sig) } else { sig_of(*sig) };
+                let raw = if *delayed {
+                    prev_of(*sig)
+                } else {
+                    sig_of(*sig)
+                };
                 raw ^ complemented
             }
-            Expr::And(terms) => terms
-                .iter()
-                .all(|t| t.eval_with_prev(sig_of, prev_of)),
-            Expr::Or(terms) => terms
-                .iter()
-                .any(|t| t.eval_with_prev(sig_of, prev_of)),
+            Expr::And(terms) => terms.iter().all(|t| t.eval_with_prev(sig_of, prev_of)),
+            Expr::Or(terms) => terms.iter().any(|t| t.eval_with_prev(sig_of, prev_of)),
         }
     }
 
@@ -377,10 +377,7 @@ impl FaultAnalysis {
     /// True if the defect set is behaviorally invisible at the gate
     /// level (no function change, no state, no fight, no delay).
     pub fn is_equivalent(&self) -> bool {
-        !self.changes_function
-            && !self.introduces_state
-            && !self.ground_fights
-            && !self.has_delay
+        !self.changes_function && !self.introduces_state && !self.ground_fights && !self.has_delay
     }
 }
 
@@ -607,7 +604,9 @@ mod tests {
         // Deterministic pseudo-random input sequence touching all combos.
         let mut x = 0x9e3779b97f4a7c15u64 ^ salt;
         for step in 0..64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bits = (x >> 33) as u32 | step; // mix in step for coverage
             let v: Vec<bool> = (0..arity).map(|k| bits >> k & 1 == 1).collect();
             assert_eq!(
@@ -634,7 +633,11 @@ mod tests {
             .iter()
             .position(|t| t.is_nmos())
             .unwrap();
-        cell.inject(Defect::Open { stage: 0, transistor: nmos }).unwrap();
+        cell.inject(Defect::Open {
+            stage: 0,
+            transistor: nmos,
+        })
+        .unwrap();
         let a = analyze_cell(&cell);
         assert!(a.introduces_state, "{a:?}");
         assert!(!a.is_equivalent());
@@ -643,7 +646,11 @@ mod tests {
     #[test]
     fn short_changes_function_and_fights() {
         let mut cell = CmosCell::for_gate(GateKind::Oai22);
-        cell.inject(Defect::Short { stage: 0, transistor: 5 }).unwrap();
+        cell.inject(Defect::Short {
+            stage: 0,
+            transistor: 5,
+        })
+        .unwrap();
         let a = analyze_cell(&cell);
         assert!(a.ground_fights, "{a:?}");
     }
@@ -651,7 +658,11 @@ mod tests {
     #[test]
     fn delay_flagged() {
         let mut cell = CmosCell::for_gate(GateKind::Not);
-        cell.inject(Defect::Delay { stage: 0, transistor: 0 }).unwrap();
+        cell.inject(Defect::Delay {
+            stage: 0,
+            transistor: 0,
+        })
+        .unwrap();
         let a = analyze_cell(&cell);
         assert!(a.has_delay && !a.is_equivalent());
     }

@@ -18,6 +18,8 @@ fn plot(mlp: &Mlp, set: &RegressionSet, faults: Option<&mut FaultPlan>) {
     const COLS: usize = 64;
     const ROWS: usize = 12;
     let mut grid = vec![[b' '; COLS]; ROWS];
+    // `c` picks a column across every row of the row-major grid.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..COLS {
         let x = c as f64 / (COLS - 1) as f64;
         let target = 0.5 + 0.4 * (std::f64::consts::TAU * x).sin();

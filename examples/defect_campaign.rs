@@ -17,6 +17,7 @@ fn main() {
         epochs: Some(30),
         model: FaultModel::TransistorLevel,
         seed: 7,
+        threads: 0, // all available cores; results match --threads 1 exactly
     };
 
     println!("accuracy after retraining vs. number of injected defects");

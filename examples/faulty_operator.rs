@@ -38,7 +38,10 @@ fn main() {
         })
         .unwrap();
     let exprs = reconstruct_cell(&opened).expect("no delay defects");
-    println!("p(a) open:    {}  (asymmetric: memory effect possible)", exprs[0]);
+    println!(
+        "p(a) open:    {}  (asymmetric: memory effect possible)",
+        exprs[0]
+    );
 
     let mut bridged = healthy.clone();
     bridged
@@ -79,8 +82,6 @@ fn main() {
         for rec in plan.records() {
             println!("  bit {}: {}", rec.bit, rec.description);
         }
-        println!(
-            "  corrupted {wrong}/256 input pairs, worst error magnitude {worst}"
-        );
+        println!("  corrupted {wrong}/256 input pairs, worst error magnitude {worst}");
     }
 }

@@ -48,7 +48,9 @@ fn main() {
     while !pending.is_empty() || labels.front().is_some() {
         // Memory side: fill the double buffer while there is room.
         while dma.ready() {
-            let Some((row, label)) = pending.pop() else { break };
+            let Some((row, label)) = pending.pop() else {
+                break;
+            };
             dma.push_row(row);
             labels.push_back(label);
         }
@@ -63,9 +65,7 @@ fn main() {
     }
 
     let (pushed, taken, stalls) = dma.stats();
-    println!(
-        "streamed {total} rows: {pushed} pushed, {taken} processed, {stalls} DMA stalls"
-    );
+    println!("streamed {total} rows: {pushed} pushed, {taken} processed, {stalls} DMA stalls");
     println!(
         "streaming accuracy: {:.1}%",
         correct as f64 / total as f64 * 100.0

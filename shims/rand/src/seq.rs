@@ -1,0 +1,66 @@
+//! Sequence helpers: shuffling and uniform element choice.
+
+use crate::Rng;
+
+/// In-place uniform shuffling.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Uniform random element selection from an indexable sequence.
+pub trait IndexedRandom<T> {
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T>;
+}
+
+impl<T> IndexedRandom<T> for [T] {
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = items.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

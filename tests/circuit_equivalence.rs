@@ -78,8 +78,7 @@ fn reconstruction_equals_switch_level_for_every_single_defect() {
                 .chain((0..1u32 << kind.arity()).rev())
                 .collect();
             for bits in sweep {
-                let v: Vec<bool> =
-                    (0..kind.arity()).map(|i| bits >> i & 1 == 1).collect();
+                let v: Vec<bool> = (0..kind.arity()).map(|i| bits >> i & 1 == 1).collect();
                 assert_eq!(
                     switch.eval(&v),
                     expr.eval(&v),

@@ -2,11 +2,11 @@
 //! given its seeds, or the paper's figures could not be regenerated.
 
 use dta::ann::{cross_validate, ForwardMode, Trainer};
+use dta::ann::{Mlp, Topology};
 use dta::circuits::FaultModel;
 use dta::core::accelerator::Accelerator;
 use dta::core::campaign::{defect_tolerance_curve, CampaignConfig};
 use dta::datasets::suite;
-use dta::ann::{Mlp, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -53,7 +53,10 @@ fn cross_validation_and_campaign_reproduce() {
     let b = cross_validate(&trainer, &ds, 4, 3, 11, None);
     assert_eq!(a, b);
 
-    let spec = suite::specs().into_iter().find(|s| s.name == "iris").unwrap();
+    let spec = suite::specs()
+        .into_iter()
+        .find(|s| s.name == "iris")
+        .unwrap();
     let cfg = CampaignConfig {
         defect_counts: vec![0, 6],
         repetitions: 1,
@@ -61,6 +64,7 @@ fn cross_validation_and_campaign_reproduce() {
         epochs: Some(6),
         model: FaultModel::TransistorLevel,
         seed: 3,
+        threads: 1,
     };
     assert_eq!(
         defect_tolerance_curve(&spec, &cfg),

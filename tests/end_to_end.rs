@@ -38,12 +38,7 @@ fn every_suite_task_fits_and_trains_above_baseline() {
     // baseline on every one of the 10 Table II tasks.
     for spec in suite::specs() {
         let ds = spec.dataset();
-        let trainer = Trainer::new(
-            spec.learning_rate.max(0.2),
-            0.1,
-            15,
-            ForwardMode::Fixed,
-        );
+        let trainer = Trainer::new(spec.learning_rate.max(0.2), 0.1, 15, ForwardMode::Fixed);
         let cv = cross_validate(&trainer, &ds, spec.hidden, 2, 3, None);
         assert!(
             cv.mean() > ds.majority_baseline(),

@@ -26,7 +26,7 @@ fn deep_network_maps_and_learns_through_facade() {
     // The 3-layer network still maps onto the physical array.
     let mapper = LargeNetworkMapper::new(Topology::accelerator());
     let passes = mapper.passes_for_layers(net.dims());
-    assert!(passes >= 1 && passes <= 3, "passes {passes}");
+    assert!((1..=3).contains(&passes), "passes {passes}");
 }
 
 #[test]
@@ -39,7 +39,7 @@ fn online_and_batch_training_reach_similar_accuracy() {
     batch
         .map_network(Mlp::new(Topology::new(4, 8, 3), 21))
         .unwrap();
-    batch.retrain(&ds, &idx, 0.3, 0.0, 10, &mut rng).unwrap();
+    batch.retrain(&ds, &idx, 0.3, 0.1, 40, &mut rng).unwrap();
     let batch_acc = batch.evaluate(&ds, &idx).unwrap();
 
     let mut online = Accelerator::new();
