@@ -8,7 +8,8 @@ use std::sync::{Arc, OnceLock};
 use rand::Rng;
 
 use dta_circuits::{
-    FaultModel, FxMulCircuit, HwAdder, HwMultiplier, HwSigmoid, SatAdderCircuit, SigmoidUnitCircuit,
+    Activation, ActivationState, FaultModel, FxMulCircuit, HwAdder, HwMultiplier, HwSigmoid,
+    SatAdderCircuit, SigmoidUnitCircuit,
 };
 use dta_fixed::{Fx, SigmoidLut};
 
@@ -52,6 +53,34 @@ fn library() -> &'static (
     })
 }
 
+/// The stuck bits of one weight latch: permanent faults merged into an
+/// (AND mask, OR mask) pair, dynamic (transient/intermittent) faults
+/// kept individually and overlaid per read in injection order.
+#[derive(Debug)]
+struct LatchFaults {
+    and_mask: u16,
+    or_mask: u16,
+    dynamic: Vec<LatchBit>,
+}
+
+/// One dynamically activated stuck bit of a weight latch.
+#[derive(Debug)]
+struct LatchBit {
+    bit: u32,
+    stuck_one: bool,
+    state: ActivationState,
+}
+
+impl Default for LatchFaults {
+    fn default() -> LatchFaults {
+        LatchFaults {
+            and_mask: 0xFFFF,
+            or_mask: 0x0000,
+            dynamic: Vec::new(),
+        }
+    }
+}
+
 /// The faulty operators of one neuron.
 ///
 /// In the spatially expanded accelerator every synapse has its own
@@ -65,8 +94,8 @@ pub struct NeuronFaults {
     muls: HashMap<usize, HwMultiplier>,
     adds: HashMap<usize, HwAdder>,
     act: Option<HwSigmoid>,
-    /// Per-synapse (AND mask, OR mask) applied to the stored weight bits.
-    latches: HashMap<usize, (u16, u16)>,
+    /// Per-synapse stuck bits applied to the stored weight word.
+    latches: HashMap<usize, LatchFaults>,
 }
 
 impl NeuronFaults {
@@ -92,10 +121,26 @@ impl NeuronFaults {
         self.adds.get_mut(&i)
     }
 
-    /// Applies any latch stuck-bit masks of synapse `i` to a weight.
-    pub fn latch_filter(&self, i: usize, w: Fx) -> Fx {
-        match self.latches.get(&i) {
-            Some(&(and_mask, or_mask)) => Fx::from_bits((w.to_bits() & and_mask) | or_mask),
+    /// Applies any latch stuck-bit faults of synapse `i` to a weight.
+    /// Each read advances the activation machines of that latch's
+    /// dynamic faults, so a transient stuck bit corrupts individual
+    /// weight fetches; active dynamic bits overwrite the permanent
+    /// masks in injection order.
+    pub fn latch_filter(&mut self, i: usize, w: Fx) -> Fx {
+        match self.latches.get_mut(&i) {
+            Some(lf) => {
+                let mut bits = (w.to_bits() & lf.and_mask) | lf.or_mask;
+                for b in &mut lf.dynamic {
+                    if b.state.advance() {
+                        if b.stuck_one {
+                            bits |= 1 << b.bit;
+                        } else {
+                            bits &= !(1 << b.bit);
+                        }
+                    }
+                }
+                Fx::from_bits(bits)
+            }
             None => w,
         }
     }
@@ -120,12 +165,14 @@ impl NeuronFaults {
     }
 
     /// True if every faulty operator of this neuron is combinational,
-    /// i.e. safe for lane-parallel evaluation (latch stuck-bit masks
-    /// are pure functions and never disqualify).
+    /// i.e. safe for lane-parallel evaluation. Permanent latch
+    /// stuck-bit masks are pure functions and never disqualify; dynamic
+    /// latch faults advance per weight read and force the scalar path.
     pub fn vectorizable(&self) -> bool {
         self.muls.values().all(|hw| hw.vectorizable())
             && self.adds.values().all(|hw| hw.vectorizable())
             && self.act.as_ref().is_none_or(|hw| hw.vectorizable())
+            && self.latches.values().all(|lf| lf.dynamic.is_empty())
     }
 
     /// True if this neuron carries no fault (plans prune such entries).
@@ -145,6 +192,11 @@ impl NeuronFaults {
         }
         if let Some(hw) = self.act.as_mut() {
             hw.reset_state();
+        }
+        for lf in self.latches.values_mut() {
+            for b in &mut lf.dynamic {
+                b.state.reset();
+            }
         }
     }
 }
@@ -219,15 +271,30 @@ impl FaultPlan {
         self.neurons.entry((layer, neuron)).or_default()
     }
 
-    /// Injects one transistor- or gate-level defect at a uniformly random
-    /// operator instance of the input/hidden stage (the Figure 10
-    /// procedure): per hidden neuron the instances are `hw_inputs`
-    /// multipliers, `hw_inputs` adders, `hw_inputs` weight latches, and
-    /// one activation unit.
+    /// Injects one **permanent** transistor- or gate-level defect at a
+    /// uniformly random operator instance of the input/hidden stage
+    /// (the Figure 10 procedure): per hidden neuron the instances are
+    /// `hw_inputs` multipliers, `hw_inputs` adders, `hw_inputs` weight
+    /// latches, and one activation unit.
     pub fn inject_random_hidden<R: Rng + ?Sized>(
         &mut self,
         n_hidden: usize,
         model: FaultModel,
+        rng: &mut R,
+    ) {
+        self.inject_random_hidden_with(n_hidden, model, Activation::Permanent, rng);
+    }
+
+    /// Injects one random input/hidden-stage defect with the given
+    /// lifetime. For [`Activation::Permanent`] this consumes exactly
+    /// the same RNG draws as [`FaultPlan::inject_random_hidden`];
+    /// non-permanent defects draw one extra `u64` to seed their
+    /// activation stream.
+    pub fn inject_random_hidden_with<R: Rng + ?Sized>(
+        &mut self,
+        n_hidden: usize,
+        model: FaultModel,
+        activation: Activation,
         rng: &mut R,
     ) {
         assert!(n_hidden >= 1);
@@ -243,7 +310,10 @@ impl FaultPlan {
                 .muls
                 .entry(syn)
                 .or_insert_with(|| HwMultiplier::with_circuit(Arc::clone(lib_mul)));
-            let d = hw.inject_random(model, 1, rng).pop().expect("one defect");
+            let d = hw
+                .inject_random_with(model, activation, 1, rng)
+                .pop()
+                .expect("one defect");
             format!("hidden[{neuron}].mul[{syn}]: {d}")
         } else if instance < 2 * hw_inputs {
             let step = instance - hw_inputs;
@@ -251,27 +321,46 @@ impl FaultPlan {
                 .adds
                 .entry(step)
                 .or_insert_with(|| HwAdder::with_circuit(Arc::clone(lib_add)));
-            let d = hw.inject_random(model, 1, rng).pop().expect("one defect");
+            let d = hw
+                .inject_random_with(model, activation, 1, rng)
+                .pop()
+                .expect("one defect");
             format!("hidden[{neuron}].add[{step}]: {d}")
         } else if instance < 3 * hw_inputs {
             let syn = instance - 2 * hw_inputs;
             let bit = rng.random_range(0..16u32);
             let stuck_one = rng.random_bool(0.5);
-            let (and_mask, or_mask) = nf.latches.entry(syn).or_insert((0xFFFF, 0x0000));
-            if stuck_one {
-                *or_mask |= 1 << bit;
+            let lf = nf.latches.entry(syn).or_default();
+            if activation.is_permanent() {
+                if stuck_one {
+                    lf.or_mask |= 1 << bit;
+                } else {
+                    lf.and_mask &= !(1 << bit);
+                }
+                format!(
+                    "hidden[{neuron}].latch[{syn}]: bit {bit} stuck at {}",
+                    u8::from(stuck_one)
+                )
             } else {
-                *and_mask &= !(1 << bit);
+                let seed = rng.random::<u64>();
+                lf.dynamic.push(LatchBit {
+                    bit,
+                    stuck_one,
+                    state: ActivationState::new(activation, seed),
+                });
+                format!(
+                    "hidden[{neuron}].latch[{syn}]: bit {bit} stuck at {} [{activation}]",
+                    u8::from(stuck_one)
+                )
             }
-            format!(
-                "hidden[{neuron}].latch[{syn}]: bit {bit} stuck at {}",
-                u8::from(stuck_one)
-            )
         } else {
             let hw = nf
                 .act
                 .get_or_insert_with(|| HwSigmoid::with_circuit(Arc::clone(lib_act)));
-            let d = hw.inject_random(model, 1, rng).pop().expect("one defect");
+            let d = hw
+                .inject_random_with(model, activation, 1, rng)
+                .pop()
+                .expect("one defect");
             format!("hidden[{neuron}].act: {d}")
         };
         self.records.push(desc);
@@ -368,12 +457,92 @@ mod tests {
     #[test]
     fn latch_filter_applies_stuck_bits() {
         let mut nf = NeuronFaults::default();
-        nf.latches.insert(3, (0xFFFE, 0x8000)); // bit0 stuck 0, bit15 stuck 1
+        // bit0 stuck 0, bit15 stuck 1
+        nf.latches.insert(
+            3,
+            LatchFaults {
+                and_mask: 0xFFFE,
+                or_mask: 0x8000,
+                dynamic: Vec::new(),
+            },
+        );
         let w = Fx::from_bits(0x0001);
         let filtered = nf.latch_filter(3, w);
         assert_eq!(filtered.to_bits(), 0x8000);
         // Other synapses pass through.
         assert_eq!(nf.latch_filter(2, w), w);
+    }
+
+    #[test]
+    fn intermittent_latch_bit_corrupts_alternate_reads() {
+        let mut nf = NeuronFaults::default();
+        nf.latches.insert(
+            0,
+            LatchFaults {
+                dynamic: vec![LatchBit {
+                    bit: 15,
+                    stuck_one: true,
+                    state: ActivationState::new(Activation::Intermittent { period: 2, duty: 1 }, 0),
+                }],
+                ..LatchFaults::default()
+            },
+        );
+        assert!(!nf.vectorizable(), "dynamic latch forces the scalar path");
+        let w = Fx::from_bits(0x0001);
+        // duty 1 / period 2: faulty, clean, faulty, clean ...
+        assert_eq!(nf.latch_filter(0, w).to_bits(), 0x8001);
+        assert_eq!(nf.latch_filter(0, w).to_bits(), 0x0001);
+        assert_eq!(nf.latch_filter(0, w).to_bits(), 0x8001);
+        nf.reset_state();
+        assert_eq!(nf.latch_filter(0, w).to_bits(), 0x8001, "reset replays");
+    }
+
+    #[test]
+    fn permanent_injection_with_is_rng_compatible() {
+        // `inject_random_hidden_with(Permanent)` must consume the same
+        // RNG draws and produce the same records as the original entry
+        // point.
+        let mut a = ChaCha8Rng::seed_from_u64(21);
+        let mut b = a.clone();
+        let mut plain = FaultPlan::new(90);
+        let mut with = FaultPlan::new(90);
+        for _ in 0..15 {
+            plain.inject_random_hidden(10, FaultModel::TransistorLevel, &mut a);
+            with.inject_random_hidden_with(
+                10,
+                FaultModel::TransistorLevel,
+                Activation::Permanent,
+                &mut b,
+            );
+        }
+        assert_eq!(plain.records(), with.records());
+        assert_eq!(a.random::<u64>(), b.random::<u64>(), "RNG streams aligned");
+    }
+
+    #[test]
+    fn dynamic_injection_records_and_disables_vectorization() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut plan = FaultPlan::new(90);
+        for _ in 0..12 {
+            plan.inject_random_hidden_with(
+                6,
+                FaultModel::TransistorLevel,
+                Activation::Transient {
+                    per_eval_probability: 0.2,
+                },
+                &mut rng,
+            );
+        }
+        assert_eq!(plan.len(), 12);
+        assert!(
+            plan.records()
+                .iter()
+                .all(|r| r.contains("transient(p=0.2)")),
+            "every record names the lifetime: {:?}",
+            plan.records()
+        );
+        assert!(!plan.vectorizable(), "dynamic plans must run scalar");
+        plan.reset_state(); // must not panic, resets activation streams
     }
 
     #[test]

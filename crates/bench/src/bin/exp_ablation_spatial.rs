@@ -47,8 +47,12 @@ fn main() {
         model: FaultModel::TransistorLevel,
         seed,
         threads: args.get("threads", 1usize),
+        ..CampaignConfig::default()
     };
-    let spatial = defect_tolerance_curve(&spec, &cfg);
+    let spatial = defect_tolerance_curve(&spec, &cfg).unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        std::process::exit(1);
+    });
 
     // Time-multiplexed design: train a clean network once, then inject
     // defects into the shared hardware and measure (no retraining can

@@ -19,22 +19,36 @@
 //! adds a one-thread reference run, `--baseline true` adds a reference
 //! run on the seed's uncached switch-level evaluator, so the JSON
 //! records honest speedup factors for both optimizations.
+//! `--checkpoint FILE` journals each finished grid cell: a killed run
+//! restarted with the same flags skips the journaled cells and
+//! reproduces the uninterrupted curve byte-for-byte.
 
 use std::time::Instant;
 
 use dta_bench::{rule, Args, JsonMap};
-use dta_circuits::{force_switch_level_baseline, FaultModel};
-use dta_core::campaign::{defect_tolerance_curve, CampaignConfig, CurvePoint};
+use dta_circuits::{force_switch_level_baseline, Activation, FaultModel};
+use dta_core::campaign::{defect_tolerance_curve_resumable, CampaignConfig, CurvePoint};
+use dta_core::checkpoint::Checkpoint;
 use dta_core::parallel::effective_threads;
 use dta_datasets::{suite, TaskSpec};
 
 /// Runs the full campaign (every task) once and returns the per-task
-/// curves plus the wall time.
-fn run_campaign(specs: &[TaskSpec], cfg: &CampaignConfig) -> (Vec<Vec<CurvePoint>>, f64) {
+/// curves plus the wall time. Campaign errors (bad configuration, bad
+/// journal) abort the binary with a message.
+fn run_campaign(
+    specs: &[TaskSpec],
+    cfg: &CampaignConfig,
+    checkpoint: Option<&Checkpoint>,
+) -> (Vec<Vec<CurvePoint>>, f64) {
     let started = Instant::now();
     let curves = specs
         .iter()
-        .map(|spec| defect_tolerance_curve(spec, cfg))
+        .map(|spec| {
+            defect_tolerance_curve_resumable(spec, cfg, checkpoint).unwrap_or_else(|e| {
+                eprintln!("campaign failed: {e}");
+                std::process::exit(1);
+            })
+        })
         .collect();
     (curves, started.elapsed().as_secs_f64())
 }
@@ -59,9 +73,27 @@ fn main() {
             "gate" => FaultModel::GateLevel,
             _ => FaultModel::TransistorLevel,
         },
+        activation: Activation::Permanent,
         seed: args.get("seed", 0xF1610u64),
         threads: args.get("threads", 1usize),
+        chaos: Vec::new(),
     };
+    // `--checkpoint FILE` journals finished grid cells so a killed run
+    // resumes where it left off (and reproduces the same curve).
+    let checkpoint = args.get_opt_str("checkpoint").map(|path| {
+        match Checkpoint::open(path, &cfg.fingerprint()) {
+            Ok(ck) => {
+                if ck.completed() > 0 {
+                    println!("resuming from {path}: {} cells journaled", ck.completed());
+                }
+                ck
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    });
 
     println!("Figure 10 — accuracy vs. #defects in input+hidden layers, after retraining");
     println!(
@@ -86,7 +118,7 @@ fn main() {
         })
         .collect();
 
-    let (curves, wall_s) = run_campaign(&specs, &cfg);
+    let (curves, wall_s) = run_campaign(&specs, &cfg, checkpoint.as_ref());
 
     let mut clean_acc = Vec::new();
     let mut at_12 = Vec::new();
@@ -137,7 +169,9 @@ fn main() {
             threads: 1,
             ..cfg.clone()
         };
-        let (serial_curves, t) = run_campaign(&specs, &serial_cfg);
+        // Reference runs recompute from scratch — no checkpoint — so
+        // the timing is honest.
+        let (serial_curves, t) = run_campaign(&specs, &serial_cfg, None);
         assert_eq!(serial_curves, curves, "serial run must be bit-identical");
         println!("serial reference: {t:.2} s ({:.2}x speedup)", t / wall_s);
         t
@@ -145,7 +179,7 @@ fn main() {
 
     let switch_level_wall_s = args.get_bool("baseline", false).then(|| {
         force_switch_level_baseline(true);
-        let (baseline_curves, t) = run_campaign(&specs, &cfg);
+        let (baseline_curves, t) = run_campaign(&specs, &cfg, None);
         force_switch_level_baseline(false);
         assert_eq!(
             baseline_curves, curves,

@@ -39,9 +39,27 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
         "baseline",
         "exp_fig10: also time the uncached switch-level engine",
     ),
+    ("bench-out", "path for the machine-readable timing JSON"),
     (
-        "bench-out",
-        "exp_fig10: path for the machine-readable timing JSON",
+        "checkpoint",
+        "journal file for resumable campaigns (per-class suffix in exp_transient)",
+    ),
+    (
+        "chaos",
+        "exp_transient: inject engine panics, `defects:rep:attempts[,..]`",
+    ),
+    (
+        "classes",
+        "exp_transient: activation classes to run (default all three)",
+    ),
+    ("p", "exp_transient: transient per-evaluation probability"),
+    (
+        "period",
+        "exp_transient: intermittent cycle length (evaluations)",
+    ),
+    (
+        "duty",
+        "exp_transient: active evaluations per intermittent cycle",
     ),
 ];
 
@@ -131,6 +149,12 @@ impl Args {
             None => default.iter().map(|s| s.to_string()).collect(),
             Some(v) => v.split(',').map(|s| s.trim().to_string()).collect(),
         }
+    }
+
+    /// Fetches a string option that has no default (e.g. an optional
+    /// output path).
+    pub fn get_opt_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
     }
 
     /// True if `--key true` (or any value other than `false`/`0`) was

@@ -9,6 +9,15 @@
 //! defect site inside that gate — at the transistor level
 //! ([`FaultModel::TransistorLevel`]) or with the stuck-at baseline
 //! ([`FaultModel::GateLevel`], for the Figure 5 comparison).
+//!
+//! Each injected defect additionally carries an
+//! [`Activation`] lifetime: `Permanent` defects are folded into the
+//! gate's schematic (the paper's manufacturing-defect model), while
+//! `Transient`/`Intermittent` ones are installed as *dynamic* defects
+//! whose presence is decided per evaluation by a seeded
+//! [`ActivationState`] — at the transistor level through
+//! [`DynamicCell`], at the gate level through a dynamic stuck-at
+//! wrapper.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -17,8 +26,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use rand::seq::IndexedRandom;
 use rand::Rng;
 
-use dta_logic::{Netlist, Node, NodeId, Simulator, Simulator64, StuckAt, StuckSet};
-use dta_transistor::{CachedCell, CellTable, CmosCell, FaultyCell};
+use dta_logic::gate::GateBehavior;
+use dta_logic::{Netlist, Node, NodeId, Simulator, Simulator64, StuckAt, StuckPort, StuckSet};
+use dta_transistor::{
+    Activation, ActivationState, CachedCell, CellTable, CmosCell, Defect, DynamicCell,
+    DynamicDefect, DynamicRefCell, FaultyCell,
+};
 
 /// Benchmark hook: when set, [`DefectPlan::apply`] installs the uncached
 /// switch-level evaluator and [`DefectPlan::apply64`] always refuses, so
@@ -70,8 +83,56 @@ pub struct DefectRecord {
     pub gate: NodeId,
     /// The bit-cell group the gate belongs to.
     pub bit: usize,
-    /// Human-readable description of the physical defect.
+    /// Human-readable description of the physical defect (suffixed with
+    /// the activation class for non-permanent defects).
     pub description: String,
+}
+
+/// The transistor-level fault state of one gate instance: permanent
+/// defects folded into the schematic, dynamic ones kept as
+/// `(site, lifetime, seed)` descriptions until apply time.
+#[derive(Clone, Debug)]
+struct TransGate {
+    cell: CmosCell,
+    dynamic: Vec<(Defect, Activation, u64)>,
+}
+
+/// The gate-level fault state of one gate instance: permanent stuck-at
+/// faults merged into a [`StuckSet`], dynamic ones applied per
+/// evaluation on top.
+#[derive(Clone, Debug)]
+struct StuckGate {
+    set: StuckSet,
+    dynamic: Vec<(StuckPort, bool, Activation, u64)>,
+}
+
+/// Gate behavior for dynamically activated stuck-at faults: each
+/// evaluation advances the per-fault activation machines and overlays
+/// the active faults on the permanent [`StuckSet`]. Permanent output
+/// faults keep their first-wins precedence over dynamic ones (the plan
+/// injects them first).
+#[derive(Clone, Debug)]
+struct DynamicStuck {
+    base: StuckSet,
+    dynamic: Vec<(StuckPort, bool, ActivationState)>,
+}
+
+impl GateBehavior for DynamicStuck {
+    fn eval(&mut self, inputs: &[bool]) -> bool {
+        let mut set = self.base.clone();
+        for (port, value, state) in &mut self.dynamic {
+            if state.advance() {
+                set.add(*port, *value);
+            }
+        }
+        set.eval(inputs)
+    }
+
+    fn reset(&mut self) {
+        for (_, _, state) in &mut self.dynamic {
+            state.reset();
+        }
+    }
 }
 
 /// An accumulating set of random defects targeting one circuit, applied
@@ -100,8 +161,8 @@ pub struct DefectRecord {
 #[derive(Clone, Debug, Default)]
 pub struct DefectPlan {
     model: Option<FaultModel>,
-    trans_cells: HashMap<NodeId, CmosCell>,
-    stuck_sets: HashMap<NodeId, StuckSet>,
+    trans_cells: HashMap<NodeId, TransGate>,
+    stuck_sets: HashMap<NodeId, StuckGate>,
     records: Vec<DefectRecord>,
 }
 
@@ -129,13 +190,21 @@ impl DefectPlan {
         self.records.is_empty()
     }
 
+    /// True if any injected defect has a non-permanent lifetime, i.e.
+    /// evaluation is stateful and lane-parallel paths must refuse it.
+    pub fn has_dynamic(&self) -> bool {
+        self.trans_cells.values().any(|g| !g.dynamic.is_empty())
+            || self.stuck_sets.values().any(|g| !g.dynamic.is_empty())
+    }
+
     /// Reports of every injected defect, in injection order.
     pub fn records(&self) -> &[DefectRecord] {
         &self.records
     }
 
-    /// Injects one uniformly random defect: random non-empty bit cell →
-    /// random gate within it → random site within the gate.
+    /// Injects one uniformly random **permanent** defect: random
+    /// non-empty bit cell → random gate within it → random site within
+    /// the gate.
     ///
     /// # Panics
     ///
@@ -147,6 +216,25 @@ impl DefectPlan {
         cells: &[Vec<NodeId>],
         rng: &mut R,
     ) {
+        self.add_random_with(net, cells, Activation::Permanent, rng);
+    }
+
+    /// Injects one uniformly random defect with the given lifetime.
+    /// For [`Activation::Permanent`] this consumes exactly the same RNG
+    /// draws as [`DefectPlan::add_random`]; non-permanent defects draw
+    /// one extra `u64` to seed their activation stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` contains no gates, or if a listed id is not a
+    /// gate of `net`.
+    pub fn add_random_with<R: Rng + ?Sized>(
+        &mut self,
+        net: &Netlist,
+        cells: &[Vec<NodeId>],
+        activation: Activation,
+        rng: &mut R,
+    ) {
         let nonempty: Vec<&Vec<NodeId>> = cells.iter().filter(|c| !c.is_empty()).collect();
         let group = *nonempty
             .choose(rng)
@@ -156,10 +244,11 @@ impl DefectPlan {
             .position(|c| std::ptr::eq(c, group))
             .expect("group came from cells");
         let gate = *group.choose(rng).expect("group is non-empty");
-        self.add_random_in_gate(net, gate, bit, rng);
+        self.add_random_in_gate_with(net, gate, bit, activation, rng);
     }
 
-    /// Injects one random defect into a specific gate instance.
+    /// Injects one random **permanent** defect into a specific gate
+    /// instance.
     ///
     /// # Panics
     ///
@@ -171,28 +260,61 @@ impl DefectPlan {
         bit: usize,
         rng: &mut R,
     ) {
+        self.add_random_in_gate_with(net, gate, bit, Activation::Permanent, rng);
+    }
+
+    /// Injects one random defect with the given lifetime into a
+    /// specific gate instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not a gate node of `net`.
+    pub fn add_random_in_gate_with<R: Rng + ?Sized>(
+        &mut self,
+        net: &Netlist,
+        gate: NodeId,
+        bit: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) {
         let kind = match net.node(gate) {
             Node::Gate { kind, .. } => *kind,
             other => panic!("{gate} is not a gate: {other:?}"),
         };
         let description = match self.model() {
             FaultModel::TransistorLevel => {
-                let cell = self
-                    .trans_cells
-                    .entry(gate)
-                    .or_insert_with(|| CmosCell::for_gate(kind));
-                let defect = cell.random_defect(rng);
-                cell.inject(defect).expect("site came from this cell");
-                format!("{kind}: {defect}")
+                let entry = self.trans_cells.entry(gate).or_insert_with(|| TransGate {
+                    cell: CmosCell::for_gate(kind),
+                    dynamic: Vec::new(),
+                });
+                let defect = entry.cell.random_defect(rng);
+                if activation.is_permanent() {
+                    entry.cell.inject(defect).expect("site came from this cell");
+                    format!("{kind}: {defect}")
+                } else {
+                    let seed = rng.random::<u64>();
+                    entry.dynamic.push((defect, activation, seed));
+                    format!("{kind}: {defect} [{activation}]")
+                }
             }
             FaultModel::GateLevel => {
                 let sites = StuckAt::sites(kind);
                 let &(port, value) = sites.choose(rng).expect("cells have sites");
-                self.stuck_sets
-                    .entry(gate)
-                    .or_insert_with(|| StuckSet::new(kind))
-                    .add(port, value);
-                format!("{kind}: {port:?} stuck at {}", u8::from(value))
+                let entry = self.stuck_sets.entry(gate).or_insert_with(|| StuckGate {
+                    set: StuckSet::new(kind),
+                    dynamic: Vec::new(),
+                });
+                if activation.is_permanent() {
+                    entry.set.add(port, value);
+                    format!("{kind}: {port:?} stuck at {}", u8::from(value))
+                } else {
+                    let seed = rng.random::<u64>();
+                    entry.dynamic.push((port, value, activation, seed));
+                    format!(
+                        "{kind}: {port:?} stuck at {} [{activation}]",
+                        u8::from(value)
+                    )
+                }
             }
         };
         self.records.push(DefectRecord {
@@ -202,53 +324,92 @@ impl DefectPlan {
         });
     }
 
+    fn dynamic_defects(gate: &TransGate) -> Vec<DynamicDefect> {
+        gate.dynamic
+            .iter()
+            .map(|&(d, a, s)| DynamicDefect::new(d, a, s))
+            .collect()
+    }
+
     /// Installs the accumulated faulty-gate behaviors into a simulator.
     /// Previously installed overrides for other gates are left in place.
     ///
     /// Transistor-level faults evaluate through the memoized truth
     /// tables of [`CachedCell`]: the first plan to see a given
     /// `(kind, defect set)` compiles its table, every later plan in the
-    /// process reuses it. Bit-identical to the switch-level evaluator
-    /// installed by [`DefectPlan::apply_switch_level`].
+    /// process reuses it. Gates carrying dynamic (transient or
+    /// intermittent) defects install a [`DynamicCell`] whose tables are
+    /// keyed by the currently-active defect subset. Bit-identical to the
+    /// switch-level evaluator installed by
+    /// [`DefectPlan::apply_switch_level`].
     pub fn apply(&self, sim: &mut Simulator) {
         if switch_level_baseline() {
             return self.apply_switch_level(sim);
         }
-        for (&gate, cell) in &self.trans_cells {
-            sim.override_gate(gate, Box::new(CachedCell::new(cell)));
+        for (&gate, tg) in &self.trans_cells {
+            if tg.dynamic.is_empty() {
+                sim.override_gate(gate, Box::new(CachedCell::new(&tg.cell)));
+            } else {
+                let dynamic = DynamicCell::new(tg.cell.clone(), Self::dynamic_defects(tg))
+                    .expect("dynamic sites were drawn from this cell");
+                sim.override_gate(gate, Box::new(dynamic));
+            }
         }
-        for (&gate, set) in &self.stuck_sets {
-            sim.override_gate(gate, Box::new(set.clone()));
+        for (&gate, sg) in &self.stuck_sets {
+            sim.override_gate(gate, Self::stuck_behavior(sg));
         }
     }
 
     /// Installs the faulty-gate behaviors using the uncached
-    /// switch-level evaluator ([`FaultyCell`]). Same results as
+    /// switch-level evaluator ([`FaultyCell`], or [`DynamicRefCell`]
+    /// for gates with dynamic defects). Same results as
     /// [`DefectPlan::apply`], minus the truth-table memoization — kept
     /// as the baseline for benchmarks and equivalence tests.
     pub fn apply_switch_level(&self, sim: &mut Simulator) {
-        for (&gate, cell) in &self.trans_cells {
-            sim.override_gate(gate, Box::new(FaultyCell::new(cell.clone())));
+        for (&gate, tg) in &self.trans_cells {
+            if tg.dynamic.is_empty() {
+                sim.override_gate(gate, Box::new(FaultyCell::new(tg.cell.clone())));
+            } else {
+                let dynamic = DynamicRefCell::new(tg.cell.clone(), Self::dynamic_defects(tg))
+                    .expect("dynamic sites were drawn from this cell");
+                sim.override_gate(gate, Box::new(dynamic));
+            }
         }
-        for (&gate, set) in &self.stuck_sets {
-            sim.override_gate(gate, Box::new(set.clone()));
+        for (&gate, sg) in &self.stuck_sets {
+            sim.override_gate(gate, Self::stuck_behavior(sg));
+        }
+    }
+
+    fn stuck_behavior(sg: &StuckGate) -> Box<dyn GateBehavior> {
+        if sg.dynamic.is_empty() {
+            Box::new(sg.set.clone())
+        } else {
+            Box::new(DynamicStuck {
+                base: sg.set.clone(),
+                dynamic: sg
+                    .dynamic
+                    .iter()
+                    .map(|&(port, value, act, seed)| (port, value, ActivationState::new(act, seed)))
+                    .collect(),
+            })
         }
     }
 
     /// Installs this plan into a 64-lane simulator, if every faulty
     /// cell is purely combinational under its defect set (no delay
-    /// defect, no reachable memory state). Returns `false` — without
-    /// touching `sim` — when any cell is stateful, in which case the
-    /// caller must fall back to the scalar path; lane-parallel
-    /// evaluation cannot order the per-lane state updates of a latching
-    /// cell.
+    /// defect, no reachable memory state) and no defect is dynamic.
+    /// Returns `false` — without touching `sim` — when any cell is
+    /// stateful, in which case the caller must fall back to the scalar
+    /// path; lane-parallel evaluation cannot order the per-lane state
+    /// updates of a latching cell, nor the per-evaluation activation
+    /// stream of a transient defect.
     pub fn apply64(&self, sim: &mut Simulator64) -> bool {
-        if switch_level_baseline() {
+        if switch_level_baseline() || self.has_dynamic() {
             return false;
         }
         let mut tables = Vec::with_capacity(self.trans_cells.len());
-        for (&gate, cell) in &self.trans_cells {
-            match CellTable::cached(cell).truth64() {
+        for (&gate, tg) in &self.trans_cells {
+            match CellTable::cached(&tg.cell).truth64() {
                 Some(t64) => tables.push((gate, t64)),
                 None => return false,
             }
@@ -256,8 +417,8 @@ impl DefectPlan {
         for (gate, t64) in tables {
             sim.override_gate(gate, Box::new(t64));
         }
-        for (&gate, set) in &self.stuck_sets {
-            sim.override_gate(gate, Box::new(set.clone()));
+        for (&gate, sg) in &self.stuck_sets {
+            sim.override_gate(gate, Box::new(sg.set.clone()));
         }
         true
     }
@@ -289,6 +450,7 @@ mod tests {
         assert_eq!(plan.len(), 20);
         assert_eq!(plan.model(), FaultModel::TransistorLevel);
         assert!(!plan.is_empty());
+        assert!(!plan.has_dynamic());
         let mut sim = adder.simulator();
         plan.apply(&mut sim);
         assert!(sim.override_count() > 0);
@@ -362,6 +524,104 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_apply_matches_switch_level_apply() {
+        // Same equivalence under transient and intermittent lifetimes:
+        // the table-backed DynamicCell and the uncached DynamicRefCell
+        // see identical seeded activation streams, so whole-circuit
+        // outputs must stay bit-identical call by call.
+        let adder = AdderCircuit::new(4);
+        for (seed, activation) in [
+            (
+                0u64,
+                Activation::Transient {
+                    per_eval_probability: 0.3,
+                },
+            ),
+            (1, Activation::Intermittent { period: 5, duty: 2 }),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            for i in 0..4 {
+                // Mix permanent and dynamic defects in one plan.
+                let act = if i % 2 == 0 {
+                    activation
+                } else {
+                    Activation::Permanent
+                };
+                plan.add_random_with(adder.netlist(), adder.cells(), act, &mut rng);
+            }
+            assert!(plan.has_dynamic());
+            let mut cached = adder.simulator();
+            plan.apply(&mut cached);
+            let mut switch = adder.simulator();
+            plan.apply_switch_level(&mut switch);
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    assert_eq!(
+                        adder.compute(&mut cached, a, b),
+                        adder.compute(&mut switch, a, b),
+                        "{activation}: diverged at {a}+{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_records_name_the_activation() {
+        let adder = AdderCircuit::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+        plan.add_random_with(
+            adder.netlist(),
+            adder.cells(),
+            Activation::Transient {
+                per_eval_probability: 0.1,
+            },
+            &mut rng,
+        );
+        assert!(plan.records()[0].description.contains("transient(p=0.1)"));
+        let mut gate_plan = DefectPlan::new(FaultModel::GateLevel);
+        gate_plan.add_random_with(
+            adder.netlist(),
+            adder.cells(),
+            Activation::Intermittent { period: 8, duty: 3 },
+            &mut rng,
+        );
+        assert!(gate_plan.records()[0]
+            .description
+            .contains("intermittent(3/8)"));
+        // Dynamic gate-level plans install and evaluate.
+        let mut sim = adder.simulator();
+        gate_plan.apply(&mut sim);
+        assert_eq!(sim.override_count(), 1);
+        let (s, _) = adder.compute(&mut sim, 2, 2);
+        assert!(s < 16);
+    }
+
+    #[test]
+    fn permanent_activation_is_rng_compatible_with_add_random() {
+        // `add_random_with(Permanent)` must consume the same RNG draws
+        // and produce the same plan as the original `add_random`.
+        let adder = AdderCircuit::new(4);
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = a.clone();
+        let mut plain = DefectPlan::new(FaultModel::TransistorLevel);
+        let mut with = DefectPlan::new(FaultModel::TransistorLevel);
+        for _ in 0..10 {
+            plain.add_random(adder.netlist(), adder.cells(), &mut a);
+            with.add_random_with(
+                adder.netlist(),
+                adder.cells(),
+                Activation::Permanent,
+                &mut b,
+            );
+        }
+        assert_eq!(plain.records(), with.records());
+        assert_eq!(a.random::<u64>(), b.random::<u64>(), "RNG streams aligned");
+    }
+
+    #[test]
     fn apply64_rejects_stateful_plans_and_accepts_combinational() {
         use std::sync::Arc;
         let adder = AdderCircuit::new(4);
@@ -382,6 +642,27 @@ mod tests {
         }
         assert!(combinational > 0, "no combinational plan in 30 seeds");
         assert!(stateful > 0, "no stateful plan in 30 seeds");
+    }
+
+    #[test]
+    fn apply64_always_refuses_dynamic_plans() {
+        use std::sync::Arc;
+        let adder = AdderCircuit::new(4);
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            plan.add_random_with(
+                adder.netlist(),
+                adder.cells(),
+                Activation::Transient {
+                    per_eval_probability: 0.5,
+                },
+                &mut rng,
+            );
+            let mut sim64 = Simulator64::new(Arc::clone(adder.netlist()));
+            assert!(!plan.apply64(&mut sim64), "dynamic plans cannot vectorize");
+            assert_eq!(sim64.override_count(), 0);
+        }
     }
 
     #[test]

@@ -67,11 +67,33 @@ macro_rules! hw_operator {
                 self.sim64.is_some()
             }
 
-            /// Injects `n` random defects under the given fault model and
-            /// applies them. Returns a description per defect.
+            /// Injects `n` random **permanent** defects under the given
+            /// fault model and applies them. Returns a description per
+            /// defect.
             pub fn inject_random<R: Rng + ?Sized>(
                 &mut self,
                 model: FaultModel,
+                n: usize,
+                rng: &mut R,
+            ) -> Vec<String> {
+                self.inject_random_with(
+                    model,
+                    dta_transistor::Activation::Permanent,
+                    n,
+                    rng,
+                )
+            }
+
+            /// Injects `n` random defects with the given lifetime under
+            /// the given fault model and applies them. Returns a
+            /// description per defect. For
+            /// [`dta_transistor::Activation::Permanent`] this consumes
+            /// exactly the same RNG draws as
+            /// [`Self::inject_random`].
+            pub fn inject_random_with<R: Rng + ?Sized>(
+                &mut self,
+                model: FaultModel,
+                activation: dta_transistor::Activation,
                 n: usize,
                 rng: &mut R,
             ) -> Vec<String> {
@@ -80,9 +102,10 @@ macro_rules! hw_operator {
                     self.plan = DefectPlan::new(model);
                 }
                 for _ in 0..n {
-                    self.plan.add_random(
+                    self.plan.add_random_with(
                         self.circuit.netlist(),
                         self.circuit.cells(),
+                        activation,
                         rng,
                     );
                 }

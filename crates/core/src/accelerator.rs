@@ -31,6 +31,22 @@ pub enum AccelError {
         /// Attributes expected by the mapped network.
         expected: usize,
     },
+    /// The mapped network has no outputs to classify with.
+    NoOutputs,
+    /// An empty sample selection was passed to an accuracy measurement.
+    EmptySelection,
+    /// A training label is outside the mapped network's output range.
+    BadLabel {
+        /// The offending label.
+        label: usize,
+        /// Output count of the mapped network.
+        outputs: usize,
+    },
+    /// A training hyperparameter is out of range.
+    BadHyperparameter {
+        /// Which parameter, and why it was rejected.
+        what: String,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -43,8 +59,43 @@ impl fmt::Display for AccelError {
             AccelError::WrongRowWidth { got, expected } => {
                 write!(f, "row has {got} attributes, network expects {expected}")
             }
+            AccelError::NoOutputs => write!(f, "mapped network has no outputs"),
+            AccelError::EmptySelection => {
+                write!(f, "cannot measure accuracy over an empty sample selection")
+            }
+            AccelError::BadLabel { label, outputs } => {
+                write!(f, "label {label} out of range for {outputs} outputs")
+            }
+            AccelError::BadHyperparameter { what } => {
+                write!(f, "bad hyperparameter: {what}")
+            }
         }
     }
+}
+
+/// Validates training hyperparameters shared by [`Accelerator::retrain`]
+/// and [`Accelerator::online_step`].
+fn check_hyperparameters(
+    learning_rate: f64,
+    momentum: f64,
+    epochs: usize,
+) -> Result<(), AccelError> {
+    if !(learning_rate > 0.0 && learning_rate.is_finite()) {
+        return Err(AccelError::BadHyperparameter {
+            what: format!("learning rate {learning_rate} must be positive and finite"),
+        });
+    }
+    if !(0.0..1.0).contains(&momentum) {
+        return Err(AccelError::BadHyperparameter {
+            what: format!("momentum {momentum} must be in [0, 1)"),
+        });
+    }
+    if epochs == 0 {
+        return Err(AccelError::BadHyperparameter {
+            what: "epochs must be at least 1".to_string(),
+        });
+    }
+    Ok(())
 }
 
 impl std::error::Error for AccelError {}
@@ -189,15 +240,16 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Accelerator::process_row`].
+    /// Same conditions as [`Accelerator::process_row`], plus
+    /// [`AccelError::NoOutputs`] for a degenerate zero-output network.
     pub fn classify(&mut self, row: &[f64]) -> Result<usize, AccelError> {
         let outputs = self.process_row(row)?;
-        Ok(outputs
+        outputs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("at least one output"))
+            .ok_or(AccelError::NoOutputs)
     }
 
     /// Companion-core retraining: trains the mapped network on `ds`
@@ -206,7 +258,10 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// [`AccelError::NoNetwork`] if nothing is mapped.
+    /// [`AccelError::NoNetwork`] if nothing is mapped;
+    /// [`AccelError::BadHyperparameter`] for a non-positive or
+    /// non-finite learning rate, a momentum outside `[0, 1)`, or zero
+    /// epochs.
     pub fn retrain<R: Rng + ?Sized>(
         &mut self,
         ds: &Dataset,
@@ -216,6 +271,7 @@ impl Accelerator {
         epochs: usize,
         rng: &mut R,
     ) -> Result<(), AccelError> {
+        check_hyperparameters(learning_rate, momentum, epochs)?;
         let mut mlp = self.network.take().ok_or(AccelError::NoNetwork)?;
         let trainer = Trainer::new(learning_rate, momentum, epochs, ForwardMode::Fixed);
         self.faults.reset_state();
@@ -231,18 +287,17 @@ impl Accelerator {
     /// # Errors
     ///
     /// [`AccelError::NoNetwork`] if nothing is mapped;
-    /// [`AccelError::WrongRowWidth`] on a width mismatch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `label` is not below the network's output count or the
-    /// learning rate is not positive.
+    /// [`AccelError::WrongRowWidth`] on a width mismatch;
+    /// [`AccelError::BadLabel`] if `label` is not below the network's
+    /// output count; [`AccelError::BadHyperparameter`] for a
+    /// non-positive or non-finite learning rate.
     pub fn online_step(
         &mut self,
         row: &[f64],
         label: usize,
         learning_rate: f64,
     ) -> Result<(), AccelError> {
+        check_hyperparameters(learning_rate, 0.0, 1)?;
         let mut mlp = self.network.take().ok_or(AccelError::NoNetwork)?;
         let topo = mlp.topology();
         if row.len() != topo.inputs {
@@ -252,7 +307,13 @@ impl Accelerator {
                 expected: topo.inputs,
             });
         }
-        assert!(label < topo.outputs, "label {label} out of range");
+        if label >= topo.outputs {
+            self.network = Some(mlp);
+            return Err(AccelError::BadLabel {
+                label,
+                outputs: topo.outputs,
+            });
+        }
         let ds = Dataset::new(
             "online",
             topo.inputs,
@@ -276,18 +337,24 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// [`AccelError::NoNetwork`] if nothing is mapped.
+    /// [`AccelError::NoNetwork`] if nothing is mapped;
+    /// [`AccelError::EmptySelection`] if `idx` is empty (the mean would
+    /// be 0/0); any [`Accelerator::classify`] error for the individual
+    /// rows (e.g. a dataset whose rows don't match the mapped network).
     pub fn evaluate(&mut self, ds: &Dataset, idx: &[usize]) -> Result<f64, AccelError> {
         if self.network.is_none() {
             return Err(AccelError::NoNetwork);
         }
-        let correct = idx
-            .iter()
-            .filter(|&&s| {
-                let sample = &ds.samples()[s];
-                self.classify(&sample.features).expect("validated above") == sample.label
-            })
-            .count();
+        if idx.is_empty() {
+            return Err(AccelError::EmptySelection);
+        }
+        let mut correct = 0usize;
+        for &s in idx {
+            let sample = &ds.samples()[s];
+            if self.classify(&sample.features)? == sample.label {
+                correct += 1;
+            }
+        }
         Ok(correct as f64 / idx.len() as f64)
     }
 
@@ -440,5 +507,77 @@ mod tests {
         ));
         // Network survives a failed step.
         assert!(accel.network().is_some());
+        // Out-of-range labels are an error, not a panic.
+        assert_eq!(
+            accel.online_step(&[0.0; 4], 2, 0.1),
+            Err(AccelError::BadLabel {
+                label: 2,
+                outputs: 2
+            })
+        );
+        assert!(accel.network().is_some());
+        // Bad learning rates are rejected before any state is touched.
+        for lr in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                accel.online_step(&[0.0; 4], 0, lr),
+                Err(AccelError::BadHyperparameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn retrain_rejects_bad_hyperparameters() {
+        let ds = suite::load("iris").unwrap();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 3), 5))
+            .unwrap();
+        for (lr, momentum, epochs) in [
+            (0.0, 0.1, 10),
+            (f64::NAN, 0.1, 10),
+            (0.2, -0.1, 10),
+            (0.2, 1.0, 10),
+            (0.2, 0.1, 0),
+        ] {
+            let err = accel
+                .retrain(&ds, &idx, lr, momentum, epochs, &mut rng)
+                .unwrap_err();
+            assert!(
+                matches!(err, AccelError::BadHyperparameter { .. }),
+                "({lr}, {momentum}, {epochs}) gave {err}"
+            );
+            // The mapped network is untouched by a rejected call.
+            assert!(accel.network().is_some());
+        }
+    }
+
+    #[test]
+    fn evaluate_rejects_empty_selection_and_bad_rows() {
+        let ds = suite::load("iris").unwrap();
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 3), 5))
+            .unwrap();
+        assert_eq!(accel.evaluate(&ds, &[]), Err(AccelError::EmptySelection));
+        // A dataset whose rows don't match the mapped network surfaces
+        // as an error instead of a panic.
+        let wide = Dataset::new(
+            "wide",
+            6,
+            2,
+            vec![dta_datasets::Sample {
+                features: vec![0.0; 6],
+                label: 0,
+            }],
+        );
+        assert!(matches!(
+            accel.evaluate(&wide, &[0]),
+            Err(AccelError::WrongRowWidth {
+                got: 6,
+                expected: 4
+            })
+        ));
     }
 }

@@ -1,15 +1,27 @@
 //! Defect-injection campaigns: the experiment logic behind Figures 10
-//! and 11.
+//! and 11, plus the transient/intermittent variants.
+//!
+//! The campaign engine is resilient and resumable: each grid cell runs
+//! under [`std::panic::catch_unwind`], so a panicking cell degrades to
+//! a reported [`CellOutcome::Failed`] (after one retry with the same
+//! derived seed) instead of killing the whole run, and finished cells
+//! can be journaled to a [`Checkpoint`](crate::checkpoint::Checkpoint)
+//! so an interrupted campaign resumes where it left off and reproduces
+//! the uninterrupted curve byte-for-byte.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use dta_ann::{cross_validate, FaultPlan, ForwardMode, Mlp, Topology, Trainer};
-use dta_circuits::FaultModel;
+use dta_circuits::{Activation, FaultModel};
 use dta_datasets::{Dataset, TaskSpec};
 use dta_fixed::SigmoidLut;
 
+use crate::checkpoint::Checkpoint;
 use crate::parallel::parallel_map;
 
 /// Parameters of a defect-tolerance campaign. The paper uses 100
@@ -28,6 +40,10 @@ pub struct CampaignConfig {
     pub epochs: Option<usize>,
     /// Fault model to inject with.
     pub model: FaultModel,
+    /// Fault lifetime of every injected defect: permanent (the paper's
+    /// Figure 10), transient (active each evaluation with probability
+    /// `p`), or intermittent (a duty cycle in evaluations).
+    pub activation: Activation,
     /// Master seed.
     pub seed: u64,
     /// Worker threads for the (defect-count × repetition) grid:
@@ -35,6 +51,11 @@ pub struct CampaignConfig {
     /// Results are bit-identical for every value — each cell's RNG is
     /// derived from `seed` and the cell coordinates alone.
     pub threads: usize,
+    /// Fault-injection hooks for the engine itself: cells listed here
+    /// panic on their first `attempts` runs. Used to test (and
+    /// demonstrate) panic isolation, retry, and checkpoint recovery;
+    /// leave empty for real campaigns.
+    pub chaos: Vec<ChaosCell>,
 }
 
 impl Default for CampaignConfig {
@@ -45,23 +66,120 @@ impl Default for CampaignConfig {
             folds: 3,
             epochs: Some(40),
             model: FaultModel::TransistorLevel,
+            activation: Activation::Permanent,
             seed: 0xD7A,
             threads: 1,
+            chaos: Vec::new(),
         }
     }
 }
 
+impl CampaignConfig {
+    /// Stable description of every knob that determines cell results,
+    /// used as the checkpoint-journal header. `threads` is excluded
+    /// (results are thread-invariant) and so is `chaos` (an engine
+    /// test hook, not part of the experiment).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "v1 seed={:#x} counts={:?} reps={} folds={} epochs={:?} model={} activation={}",
+            self.seed,
+            self.defect_counts,
+            self.repetitions,
+            self.folds,
+            self.epochs,
+            self.model,
+            self.activation,
+        )
+    }
+}
+
+/// A campaign-engine fault-injection hook: the cell at
+/// `(defects, rep)` panics on its first `attempts` runs, succeeding
+/// afterwards. With `attempts == 1` the built-in retry recovers the
+/// cell; with `attempts >= 2` it is reported as failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosCell {
+    /// Defect count coordinate of the targeted cell.
+    pub defects: usize,
+    /// Repetition coordinate of the targeted cell.
+    pub rep: usize,
+    /// How many consecutive runs of the cell panic.
+    pub attempts: usize,
+}
+
+/// Errors surfaced by the campaign engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignError {
+    /// `repetitions` was zero — the grid would be empty.
+    NoRepetitions,
+    /// A checkpoint journal could not be opened, parsed, or written,
+    /// or belongs to a different campaign configuration.
+    Checkpoint {
+        /// Journal file path.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::NoRepetitions => {
+                write!(f, "campaign needs at least one repetition")
+            }
+            CampaignError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// What happened to one (defect count × repetition) grid cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOutcome {
+    /// The cell trained and evaluated normally.
+    Completed {
+        /// Cross-validated accuracy.
+        accuracy: f64,
+        /// Whether the first attempt panicked and the retry succeeded.
+        retried: bool,
+    },
+    /// Both the first attempt and the retry panicked; the campaign
+    /// degraded gracefully instead of aborting.
+    Failed {
+        /// The panic payload (message) of the final attempt.
+        panic: String,
+    },
+}
+
 /// One point of the Figure 10 curve.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CurvePoint {
     /// Number of injected defects.
     pub defects: usize,
-    /// Mean cross-validated accuracy over repetitions.
+    /// Mean cross-validated accuracy over completed repetitions.
     pub mean_accuracy: f64,
-    /// Worst repetition.
+    /// Worst completed repetition.
     pub min_accuracy: f64,
-    /// Best repetition.
+    /// Best completed repetition.
     pub max_accuracy: f64,
+    /// Repetitions that panicked twice and were dropped from the
+    /// statistics (0 in a healthy run).
+    pub failed: usize,
+    /// Repetitions that panicked once and succeeded on retry.
+    pub retried: usize,
+}
+
+/// Derives the per-cell RNG seed from the master seed and the cell
+/// coordinates alone — this is what makes campaigns thread-invariant
+/// and resumable. The packing keeps every `(defect_count, rep)` pair
+/// in the documented ranges (counts ≤ 300, reps ≤ 1500) on a distinct
+/// stream.
+fn cell_seed(master: u64, n_defects: usize, rep: usize) -> u64 {
+    master ^ (n_defects as u64) << 24 ^ (rep as u64) << 8
 }
 
 /// Runs the Figure 10 experiment for one task: for each defect count,
@@ -69,7 +187,39 @@ pub struct CurvePoint {
 /// silicon, retrain through the faulty forward path, and measure
 /// cross-validated accuracy. "The N defects of a network remain the same
 /// while the network is re-trained and tested."
-pub fn defect_tolerance_curve(spec: &TaskSpec, cfg: &CampaignConfig) -> Vec<CurvePoint> {
+///
+/// Equivalent to [`defect_tolerance_curve_resumable`] without a
+/// checkpoint.
+///
+/// # Errors
+///
+/// [`CampaignError::NoRepetitions`] if `cfg.repetitions == 0`.
+pub fn defect_tolerance_curve(
+    spec: &TaskSpec,
+    cfg: &CampaignConfig,
+) -> Result<Vec<CurvePoint>, CampaignError> {
+    defect_tolerance_curve_resumable(spec, cfg, None)
+}
+
+/// [`defect_tolerance_curve`] with checkpoint/resume: cells already in
+/// the journal are skipped and their recorded outcomes replayed, cells
+/// computed now are appended as they finish. A campaign killed
+/// mid-grid and restarted with the same journal reproduces the
+/// uninterrupted curve byte-for-byte.
+///
+/// # Errors
+///
+/// [`CampaignError::NoRepetitions`] if `cfg.repetitions == 0`. Journal
+/// errors are reported by [`Checkpoint::open`], not here.
+pub fn defect_tolerance_curve_resumable(
+    spec: &TaskSpec,
+    cfg: &CampaignConfig,
+    checkpoint: Option<&Checkpoint>,
+) -> Result<Vec<CurvePoint>, CampaignError> {
+    let reps = cfg.repetitions;
+    if reps == 0 {
+        return Err(CampaignError::NoRepetitions);
+    }
     let ds = spec.dataset();
     let epochs = cfg.epochs.unwrap_or(spec.epochs);
     let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
@@ -77,27 +227,100 @@ pub fn defect_tolerance_curve(spec: &TaskSpec, cfg: &CampaignConfig) -> Vec<Curv
     // Flatten the (defect-count × repetition) grid into independent
     // cells and fan them over the worker pool. Each cell seeds its own
     // ChaCha8 stream from the master seed and its coordinates — the
-    // derivation below is byte-for-byte the one the serial loop always
-    // used, so any thread count reproduces the serial accuracies
-    // exactly.
-    let reps = cfg.repetitions;
-    assert!(reps > 0, "campaign needs at least one repetition");
-    let accs = parallel_map(cfg.defect_counts.len() * reps, cfg.threads, |cell| {
+    // derivation is byte-for-byte the one the serial loop always used,
+    // so any thread count reproduces the serial accuracies exactly.
+    let outcomes = parallel_map(cfg.defect_counts.len() * reps, cfg.threads, |cell| {
         let n_defects = cfg.defect_counts[cell / reps];
         let rep = cell % reps;
-        campaign_cell(spec, cfg, &trainer, &ds, n_defects, rep)
+        if let Some(ck) = checkpoint {
+            if let Some(done) = ck.lookup(spec.name, n_defects, rep) {
+                return done;
+            }
+        }
+        let outcome = run_cell_resilient(spec, cfg, &trainer, &ds, n_defects, rep);
+        if let Some(ck) = checkpoint {
+            ck.record(spec.name, n_defects, rep, &outcome);
+        }
+        outcome
     });
 
-    cfg.defect_counts
+    Ok(cfg
+        .defect_counts
         .iter()
-        .zip(accs.chunks_exact(reps))
-        .map(|(&n_defects, accs)| CurvePoint {
-            defects: n_defects,
-            mean_accuracy: accs.iter().sum::<f64>() / accs.len() as f64,
-            min_accuracy: accs.iter().copied().fold(f64::INFINITY, f64::min),
-            max_accuracy: accs.iter().copied().fold(0.0, f64::max),
+        .zip(outcomes.chunks_exact(reps))
+        .map(|(&n_defects, cell_outcomes)| {
+            let mut accs = Vec::with_capacity(reps);
+            let mut failed = 0;
+            let mut retried = 0;
+            for outcome in cell_outcomes {
+                match outcome {
+                    CellOutcome::Completed {
+                        accuracy,
+                        retried: r,
+                    } => {
+                        accs.push(*accuracy);
+                        retried += usize::from(*r);
+                    }
+                    CellOutcome::Failed { .. } => failed += 1,
+                }
+            }
+            let (mean, min, max) = if accs.is_empty() {
+                (0.0, 0.0, 0.0)
+            } else {
+                (
+                    accs.iter().sum::<f64>() / accs.len() as f64,
+                    accs.iter().copied().fold(f64::INFINITY, f64::min),
+                    accs.iter().copied().fold(0.0, f64::max),
+                )
+            };
+            CurvePoint {
+                defects: n_defects,
+                mean_accuracy: mean,
+                min_accuracy: min,
+                max_accuracy: max,
+                failed,
+                retried,
+            }
         })
-        .collect()
+        .collect())
+}
+
+/// Runs one grid cell under panic isolation: a first attempt, and on
+/// panic one retry with the same derived seed (transient environmental
+/// failures recover; deterministic ones fail again and are reported).
+fn run_cell_resilient(
+    spec: &TaskSpec,
+    cfg: &CampaignConfig,
+    trainer: &Trainer,
+    ds: &Dataset,
+    n_defects: usize,
+    rep: usize,
+) -> CellOutcome {
+    let mut last_panic = String::new();
+    for attempt in 0..2 {
+        match catch_unwind(AssertUnwindSafe(|| {
+            campaign_cell(spec, cfg, trainer, ds, n_defects, rep, attempt)
+        })) {
+            Ok(accuracy) => {
+                return CellOutcome::Completed {
+                    accuracy,
+                    retried: attempt > 0,
+                }
+            }
+            Err(payload) => last_panic = panic_message(payload),
+        }
+    }
+    CellOutcome::Failed { panic: last_panic }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 /// One grid cell of the Figure 10 campaign: draw the defect set for
@@ -110,12 +333,17 @@ fn campaign_cell(
     ds: &Dataset,
     n_defects: usize,
     rep: usize,
+    attempt: usize,
 ) -> f64 {
-    let mut rng =
-        ChaCha8Rng::seed_from_u64(cfg.seed ^ (n_defects as u64) << 24 ^ (rep as u64) << 8);
+    for chaos in &cfg.chaos {
+        if chaos.defects == n_defects && chaos.rep == rep && attempt < chaos.attempts {
+            panic!("chaos: injected panic in cell ({n_defects}, {rep}) attempt {attempt}");
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(cell_seed(cfg.seed, n_defects, rep));
     let mut plan = FaultPlan::new(90);
     for _ in 0..n_defects {
-        plan.inject_random_hidden(spec.hidden, cfg.model, &mut rng);
+        plan.inject_random_hidden_with(spec.hidden, cfg.model, cfg.activation, &mut rng);
     }
     let cv = cross_validate(
         trainer,
@@ -227,6 +455,7 @@ pub fn output_amplitude_curve(
 mod tests {
     use super::*;
     use dta_datasets::suite;
+    use std::path::PathBuf;
 
     fn tiny_cfg() -> CampaignConfig {
         CampaignConfig {
@@ -235,18 +464,27 @@ mod tests {
             folds: 2,
             epochs: Some(8),
             model: FaultModel::TransistorLevel,
+            activation: Activation::Permanent,
             seed: 7,
             threads: 1,
+            chaos: Vec::new(),
         }
+    }
+
+    fn iris() -> TaskSpec {
+        suite::specs()
+            .into_iter()
+            .find(|s| s.name == "iris")
+            .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dta_campaign_{}_{name}.jsonl", std::process::id()))
     }
 
     #[test]
     fn curve_has_one_point_per_count() {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == "iris")
-            .unwrap();
-        let curve = defect_tolerance_curve(&spec, &tiny_cfg());
+        let curve = defect_tolerance_curve(&iris(), &tiny_cfg()).unwrap();
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0].defects, 0);
         assert_eq!(curve[1].defects, 8);
@@ -254,15 +492,25 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.mean_accuracy));
             assert!(p.min_accuracy <= p.mean_accuracy);
             assert!(p.mean_accuracy <= p.max_accuracy);
+            assert_eq!(p.failed, 0);
+            assert_eq!(p.retried, 0);
         }
     }
 
     #[test]
+    fn zero_repetitions_is_an_error_not_a_panic() {
+        let cfg = CampaignConfig {
+            repetitions: 0,
+            ..tiny_cfg()
+        };
+        assert_eq!(
+            defect_tolerance_curve(&iris(), &cfg),
+            Err(CampaignError::NoRepetitions)
+        );
+    }
+
+    #[test]
     fn zero_defects_trains_well_even_tiny() {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == "iris")
-            .unwrap();
         let cfg = CampaignConfig {
             defect_counts: vec![0],
             repetitions: 1,
@@ -270,7 +518,7 @@ mod tests {
             epochs: Some(25),
             ..tiny_cfg()
         };
-        let curve = defect_tolerance_curve(&spec, &cfg);
+        let curve = defect_tolerance_curve(&iris(), &cfg).unwrap();
         assert!(
             curve[0].mean_accuracy > 0.8,
             "clean iris accuracy {}",
@@ -280,21 +528,14 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic() {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == "iris")
-            .unwrap();
-        let a = defect_tolerance_curve(&spec, &tiny_cfg());
-        let b = defect_tolerance_curve(&spec, &tiny_cfg());
+        let a = defect_tolerance_curve(&iris(), &tiny_cfg()).unwrap();
+        let b = defect_tolerance_curve(&iris(), &tiny_cfg()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn amplitude_experiment_produces_points() {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == "iris")
-            .unwrap();
+        let spec = iris();
         let points = output_amplitude_curve(&spec, 3, Some(8), 11, 1);
         assert_eq!(points.len(), 3);
         for p in &points {
@@ -308,16 +549,13 @@ mod tests {
 
     #[test]
     fn parallel_curve_is_bit_identical_to_serial() {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == "iris")
-            .unwrap();
+        let spec = iris();
         let mut cfg = tiny_cfg();
         cfg.repetitions = 2;
-        let serial = defect_tolerance_curve(&spec, &cfg);
+        let serial = defect_tolerance_curve(&spec, &cfg).unwrap();
         for threads in [2, 4] {
             cfg.threads = threads;
-            let parallel = defect_tolerance_curve(&spec, &cfg);
+            let parallel = defect_tolerance_curve(&spec, &cfg).unwrap();
             // PartialEq on f64 fields: bit-identical, not approximately
             // equal.
             assert_eq!(serial, parallel, "threads={threads}");
@@ -325,15 +563,188 @@ mod tests {
     }
 
     #[test]
-    fn parallel_amplitude_curve_is_bit_identical_to_serial() {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == "iris")
-            .unwrap();
-        let serial = output_amplitude_curve(&spec, 4, Some(6), 11, 1);
-        for threads in [2, 3] {
-            let parallel = output_amplitude_curve(&spec, 4, Some(6), 11, threads);
-            assert_eq!(serial, parallel, "threads={threads}");
+    fn dynamic_activation_curves_are_bit_identical_across_threads() {
+        let spec = iris();
+        for activation in [
+            Activation::Transient {
+                per_eval_probability: 0.3,
+            },
+            Activation::Intermittent { period: 4, duty: 2 },
+        ] {
+            let mut cfg = CampaignConfig {
+                defect_counts: vec![0, 6],
+                repetitions: 2,
+                epochs: Some(6),
+                activation,
+                ..tiny_cfg()
+            };
+            let serial = defect_tolerance_curve(&spec, &cfg).unwrap();
+            for threads in [2, 4] {
+                cfg.threads = threads;
+                let parallel = defect_tolerance_curve(&spec, &cfg).unwrap();
+                assert_eq!(serial, parallel, "{activation} threads={threads}");
+            }
         }
+    }
+
+    #[test]
+    fn dynamic_activation_changes_the_curve() {
+        // Same defect sites, different lifetimes → different results (a
+        // transient defect at p=0.05 is mostly dormant, a permanent one
+        // is always on). Accuracies are coarsely quantized (correct
+        // counts over small folds), so compare whole curves over
+        // several repetitions rather than a single mean.
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.defect_counts = vec![10, 14];
+        cfg.repetitions = 2;
+        let permanent = defect_tolerance_curve(&spec, &cfg).unwrap();
+        cfg.activation = Activation::Transient {
+            per_eval_probability: 0.05,
+        };
+        let transient = defect_tolerance_curve(&spec, &cfg).unwrap();
+        assert_ne!(
+            permanent, transient,
+            "activation class should alter results"
+        );
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_over_documented_ranges() {
+        // The `<< 24` / `<< 8` packing keeps every (defect_count, rep)
+        // pair on its own RNG stream for counts ≤ 300 and reps ≤ 1500
+        // (well past any plausible campaign; the paper uses 27 × 100).
+        let mut seen = std::collections::HashSet::new();
+        for master in [0u64, 0xD7A] {
+            seen.clear();
+            for d in 0..=300usize {
+                for rep in 0..=1500usize {
+                    assert!(
+                        seen.insert(cell_seed(master, d, rep)),
+                        "seed collision at master={master:#x} defects={d} rep={rep}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_cell_degrades_to_failed_point() {
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.chaos = vec![ChaosCell {
+            defects: 8,
+            rep: 0,
+            attempts: 2, // first run and retry both panic
+        }];
+        let curve = defect_tolerance_curve(&spec, &cfg).unwrap();
+        assert_eq!(curve[0].failed, 0);
+        assert_eq!(curve[1].failed, 1);
+        // The only repetition failed → no statistics for that point.
+        assert_eq!(curve[1].mean_accuracy, 0.0);
+    }
+
+    #[test]
+    fn panicking_cell_is_retried_once_and_recovers() {
+        let spec = iris();
+        let clean = defect_tolerance_curve(&spec, &tiny_cfg()).unwrap();
+        let mut cfg = tiny_cfg();
+        cfg.chaos = vec![ChaosCell {
+            defects: 8,
+            rep: 0,
+            attempts: 1, // only the first run panics
+        }];
+        let curve = defect_tolerance_curve(&spec, &cfg).unwrap();
+        assert_eq!(curve[1].retried, 1);
+        assert_eq!(curve[1].failed, 0);
+        // The retry uses the same derived seed, so the accuracy is the
+        // clean run's, bit for bit.
+        assert_eq!(curve[1].mean_accuracy, clean[1].mean_accuracy);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_byte_identical() {
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.repetitions = 2;
+        let fingerprint = cfg.fingerprint();
+        let baseline = defect_tolerance_curve(&spec, &cfg).unwrap();
+
+        let path = tmp("resume");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+            let full = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+            assert_eq!(full, baseline, "checkpointing must not change results");
+            assert_eq!(ck.completed(), 0, "lookups hit nothing on a fresh journal");
+        }
+
+        // Simulate a campaign killed mid-grid: keep the header and the
+        // first two journaled cells, drop the rest.
+        let journal = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = journal.lines().take(3).collect();
+        assert_eq!(truncated.len(), 3, "expected header + >=2 cells");
+        std::fs::write(&path, format!("{}\n", truncated.join("\n"))).unwrap();
+
+        let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+        assert_eq!(ck.completed(), 2);
+        let resumed = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+        assert_eq!(resumed, baseline, "resumed curve must be byte-identical");
+
+        // And a second resume from the now-complete journal recomputes
+        // nothing yet still reproduces the curve.
+        drop(ck);
+        let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+        assert_eq!(ck.completed(), 4);
+        let replayed = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+        assert_eq!(replayed, baseline);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_cells_are_journaled_and_replayed_on_resume() {
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.chaos = vec![ChaosCell {
+            defects: 8,
+            rep: 0,
+            attempts: 2,
+        }];
+        let path = tmp("failed");
+        let _ = std::fs::remove_file(&path);
+        let fingerprint = cfg.fingerprint(); // chaos excluded from fingerprint
+        {
+            let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+            let curve = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+            assert_eq!(curve[1].failed, 1);
+        }
+        // Re-run with chaos disabled: the journaled failure is replayed
+        // rather than recomputed (resume never silently un-fails cells).
+        cfg.chaos.clear();
+        let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+        let curve = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+        assert_eq!(curve[1].failed, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_guards_config_changes() {
+        let cfg = tiny_cfg();
+        let path = tmp("guard");
+        let _ = std::fs::remove_file(&path);
+        drop(Checkpoint::open(&path, &cfg.fingerprint()).unwrap());
+        let changed = CampaignConfig {
+            seed: 8,
+            ..tiny_cfg()
+        };
+        let err = Checkpoint::open(&path, &changed.fingerprint()).unwrap_err();
+        assert!(matches!(err, CampaignError::Checkpoint { .. }), "{err}");
+        // Thread count is *not* part of the fingerprint.
+        let rethreaded = CampaignConfig {
+            threads: 4,
+            ..tiny_cfg()
+        };
+        assert!(Checkpoint::open(&path, &rethreaded.fingerprint()).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,410 @@
+//! Line-oriented campaign checkpoints: every finished grid cell is
+//! appended to a journal file, so an interrupted campaign resumes by
+//! replaying recorded outcomes instead of recomputing them.
+//!
+//! The journal is one JSON object per line. The first line is a header
+//! carrying the campaign's configuration fingerprint (everything that
+//! determines cell results — thread count deliberately excluded, since
+//! it never changes them); each following line is one completed cell:
+//!
+//! ```text
+//! {"campaign_checkpoint":1,"fingerprint":"v1 seed=0xd7a ..."}
+//! {"task":"iris","defects":8,"rep":2,"status":"ok","retried":false,"acc":0.9333333333333333}
+//! {"task":"iris","defects":8,"rep":3,"status":"failed","panic":"..."}
+//! ```
+//!
+//! Accuracies are written with Rust's `{:?}` float formatting — the
+//! shortest string that round-trips — and parsed back with
+//! `str::parse::<f64>`, so a resumed curve is **byte-identical** to an
+//! uninterrupted run. No JSON dependency: the writer emits the fixed
+//! shape above and the reader is a small scanner over it.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::campaign::{CampaignError, CellOutcome};
+
+const HEADER_KEY: &str = "campaign_checkpoint";
+
+/// An append-only journal of completed campaign cells, keyed by
+/// `(task, defect count, repetition)`. Open it with the campaign's
+/// [fingerprint](crate::campaign::CampaignConfig::fingerprint); cells
+/// already journaled are skipped on the next run and their recorded
+/// outcomes replayed verbatim.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    writer: Mutex<File>,
+    done: HashMap<(String, usize, usize), CellOutcome>,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) a journal at `path` for a campaign with the
+    /// given configuration fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] if the file cannot be read or
+    /// created, if its header carries a different fingerprint (the
+    /// journal belongs to a different campaign), or if an entry line is
+    /// malformed.
+    pub fn open(path: impl AsRef<Path>, fingerprint: &str) -> Result<Checkpoint, CampaignError> {
+        let path = path.as_ref().to_path_buf();
+        let fail = |detail: String| CampaignError::Checkpoint {
+            path: path.display().to_string(),
+            detail,
+        };
+
+        let mut done = HashMap::new();
+        let exists = path.exists();
+        if exists {
+            let reader =
+                BufReader::new(File::open(&path).map_err(|e| fail(format!("open failed: {e}")))?);
+            let mut lines = reader.lines();
+            let header = lines
+                .next()
+                .ok_or_else(|| fail("journal is empty (missing header)".into()))?
+                .map_err(|e| fail(format!("read failed: {e}")))?;
+            if raw_field(&header, HEADER_KEY).is_none() {
+                return Err(fail("first line is not a checkpoint header".into()));
+            }
+            let found = str_field(&header, "fingerprint")
+                .ok_or_else(|| fail("header has no fingerprint".into()))?;
+            if found != fingerprint {
+                return Err(fail(format!(
+                    "fingerprint mismatch: journal was written by a different campaign \
+                     configuration (journal: {found:?}, current: {fingerprint:?})"
+                )));
+            }
+            for (lineno, line) in lines.enumerate() {
+                let line = line.map_err(|e| fail(format!("read failed: {e}")))?;
+                if line.trim().is_empty() {
+                    // A run killed mid-write can leave a final empty
+                    // line; everything before it is intact.
+                    continue;
+                }
+                match parse_entry(&line) {
+                    Some((key, outcome)) => {
+                        done.insert(key, outcome);
+                    }
+                    None => {
+                        // A torn final line (the process died mid-append)
+                        // is tolerated; a torn middle line means the file
+                        // is corrupt.
+                        if lines_remaining_hint(&line) {
+                            return Err(fail(format!("malformed entry at line {}", lineno + 2)));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut writer = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| fail(format!("open for append failed: {e}")))?;
+        if !exists {
+            writeln!(
+                writer,
+                "{{\"{HEADER_KEY}\":1,\"fingerprint\":\"{}\"}}",
+                escape(fingerprint)
+            )
+            .map_err(|e| fail(format!("header write failed: {e}")))?;
+            writer
+                .flush()
+                .map_err(|e| fail(format!("flush failed: {e}")))?;
+        }
+        Ok(Checkpoint {
+            path,
+            writer: Mutex::new(writer),
+            done,
+        })
+    }
+
+    /// The journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of cells already journaled.
+    pub fn completed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// The recorded outcome of a cell, if it was already journaled.
+    pub fn lookup(&self, task: &str, defects: usize, rep: usize) -> Option<CellOutcome> {
+        self.done.get(&(task.to_string(), defects, rep)).cloned()
+    }
+
+    /// Appends one finished cell to the journal (flushed immediately,
+    /// so a killed process loses at most the cell being written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal can no longer be written (e.g. disk full)
+    /// — better to abort the campaign than to silently lose resume
+    /// state.
+    pub fn record(&self, task: &str, defects: usize, rep: usize, outcome: &CellOutcome) {
+        let mut line = format!(
+            "{{\"task\":\"{}\",\"defects\":{defects},\"rep\":{rep}",
+            escape(task)
+        );
+        match outcome {
+            CellOutcome::Completed { accuracy, retried } => {
+                // `{:?}` prints the shortest representation that parses
+                // back to the identical f64 — the byte-identity of
+                // resumed curves rests on this.
+                write!(
+                    line,
+                    ",\"status\":\"ok\",\"retried\":{retried},\"acc\":{accuracy:?}"
+                )
+                .expect("writing to a String cannot fail");
+            }
+            CellOutcome::Failed { panic } => {
+                write!(
+                    line,
+                    ",\"status\":\"failed\",\"panic\":\"{}\"",
+                    escape(panic)
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+        line.push('}');
+        let mut w = self.writer.lock().unwrap();
+        writeln!(w, "{line}")
+            .unwrap_or_else(|e| panic!("checkpoint {}: append failed: {e}", self.path.display()));
+        w.flush()
+            .unwrap_or_else(|e| panic!("checkpoint {}: flush failed: {e}", self.path.display()));
+    }
+}
+
+/// Heuristic used when a line fails to parse: a line ending in `}` was
+/// written completely and is genuinely malformed; anything else looks
+/// like a torn final append and is ignored.
+fn lines_remaining_hint(line: &str) -> bool {
+    line.trim_end().ends_with('}')
+}
+
+fn parse_entry(line: &str) -> Option<((String, usize, usize), CellOutcome)> {
+    let task = str_field(line, "task")?;
+    let defects: usize = raw_field(line, "defects")?.parse().ok()?;
+    let rep: usize = raw_field(line, "rep")?.parse().ok()?;
+    let outcome = match str_field(line, "status")?.as_str() {
+        "ok" => CellOutcome::Completed {
+            accuracy: raw_field(line, "acc")?.parse().ok()?,
+            retried: raw_field(line, "retried")?.parse().ok()?,
+        },
+        "failed" => CellOutcome::Failed {
+            panic: str_field(line, "panic")?,
+        },
+        _ => return None,
+    };
+    Some(((task, defects, rep), outcome))
+}
+
+/// Extracts the raw (unquoted) value after `"key":`, up to the next
+/// `,` or `}`. The writer emits numeric/bool fields before any string
+/// that could contain a lookalike pattern, and `find` returns the
+/// first occurrence, so this never reads inside a string value.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Extracts and unescapes the string value after `"key":"`.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dta_ckpt_{}_{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_outcomes_exactly() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ck = Checkpoint::open(&path, "fp-a").unwrap();
+            ck.record(
+                "iris",
+                8,
+                2,
+                &CellOutcome::Completed {
+                    accuracy: 0.933_333_333_333_333_3,
+                    retried: false,
+                },
+            );
+            ck.record(
+                "iris",
+                8,
+                3,
+                &CellOutcome::Failed {
+                    panic: "weird \"quoted\"\nmulti-line\tpayload \\ with slash".into(),
+                },
+            );
+            ck.record(
+                "wine",
+                0,
+                0,
+                &CellOutcome::Completed {
+                    accuracy: 1.0,
+                    retried: true,
+                },
+            );
+        }
+        let ck = Checkpoint::open(&path, "fp-a").unwrap();
+        assert_eq!(ck.completed(), 3);
+        assert_eq!(
+            ck.lookup("iris", 8, 2),
+            Some(CellOutcome::Completed {
+                accuracy: 0.933_333_333_333_333_3,
+                retried: false,
+            })
+        );
+        assert_eq!(
+            ck.lookup("iris", 8, 3),
+            Some(CellOutcome::Failed {
+                panic: "weird \"quoted\"\nmulti-line\tpayload \\ with slash".into(),
+            })
+        );
+        assert_eq!(
+            ck.lookup("wine", 0, 0),
+            Some(CellOutcome::Completed {
+                accuracy: 1.0,
+                retried: true,
+            })
+        );
+        assert_eq!(ck.lookup("iris", 8, 4), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let path = tmp("fpmismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(Checkpoint::open(&path, "fp-a").unwrap());
+        let err = Checkpoint::open(&path, "fp-b").unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_not_recorded() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ck = Checkpoint::open(&path, "fp").unwrap();
+            ck.record(
+                "iris",
+                3,
+                0,
+                &CellOutcome::Completed {
+                    accuracy: 0.5,
+                    retried: false,
+                },
+            );
+        }
+        // Simulate a crash mid-append: a partial trailing line.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"task\":\"iris\",\"defe").unwrap();
+        }
+        let ck = Checkpoint::open(&path, "fp").unwrap();
+        assert_eq!(ck.completed(), 1, "torn line must be dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exact_float_round_trip_across_the_journal() {
+        // A spread of awkward accuracies must come back bit-identical.
+        let path = tmp("floats");
+        let _ = std::fs::remove_file(&path);
+        let values = [
+            0.0,
+            1.0,
+            1.0 / 3.0,
+            2.0 / 3.0,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            0.966_666_666_666_666_7,
+        ];
+        {
+            let ck = Checkpoint::open(&path, "fp").unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                ck.record(
+                    "t",
+                    i,
+                    0,
+                    &CellOutcome::Completed {
+                        accuracy: v,
+                        retried: false,
+                    },
+                );
+            }
+        }
+        let ck = Checkpoint::open(&path, "fp").unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            match ck.lookup("t", i, 0).unwrap() {
+                CellOutcome::Completed { accuracy, .. } => {
+                    assert_eq!(accuracy.to_bits(), v.to_bits(), "value {v} lost bits");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod accelerator;
 pub mod campaign;
+pub mod checkpoint;
 pub mod cost;
 pub mod dark_silicon;
 pub mod interface;
@@ -52,7 +53,10 @@ pub mod processor;
 pub mod time_multiplexed;
 
 pub use accelerator::{AccelError, Accelerator};
-pub use campaign::{AmplitudePoint, CampaignConfig, CurvePoint};
+pub use campaign::{
+    AmplitudePoint, CampaignConfig, CampaignError, CellOutcome, ChaosCell, CurvePoint,
+};
+pub use checkpoint::Checkpoint;
 pub use cost::{CostModel, CostReport, SensitiveAreaReport};
 pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
 pub use interface::MemoryInterface;

@@ -140,4 +140,33 @@ mod tests {
             i
         });
     }
+
+    #[test]
+    fn panicking_cell_does_not_deadlock_the_remaining_workers() {
+        // One poisoned cell must not stall the pool: the other workers
+        // keep draining the cursor, the scope joins, and the panic —
+        // message intact — reaches the caller only afterwards.
+        let done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(32, 4, |i| {
+                if i == 3 {
+                    panic!("cell {i} exploded");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string");
+        assert!(msg.contains("cell 3 exploded"), "payload was {msg:?}");
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            31,
+            "every healthy cell must still run"
+        );
+    }
 }

@@ -1,11 +1,138 @@
-//! Transistor-level defect types, site enumeration, and injection.
+//! Transistor-level defect types, site enumeration, and injection —
+//! plus the fault-lifetime dimension ([`Activation`]) that decides
+//! *when* an injected defect is electrically present.
 
 use std::fmt;
 
 use rand::seq::IndexedRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use crate::cell::{CmosCell, Health};
+
+/// The lifetime of an injected defect: when is it electrically active?
+///
+/// The paper models only **permanent** manufacturing defects; real
+/// silicon also suffers **transient** upsets (particle strikes, supply
+/// glitches — active for single evaluations, at random) and
+/// **intermittent** faults (marginal devices that come and go with
+/// temperature/voltage cycles — active for bursts with a duty cycle).
+/// Every injection site can carry any of the three lifetimes; the
+/// *site* taxonomy ([`Defect`]) is orthogonal to the *lifetime*
+/// taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    /// Always active — the paper's manufacturing-defect model.
+    Permanent,
+    /// Active on any given evaluation independently with the given
+    /// probability, drawn from a dedicated per-defect ChaCha8 stream
+    /// (so campaigns stay bit-deterministic at any thread count).
+    Transient {
+        /// Probability, in `[0, 1]`, that the defect is present on one
+        /// evaluation of its cell.
+        per_eval_probability: f64,
+    },
+    /// Periodically active: out of every `period` evaluations, the
+    /// first `duty` have the defect present.
+    Intermittent {
+        /// Cycle length in evaluations (must be at least 1).
+        period: u32,
+        /// Active evaluations per cycle (must not exceed `period`).
+        duty: u32,
+    },
+}
+
+impl Activation {
+    /// True for the paper's always-active lifetime.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, Activation::Permanent)
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Activation::Permanent => write!(f, "permanent"),
+            Activation::Transient {
+                per_eval_probability,
+            } => write!(f, "transient(p={per_eval_probability})"),
+            Activation::Intermittent { period, duty } => {
+                write!(f, "intermittent({duty}/{period})")
+            }
+        }
+    }
+}
+
+/// The per-defect state machine deciding, evaluation by evaluation,
+/// whether its defect is active. Deterministic given `(activation,
+/// seed)`; [`ActivationState::reset`] returns it to the power-on state
+/// so independent runs reproduce.
+#[derive(Clone, Debug)]
+pub struct ActivationState {
+    activation: Activation,
+    seed: u64,
+    rng: ChaCha8Rng,
+    tick: u64,
+}
+
+impl ActivationState {
+    /// Builds the state machine for one defect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transient probability is outside `[0, 1]`, or an
+    /// intermittent period is 0 or smaller than its duty.
+    pub fn new(activation: Activation, seed: u64) -> ActivationState {
+        match activation {
+            Activation::Transient {
+                per_eval_probability,
+            } => assert!(
+                (0.0..=1.0).contains(&per_eval_probability),
+                "transient probability {per_eval_probability} outside [0, 1]"
+            ),
+            Activation::Intermittent { period, duty } => assert!(
+                period >= 1 && duty <= period,
+                "intermittent duty {duty}/{period} is not a valid cycle"
+            ),
+            Activation::Permanent => {}
+        }
+        ActivationState {
+            activation,
+            seed,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            tick: 0,
+        }
+    }
+
+    /// The lifetime this state machine implements.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Advances one evaluation and reports whether the defect is active
+    /// for it.
+    pub fn advance(&mut self) -> bool {
+        match self.activation {
+            Activation::Permanent => true,
+            Activation::Transient {
+                per_eval_probability,
+            } => self.rng.random_bool(per_eval_probability),
+            Activation::Intermittent { period, duty } => {
+                let phase = self.tick % u64::from(period);
+                self.tick += 1;
+                phase < u64::from(duty)
+            }
+        }
+    }
+
+    /// Returns to the power-on state (restarts the transient stream and
+    /// the intermittent cycle), so repeated runs see identical
+    /// activation sequences.
+    pub fn reset(&mut self) {
+        self.rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.tick = 0;
+    }
+}
 
 /// A physical defect inside one CMOS cell.
 ///
@@ -346,6 +473,69 @@ mod tests {
     }
 
     #[test]
+    fn activation_state_sequences() {
+        let mut p = ActivationState::new(Activation::Permanent, 1);
+        assert!((0..10).all(|_| p.advance()));
+
+        let mut i = ActivationState::new(Activation::Intermittent { period: 4, duty: 2 }, 1);
+        let seq: Vec<bool> = (0..8).map(|_| i.advance()).collect();
+        assert_eq!(seq, [true, true, false, false, true, true, false, false]);
+        i.reset();
+        assert!(i.advance(), "reset restarts the cycle");
+
+        let mut never = ActivationState::new(
+            Activation::Transient {
+                per_eval_probability: 0.0,
+            },
+            7,
+        );
+        assert!((0..50).all(|_| !never.advance()));
+        let mut always = ActivationState::new(
+            Activation::Transient {
+                per_eval_probability: 1.0,
+            },
+            7,
+        );
+        assert!((0..50).all(|_| always.advance()));
+    }
+
+    #[test]
+    fn transient_streams_are_seeded_and_resettable() {
+        let act = Activation::Transient {
+            per_eval_probability: 0.5,
+        };
+        let mut a = ActivationState::new(act, 42);
+        let mut b = ActivationState::new(act, 42);
+        let sa: Vec<bool> = (0..64).map(|_| a.advance()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.advance()).collect();
+        assert_eq!(sa, sb, "same seed, same stream");
+        assert!(sa.iter().any(|&x| x) && sa.iter().any(|&x| !x));
+        a.reset();
+        let again: Vec<bool> = (0..64).map(|_| a.advance()).collect();
+        assert_eq!(sa, again, "reset replays the stream");
+        let mut c = ActivationState::new(act, 43);
+        let sc: Vec<bool> = (0..64).map(|_| c.advance()).collect();
+        assert_ne!(sa, sc, "different seeds diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_transient_probability_rejected() {
+        let _ = ActivationState::new(
+            Activation::Transient {
+                per_eval_probability: 1.5,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid cycle")]
+    fn bad_intermittent_cycle_rejected() {
+        let _ = ActivationState::new(Activation::Intermittent { period: 2, duty: 3 }, 0);
+    }
+
+    #[test]
     fn display_nonempty() {
         assert!(Defect::Bridge {
             stage: 0,
@@ -360,5 +550,17 @@ mod tests {
         }
         .to_string()
         .contains("stage 1"));
+        assert_eq!(Activation::Permanent.to_string(), "permanent");
+        assert!(Activation::Transient {
+            per_eval_probability: 0.25
+        }
+        .to_string()
+        .contains("0.25"));
+        assert!(Activation::Intermittent {
+            period: 16,
+            duty: 3
+        }
+        .to_string()
+        .contains("3/16"));
     }
 }

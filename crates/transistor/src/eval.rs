@@ -73,6 +73,25 @@ impl FaultyCell {
         &self.cell
     }
 
+    /// Installs externally held state (stage memories + delay lines), so
+    /// a cell materialized per evaluation under dynamic activation
+    /// carries its history across defect-subset changes.
+    pub(crate) fn set_state(&mut self, stage_mem: Vec<bool>, delay_prev: Vec<Vec<bool>>) {
+        assert_eq!(stage_mem.len(), self.stage_mem.len());
+        assert_eq!(delay_prev.len(), self.delay_prev.len());
+        for (d, s) in delay_prev.iter().zip(&self.delay_prev) {
+            assert_eq!(d.len(), s.len());
+        }
+        self.stage_mem = stage_mem;
+        self.delay_prev = delay_prev;
+    }
+
+    /// Extracts the evaluation state for re-installation into the next
+    /// materialized cell.
+    pub(crate) fn take_state(self) -> (Vec<bool>, Vec<Vec<bool>>) {
+        (self.stage_mem, self.delay_prev)
+    }
+
     /// Evaluates one stage given resolved gate-signal values, returning
     /// `(z_p, z_n)` connectivity.
     fn stage_connectivity(
@@ -86,13 +105,14 @@ impl FaultyCell {
         let mut edges: Vec<(usize, usize)> = Vec::with_capacity(16);
         for (ti, t) in stage.transistors().iter().enumerate() {
             let raw = sig_of(t.gate());
-            let g = if t.is_delayed() {
-                let prev = delay_prev[ti];
-                delay_prev[ti] = raw;
-                prev
-            } else {
-                raw
-            };
+            // Delay lines sample *every* evaluation, not just while the
+            // transistor is marked delayed: a defect that becomes delayed
+            // mid-sequence (dynamic activation) must read the true
+            // previous signal, not a stale snapshot. For statically
+            // injected cells this is behaviorally identical.
+            let prev = delay_prev[ti];
+            delay_prev[ti] = raw;
+            let g = if t.is_delayed() { prev } else { raw };
             let conducts = match t.health() {
                 Health::Open => false,
                 Health::Shorted => true,

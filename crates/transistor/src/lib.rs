@@ -53,12 +53,14 @@
 
 pub mod cell;
 pub mod defect;
+pub mod dynamic;
 pub mod eval;
 pub mod reconstruct;
 pub mod table;
 
 pub use cell::{CmosCell, Polarity, Signal, Stage, Transistor};
-pub use defect::{Defect, DefectError};
+pub use defect::{Activation, ActivationState, Defect, DefectError};
+pub use dynamic::{DynamicCell, DynamicDefect, DynamicRefCell};
 pub use eval::FaultyCell;
 pub use reconstruct::{analyze_cell, BBlockExpr, Expr, FaultAnalysis};
 pub use table::{CachedCell, CellTable, TruthTable64};

@@ -268,6 +268,29 @@ impl CellTable {
             table,
         })
     }
+
+    /// Number of stages in the compiled cell.
+    pub(crate) fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// One full stage walk with externally held state, used by the
+    /// dynamic-activation evaluator which swaps tables between
+    /// evaluations. Unlike [`CachedCell::eval_cell`] this never takes
+    /// the `pin_truth` shortcut: `mem`/`prev` must stay current so a
+    /// *later* evaluation under a stateful defect subset reads correct
+    /// history.
+    pub(crate) fn walk(&self, pins: u32, mem: &mut [bool], prev: &mut u32) -> bool {
+        let mut cur = pins;
+        let mut out = false;
+        for (si, st) in self.stages.iter().enumerate() {
+            out = st.resolve(cur, *prev, mem[si]);
+            mem[si] = out;
+            cur |= u32::from(out) << (self.arity + si);
+        }
+        *prev = cur;
+        out
+    }
 }
 
 /// Drop-in replacement for [`FaultyCell`] that evaluates through the

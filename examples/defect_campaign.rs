@@ -18,6 +18,7 @@ fn main() {
         model: FaultModel::TransistorLevel,
         seed: 7,
         threads: 0, // all available cores; results match --threads 1 exactly
+        ..CampaignConfig::default()
     };
 
     println!("accuracy after retraining vs. number of injected defects");
@@ -33,7 +34,7 @@ fn main() {
             .into_iter()
             .find(|s| s.name == name)
             .expect("task exists");
-        let curve = defect_tolerance_curve(&spec, &cfg);
+        let curve = defect_tolerance_curve(&spec, &cfg).expect("valid campaign config");
         print!("{name:<12}");
         for p in &curve {
             print!("{:>7.1}%", p.mean_accuracy * 100.0);

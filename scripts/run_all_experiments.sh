@@ -10,13 +10,15 @@ $RUN exp_fig2
 if [[ "${FULL:-0}" == "1" ]]; then
   $RUN exp_fig5 -- --trials 1000
   $RUN exp_table2 -- --tasks breast,glass,ionosphere,iris,optdigits,robot,sonar,spam,vehicle,wine --full true
-  $RUN exp_fig10 -- --tasks all --reps 100 --folds 10 --epochs 0 --counts 0,3,6,9,12,15,18,21,24,27
+  $RUN exp_fig10 -- --tasks all --reps 100 --folds 10 --epochs 0 --counts 0,3,6,9,12,15,18,21,24,27 --checkpoint fig10.ckpt
   $RUN exp_fig11 -- --tasks iris,ionosphere,wine,robot --reps 100 --epochs 0
+  $RUN exp_transient -- --tasks iris,wine --reps 10 --folds 3 --epochs 30 --checkpoint transient.ckpt
 else
   $RUN exp_fig5 -- --trials 200
   $RUN exp_table2
   $RUN exp_fig10 -- --tasks all --reps 3 --epochs 30
   $RUN exp_fig11
+  $RUN exp_transient -- --tasks iris,wine --reps 3 --folds 3 --epochs 30
 fi
 $RUN exp_table3
 $RUN exp_table4

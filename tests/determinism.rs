@@ -65,10 +65,11 @@ fn cross_validation_and_campaign_reproduce() {
         model: FaultModel::TransistorLevel,
         seed: 3,
         threads: 1,
+        ..CampaignConfig::default()
     };
     assert_eq!(
-        defect_tolerance_curve(&spec, &cfg),
-        defect_tolerance_curve(&spec, &cfg)
+        defect_tolerance_curve(&spec, &cfg).unwrap(),
+        defect_tolerance_curve(&spec, &cfg).unwrap()
     );
 }
 
