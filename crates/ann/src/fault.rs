@@ -1,7 +1,7 @@
 //! Per-neuron fault plans: which operators of which neurons are
 //! defective, and the gate-level circuits that emulate them.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -14,7 +14,7 @@ use dta_circuits::{
 use dta_fixed::{Fx, SigmoidLut};
 
 /// Which layer a faulty neuron belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Layer {
     /// The hidden layer (the input→hidden stage, where Figure 10 injects).
     Hidden,
@@ -27,6 +27,55 @@ impl fmt::Display for Layer {
         match self {
             Layer::Hidden => write!(f, "hidden"),
             Layer::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// Which operator class of a neuron a fault site refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitKind {
+    /// A synaptic multiplier (one per physical synapse).
+    Multiplier,
+    /// An accumulation adder (one per physical synapse).
+    Adder,
+    /// A weight latch (one per physical synapse).
+    Latch,
+    /// The neuron's sigmoid activation unit (one per neuron).
+    Activation,
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitKind::Multiplier => write!(f, "mul"),
+            UnitKind::Adder => write!(f, "add"),
+            UnitKind::Latch => write!(f, "latch"),
+            UnitKind::Activation => write!(f, "act"),
+        }
+    }
+}
+
+/// Structured location of one defective (or BIST-flagged) operator
+/// instance: the ground truth a self-test's diagnosis is scored
+/// against. Activation units have no synapse index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultSite {
+    /// The layer of the host neuron.
+    pub layer: Layer,
+    /// Physical neuron lane within the layer.
+    pub neuron: usize,
+    /// The operator class carrying the defect.
+    pub unit: UnitKind,
+    /// Synapse/step index for per-synapse operators, `None` for the
+    /// activation unit.
+    pub synapse: Option<usize>,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.synapse {
+            Some(s) => write!(f, "{}[{}].{}[{}]", self.layer, self.neuron, self.unit, s),
+            None => write!(f, "{}[{}].{}", self.layer, self.neuron, self.unit),
         }
     }
 }
@@ -222,6 +271,12 @@ pub struct FaultPlan {
     hw_inputs: usize,
     neurons: HashMap<(Layer, usize), NeuronFaults>,
     records: Vec<String>,
+    sites: Vec<FaultSite>,
+    /// Logical→physical hidden-lane overrides installed by a recovery
+    /// remap; identity for lanes not present.
+    hidden_map: HashMap<usize, usize>,
+    /// Physical lanes whose output is gated to 0 (fail-silent masking).
+    masked: HashSet<(Layer, usize)>,
 }
 
 impl FaultPlan {
@@ -232,6 +287,9 @@ impl FaultPlan {
             hw_inputs,
             neurons: HashMap::new(),
             records: Vec::new(),
+            sites: Vec::new(),
+            hidden_map: HashMap::new(),
+            masked: HashSet::new(),
         }
     }
 
@@ -248,6 +306,72 @@ impl FaultPlan {
     /// Descriptions of every injected defect.
     pub fn records(&self) -> &[String] {
         &self.records
+    }
+
+    /// Physical synapses per hidden neuron.
+    pub fn hw_inputs(&self) -> usize {
+        self.hw_inputs
+    }
+
+    /// Structured ground-truth locations of every injected defect, one
+    /// per record and in injection order (a site repeats when several
+    /// defects land on the same operator instance). This is what a
+    /// self-test's diagnosis is scored against.
+    pub fn sites(&self) -> &[FaultSite] {
+        &self.sites
+    }
+
+    /// Physical hidden lane that logical hidden neuron `logical` is
+    /// routed to (identity unless remapped).
+    pub fn hidden_lane(&self, logical: usize) -> usize {
+        *self.hidden_map.get(&logical).unwrap_or(&logical)
+    }
+
+    /// Routes logical hidden neuron `logical` onto physical lane
+    /// `physical` (a spare-lane repair). Forward passes evaluate the
+    /// neuron's weights through that lane's operators instead.
+    pub fn remap_hidden(&mut self, logical: usize, physical: usize) {
+        if logical == physical {
+            self.hidden_map.remove(&logical);
+        } else {
+            self.hidden_map.insert(logical, physical);
+        }
+    }
+
+    /// The installed logical→physical hidden remaps, sorted by logical
+    /// lane.
+    pub fn remapped_hidden(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self.hidden_map.iter().map(|(&l, &p)| (l, p)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Gates a physical lane's output to 0 (fail-silent masking — the
+    /// degraded network serves without the lane's contribution).
+    pub fn mask(&mut self, layer: Layer, lane: usize) {
+        self.masked.insert((layer, lane));
+    }
+
+    /// Removes a mask installed by [`FaultPlan::mask`].
+    pub fn unmask(&mut self, layer: Layer, lane: usize) {
+        self.masked.remove(&(layer, lane));
+    }
+
+    /// True if the physical lane's output is gated to 0.
+    pub fn is_masked(&self, layer: Layer, lane: usize) -> bool {
+        self.masked.contains(&(layer, lane))
+    }
+
+    /// The masked physical lanes of a layer, sorted.
+    pub fn masked_lanes(&self, layer: Layer) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .masked
+            .iter()
+            .filter(|(l, _)| *l == layer)
+            .map(|(_, n)| *n)
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// The fault state of a neuron, if it has any.
@@ -304,7 +428,7 @@ impl FaultPlan {
         let (lib_mul, lib_add, lib_act) = library();
         let hw_inputs = self.hw_inputs;
         let nf = self.entry(Layer::Hidden, neuron);
-        let desc = if instance < hw_inputs {
+        let (desc, site) = if instance < hw_inputs {
             let syn = instance;
             let hw = nf
                 .muls
@@ -314,7 +438,15 @@ impl FaultPlan {
                 .inject_random_with(model, activation, 1, rng)
                 .pop()
                 .expect("one defect");
-            format!("hidden[{neuron}].mul[{syn}]: {d}")
+            (
+                format!("hidden[{neuron}].mul[{syn}]: {d}"),
+                FaultSite {
+                    layer: Layer::Hidden,
+                    neuron,
+                    unit: UnitKind::Multiplier,
+                    synapse: Some(syn),
+                },
+            )
         } else if instance < 2 * hw_inputs {
             let step = instance - hw_inputs;
             let hw = nf
@@ -325,13 +457,21 @@ impl FaultPlan {
                 .inject_random_with(model, activation, 1, rng)
                 .pop()
                 .expect("one defect");
-            format!("hidden[{neuron}].add[{step}]: {d}")
+            (
+                format!("hidden[{neuron}].add[{step}]: {d}"),
+                FaultSite {
+                    layer: Layer::Hidden,
+                    neuron,
+                    unit: UnitKind::Adder,
+                    synapse: Some(step),
+                },
+            )
         } else if instance < 3 * hw_inputs {
             let syn = instance - 2 * hw_inputs;
             let bit = rng.random_range(0..16u32);
             let stuck_one = rng.random_bool(0.5);
             let lf = nf.latches.entry(syn).or_default();
-            if activation.is_permanent() {
+            let desc = if activation.is_permanent() {
                 if stuck_one {
                     lf.or_mask |= 1 << bit;
                 } else {
@@ -352,7 +492,16 @@ impl FaultPlan {
                     "hidden[{neuron}].latch[{syn}]: bit {bit} stuck at {} [{activation}]",
                     u8::from(stuck_one)
                 )
-            }
+            };
+            (
+                desc,
+                FaultSite {
+                    layer: Layer::Hidden,
+                    neuron,
+                    unit: UnitKind::Latch,
+                    synapse: Some(syn),
+                },
+            )
         } else {
             let hw = nf
                 .act
@@ -361,9 +510,18 @@ impl FaultPlan {
                 .inject_random_with(model, activation, 1, rng)
                 .pop()
                 .expect("one defect");
-            format!("hidden[{neuron}].act: {d}")
+            (
+                format!("hidden[{neuron}].act: {d}"),
+                FaultSite {
+                    layer: Layer::Hidden,
+                    neuron,
+                    unit: UnitKind::Activation,
+                    synapse: None,
+                },
+            )
         };
         self.records.push(desc);
+        self.sites.push(site);
     }
 
     /// Injects one transistor-level defect into the accumulation adder of
@@ -388,6 +546,12 @@ impl FaultPlan {
             .expect("one defect");
         self.records
             .push(format!("output[{neuron}].add[{last_step}]: {d}"));
+        self.sites.push(FaultSite {
+            layer: Layer::Output,
+            neuron,
+            unit: UnitKind::Adder,
+            synapse: Some(last_step),
+        });
     }
 
     /// Injects one transistor-level defect into the activation unit of an
@@ -403,6 +567,12 @@ impl FaultPlan {
             .pop()
             .expect("one defect");
         self.records.push(format!("output[{neuron}].act: {d}"));
+        self.sites.push(FaultSite {
+            layer: Layer::Output,
+            neuron,
+            unit: UnitKind::Activation,
+            synapse: None,
+        });
     }
 
     /// Clears memory effects and delay-line state in every faulty
@@ -564,6 +734,61 @@ mod tests {
         plan.inject_output_adder(0, 42, &mut rng);
         let nf = plan.neuron_mut(Layer::Output, 0).unwrap();
         assert_eq!(nf.max_synapse_excl(), 43);
+    }
+
+    #[test]
+    fn sites_mirror_records() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut plan = FaultPlan::new(90);
+        for _ in 0..40 {
+            plan.inject_random_hidden(10, FaultModel::TransistorLevel, &mut rng);
+        }
+        plan.inject_output_adder(1, 9, &mut rng);
+        plan.inject_output_activation(2, &mut rng);
+        assert_eq!(plan.sites().len(), plan.records().len());
+        for (site, record) in plan.sites().iter().zip(plan.records()) {
+            // The structured site renders as the prefix of its record.
+            assert!(
+                record.starts_with(&format!("{site}:")),
+                "{site} vs {record}"
+            );
+        }
+        assert_eq!(
+            plan.sites().last().copied(),
+            Some(FaultSite {
+                layer: Layer::Output,
+                neuron: 2,
+                unit: UnitKind::Activation,
+                synapse: None,
+            })
+        );
+    }
+
+    #[test]
+    fn hidden_lane_map_defaults_to_identity() {
+        let mut plan = FaultPlan::new(90);
+        assert_eq!(plan.hidden_lane(3), 3);
+        plan.remap_hidden(3, 7);
+        assert_eq!(plan.hidden_lane(3), 7);
+        assert_eq!(plan.hidden_lane(7), 7, "other lanes untouched");
+        assert_eq!(plan.remapped_hidden(), vec![(3, 7)]);
+        plan.remap_hidden(3, 3); // identity remap clears the override
+        assert_eq!(plan.hidden_lane(3), 3);
+        assert!(plan.remapped_hidden().is_empty());
+    }
+
+    #[test]
+    fn mask_is_per_layer_lane() {
+        let mut plan = FaultPlan::new(90);
+        assert!(!plan.is_masked(Layer::Hidden, 2));
+        plan.mask(Layer::Hidden, 2);
+        assert!(plan.is_masked(Layer::Hidden, 2));
+        assert!(!plan.is_masked(Layer::Output, 2));
+        plan.mask(Layer::Output, 0);
+        assert_eq!(plan.masked_lanes(Layer::Hidden), vec![2]);
+        assert_eq!(plan.masked_lanes(Layer::Output), vec![0]);
+        plan.unmask(Layer::Hidden, 2);
+        assert!(!plan.is_masked(Layer::Hidden, 2));
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod regress;
 pub mod train;
 
 pub use deep::{DeepMlp, DeepTrainer};
-pub use fault::{FaultPlan, Layer, NeuronFaults};
+pub use fault::{FaultPlan, FaultSite, Layer, NeuronFaults, UnitKind};
 pub use hyper::{HyperParams, HyperSpace, SearchResult};
 pub use mlp::{ForwardTrace, Mlp, Topology};
 pub use regress::{RegressionSample, RegressionSet, RegressionTrainer};

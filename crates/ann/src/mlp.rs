@@ -231,11 +231,19 @@ impl Mlp {
 
         let mut hidden_fx = Vec::with_capacity(self.topo.hidden);
         for j in 0..self.topo.hidden {
+            // Logical neuron j's weights evaluate through physical lane
+            // `hidden_lane(j)` (identity unless a recovery remap moved
+            // the neuron to a spare lane); masked lanes are gated to 0.
+            let lane = faults.hidden_lane(j);
+            if faults.is_masked(Layer::Hidden, lane) {
+                hidden_fx.push(Fx::ZERO);
+                continue;
+            }
             let bias = Fx::from_f64(self.w_hidden(j, self.topo.inputs));
-            let acc = self.neuron_sum(Layer::Hidden, j, bias, &xq, faults, |s, i| {
+            let acc = self.neuron_sum(Layer::Hidden, lane, bias, &xq, faults, |s, i| {
                 Fx::from_f64(s.w_hidden(j, i))
             });
-            let y = match faults.neuron_mut(Layer::Hidden, j) {
+            let y = match faults.neuron_mut(Layer::Hidden, lane) {
                 Some(nf) => nf.activation(acc, lut),
                 None => lut.eval(acc),
             };
@@ -245,6 +253,11 @@ impl Mlp {
         let mut output_pre = Vec::with_capacity(self.topo.outputs);
         let mut output = Vec::with_capacity(self.topo.outputs);
         for k in 0..self.topo.outputs {
+            if faults.is_masked(Layer::Output, k) {
+                output_pre.push(0.0);
+                output.push(0.0);
+                continue;
+            }
             let bias = Fx::from_f64(self.w_output(k, self.topo.hidden));
             let acc = self.neuron_sum(Layer::Output, k, bias, &hidden_fx, faults, |s, j| {
                 Fx::from_f64(s.w_output(k, j))
@@ -301,11 +314,18 @@ impl Mlp {
         // Hidden layer, sample-major.
         let mut hidden_fx: Vec<Vec<Fx>> = vec![Vec::with_capacity(self.topo.hidden); n];
         for j in 0..self.topo.hidden {
+            let lane = faults.hidden_lane(j);
+            if faults.is_masked(Layer::Hidden, lane) {
+                for row in hidden_fx.iter_mut() {
+                    row.push(Fx::ZERO);
+                }
+                continue;
+            }
             let bias = Fx::from_f64(self.w_hidden(j, self.topo.inputs));
-            let accs = self.neuron_sum_batch(Layer::Hidden, j, bias, &xq, faults, |s, i| {
+            let accs = self.neuron_sum_batch(Layer::Hidden, lane, bias, &xq, faults, |s, i| {
                 Fx::from_f64(s.w_hidden(j, i))
             });
-            let ys = match faults.neuron_mut(Layer::Hidden, j) {
+            let ys = match faults.neuron_mut(Layer::Hidden, lane) {
                 Some(nf) => nf.activation_batch(&accs, lut),
                 None => accs.iter().map(|&a| lut.eval(a)).collect(),
             };
@@ -324,6 +344,13 @@ impl Mlp {
             })
             .collect();
         for k in 0..self.topo.outputs {
+            if faults.is_masked(Layer::Output, k) {
+                for trace in traces.iter_mut() {
+                    trace.output_pre.push(0.0);
+                    trace.output.push(0.0);
+                }
+                continue;
+            }
             let bias = Fx::from_f64(self.w_output(k, self.topo.hidden));
             let accs = self.neuron_sum_batch(Layer::Output, k, bias, &hidden_fx, faults, |s, j| {
                 Fx::from_f64(s.w_output(k, j))
@@ -558,6 +585,51 @@ mod tests {
         let batch = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
         for (row, trace) in rows.iter().zip(&batch) {
             assert_eq!(mlp.forward_fixed(row, &lut), *trace);
+        }
+    }
+
+    #[test]
+    fn remap_routes_around_faulty_lane() {
+        use dta_circuits::FaultModel;
+        use rand::SeedableRng;
+        let mlp = Mlp::new(Topology::new(6, 4, 3), 2);
+        let lut = SigmoidLut::new();
+        let x: Vec<f64> = (0..6).map(|i| 0.9 - 0.2 * i as f64).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        // Find a seed whose single defect visibly corrupts the trace.
+        let mut plan = loop {
+            let mut plan = FaultPlan::new(90);
+            plan.inject_random_hidden(1, FaultModel::TransistorLevel, &mut rng);
+            plan.reset_state();
+            if mlp.forward_faulty(&x, &lut, &mut plan) != mlp.forward_fixed(&x, &lut) {
+                plan.reset_state();
+                break plan;
+            }
+        };
+        // All defects landed on physical lane 0; remapping logical
+        // neuron 0 to a spare healthy lane restores the fixed path
+        // exactly (the spare index may exceed the logical width).
+        plan.remap_hidden(0, 7);
+        assert_eq!(
+            mlp.forward_faulty(&x, &lut, &mut plan),
+            mlp.forward_fixed(&x, &lut)
+        );
+    }
+
+    #[test]
+    fn masked_hidden_lane_outputs_zero() {
+        let mlp = Mlp::new(Topology::new(5, 3, 2), 4);
+        let lut = SigmoidLut::new();
+        let mut plan = FaultPlan::new(90);
+        plan.mask(Layer::Hidden, 1);
+        let rows: Vec<Vec<f64>> = (0..70)
+            .map(|s| (0..5).map(|i| ((s + i * 3) % 13) as f64 / 13.0).collect())
+            .collect();
+        let batch = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
+        for (row, trace) in rows.iter().zip(&batch) {
+            assert_eq!(trace.hidden[1], 0.0, "masked lane gated to 0");
+            assert_eq!(*trace, mlp.forward_faulty(row, &lut, &mut plan));
+            assert_ne!(*trace, mlp.forward_fixed(row, &lut));
         }
     }
 

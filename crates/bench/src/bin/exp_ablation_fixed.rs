@@ -13,8 +13,7 @@
 //! ```
 
 use dta_ann::{ForwardTrace, Mlp, Topology, Trainer};
-use dta_bench::{pct, rule, Args};
-use dta_datasets::suite;
+use dta_bench::{pct, require_task, rule, Args};
 use dta_fixed::{sigmoid::sigmoid, QFormat};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -74,10 +73,7 @@ fn main() {
     rule(12 + 10 * (formats.len() + 1));
 
     for name in &task_names {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == name)
-            .expect("task exists");
+        let spec = require_task(name);
         let ds = spec.dataset();
         let idx: Vec<usize> = (0..ds.len()).collect();
         // One float-trained network per task; evaluate it through each

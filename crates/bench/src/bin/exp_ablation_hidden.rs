@@ -11,9 +11,8 @@
 //! ```
 
 use dta_ann::{cross_validate, ForwardMode, Topology, Trainer};
-use dta_bench::{rule, Args};
+use dta_bench::{require_task, rule, Args};
 use dta_core::cost::CostModel;
-use dta_datasets::suite;
 
 fn main() {
     let args = Args::parse();
@@ -35,10 +34,7 @@ fn main() {
     let mut sums = vec![0.0f64; hiddens.len()];
     let mut rows = 0;
     for name in &task_names {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == name)
-            .expect("task exists");
+        let spec = require_task(name);
         let ds = spec.dataset();
         let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
         print!("{:<12}", spec.name);

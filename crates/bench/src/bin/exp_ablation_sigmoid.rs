@@ -10,8 +10,7 @@
 //! ```
 
 use dta_ann::{cross_validate, ForwardMode, Trainer};
-use dta_bench::{pct, rule, Args};
-use dta_datasets::suite;
+use dta_bench::{pct, require_task, rule, Args};
 use dta_fixed::{sigmoid::sigmoid, Fx, PwlSigmoid, SigmoidLut};
 
 fn main() {
@@ -55,10 +54,7 @@ fn main() {
     );
     rule(66);
     for name in &task_names {
-        let spec = suite::specs()
-            .into_iter()
-            .find(|s| s.name == name)
-            .expect("task exists");
+        let spec = require_task(name);
         let ds = spec.dataset();
         let float = cross_validate(
             &Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Float),

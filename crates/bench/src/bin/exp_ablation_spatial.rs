@@ -14,11 +14,10 @@
 //! ```
 
 use dta_ann::{Mlp, Topology};
-use dta_bench::{rule, Args};
+use dta_bench::{require_task, rule, Args};
 use dta_circuits::FaultModel;
 use dta_core::campaign::{defect_tolerance_curve, CampaignConfig};
 use dta_core::TimeMultiplexedAccelerator;
-use dta_datasets::suite;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -31,10 +30,7 @@ fn main() {
     let seed = args.get("seed", 0x5BA71Au64);
     let phys = args.get("phys-neurons", 2usize);
 
-    let spec = suite::specs()
-        .into_iter()
-        .find(|s| s.name == task)
-        .expect("task exists in the suite");
+    let spec = require_task(&task);
     let ds = spec.dataset();
     let idx: Vec<usize> = (0..ds.len()).collect();
 

@@ -11,9 +11,8 @@
 
 use dta_ann::deep::{DeepMlp, DeepTrainer};
 use dta_ann::Topology;
-use dta_bench::{pct, rule, Args};
+use dta_bench::{pct, require_task, rule, Args};
 use dta_core::large::LargeNetworkMapper;
-use dta_datasets::suite;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -23,10 +22,7 @@ fn main() {
     let epochs = args.get("epochs", 60usize);
     let seed = args.get("seed", 0xDEE9u64);
 
-    let spec = suite::specs()
-        .into_iter()
-        .find(|s| s.name == task)
-        .expect("task exists");
+    let spec = require_task(&task);
     let ds = spec.dataset();
     let split = ds.k_folds(5, seed);
     let fold = &split[0];

@@ -26,7 +26,13 @@ fn classify(kind: GateKind) -> [usize; 6] {
     let mut row = [sites.len(), 0, 0, 0, 0, 0];
     for &site in &sites {
         let mut cell = base.clone();
-        cell.inject(site).unwrap();
+        if let Err(e) = cell.inject(site) {
+            // `defect_sites()` enumerates valid sites, so this is a
+            // model-invariant violation — report it and stop instead of
+            // unwinding through the worker pool with a backtrace.
+            eprintln!("exp_fault_classes: {kind} site {site:?}: {e}");
+            std::process::exit(1);
+        }
         let a = analyze_cell(&cell);
         for (slot, hit) in row.iter_mut().skip(1).zip([
             a.is_equivalent(),

@@ -61,6 +61,18 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
         "duty",
         "exp_transient: active evaluations per intermittent cycle",
     ),
+    (
+        "budget-ms",
+        "exp_recovery: wall-clock watchdog deadline per recovery rung",
+    ),
+    (
+        "target-drop",
+        "exp_recovery: accepted accuracy drop below the clean network",
+    ),
+    (
+        "recovery-epochs",
+        "exp_recovery: epoch budget per recovery rung",
+    ),
 ];
 
 /// Parsed `--key value` command-line options.
@@ -187,6 +199,26 @@ fn bad_value(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Looks up one task of the benchmark suite by name. An unknown name
+/// prints the available tasks plus the usage summary and exits with
+/// status 2 — a typo in `--task` is user error, not a crash.
+pub fn require_task(name: &str) -> dta_datasets::TaskSpec {
+    if let Some(spec) = dta_datasets::suite::specs()
+        .into_iter()
+        .find(|s| s.name == name)
+    {
+        return spec;
+    }
+    let names: Vec<&str> = dta_datasets::suite::specs()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    bad_value(&format!(
+        "unknown task `{name}` (available: {})",
+        names.join(", ")
+    ))
+}
+
 /// A hand-rolled flat JSON object writer — enough to emit the
 /// `BENCH_campaign.json` perf record without a serde dependency.
 ///
@@ -234,6 +266,13 @@ impl JsonMap {
     /// Adds a list-of-integers field.
     pub fn int_list(mut self, key: &str, values: &[usize]) -> JsonMap {
         let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.push(key, format!("[{}]", body.join(", ")));
+        self
+    }
+
+    /// Adds a list-of-floats field (non-finite values become `null`).
+    pub fn num_list(mut self, key: &str, values: &[f64]) -> JsonMap {
+        let body: Vec<String> = values.iter().copied().map(format_json_number).collect();
         self.push(key, format!("[{}]", body.join(", ")));
         self
     }

@@ -47,6 +47,19 @@ pub enum AccelError {
         /// Which parameter, and why it was rejected.
         what: String,
     },
+    /// A remap/mask referenced a lane outside the physical array.
+    BadLane {
+        /// The offending lane index.
+        lane: usize,
+        /// Physical lanes available.
+        lanes: usize,
+    },
+    /// A remap targeted a physical lane another logical neuron already
+    /// occupies.
+    LaneInUse {
+        /// The contested physical lane.
+        lane: usize,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -68,6 +81,12 @@ impl fmt::Display for AccelError {
             }
             AccelError::BadHyperparameter { what } => {
                 write!(f, "bad hyperparameter: {what}")
+            }
+            AccelError::BadLane { lane, lanes } => {
+                write!(f, "lane {lane} outside the physical array ({lanes} lanes)")
+            }
+            AccelError::LaneInUse { lane } => {
+                write!(f, "physical lane {lane} is already occupied")
             }
         }
     }
@@ -210,9 +229,88 @@ impl Accelerator {
         &mut self.faults
     }
 
+    /// Shared view of the accumulated fault state (ground-truth sites,
+    /// lane map, masks).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Number of injected defects.
     pub fn defect_count(&self) -> usize {
         self.faults.len()
+    }
+
+    /// Routes logical hidden neuron `logical` of the mapped network onto
+    /// physical lane `physical` — the spare-lane repair of the recovery
+    /// ladder. An identity remap clears a previous override.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoNetwork`] if nothing is mapped;
+    /// [`AccelError::BadLane`] if either index is outside the mapped
+    /// network (logical) or the physical array (physical);
+    /// [`AccelError::LaneInUse`] if another logical neuron already
+    /// routes to `physical`.
+    pub fn remap_hidden(&mut self, logical: usize, physical: usize) -> Result<(), AccelError> {
+        let topo = self
+            .network
+            .as_ref()
+            .ok_or(AccelError::NoNetwork)?
+            .topology();
+        if logical >= topo.hidden {
+            return Err(AccelError::BadLane {
+                lane: logical,
+                lanes: topo.hidden,
+            });
+        }
+        if physical >= self.physical.hidden {
+            return Err(AccelError::BadLane {
+                lane: physical,
+                lanes: self.physical.hidden,
+            });
+        }
+        if (0..topo.hidden).any(|j| j != logical && self.faults.hidden_lane(j) == physical) {
+            return Err(AccelError::LaneInUse { lane: physical });
+        }
+        self.faults.remap_hidden(logical, physical);
+        Ok(())
+    }
+
+    /// Gates a physical hidden lane's output to 0 (fail-silent masking,
+    /// the fallback when no spare lane is available).
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::BadLane`] if `lane` is outside the physical array.
+    pub fn mask_hidden(&mut self, lane: usize) -> Result<(), AccelError> {
+        if lane >= self.physical.hidden {
+            return Err(AccelError::BadLane {
+                lane,
+                lanes: self.physical.hidden,
+            });
+        }
+        self.faults.mask(dta_ann::Layer::Hidden, lane);
+        Ok(())
+    }
+
+    /// Processes one row and scans out the full forward trace (hidden
+    /// activations included) — the diagnostic access a self-test uses,
+    /// as opposed to the outputs-only [`Accelerator::process_row`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Accelerator::process_row`].
+    pub fn diagnose_row(&mut self, row: &[f64]) -> Result<dta_ann::ForwardTrace, AccelError> {
+        let mlp = self.network.as_ref().ok_or(AccelError::NoNetwork)?;
+        let expected = mlp.topology().inputs;
+        if row.len() != expected {
+            return Err(AccelError::WrongRowWidth {
+                got: row.len(),
+                expected,
+            });
+        }
+        self.rows_processed += 1;
+        Ok(mlp.forward_faulty(row, &self.lut, &mut self.faults))
     }
 
     /// Processes one input row through the (possibly faulty) datapath,
@@ -456,6 +554,66 @@ mod tests {
         accel.map_network(mlp.clone()).unwrap();
         assert_eq!(accel.unmap_network(), Some(mlp));
         assert!(accel.network().is_none());
+    }
+
+    #[test]
+    fn remap_and_mask_validate_lanes() {
+        let mut accel = Accelerator::new();
+        assert_eq!(accel.remap_hidden(0, 9), Err(AccelError::NoNetwork));
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 2), 2))
+            .unwrap();
+        // Logical index bounded by the mapped network, physical by the
+        // array.
+        assert_eq!(
+            accel.remap_hidden(3, 9),
+            Err(AccelError::BadLane { lane: 3, lanes: 3 })
+        );
+        assert_eq!(
+            accel.remap_hidden(0, 10),
+            Err(AccelError::BadLane {
+                lane: 10,
+                lanes: 10
+            })
+        );
+        accel.remap_hidden(0, 9).unwrap();
+        assert_eq!(accel.faults().hidden_lane(0), 9);
+        // Lane 9 is now occupied; identity lanes of other neurons too.
+        assert_eq!(
+            accel.remap_hidden(1, 9),
+            Err(AccelError::LaneInUse { lane: 9 })
+        );
+        assert_eq!(
+            accel.remap_hidden(1, 2),
+            Err(AccelError::LaneInUse { lane: 2 })
+        );
+        accel.remap_hidden(0, 0).unwrap(); // identity clears
+        assert!(accel.faults().remapped_hidden().is_empty());
+        assert_eq!(
+            accel.mask_hidden(10),
+            Err(AccelError::BadLane {
+                lane: 10,
+                lanes: 10
+            })
+        );
+        accel.mask_hidden(2).unwrap();
+        assert!(accel.faults().is_masked(dta_ann::Layer::Hidden, 2));
+    }
+
+    #[test]
+    fn diagnose_row_scans_out_hidden_lanes() {
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 2), 2))
+            .unwrap();
+        let trace = accel.diagnose_row(&[0.1, 0.4, -0.2, 0.9]).unwrap();
+        assert_eq!(trace.hidden.len(), 3);
+        assert_eq!(trace.output.len(), 2);
+        assert_eq!(accel.rows_processed(), 1);
+        assert!(matches!(
+            accel.diagnose_row(&[0.0; 5]),
+            Err(AccelError::WrongRowWidth { .. })
+        ));
     }
 
     #[test]

@@ -112,6 +112,14 @@ pub struct ChaosCell {
 pub enum CampaignError {
     /// `repetitions` was zero — the grid would be empty.
     NoRepetitions,
+    /// The configured fault lifetime is invalid (transient probability
+    /// outside `[0, 1]`, or an intermittent duty cycle longer than its
+    /// period). Caught before any cell runs, so a bad flag fails fast
+    /// instead of panicking mid-grid.
+    BadActivation {
+        /// The underlying [`dta_circuits::ActivationError`] message.
+        detail: String,
+    },
     /// A checkpoint journal could not be opened, parsed, or written,
     /// or belongs to a different campaign configuration.
     Checkpoint {
@@ -127,6 +135,9 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::NoRepetitions => {
                 write!(f, "campaign needs at least one repetition")
+            }
+            CampaignError::BadActivation { detail } => {
+                write!(f, "invalid fault activation: {detail}")
             }
             CampaignError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint {path}: {detail}")
@@ -220,6 +231,11 @@ pub fn defect_tolerance_curve_resumable(
     if reps == 0 {
         return Err(CampaignError::NoRepetitions);
     }
+    cfg.activation
+        .validate()
+        .map_err(|e| CampaignError::BadActivation {
+            detail: e.to_string(),
+        })?;
     let ds = spec.dataset();
     let epochs = cfg.epochs.unwrap_or(spec.epochs);
     let trainer = Trainer::new(spec.learning_rate, 0.1, epochs, ForwardMode::Fixed);
@@ -229,6 +245,7 @@ pub fn defect_tolerance_curve_resumable(
     // ChaCha8 stream from the master seed and its coordinates — the
     // derivation is byte-for-byte the one the serial loop always used,
     // so any thread count reproduces the serial accuracies exactly.
+    let journal_error: std::sync::Mutex<Option<CampaignError>> = std::sync::Mutex::new(None);
     let outcomes = parallel_map(cfg.defect_counts.len() * reps, cfg.threads, |cell| {
         let n_defects = cfg.defect_counts[cell / reps];
         let rep = cell % reps;
@@ -239,10 +256,19 @@ pub fn defect_tolerance_curve_resumable(
         }
         let outcome = run_cell_resilient(spec, cfg, &trainer, &ds, n_defects, rep);
         if let Some(ck) = checkpoint {
-            ck.record(spec.name, n_defects, rep, &outcome);
+            // A cell whose result cannot be journaled poisons resume:
+            // stash the first failure and abort the campaign after the
+            // in-flight cells drain, rather than continuing with silent
+            // resume-state loss.
+            if let Err(e) = ck.record(spec.name, n_defects, rep, &outcome) {
+                journal_error.lock().unwrap().get_or_insert(e);
+            }
         }
         outcome
     });
+    if let Some(e) = journal_error.into_inner().unwrap() {
+        return Err(e);
+    }
 
     Ok(cfg
         .defect_counts
@@ -607,6 +633,92 @@ mod tests {
             permanent, transient,
             "activation class should alter results"
         );
+    }
+
+    #[test]
+    fn invalid_activation_is_a_typed_campaign_error() {
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.activation = Activation::Transient {
+            per_eval_probability: 1.5,
+        };
+        match defect_tolerance_curve(&spec, &cfg).unwrap_err() {
+            CampaignError::BadActivation { detail } => {
+                assert!(detail.contains("outside [0, 1]"), "{detail}");
+            }
+            other => panic!("expected BadActivation, got {other:?}"),
+        }
+        cfg.activation = Activation::Intermittent { period: 2, duty: 5 };
+        assert!(matches!(
+            defect_tolerance_curve(&spec, &cfg),
+            Err(CampaignError::BadActivation { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_duty_intermittent_matches_the_clean_curve() {
+        // duty=0 never activates any defect, and the cross-validation
+        // fold/init seeds depend only on (seed, rep) — so every defect
+        // count must reproduce the clean (0-defect) accuracy exactly.
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.defect_counts = vec![0, 5, 12];
+        cfg.activation = Activation::Intermittent { period: 6, duty: 0 };
+        let curve = defect_tolerance_curve(&spec, &cfg).unwrap();
+        for p in &curve {
+            assert_eq!(
+                p.mean_accuracy.to_bits(),
+                curve[0].mean_accuracy.to_bits(),
+                "count {} diverged from the clean curve",
+                p.defects
+            );
+        }
+    }
+
+    #[test]
+    fn full_duty_intermittent_matches_the_permanent_curve() {
+        // duty == period is "always active" — behaviorally a permanent
+        // defect. Injecting a non-permanent defect draws one extra RNG
+        // word (its activation-stream seed), shifting every later
+        // site, so the site sets coincide with the permanent draw only
+        // for counts 0 and 1 — which is exactly where byte-identity is
+        // asserted.
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.defect_counts = vec![0, 1];
+        cfg.repetitions = 2;
+        let permanent = defect_tolerance_curve(&spec, &cfg).unwrap();
+        cfg.activation = Activation::Intermittent { period: 3, duty: 3 };
+        let full_duty = defect_tolerance_curve(&spec, &cfg).unwrap();
+        for (p, q) in permanent.iter().zip(&full_duty) {
+            assert_eq!(
+                p.mean_accuracy.to_bits(),
+                q.mean_accuracy.to_bits(),
+                "count {} diverged from the permanent curve",
+                p.defects
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn unwritable_journal_aborts_the_campaign_with_a_typed_error() {
+        // Point the journal writer at /dev/full (every write ENOSPCs):
+        // the campaign must surface a typed checkpoint error instead of
+        // finishing with silently lost resume state.
+        let spec = iris();
+        let cfg = tiny_cfg();
+        let path = tmp("unwritable");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::open(&path, &cfg.fingerprint()).unwrap();
+        let full = std::fs::OpenOptions::new()
+            .write(true)
+            .open("/dev/full")
+            .unwrap();
+        ck.replace_writer_for_tests(full);
+        let err = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap_err();
+        assert!(matches!(err, CampaignError::Checkpoint { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

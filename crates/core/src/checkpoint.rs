@@ -141,15 +141,27 @@ impl Checkpoint {
         self.done.get(&(task.to_string(), defects, rep)).cloned()
     }
 
-    /// Appends one finished cell to the journal (flushed immediately,
-    /// so a killed process loses at most the cell being written).
+    /// Appends one finished cell to the journal (flushed and synced to
+    /// the device immediately, so a killed process — or a power cut —
+    /// loses at most the cell being written).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the journal can no longer be written (e.g. disk full)
-    /// — better to abort the campaign than to silently lose resume
-    /// state.
-    pub fn record(&self, task: &str, defects: usize, rep: usize, outcome: &CellOutcome) {
+    /// [`CampaignError::Checkpoint`] if the journal can no longer be
+    /// written (e.g. disk full). The campaign propagates this instead
+    /// of continuing: losing resume state silently would make a later
+    /// resume recompute — or worse, half-recompute — the curve.
+    pub fn record(
+        &self,
+        task: &str,
+        defects: usize,
+        rep: usize,
+        outcome: &CellOutcome,
+    ) -> Result<(), CampaignError> {
+        let fail = |detail: String| CampaignError::Checkpoint {
+            path: self.path.display().to_string(),
+            detail,
+        };
         let mut line = format!(
             "{{\"task\":\"{}\",\"defects\":{defects},\"rep\":{rep}",
             escape(task)
@@ -176,10 +188,19 @@ impl Checkpoint {
         }
         line.push('}');
         let mut w = self.writer.lock().unwrap();
-        writeln!(w, "{line}")
-            .unwrap_or_else(|e| panic!("checkpoint {}: append failed: {e}", self.path.display()));
-        w.flush()
-            .unwrap_or_else(|e| panic!("checkpoint {}: flush failed: {e}", self.path.display()));
+        writeln!(w, "{line}").map_err(|e| fail(format!("append failed: {e}")))?;
+        w.flush().map_err(|e| fail(format!("flush failed: {e}")))?;
+        // `flush` only drains the userspace buffer; `sync_data` pushes
+        // the bytes to the device, so the journal survives power loss,
+        // not just process death.
+        w.sync_data().map_err(|e| fail(format!("sync failed: {e}")))
+    }
+
+    /// Swaps the journal writer for an arbitrary open file — lets tests
+    /// point `record` at a device like `/dev/full` that fails on write.
+    #[cfg(test)]
+    pub(crate) fn replace_writer_for_tests(&self, file: File) {
+        *self.writer.lock().unwrap() = file;
     }
 }
 
@@ -286,7 +307,8 @@ mod tests {
                     accuracy: 0.933_333_333_333_333_3,
                     retried: false,
                 },
-            );
+            )
+            .unwrap();
             ck.record(
                 "iris",
                 8,
@@ -294,7 +316,8 @@ mod tests {
                 &CellOutcome::Failed {
                     panic: "weird \"quoted\"\nmulti-line\tpayload \\ with slash".into(),
                 },
-            );
+            )
+            .unwrap();
             ck.record(
                 "wine",
                 0,
@@ -303,7 +326,8 @@ mod tests {
                     accuracy: 1.0,
                     retried: true,
                 },
-            );
+            )
+            .unwrap();
         }
         let ck = Checkpoint::open(&path, "fp-a").unwrap();
         assert_eq!(ck.completed(), 3);
@@ -355,7 +379,8 @@ mod tests {
                     accuracy: 0.5,
                     retried: false,
                 },
-            );
+            )
+            .unwrap();
         }
         // Simulate a crash mid-append: a partial trailing line.
         {
@@ -365,6 +390,40 @@ mod tests {
         }
         let ck = Checkpoint::open(&path, "fp").unwrap();
         assert_eq!(ck.completed(), 1, "torn line must be dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn full_disk_surfaces_a_typed_checkpoint_error() {
+        // `/dev/full` fails every write with ENOSPC — exactly the
+        // journal-on-a-full-disk case. The error must be a typed
+        // `CampaignError::Checkpoint`, not a panic.
+        let path = tmp("enospc");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::open(&path, "fp").unwrap();
+        let full = OpenOptions::new().write(true).open("/dev/full").unwrap();
+        ck.replace_writer_for_tests(full);
+        let err = ck
+            .record(
+                "iris",
+                0,
+                0,
+                &CellOutcome::Completed {
+                    accuracy: 0.5,
+                    retried: false,
+                },
+            )
+            .unwrap_err();
+        match &err {
+            CampaignError::Checkpoint { detail, .. } => {
+                assert!(
+                    detail.contains("failed") || detail.contains("sync"),
+                    "unexpected detail: {detail}"
+                );
+            }
+            other => panic!("expected a checkpoint error, got {other:?}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 
@@ -393,7 +452,8 @@ mod tests {
                         accuracy: v,
                         retried: false,
                     },
-                );
+                )
+                .unwrap();
             }
         }
         let ck = Checkpoint::open(&path, "fp").unwrap();

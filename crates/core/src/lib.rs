@@ -27,6 +27,13 @@
 //! * [`campaign`] — the defect-injection campaigns of Figures 10 and 11:
 //!   accuracy vs. defect count with retraining, and output-layer
 //!   sensitivity vs. error amplitude.
+//! * [`selftest`] — signature-based BIST: array-level lane screen plus
+//!   operator-level vector diagnosis, localizing defects to
+//!   operator/neuron granularity with structurally perfect precision.
+//! * [`recover`] — the online recovery ladder driven by a diagnosis:
+//!   retrain-around-defect, remap/mask onto spare lanes, graceful
+//!   degradation — each rung under an epoch budget and a wall-clock
+//!   watchdog with typed timeout errors.
 //!
 //! # Example
 //!
@@ -50,6 +57,8 @@ pub mod interface;
 pub mod large;
 pub mod parallel;
 pub mod processor;
+pub mod recover;
+pub mod selftest;
 pub mod time_multiplexed;
 
 pub use accelerator::{AccelError, Accelerator};
@@ -62,4 +71,6 @@ pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
 pub use interface::MemoryInterface;
 pub use parallel::parallel_map;
 pub use processor::ProcessorModel;
+pub use recover::{RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung, RungBudget};
+pub use selftest::{detection_rate, localization_precision, run_selftest, BistConfig, Diagnosis};
 pub use time_multiplexed::TimeMultiplexedAccelerator;

@@ -1,0 +1,805 @@
+//! The online recovery ladder: what to do once a self-test
+//! ([`crate::selftest`]) has localized defects in the array.
+//!
+//! Three policy rungs, tried in order, each under an epoch budget and
+//! a wall-clock watchdog:
+//!
+//! 1. **Retrain-around-defect** — the paper's Figure 10 mechanism: the
+//!    companion core retrains the mapped network *through* the faulty
+//!    silicon, letting gradient descent silence defective elements.
+//! 2. **Remap/mask** — faulty hidden lanes named by the diagnosis are
+//!    remapped onto spare healthy lanes (physical lanes beyond the
+//!    logical width); when spares run out, lanes can be masked to 0
+//!    (fail-silent) instead. A retrain under its own budget follows, so
+//!    the network adapts to the new routing.
+//! 3. **Graceful degradation** — no further repair is attempted; the
+//!    expected residual accuracy is *estimated* from the output-
+//!    visibility of the flagged operators (no labeled data needed), so
+//!    the accelerator reports how wrong it expects to be instead of
+//!    serving silently-wrong results.
+//!
+//! Each rung's wall-clock deadline is enforced by a watchdog thread
+//! (the same scoped-thread machinery as [`crate::parallel`]) that trips
+//! an atomic flag; the training loop checks it between epochs, so a
+//! deadline overrun yields a typed [`RecoveryError::Timeout`] and the
+//! ladder falls through to the next rung instead of hanging.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dta_ann::{FaultSite, Layer, UnitKind};
+use dta_circuits::visibility::{adder_visibility, multiplier_visibility};
+use dta_datasets::Dataset;
+use dta_fixed::Fx;
+
+use crate::accelerator::{AccelError, Accelerator};
+use crate::selftest::Diagnosis;
+
+/// One rung of the recovery ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryRung {
+    /// Retrain the mapped network through the faulty silicon.
+    Retrain,
+    /// Remap faulty hidden lanes onto spares (mask when none), then
+    /// retrain.
+    Remap,
+    /// Stop repairing; estimate and report the expected accuracy loss.
+    Degrade,
+}
+
+impl fmt::Display for RecoveryRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryRung::Retrain => write!(f, "retrain"),
+            RecoveryRung::Remap => write!(f, "remap"),
+            RecoveryRung::Degrade => write!(f, "degrade"),
+        }
+    }
+}
+
+/// Deadline/budget for one recovery rung.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RungBudget {
+    /// Maximum retraining epochs before the rung gives up.
+    pub max_epochs: usize,
+    /// Wall-clock watchdog deadline for the whole rung, in
+    /// milliseconds.
+    pub wall_clock_ms: u64,
+}
+
+/// Typed outcomes of a recovery step that did not reach its target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecoveryError {
+    /// The rung's wall-clock watchdog expired before the epoch budget
+    /// was spent.
+    Timeout {
+        /// Which rung timed out.
+        rung: RecoveryRung,
+        /// The deadline that was exceeded.
+        budget_ms: u64,
+        /// Epochs completed before the deadline hit.
+        epochs_done: usize,
+    },
+    /// The rung spent its full epoch budget without reaching the
+    /// accuracy target.
+    AccuracyShortfall {
+        /// Which rung fell short.
+        rung: RecoveryRung,
+        /// Best accuracy the rung measured (`None` if it never
+        /// completed an epoch).
+        achieved: Option<f64>,
+        /// The target it was asked to reach.
+        target: f64,
+    },
+    /// The remap rung needed more spare lanes than the array has and
+    /// masking was not permitted.
+    NoSpareLane {
+        /// Faulty in-use lanes needing relocation.
+        needed: usize,
+        /// Healthy spare lanes available.
+        spares: usize,
+    },
+    /// An accelerator operation failed (setup error; aborts the
+    /// ladder).
+    Accel(AccelError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Timeout {
+                rung,
+                budget_ms,
+                epochs_done,
+            } => write!(
+                f,
+                "{rung} rung exceeded its {budget_ms} ms deadline after {epochs_done} epoch(s)"
+            ),
+            RecoveryError::AccuracyShortfall {
+                rung,
+                achieved,
+                target,
+            } => match achieved {
+                Some(a) => write!(f, "{rung} rung reached {a:.3}, target {target:.3}"),
+                None => write!(f, "{rung} rung finished no epoch, target {target:.3}"),
+            },
+            RecoveryError::NoSpareLane { needed, spares } => {
+                write!(
+                    f,
+                    "{needed} lane(s) need relocation, {spares} spare(s) free"
+                )
+            }
+            RecoveryError::Accel(e) => write!(f, "accelerator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<AccelError> for RecoveryError {
+    fn from(e: AccelError) -> RecoveryError {
+        RecoveryError::Accel(e)
+    }
+}
+
+/// Configuration of the whole ladder.
+#[derive(Clone, Debug)]
+pub struct RecoveryPolicy {
+    /// Budget for the retrain-around-defect rung.
+    pub retrain: RungBudget,
+    /// Budget for the post-remap retrain.
+    pub remap: RungBudget,
+    /// Accuracy at which a rung declares success and stops the ladder.
+    pub target_accuracy: f64,
+    /// Companion-core learning rate.
+    pub learning_rate: f64,
+    /// Companion-core momentum.
+    pub momentum: f64,
+    /// Seed for the per-rung training streams (deterministic ladder).
+    pub seed: u64,
+    /// Whether the remap rung runs at all (`false` = the blind-retrain
+    /// baseline the paper's mechanism is compared against).
+    pub use_remap: bool,
+    /// Whether faulty lanes with no spare may be masked to 0 instead of
+    /// failing the remap rung with [`RecoveryError::NoSpareLane`].
+    pub mask_unmappable: bool,
+    /// Test hook: stall the named rung's epoch loop by this many
+    /// milliseconds per epoch, to exercise the watchdog path.
+    pub chaos_stall: Option<(RecoveryRung, u64)>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            retrain: RungBudget {
+                max_epochs: 24,
+                wall_clock_ms: 60_000,
+            },
+            remap: RungBudget {
+                max_epochs: 24,
+                wall_clock_ms: 60_000,
+            },
+            target_accuracy: 0.9,
+            learning_rate: 0.2,
+            momentum: 0.1,
+            seed: 0x5EC0,
+            use_remap: true,
+            mask_unmappable: true,
+            chaos_stall: None,
+        }
+    }
+}
+
+/// What one rung did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RungReport {
+    /// Which rung.
+    pub rung: RecoveryRung,
+    /// Best test accuracy the rung measured, if it completed an epoch.
+    pub accuracy: Option<f64>,
+    /// Epochs it ran.
+    pub epochs_used: usize,
+    /// Why it stopped short of the target, if it did.
+    pub error: Option<RecoveryError>,
+    /// Logical lanes remapped onto spares (remap rung only).
+    pub remapped: usize,
+    /// Physical lanes masked to 0 (remap rung only).
+    pub masked: usize,
+}
+
+/// The graceful-degradation estimate: expected residual accuracy from
+/// the output-visibility of the still-active flagged operators, with no
+/// labeled data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationEstimate {
+    /// Predicted serving accuracy (floored at chance level).
+    pub expected_accuracy: f64,
+    /// Flagged sites still active after any remap/mask repairs.
+    pub active_sites: usize,
+    /// Of those, sites whose damage is visible at the operator output.
+    pub visible_sites: usize,
+    /// Mean visible fraction across the active sites (0 when none).
+    pub mean_visible_fraction: f64,
+}
+
+/// The ladder's overall outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// Per-rung reports, in execution order.
+    pub rungs: Vec<RungReport>,
+    /// Test accuracy before any rung ran.
+    pub pre_recovery_accuracy: f64,
+    /// Best measured accuracy across the pre-recovery state and every
+    /// rung — what the accelerator actually serves with.
+    pub accuracy: f64,
+    /// True if some rung reached the accuracy target.
+    pub succeeded: bool,
+    /// Present when the ladder fell through to graceful degradation.
+    pub degradation: Option<DegradationEstimate>,
+}
+
+impl RecoveryReport {
+    /// The last rung that ran.
+    pub fn final_rung(&self) -> Option<RecoveryRung> {
+        self.rungs.last().map(|r| r.rung)
+    }
+}
+
+/// Runs `body` with a watchdog that trips `expired` once `budget`
+/// elapses; the watchdog thread exits as soon as `body` returns.
+fn with_watchdog<T>(budget: Duration, body: impl FnOnce(&AtomicBool) -> T) -> T {
+    let expired = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let deadline = Instant::now() + budget;
+            while !done.load(Ordering::Acquire) {
+                if Instant::now() >= deadline {
+                    expired.store(true, Ordering::Release);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let out = body(&expired);
+        done.store(true, Ordering::Release);
+        out
+    })
+}
+
+/// Epoch-at-a-time retraining under a budget: early-outs on the target,
+/// returns a typed [`RecoveryError::Timeout`] report when the watchdog
+/// trips first, an [`RecoveryError::AccuracyShortfall`] report when the
+/// epoch budget runs dry below target.
+fn retrain_under_budget(
+    accel: &mut Accelerator,
+    ds: &Dataset,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    policy: &RecoveryPolicy,
+    budget: &RungBudget,
+    rung: RecoveryRung,
+) -> Result<RungReport, AccelError> {
+    let salt = match rung {
+        RecoveryRung::Retrain => 0x517A,
+        RecoveryRung::Remap => 0x9E3A,
+        RecoveryRung::Degrade => 0xDE64,
+    };
+    let stall = match policy.chaos_stall {
+        Some((r, ms)) if r == rung => ms,
+        _ => 0,
+    };
+    with_watchdog(Duration::from_millis(budget.wall_clock_ms), |expired| {
+        let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ salt);
+        let mut best: Option<f64> = None;
+        let mut epochs_used = 0usize;
+        for _ in 0..budget.max_epochs {
+            if stall > 0 {
+                std::thread::sleep(Duration::from_millis(stall));
+            }
+            if expired.load(Ordering::Acquire) {
+                return Ok(RungReport {
+                    rung,
+                    accuracy: best,
+                    epochs_used,
+                    error: Some(RecoveryError::Timeout {
+                        rung,
+                        budget_ms: budget.wall_clock_ms,
+                        epochs_done: epochs_used,
+                    }),
+                    remapped: 0,
+                    masked: 0,
+                });
+            }
+            accel.retrain(
+                ds,
+                train_idx,
+                policy.learning_rate,
+                policy.momentum,
+                1,
+                &mut rng,
+            )?;
+            epochs_used += 1;
+            let acc = accel.evaluate(ds, test_idx)?;
+            if best.is_none_or(|b| acc > b) {
+                best = Some(acc);
+            }
+            if acc >= policy.target_accuracy {
+                return Ok(RungReport {
+                    rung,
+                    accuracy: best,
+                    epochs_used,
+                    error: None,
+                    remapped: 0,
+                    masked: 0,
+                });
+            }
+        }
+        Ok(RungReport {
+            rung,
+            accuracy: best,
+            epochs_used,
+            error: Some(RecoveryError::AccuracyShortfall {
+                rung,
+                achieved: best,
+                target: policy.target_accuracy,
+            }),
+            remapped: 0,
+            masked: 0,
+        })
+    })
+}
+
+/// Installs the remap/mask repairs for the diagnosed faulty hidden
+/// lanes. Returns `(remapped, masked)` or [`RecoveryError::NoSpareLane`].
+fn install_remaps(
+    accel: &mut Accelerator,
+    diagnosis: &Diagnosis,
+    policy: &RecoveryPolicy,
+) -> Result<(usize, usize), RecoveryError> {
+    let logical = accel
+        .network()
+        .ok_or(RecoveryError::Accel(AccelError::NoNetwork))?
+        .topology();
+    let phys = accel.geometry();
+    let faulty = diagnosis.faulty_hidden_lanes();
+    // Lanes the logical network currently routes through and that the
+    // diagnosis implicated.
+    let need: Vec<usize> = (0..logical.hidden)
+        .filter(|&j| faulty.contains(&accel.faults().hidden_lane(j)))
+        .collect();
+    // Spares: physical lanes beyond the logical width, healthy and not
+    // already the target of a remap.
+    let spares: Vec<usize> = (logical.hidden..phys.hidden)
+        .filter(|lane| !faulty.contains(lane))
+        .filter(|&lane| (0..logical.hidden).all(|j| accel.faults().hidden_lane(j) != lane))
+        .collect();
+    if need.len() > spares.len() && !policy.mask_unmappable {
+        return Err(RecoveryError::NoSpareLane {
+            needed: need.len(),
+            spares: spares.len(),
+        });
+    }
+    let mut remapped = 0usize;
+    let mut masked = 0usize;
+    for (i, &j) in need.iter().enumerate() {
+        if let Some(&spare) = spares.get(i) {
+            accel.remap_hidden(j, spare)?;
+            remapped += 1;
+        } else {
+            accel.mask_hidden(accel.faults().hidden_lane(j))?;
+            masked += 1;
+        }
+    }
+    Ok((remapped, masked))
+}
+
+/// Estimates residual accuracy without labeled data: each flagged,
+/// still-active operator contributes an expected loss proportional to
+/// its measured output visibility, scaled by how much of the neuron's
+/// accumulation it touches. A deliberately simple, monotone heuristic —
+/// the point is an honest "how wrong to expect", not a tight bound.
+fn estimate_degradation(
+    accel: &mut Accelerator,
+    diagnosis: &Diagnosis,
+    baseline_accuracy: f64,
+) -> DegradationEstimate {
+    let logical = accel.network().map(|m| m.topology());
+    let phys = accel.geometry();
+    // Physical hidden lanes the logical network actually routes through.
+    let active_hidden: Vec<usize> = match logical {
+        Some(l) => (0..l.hidden)
+            .map(|j| accel.faults().hidden_lane(j))
+            .collect(),
+        None => (0..phys.hidden).collect(),
+    };
+    let outputs = logical.map_or(phys.outputs, |l| l.outputs);
+    let chance = 1.0 / outputs.max(1) as f64;
+    let hw_inputs = accel.faults().hw_inputs() as f64;
+
+    let mut active_sites = 0usize;
+    let mut visible_sites = 0usize;
+    let mut vf_sum = 0.0f64;
+    let mut loss = 0.0f64;
+    let samples = 256;
+    for (i, site) in diagnosis.flagged.iter().enumerate() {
+        let lane_active = match site.layer {
+            Layer::Hidden => {
+                active_hidden.contains(&site.neuron)
+                    && !accel.faults().is_masked(Layer::Hidden, site.neuron)
+            }
+            Layer::Output => {
+                site.neuron < outputs && !accel.faults().is_masked(Layer::Output, site.neuron)
+            }
+        };
+        if !lane_active {
+            continue;
+        }
+        active_sites += 1;
+        let seed = 0xD156_0000 ^ i as u64;
+        let vf = site_visibility(accel, site, samples, seed);
+        if vf > 0.0 {
+            visible_sites += 1;
+        }
+        vf_sum += vf;
+        // Per-synapse operators corrupt one of `hw_inputs` accumulation
+        // terms; adders and activation units sit on the whole sum.
+        let sensitivity = match site.unit {
+            UnitKind::Adder | UnitKind::Activation => 0.25,
+            UnitKind::Multiplier | UnitKind::Latch => 0.25 / hw_inputs.sqrt(),
+        };
+        loss += vf * sensitivity;
+    }
+    let expected = (baseline_accuracy - loss).clamp(chance, baseline_accuracy.max(chance));
+    DegradationEstimate {
+        expected_accuracy: expected,
+        active_sites,
+        visible_sites,
+        mean_visible_fraction: if active_sites > 0 {
+            vf_sum / active_sites as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Visible fraction of one flagged operator's output, via the
+/// `dta-circuits` visibility model (latches measured inline: fraction
+/// of random weight words the stuck bits alter).
+fn site_visibility(accel: &mut Accelerator, site: &FaultSite, samples: usize, seed: u64) -> f64 {
+    let plan = accel.faults_mut();
+    let Some(nf) = plan.neuron_mut(site.layer, site.neuron) else {
+        return 0.0;
+    };
+    match (site.unit, site.synapse) {
+        (UnitKind::Multiplier, Some(s)) => nf.multiplier_mut(s).map_or(0.0, |hw| {
+            multiplier_visibility(hw, samples, seed).visible_fraction
+        }),
+        (UnitKind::Adder, Some(s)) => nf.adder_mut(s).map_or(0.0, |hw| {
+            adder_visibility(hw, samples, seed).visible_fraction
+        }),
+        (UnitKind::Activation, _) => {
+            // `activation` falls back to the native LUT when no faulty
+            // unit is installed, making the measurement vacuous there;
+            // flagged sites always have one.
+            let lut = dta_fixed::SigmoidLut::new();
+            sigmoid_visibility_of(nf, &lut, samples, seed)
+        }
+        (UnitKind::Latch, Some(s)) => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut visible = 0usize;
+            for _ in 0..samples {
+                let w = Fx::from_raw(rand::Rng::random::<i16>(&mut rng));
+                if nf.latch_filter(s, w) != w {
+                    visible += 1;
+                }
+            }
+            visible as f64 / samples.max(1) as f64
+        }
+        _ => 0.0,
+    }
+}
+
+/// Sigmoid-unit visibility through the `NeuronFaults` wrapper (the
+/// faulty unit is not directly reachable, but its behavior is).
+fn sigmoid_visibility_of(
+    nf: &mut dta_ann::NeuronFaults,
+    lut: &dta_fixed::SigmoidLut,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut visible = 0usize;
+    for _ in 0..samples {
+        let x = Fx::from_raw(rand::Rng::random::<i16>(&mut rng));
+        if nf.activation(x, lut) != lut.eval(x) {
+            visible += 1;
+        }
+    }
+    visible as f64 / samples.max(1) as f64
+}
+
+/// Runs the recovery ladder on a diagnosed accelerator.
+///
+/// Rungs execute in order (retrain → remap → degrade); a rung that
+/// reaches `policy.target_accuracy` stops the ladder. The report's
+/// `accuracy` is the best *measured* accuracy across the pre-recovery
+/// state and every rung — recovery never serves a worse network than it
+/// started with.
+///
+/// # Errors
+///
+/// [`RecoveryError::Accel`] on accelerator setup errors (no network
+/// mapped, mismatched dataset). Rung-level failures (timeout,
+/// shortfall, no spare lane) are recorded in the per-rung reports and
+/// do *not* abort the ladder — that is the fall-through the ladder
+/// exists for.
+pub fn recover(
+    accel: &mut Accelerator,
+    ds: &Dataset,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    diagnosis: &Diagnosis,
+    policy: &RecoveryPolicy,
+) -> Result<RecoveryReport, RecoveryError> {
+    let pre = accel.evaluate(ds, test_idx)?;
+    let mut rungs: Vec<RungReport> = Vec::new();
+    let mut best = pre;
+    let mut succeeded = false;
+
+    // Rung 1: retrain around the defects.
+    let r1 = retrain_under_budget(
+        accel,
+        ds,
+        train_idx,
+        test_idx,
+        policy,
+        &policy.retrain,
+        RecoveryRung::Retrain,
+    )?;
+    if let Some(a) = r1.accuracy {
+        best = best.max(a);
+    }
+    succeeded |= r1.error.is_none();
+    let stop = r1.error.is_none();
+    rungs.push(r1);
+
+    // Rung 2: remap faulty lanes onto spares, then retrain.
+    if !stop && policy.use_remap {
+        match install_remaps(accel, diagnosis, policy) {
+            Ok((remapped, masked)) => {
+                let mut r2 = retrain_under_budget(
+                    accel,
+                    ds,
+                    train_idx,
+                    test_idx,
+                    policy,
+                    &policy.remap,
+                    RecoveryRung::Remap,
+                )?;
+                r2.remapped = remapped;
+                r2.masked = masked;
+                if let Some(a) = r2.accuracy {
+                    best = best.max(a);
+                }
+                succeeded |= r2.error.is_none();
+                rungs.push(r2);
+            }
+            Err(e @ RecoveryError::NoSpareLane { .. }) => {
+                rungs.push(RungReport {
+                    rung: RecoveryRung::Remap,
+                    accuracy: None,
+                    epochs_used: 0,
+                    error: Some(e),
+                    remapped: 0,
+                    masked: 0,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Rung 3: graceful degradation — always "succeeds" at reporting.
+    let degradation = if succeeded {
+        None
+    } else {
+        let est = estimate_degradation(accel, diagnosis, best);
+        rungs.push(RungReport {
+            rung: RecoveryRung::Degrade,
+            accuracy: None,
+            epochs_used: 0,
+            error: None,
+            remapped: 0,
+            masked: 0,
+        });
+        Some(est)
+    };
+
+    Ok(RecoveryReport {
+        rungs,
+        pre_recovery_accuracy: pre,
+        accuracy: best,
+        succeeded,
+        degradation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selftest::{run_selftest, BistConfig};
+    use dta_ann::{Mlp, Topology};
+    use dta_circuits::FaultModel;
+    use dta_datasets::suite;
+
+    fn iris_split() -> (Dataset, Vec<usize>, Vec<usize>) {
+        let ds = suite::load("iris").unwrap();
+        let train: Vec<usize> = (0..ds.len()).filter(|i| i % 3 != 0).collect();
+        let test: Vec<usize> = (0..ds.len()).step_by(3).collect();
+        (ds, train, test)
+    }
+
+    fn commissioned_accel(
+        seed: u64,
+        defects: usize,
+    ) -> (Accelerator, Dataset, Vec<usize>, Vec<usize>) {
+        let (ds, train, test) = iris_split();
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 6, 3), seed))
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        accel.retrain(&ds, &train, 0.2, 0.1, 30, &mut rng).unwrap();
+        accel.inject_defects(defects, FaultModel::TransistorLevel, &mut rng);
+        (accel, ds, train, test)
+    }
+
+    #[test]
+    fn retrain_rung_recovers_a_damaged_network() {
+        let (mut accel, ds, train, test) = commissioned_accel(3, 4);
+        let diagnosis = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        let policy = RecoveryPolicy {
+            target_accuracy: 0.85,
+            ..RecoveryPolicy::default()
+        };
+        let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+        assert!(report.accuracy >= report.pre_recovery_accuracy);
+        assert!(!report.rungs.is_empty());
+        assert_eq!(report.rungs[0].rung, RecoveryRung::Retrain);
+    }
+
+    #[test]
+    fn timeout_is_typed_and_falls_through() {
+        // Chaos hook: stall the retrain rung past its deadline. The
+        // rung must return a typed Timeout and the ladder must continue
+        // to the next rung instead of hanging or aborting.
+        let (mut accel, ds, train, test) = commissioned_accel(5, 6);
+        let diagnosis = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        let policy = RecoveryPolicy {
+            retrain: RungBudget {
+                max_epochs: 5,
+                wall_clock_ms: 30,
+            },
+            target_accuracy: 2.0, // unreachable: forces the full ladder
+            chaos_stall: Some((RecoveryRung::Retrain, 100)),
+            ..RecoveryPolicy::default()
+        };
+        let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+        let r1 = &report.rungs[0];
+        assert_eq!(r1.rung, RecoveryRung::Retrain);
+        assert!(
+            matches!(
+                r1.error,
+                Some(RecoveryError::Timeout {
+                    rung: RecoveryRung::Retrain,
+                    budget_ms: 30,
+                    ..
+                })
+            ),
+            "expected a typed timeout, got {:?}",
+            r1.error
+        );
+        // Fall-through: the remap rung ran (unstalled) and then the
+        // unreachable target forced graceful degradation.
+        assert!(report.rungs.len() >= 2, "ladder stopped at the timeout");
+        assert_eq!(report.rungs[1].rung, RecoveryRung::Remap);
+        assert!(
+            report.rungs[1].epochs_used > 0,
+            "next rung did real work after the timeout"
+        );
+        assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+        assert!(!report.succeeded);
+        let est = report.degradation.expect("degradation estimate present");
+        assert!(est.expected_accuracy >= 1.0 / 3.0 - 1e-12);
+        assert!(est.expected_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn no_spare_lane_is_typed_when_masking_forbidden() {
+        // 6 logical neurons on a 10-lane array leaves 4 spares; flag 5
+        // in-use lanes so the remap rung cannot relocate them all.
+        let (mut accel, ds, train, test) = commissioned_accel(7, 0);
+        let diagnosis = Diagnosis {
+            flagged: Vec::new(),
+            screened_lanes: (0..5).map(|n| (Layer::Hidden, n)).collect(),
+            operators_probed: 0,
+        };
+        let policy = RecoveryPolicy {
+            retrain: RungBudget {
+                max_epochs: 1,
+                wall_clock_ms: 60_000,
+            },
+            target_accuracy: 2.0,
+            mask_unmappable: false,
+            ..RecoveryPolicy::default()
+        };
+        let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+        let r2 = report
+            .rungs
+            .iter()
+            .find(|r| r.rung == RecoveryRung::Remap)
+            .expect("remap rung attempted");
+        assert_eq!(
+            r2.error,
+            Some(RecoveryError::NoSpareLane {
+                needed: 5,
+                spares: 4
+            })
+        );
+        assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+    }
+
+    #[test]
+    fn remap_rung_repairs_what_blind_retraining_cannot() {
+        // A deterministic ladder comparison on the same damaged array:
+        // the remap arm must never end below the blind arm, because the
+        // rungs are strictly additive over the same rung-1 trajectory.
+        for seed in [11u64, 23, 31] {
+            let build = || commissioned_accel(seed, 8);
+            let (mut blind_accel, ds, train, test) = build();
+            let (mut remap_accel, _, _, _) = build();
+            let diagnosis = run_selftest(&mut remap_accel, &BistConfig::default()).unwrap();
+            let base = RecoveryPolicy {
+                retrain: RungBudget {
+                    max_epochs: 6,
+                    wall_clock_ms: 60_000,
+                },
+                remap: RungBudget {
+                    max_epochs: 6,
+                    wall_clock_ms: 60_000,
+                },
+                target_accuracy: 0.97,
+                seed,
+                ..RecoveryPolicy::default()
+            };
+            let blind_policy = RecoveryPolicy {
+                use_remap: false,
+                ..base.clone()
+            };
+            let blind = recover(
+                &mut blind_accel,
+                &ds,
+                &train,
+                &test,
+                &Diagnosis::default(),
+                &blind_policy,
+            )
+            .unwrap();
+            let full = recover(&mut remap_accel, &ds, &train, &test, &diagnosis, &base).unwrap();
+            assert_eq!(
+                blind.pre_recovery_accuracy, full.pre_recovery_accuracy,
+                "seed {seed}: twins diverged before recovery"
+            );
+            assert!(
+                full.accuracy >= blind.accuracy,
+                "seed {seed}: recovered {} < blind {}",
+                full.accuracy,
+                blind.accuracy
+            );
+        }
+    }
+}

@@ -47,7 +47,66 @@ impl Activation {
     pub fn is_permanent(&self) -> bool {
         matches!(self, Activation::Permanent)
     }
+
+    /// Validates the lifetime's parameters, returning the activation
+    /// unchanged when they are sound.
+    ///
+    /// # Errors
+    ///
+    /// [`ActivationError::BadProbability`] for a transient probability
+    /// outside `[0, 1]` (NaN included); [`ActivationError::BadCycle`]
+    /// for an intermittent cycle with `period == 0` or `duty > period`.
+    pub fn validate(self) -> Result<Activation, ActivationError> {
+        match self {
+            Activation::Transient {
+                per_eval_probability,
+            } if !(0.0..=1.0).contains(&per_eval_probability) => {
+                Err(ActivationError::BadProbability {
+                    per_eval_probability,
+                })
+            }
+            Activation::Intermittent { period, duty } if period == 0 || duty > period => {
+                Err(ActivationError::BadCycle { period, duty })
+            }
+            ok => Ok(ok),
+        }
+    }
 }
+
+/// Why a fault-lifetime parameterisation was rejected at construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ActivationError {
+    /// A transient per-evaluation probability outside `[0, 1]`.
+    BadProbability {
+        /// The offending probability (possibly NaN).
+        per_eval_probability: f64,
+    },
+    /// An intermittent cycle with `period == 0` or `duty > period`.
+    BadCycle {
+        /// Cycle length in evaluations.
+        period: u32,
+        /// Active evaluations per cycle.
+        duty: u32,
+    },
+}
+
+impl fmt::Display for ActivationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivationError::BadProbability {
+                per_eval_probability,
+            } => write!(
+                f,
+                "transient probability {per_eval_probability} outside [0, 1]"
+            ),
+            ActivationError::BadCycle { period, duty } => {
+                write!(f, "intermittent duty {duty}/{period} is not a valid cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActivationError {}
 
 impl fmt::Display for Activation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -81,27 +140,29 @@ impl ActivationState {
     /// # Panics
     ///
     /// Panics if a transient probability is outside `[0, 1]`, or an
-    /// intermittent period is 0 or smaller than its duty.
+    /// intermittent period is 0 or smaller than its duty. Use
+    /// [`ActivationState::try_new`] for a typed error instead.
     pub fn new(activation: Activation, seed: u64) -> ActivationState {
-        match activation {
-            Activation::Transient {
-                per_eval_probability,
-            } => assert!(
-                (0.0..=1.0).contains(&per_eval_probability),
-                "transient probability {per_eval_probability} outside [0, 1]"
-            ),
-            Activation::Intermittent { period, duty } => assert!(
-                period >= 1 && duty <= period,
-                "intermittent duty {duty}/{period} is not a valid cycle"
-            ),
-            Activation::Permanent => {}
+        match ActivationState::try_new(activation, seed) {
+            Ok(state) => state,
+            Err(e) => panic!("{e}"),
         }
-        ActivationState {
+    }
+
+    /// Fallible constructor: validates the lifetime's parameters and
+    /// returns a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// See [`Activation::validate`].
+    pub fn try_new(activation: Activation, seed: u64) -> Result<ActivationState, ActivationError> {
+        let activation = activation.validate()?;
+        Ok(ActivationState {
             activation,
             seed,
             rng: ChaCha8Rng::seed_from_u64(seed),
             tick: 0,
-        }
+        })
     }
 
     /// The lifetime this state machine implements.
@@ -533,6 +594,57 @@ mod tests {
     #[should_panic(expected = "not a valid cycle")]
     fn bad_intermittent_cycle_rejected() {
         let _ = ActivationState::new(Activation::Intermittent { period: 2, duty: 3 }, 0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        for p in [-0.1, 1.5, f64::NAN] {
+            let err = ActivationState::try_new(
+                Activation::Transient {
+                    per_eval_probability: p,
+                },
+                0,
+            )
+            .unwrap_err();
+            assert!(matches!(err, ActivationError::BadProbability { .. }), "{p}");
+        }
+        for (period, duty) in [(0u32, 0u32), (0, 1), (2, 3)] {
+            let err =
+                ActivationState::try_new(Activation::Intermittent { period, duty }, 0).unwrap_err();
+            assert_eq!(err, ActivationError::BadCycle { period, duty });
+            assert!(err.to_string().contains("not a valid cycle"));
+        }
+        assert!(ActivationState::try_new(Activation::Permanent, 0).is_ok());
+        assert!(Activation::Intermittent { period: 4, duty: 4 }
+            .validate()
+            .is_ok());
+        assert!(Activation::Intermittent { period: 4, duty: 0 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn intermittent_zero_duty_never_fires() {
+        // duty = 0 is a valid (if degenerate) cycle: the defect exists
+        // but is never electrically present.
+        let mut s = ActivationState::new(Activation::Intermittent { period: 7, duty: 0 }, 3);
+        assert!((0..100).all(|_| !s.advance()));
+        s.reset();
+        assert!((0..100).all(|_| !s.advance()));
+    }
+
+    #[test]
+    fn intermittent_full_duty_matches_permanent() {
+        // duty = period is effectively permanent: active on every single
+        // evaluation, including across resets.
+        let mut full = ActivationState::new(Activation::Intermittent { period: 9, duty: 9 }, 5);
+        let mut perm = ActivationState::new(Activation::Permanent, 5);
+        let sf: Vec<bool> = (0..100).map(|_| full.advance()).collect();
+        let sp: Vec<bool> = (0..100).map(|_| perm.advance()).collect();
+        assert_eq!(sf, sp);
+        assert!(sf.iter().all(|&x| x));
+        full.reset();
+        assert!((0..100).all(|_| full.advance()));
     }
 
     #[test]

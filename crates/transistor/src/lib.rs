@@ -59,7 +59,7 @@ pub mod reconstruct;
 pub mod table;
 
 pub use cell::{CmosCell, Polarity, Signal, Stage, Transistor};
-pub use defect::{Activation, ActivationState, Defect, DefectError};
+pub use defect::{Activation, ActivationError, ActivationState, Defect, DefectError};
 pub use dynamic::{DynamicCell, DynamicDefect, DynamicRefCell};
 pub use eval::FaultyCell;
 pub use reconstruct::{analyze_cell, BBlockExpr, Expr, FaultAnalysis};
