@@ -294,21 +294,34 @@ impl ConfusionMatrix {
     /// Builds the matrix by classifying the selected samples of a
     /// dataset with the hardware (fixed-point) forward path, optionally
     /// through faulty silicon.
+    ///
+    /// Faulty selections go through [`Mlp::forward_faulty_batch`], which
+    /// settles the operator circuits 64 rows per pass when the fault set
+    /// is combinational and preserves per-sample order otherwise.
     pub fn from_evaluation(
         mlp: &Mlp,
         ds: &Dataset,
         idx: &[usize],
-        mut faults: Option<&mut FaultPlan>,
+        faults: Option<&mut FaultPlan>,
     ) -> ConfusionMatrix {
         let lut = SigmoidLut::new();
         let mut cm = ConfusionMatrix::new(ds.n_classes());
+        if let Some(plan) = faults {
+            let rows: Vec<&[f64]> = idx
+                .iter()
+                .map(|&s| ds.samples()[s].features.as_slice())
+                .collect();
+            let traces = mlp.forward_faulty_batch(&rows, &lut, plan);
+            for (&s, trace) in idx.iter().zip(&traces) {
+                // Clamp predictions from wider physical outputs.
+                let predicted = trace.predicted().min(ds.n_classes() - 1);
+                cm.record(ds.samples()[s].label, predicted);
+            }
+            return cm;
+        }
         for &s in idx {
             let sample = &ds.samples()[s];
-            let trace = match faults.as_deref_mut() {
-                Some(plan) => mlp.forward_faulty(&sample.features, &lut, plan),
-                None => mlp.forward_fixed(&sample.features, &lut),
-            };
-            // Clamp predictions from wider physical outputs.
+            let trace = mlp.forward_fixed(&sample.features, &lut);
             let predicted = trace.predicted().min(ds.n_classes() - 1);
             cm.record(sample.label, predicted);
         }

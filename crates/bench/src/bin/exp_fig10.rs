@@ -164,18 +164,24 @@ fn main() {
         cells as f64 / wall_s
     );
 
-    let serial_wall_s = (args.get_bool("serial", false) && threads_used != 1).then(|| {
-        let serial_cfg = CampaignConfig {
-            threads: 1,
-            ..cfg.clone()
-        };
-        // Reference runs recompute from scratch — no checkpoint — so
-        // the timing is honest.
-        let (serial_curves, t) = run_campaign(&specs, &serial_cfg, None);
-        assert_eq!(serial_curves, curves, "serial run must be bit-identical");
-        println!("serial reference: {t:.2} s ({:.2}x speedup)", t / wall_s);
-        t
-    });
+    // On one thread the measured run *is* the serial reference — record
+    // it as such instead of leaving the fields null.
+    let serial_wall_s = if threads_used == 1 {
+        Some(wall_s)
+    } else {
+        args.get_bool("serial", false).then(|| {
+            let serial_cfg = CampaignConfig {
+                threads: 1,
+                ..cfg.clone()
+            };
+            // Reference runs recompute from scratch — no checkpoint — so
+            // the timing is honest.
+            let (serial_curves, t) = run_campaign(&specs, &serial_cfg, None);
+            assert_eq!(serial_curves, curves, "serial run must be bit-identical");
+            println!("serial reference: {t:.2} s ({:.2}x speedup)", t / wall_s);
+            t
+        })
+    };
 
     let switch_level_wall_s = args.get_bool("baseline", false).then(|| {
         force_switch_level_baseline(true);

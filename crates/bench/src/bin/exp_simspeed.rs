@@ -1,0 +1,271 @@
+//! Simulation-speed shootout for the faulty-multiplier workload: the
+//! same stream of multiplications evaluated by every settle strategy
+//! the engine supports, slowest to fastest.
+//!
+//! * `switch` — the seed's uncached switch-level evaluator (every
+//!   faulty gate re-solved through its transistor network per settle);
+//! * `compiled` — PR 1's memoized truth tables swept with the compiled
+//!   full schedule (every gate evaluated every settle);
+//! * `event` — differential settle: only gates whose inputs changed
+//!   are re-evaluated, seeded from the per-gate fan-out lists;
+//! * `cone` — cone-of-influence pruning: a healthy 64-lane twin
+//!   settles 64 rows per pass and only the union fan-out cone of the
+//!   faulty gates is gate-simulated per row;
+//! * `batch64` — the lane-parallel simulator with faulty truth tables
+//!   broadcast across lanes (combinational fault sets only).
+//!
+//! Every strategy must produce bit-identical products; the binary
+//! asserts this before reporting throughput. The stimulus mimics the
+//! training inner loop: a fixed weight operand and a varying data
+//! operand.
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_simspeed
+//! cargo run --release -p dta-bench --bin exp_simspeed -- --rows 8192 --defects 1,2,4,8
+//! cargo run --release -p dta-bench --bin exp_simspeed -- --smoke true
+//! ```
+//!
+//! A machine-readable record goes to `BENCH_simspeed.json`
+//! (`--bench-out` overrides), including the headline
+//! `min_speedup_cone_vs_compiled` the acceptance gate checks (>= 3x).
+
+use std::time::Instant;
+
+use dta_bench::{rule, Args, JsonMap};
+use dta_circuits::{Activation, DefectPlan, FaultModel, FxMulCircuit};
+use dta_fixed::Fx;
+use dta_logic::force_full_settle;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One measured strategy: name, throughput, and the products it
+/// computed (for the cross-strategy identity check).
+struct Measurement {
+    name: &'static str,
+    evals_per_s: f64,
+    out: Vec<Fx>,
+}
+
+fn time_run(rows: usize, f: impl FnOnce() -> Vec<Fx>) -> (f64, Vec<Fx>) {
+    let started = Instant::now();
+    let out = f();
+    let t = started.elapsed().as_secs_f64();
+    (rows as f64 / t, out)
+}
+
+/// Builds a fresh defect plan with `n` defects. Rebuilding (rather
+/// than reusing) gives every strategy its own activation-stream state,
+/// so transient/intermittent runs replay the same per-eval sequence.
+fn build_plan(mul: &FxMulCircuit, n: usize, activation: Activation, seed: u64) -> DefectPlan {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (n as u64) << 24);
+    let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+    for _ in 0..n {
+        plan.add_random_with(mul.netlist(), mul.cells(), activation, &mut rng);
+    }
+    plan
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.get_bool("smoke", false);
+    let rows = args.get("rows", if smoke { 256 } else { 4096usize });
+    let default_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    let defect_counts = args.get_usize_list("defects", default_counts);
+    let seed = args.get("seed", 0x51E5Du64);
+    let activation = match args.get_str_list("activation", &["permanent"])[0].as_str() {
+        "transient" => Activation::Transient {
+            per_eval_probability: 0.5,
+        },
+        "intermittent" => Activation::Intermittent { period: 8, duty: 3 },
+        _ => Activation::Permanent,
+    };
+    let measure_switch = args.get_bool("switch", !smoke);
+
+    let mul = FxMulCircuit::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weight = Fx::from_f64(0.37);
+    // Two stimulus classes against the same fixed weight operand:
+    // `dense` is the training inner loop (a fresh data operand every
+    // row, most of the circuit toggles), `sparse` flips one data bit
+    // per row (diagnosis probes, quiescent sensors) — the event-driven
+    // sweet spot.
+    let dense: Vec<Fx> = (0..rows)
+        .map(|_| Fx::from_raw(rng.random::<i16>()))
+        .collect();
+    let mut walker = Fx::from_f64(0.5).to_bits();
+    let sparse: Vec<Fx> = (0..rows)
+        .map(|i| {
+            walker ^= 1 << (i % 16);
+            Fx::from_bits(walker)
+        })
+        .collect();
+    let b = vec![weight; rows];
+
+    println!("Simulation speed — faulty 16-bit multiplier, {rows} rows, {activation:?} defects");
+    println!("(evals/s; every strategy is bit-identical to the seed's switch-level path)\n");
+
+    let measure = |stim: &str, a: &[Fx]| -> Vec<(usize, Vec<Measurement>, f64)> {
+        print!("{:<18}", format!("{stim}/defects"));
+        for name in ["switch", "compiled", "event", "cone", "batch64"] {
+            print!("{name:>12}");
+        }
+        println!("{:>12}", "cone/comp");
+        rule(18 + 12 * 6);
+
+        let mut per_count: Vec<(usize, Vec<Measurement>, f64)> = Vec::new();
+        for &n in &defect_counts {
+            let mut ms: Vec<Measurement> = Vec::new();
+
+            if measure_switch {
+                let mut sim = mul.simulator();
+                build_plan(&mul, n, activation, seed).apply_switch_level(&mut sim);
+                let (evals_per_s, out) = time_run(rows, || {
+                    a.iter()
+                        .zip(&b)
+                        .map(|(&x, &w)| mul.compute(&mut sim, x, w))
+                        .collect()
+                });
+                ms.push(Measurement {
+                    name: "switch",
+                    evals_per_s,
+                    out,
+                });
+            }
+
+            {
+                // PR 1 baseline: memoized truth tables, compiled sweep.
+                force_full_settle(true);
+                let mut sim = mul.simulator();
+                force_full_settle(false);
+                build_plan(&mul, n, activation, seed).apply(&mut sim);
+                let (evals_per_s, out) = time_run(rows, || {
+                    a.iter()
+                        .zip(&b)
+                        .map(|(&x, &w)| mul.compute(&mut sim, x, w))
+                        .collect()
+                });
+                ms.push(Measurement {
+                    name: "compiled",
+                    evals_per_s,
+                    out,
+                });
+            }
+
+            {
+                let mut sim = mul.simulator();
+                build_plan(&mul, n, activation, seed).apply(&mut sim);
+                let (evals_per_s, out) = time_run(rows, || {
+                    a.iter()
+                        .zip(&b)
+                        .map(|(&x, &w)| mul.compute(&mut sim, x, w))
+                        .collect()
+                });
+                ms.push(Measurement {
+                    name: "event",
+                    evals_per_s,
+                    out,
+                });
+            }
+
+            {
+                let mut sim = mul.simulator();
+                build_plan(&mul, n, activation, seed).apply(&mut sim);
+                assert!(sim.prepare_cone(), "faulty multiplier must yield a cone");
+                let mut healthy = mul.simulator64();
+                let (evals_per_s, out) =
+                    time_run(rows, || mul.compute_cone(&mut sim, &mut healthy, a, &b));
+                ms.push(Measurement {
+                    name: "cone",
+                    evals_per_s,
+                    out,
+                });
+            }
+
+            {
+                let mut sim64 = mul.simulator64();
+                if build_plan(&mul, n, activation, seed).apply64(&mut sim64) {
+                    let (evals_per_s, out) = time_run(rows, || mul.compute64(&mut sim64, a, &b));
+                    ms.push(Measurement {
+                        name: "batch64",
+                        evals_per_s,
+                        out,
+                    });
+                }
+            }
+
+            let reference = &ms[0];
+            for m in &ms[1..] {
+                assert_eq!(
+                    m.out, reference.out,
+                    "{} diverged from {} at {n} defects ({stim})",
+                    m.name, reference.name
+                );
+            }
+
+            let rate = |name: &str| ms.iter().find(|m| m.name == name).map(|m| m.evals_per_s);
+            let cone_vs_compiled = rate("cone").unwrap() / rate("compiled").unwrap();
+            print!("{n:<18}");
+            for name in ["switch", "compiled", "event", "cone", "batch64"] {
+                match rate(name) {
+                    Some(r) => print!("{r:>12.0}"),
+                    None => print!("{:>12}", "-"),
+                }
+            }
+            println!("{cone_vs_compiled:>11.1}x");
+            per_count.push((n, ms, cone_vs_compiled));
+        }
+        println!();
+        per_count
+    };
+
+    let dense_counts = measure("dense", &dense);
+    let sparse_counts = measure("sparse", &sparse);
+
+    // The acceptance gate runs on the dense (training-like) stimulus.
+    let min_speedup = dense_counts
+        .iter()
+        .map(|&(_, _, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "cone-pruned differential settle vs compiled full sweep (dense): >= {min_speedup:.1}x \
+         at every defect count (acceptance gate: 3x)"
+    );
+
+    let rates = |per_count: &[(usize, Vec<Measurement>, f64)], name: &str| -> Vec<f64> {
+        per_count
+            .iter()
+            .map(|(_, ms, _)| {
+                ms.iter()
+                    .find(|m| m.name == name)
+                    .map_or(0.0, |m| m.evals_per_s)
+            })
+            .collect()
+    };
+    let out_path = args.get("bench-out", "BENCH_simspeed.json".to_string());
+    let mut record = JsonMap::new()
+        .str("bin", "exp_simspeed")
+        .str(
+            "activation",
+            args.get_str_list("activation", &["permanent"])[0].as_str(),
+        )
+        .int("rows", rows as u64)
+        .int_list("defect_counts", &defect_counts);
+    for (suffix, per_count) in [("", &dense_counts), ("_sparse", &sparse_counts)] {
+        for name in ["switch", "compiled", "event", "cone", "batch64"] {
+            let rs = rates(per_count, name);
+            if rs.iter().any(|&r| r > 0.0) {
+                record = record.num_list(&format!("evals_per_s_{name}{suffix}"), &rs);
+            }
+        }
+    }
+    record = record
+        .num_list(
+            "speedup_cone_vs_compiled",
+            &dense_counts.iter().map(|&(_, _, s)| s).collect::<Vec<_>>(),
+        )
+        .num("min_speedup_cone_vs_compiled", min_speedup);
+    match record.write(&out_path) {
+        Ok(()) => println!("perf record written to {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -331,6 +331,42 @@ impl FxMulCircuit {
         }
         out
     }
+
+    /// Differential batch evaluation for *stateful* fault sets: settles
+    /// a healthy 64-lane twin once per chunk of 64 pairs, then
+    /// gate-simulates only `sim`'s cone of influence per lane, in lane
+    /// order — so memory effects and activation streams advance exactly
+    /// as repeated [`FxMulCircuit::compute`] calls would. Identical
+    /// results, a fraction of the gate evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length, or `sim` has no cone plan
+    /// (see [`Simulator::prepare_cone`]).
+    pub fn compute_cone(
+        &self,
+        sim: &mut Simulator,
+        healthy: &mut Simulator64,
+        a: &[Fx],
+        b: &[Fx],
+    ) -> Vec<Fx> {
+        assert_eq!(a.len(), b.len(), "operand batches must match");
+        let mut out = Vec::with_capacity(a.len());
+        for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
+            let wa: Vec<u64> = ca.iter().map(|v| v.to_bits() as u64).collect();
+            let wb: Vec<u64> = cb.iter().map(|v| v.to_bits() as u64).collect();
+            healthy.set_input_words(&self.a, &wa);
+            healthy.set_input_words(&self.b, &wb);
+            healthy.settle();
+            sim.settle_cone_from64(healthy, ca.len());
+            for l in 0..ca.len() {
+                out.push(Fx::from_bits(
+                    sim.read_word_cone(healthy, l, &self.out) as u16
+                ));
+            }
+        }
+        out
+    }
 }
 
 impl Default for FxMulCircuit {

@@ -9,16 +9,22 @@
 //! `Fx -> Fx` interface that `dta-ann` calls for marked neurons while
 //! every healthy operator runs native Q6.10 arithmetic.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 
-use dta_fixed::Fx;
+use dta_fixed::{Fx, SigmoidLut};
 
 use crate::adder::SatAdderCircuit;
-use crate::inject::{DefectPlan, FaultModel};
+use crate::inject::{switch_level_baseline, DefectPlan, FaultModel};
 use crate::multiplier::FxMulCircuit;
 use crate::sigmoid_unit::SigmoidUnitCircuit;
+
+/// Shared sigmoid table for the healthy native shortcut.
+fn sigmoid_lut() -> &'static SigmoidLut {
+    static LUT: OnceLock<SigmoidLut> = OnceLock::new();
+    LUT.get_or_init(SigmoidLut::new)
+}
 
 macro_rules! hw_operator {
     ($(#[$doc:meta])* $name:ident, $circuit:ty) => {
@@ -31,6 +37,11 @@ macro_rules! hw_operator {
             /// fault is combinational (see [`DefectPlan::apply64`]);
             /// batch entry points go through it 64 stimuli per settle.
             sim64: Option<dta_logic::Simulator64>,
+            /// Healthy (override-free) lane-parallel twin, present iff
+            /// the fault set is *stateful*: batch entry points settle it
+            /// 64 stimuli at a time and gate-simulate only `sim`'s cone
+            /// of influence per lane (see [`dta_logic::Simulator::prepare_cone`]).
+            healthy64: Option<dta_logic::Simulator64>,
             plan: DefectPlan,
         }
 
@@ -49,15 +60,40 @@ macro_rules! hw_operator {
                     circuit,
                     sim,
                     sim64,
+                    healthy64: None,
                     plan: DefectPlan::new(FaultModel::TransistorLevel),
                 }
             }
 
             /// Rebuilds the lane-parallel simulator for the current
-            /// plan, dropping it when any faulty cell is stateful.
+            /// plan. Stateful fault sets drop it and instead keep the
+            /// untouched simulator as the healthy twin of the
+            /// cone-pruned differential batch path — unless a benchmark
+            /// baseline forces the seed or PR-1 engine, in which case
+            /// batches fall back to plain scalar evaluation.
             fn rebuild_sim64(&mut self) {
                 let mut s = self.circuit.simulator64();
-                self.sim64 = self.plan.apply64(&mut s).then_some(s);
+                if self.plan.apply64(&mut s) {
+                    self.sim64 = Some(s);
+                    self.healthy64 = None;
+                } else {
+                    self.sim64 = None;
+                    let baseline =
+                        switch_level_baseline() || dta_logic::full_settle_forced();
+                    self.healthy64 = (!baseline
+                        && !self.plan.is_empty()
+                        && self.sim.prepare_cone())
+                    .then_some(s);
+                }
+            }
+
+            /// True when the healthy native shortcut applies: no defect
+            /// injected and no benchmark baseline forcing full gate
+            /// simulation.
+            fn native_ok(&self) -> bool {
+                self.plan.is_empty()
+                    && !switch_level_baseline()
+                    && !dta_logic::full_settle_forced()
             }
 
             /// True if every injected fault is combinational, i.e. the
@@ -169,18 +205,28 @@ hw_operator!(
 );
 
 impl HwAdder {
-    /// Computes the (possibly faulty) saturating sum.
+    /// Computes the (possibly faulty) saturating sum. Healthy operators
+    /// skip gate simulation entirely: the circuit is bit-exact with the
+    /// native saturating Q6.10 add.
     pub fn add(&mut self, a: Fx, b: Fx) -> Fx {
+        if self.native_ok() {
+            return a + b;
+        }
         self.circuit.compute(&mut self.sim, a, b)
     }
 
-    /// Computes a whole batch of sums — 64 per settle when the fault
-    /// set is combinational, element by element otherwise. Identical to
-    /// mapping [`HwAdder::add`] over the pairs.
+    /// Computes a whole batch of sums — native when healthy, 64 lanes
+    /// per settle when the fault set is combinational, cone-pruned
+    /// differential batches when it is stateful. Identical to mapping
+    /// [`HwAdder::add`] over the pairs.
     pub fn add_batch(&mut self, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
-        match self.sim64.as_mut() {
-            Some(sim64) => self.circuit.compute64(sim64, a, b),
-            None => a
+        if self.native_ok() {
+            return a.iter().zip(b).map(|(&x, &y)| x + y).collect();
+        }
+        match (self.sim64.as_mut(), self.healthy64.as_mut()) {
+            (Some(sim64), _) => self.circuit.compute64(sim64, a, b),
+            (None, Some(healthy)) => self.circuit.compute_cone(&mut self.sim, healthy, a, b),
+            (None, None) => a
                 .iter()
                 .zip(b)
                 .map(|(&x, &y)| self.circuit.compute(&mut self.sim, x, y))
@@ -207,18 +253,28 @@ hw_operator!(
 );
 
 impl HwMultiplier {
-    /// Computes the (possibly faulty) product.
+    /// Computes the (possibly faulty) product. Healthy operators skip
+    /// gate simulation entirely: the circuit is bit-exact with the
+    /// native truncating, saturating Q6.10 multiply.
     pub fn mul(&mut self, a: Fx, b: Fx) -> Fx {
+        if self.native_ok() {
+            return a * b;
+        }
         self.circuit.compute(&mut self.sim, a, b)
     }
 
-    /// Computes a whole batch of products — 64 per settle when the
-    /// fault set is combinational, element by element otherwise.
-    /// Identical to mapping [`HwMultiplier::mul`] over the pairs.
+    /// Computes a whole batch of products — native when healthy, 64
+    /// lanes per settle when the fault set is combinational, cone-pruned
+    /// differential batches when it is stateful. Identical to mapping
+    /// [`HwMultiplier::mul`] over the pairs.
     pub fn mul_batch(&mut self, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
-        match self.sim64.as_mut() {
-            Some(sim64) => self.circuit.compute64(sim64, a, b),
-            None => a
+        if self.native_ok() {
+            return a.iter().zip(b).map(|(&x, &y)| x * y).collect();
+        }
+        match (self.sim64.as_mut(), self.healthy64.as_mut()) {
+            (Some(sim64), _) => self.circuit.compute64(sim64, a, b),
+            (None, Some(healthy)) => self.circuit.compute_cone(&mut self.sim, healthy, a, b),
+            (None, None) => a
                 .iter()
                 .zip(b)
                 .map(|(&x, &y)| self.circuit.compute(&mut self.sim, x, y))
@@ -245,18 +301,29 @@ hw_operator!(
 );
 
 impl HwSigmoid {
-    /// Computes the (possibly faulty) activation.
+    /// Computes the (possibly faulty) activation. Healthy operators
+    /// skip gate simulation entirely: the circuit is bit-exact with the
+    /// native 16-segment [`SigmoidLut`].
     pub fn eval(&mut self, x: Fx) -> Fx {
+        if self.native_ok() {
+            return sigmoid_lut().eval(x);
+        }
         self.circuit.compute(&mut self.sim, x)
     }
 
-    /// Computes a whole batch of activations — 64 per settle when the
-    /// fault set is combinational, element by element otherwise.
-    /// Identical to mapping [`HwSigmoid::eval`] over the inputs.
+    /// Computes a whole batch of activations — native when healthy, 64
+    /// lanes per settle when the fault set is combinational, cone-pruned
+    /// differential batches when it is stateful. Identical to mapping
+    /// [`HwSigmoid::eval`] over the inputs.
     pub fn eval_batch(&mut self, xs: &[Fx]) -> Vec<Fx> {
-        match self.sim64.as_mut() {
-            Some(sim64) => self.circuit.compute64(sim64, xs),
-            None => xs
+        if self.native_ok() {
+            let lut = sigmoid_lut();
+            return xs.iter().map(|&x| lut.eval(x)).collect();
+        }
+        match (self.sim64.as_mut(), self.healthy64.as_mut()) {
+            (Some(sim64), _) => self.circuit.compute64(sim64, xs),
+            (None, Some(healthy)) => self.circuit.compute_cone(&mut self.sim, healthy, xs),
+            (None, None) => xs
                 .iter()
                 .map(|&x| self.circuit.compute(&mut self.sim, x))
                 .collect(),

@@ -273,6 +273,34 @@ impl SigmoidUnitCircuit {
         }
         out
     }
+
+    /// Differential batch evaluation for *stateful* fault sets — see
+    /// [`crate::FxMulCircuit::compute_cone`]. Identical to mapping
+    /// [`SigmoidUnitCircuit::compute`] over the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` has no cone plan.
+    pub fn compute_cone(
+        &self,
+        sim: &mut Simulator,
+        healthy: &mut Simulator64,
+        xs: &[Fx],
+    ) -> Vec<Fx> {
+        let mut out = Vec::with_capacity(xs.len());
+        for chunk in xs.chunks(64) {
+            let wx: Vec<u64> = chunk.iter().map(|v| v.to_bits() as u64).collect();
+            healthy.set_input_words(&self.x, &wx);
+            healthy.settle();
+            sim.settle_cone_from64(healthy, chunk.len());
+            for l in 0..chunk.len() {
+                out.push(Fx::from_bits(
+                    sim.read_word_cone(healthy, l, &self.out) as u16
+                ));
+            }
+        }
+        out
+    }
 }
 
 impl Default for SigmoidUnitCircuit {

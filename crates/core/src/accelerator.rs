@@ -440,19 +440,36 @@ impl Accelerator {
     /// be 0/0); any [`Accelerator::classify`] error for the individual
     /// rows (e.g. a dataset whose rows don't match the mapped network).
     pub fn evaluate(&mut self, ds: &Dataset, idx: &[usize]) -> Result<f64, AccelError> {
-        if self.network.is_none() {
+        let Some(mlp) = self.network.as_ref() else {
             return Err(AccelError::NoNetwork);
-        }
+        };
         if idx.is_empty() {
             return Err(AccelError::EmptySelection);
         }
-        let mut correct = 0usize;
+        let expected = mlp.topology().inputs;
+        let mut rows: Vec<&[f64]> = Vec::with_capacity(idx.len());
         for &s in idx {
-            let sample = &ds.samples()[s];
-            if self.classify(&sample.features)? == sample.label {
-                correct += 1;
+            let row = ds.samples()[s].features.as_slice();
+            if row.len() != expected {
+                return Err(AccelError::WrongRowWidth {
+                    got: row.len(),
+                    expected,
+                });
             }
+            rows.push(row);
         }
+        if mlp.topology().outputs == 0 {
+            return Err(AccelError::NoOutputs);
+        }
+        // Batched faulty forward: 64 rows per circuit settle when the
+        // fault set vectorizes, the scalar sample order otherwise.
+        let traces = mlp.forward_faulty_batch(&rows, &self.lut, &mut self.faults);
+        self.rows_processed += idx.len() as u64;
+        let correct = idx
+            .iter()
+            .zip(&traces)
+            .filter(|&(&s, t)| t.predicted() == ds.samples()[s].label)
+            .count();
         Ok(correct as f64 / idx.len() as f64)
     }
 

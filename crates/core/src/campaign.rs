@@ -457,12 +457,19 @@ pub fn output_amplitude_curve(
         let accuracy = trainer.evaluate(&mlp, &ds, &fold.test, Some(&mut plan));
 
         // Amplitude: |faulty - healthy| at the defective unit, averaged
-        // over the test rows.
+        // over the test rows. The faulty passes run batched (64 rows per
+        // circuit settle when the plan vectorizes); the healthy reference
+        // never touches the plan, so the per-sample fault sequence is
+        // identical to interleaved scalar evaluation.
+        let rows: Vec<&[f64]> = fold
+            .test
+            .iter()
+            .map(|&s| ds.samples()[s].features.as_slice())
+            .collect();
+        let faulty_traces = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
         let mut total = 0.0;
-        for &s in &fold.test {
-            let x = &ds.samples()[s].features;
-            let healthy = mlp.forward_fixed(x, &lut);
-            let faulty = mlp.forward_faulty(x, &lut, &mut plan);
+        for (&s, faulty) in fold.test.iter().zip(&faulty_traces) {
+            let healthy = mlp.forward_fixed(&ds.samples()[s].features, &lut);
             total += match site {
                 OutputSite::Adder => (faulty.output_pre[neuron] - healthy.output_pre[neuron]).abs(),
                 OutputSite::Activation => (faulty.output[neuron] - healthy.output[neuron]).abs(),
@@ -571,6 +578,34 @@ mod tests {
         }
         // Determinism.
         assert_eq!(points, output_amplitude_curve(&spec, 3, Some(8), 11, 1));
+    }
+
+    /// End-to-end settle-strategy identity: the same campaign run with
+    /// every simulator forced onto the compiled full sweep (which also
+    /// disables cone pruning and 64-lane batching in the operator
+    /// layer) must reproduce the event-driven curves bit-for-bit, for
+    /// every activation class.
+    #[test]
+    fn forced_full_settle_curves_are_bit_identical() {
+        let spec = iris();
+        for activation in [
+            Activation::Permanent,
+            Activation::Transient {
+                per_eval_probability: 0.3,
+            },
+            Activation::Intermittent { period: 4, duty: 2 },
+        ] {
+            let cfg = CampaignConfig {
+                activation,
+                defect_counts: vec![0, 6],
+                ..tiny_cfg()
+            };
+            let event = defect_tolerance_curve(&spec, &cfg).unwrap();
+            dta_logic::force_full_settle(true);
+            let full = defect_tolerance_curve(&spec, &cfg);
+            dta_logic::force_full_settle(false);
+            assert_eq!(event, full.unwrap(), "{activation:?}");
+        }
     }
 
     #[test]

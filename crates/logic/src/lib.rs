@@ -51,6 +51,6 @@ pub mod stuck;
 
 pub use gate::{GateBehavior, GateKind};
 pub use netlist::{Netlist, NetlistBuilder, NetlistError, Node, NodeId};
-pub use sim::Simulator;
+pub use sim::{force_full_settle, full_settle_forced, SettleMode, Simulator};
 pub use sim64::{Behavior64, Simulator64};
 pub use stuck::{StuckAt, StuckPort, StuckSet};

@@ -1,9 +1,65 @@
 //! Netlist evaluation engine.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::gate::{GateBehavior, GateKind};
 use crate::netlist::{Netlist, Node, NodeId};
+use crate::sim64::{eval_kind64, Simulator64};
+
+/// Benchmark hook: when set, every subsequently constructed [`Simulator`]
+/// and [`Simulator64`] starts in [`SettleMode::Full`] — the PR-1 compiled
+/// sweep — instead of the event-driven default. Results are bit-identical
+/// either way; only the speed differs. Sampled at construction time so
+/// the per-settle cost stays zero.
+static FORCE_FULL_SETTLE: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the compiled full-sweep settle for every
+/// simulator constructed afterwards in this process. Only meant for
+/// benchmarks and differential tests that measure or cross-check the
+/// event-driven path against the full sweep.
+pub fn force_full_settle(on: bool) {
+    FORCE_FULL_SETTLE.store(on, Ordering::SeqCst);
+}
+
+/// True while [`force_full_settle`] is in effect.
+pub fn full_settle_forced() -> bool {
+    FORCE_FULL_SETTLE.load(Ordering::SeqCst)
+}
+
+/// How [`Simulator::settle`] (and [`Simulator64::settle`]) propagates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SettleMode {
+    /// One compiled sweep over every gate in topological order — the
+    /// fallback engine and the differential-testing oracle.
+    Full,
+    /// Event-driven: only gates whose inputs changed since the previous
+    /// settle are re-evaluated, propagated in topological order until
+    /// quiescent. Overridden (faulty) gates are re-evaluated every
+    /// settle regardless, because stateful behaviors (memory effects,
+    /// activation streams) advance once per evaluation and can change
+    /// output with unchanged inputs. Bit-identical to [`SettleMode::Full`].
+    Event,
+}
+
+/// Precomputed cone-of-influence pruning state for a faulty simulator:
+/// the union fan-out cone of the overridden gates, plus a dense scratch
+/// value array so cone-only evaluation never touches the simulator's own
+/// node values. Cone scratch values are 64-lane words: healthy cone
+/// gates evaluate word-parallel, only the overridden gates themselves
+/// drop to per-lane evaluation (in lane order, so stateful behaviors see
+/// the exact scalar sequence).
+#[derive(Debug)]
+struct ConePlan {
+    /// Schedule positions inside the cone, ascending (topological).
+    sched: Vec<u32>,
+    /// Node-index membership bitmap.
+    in_cone: Vec<bool>,
+    /// Node index → dense slot in `values` (`u32::MAX` outside the cone).
+    slot: Vec<u32>,
+    /// 64-lane scratch values for the cone nodes.
+    values: Vec<u64>,
+}
 
 /// Largest cell arity in the standard-cell library (AOI22/OAI22).
 pub(crate) const MAX_ARITY: usize = 4;
@@ -72,6 +128,28 @@ pub struct Simulator {
     /// array index, not a hash.
     overrides: Vec<Option<Box<dyn GateBehavior>>>,
     n_overrides: usize,
+    mode: SettleMode,
+    /// Per-schedule-position dirty flags (event-driven bookkeeping).
+    dirty: Vec<bool>,
+    /// Bounds of the dirty schedule positions: the event-driven settle
+    /// sweeps `[dirty_lo, dirty_hi]` linearly, skipping clean gates.
+    /// Empty when `dirty_lo > dirty_hi` (the reset state is
+    /// `u32::MAX`/`0`, which min/max folds keep consistent).
+    dirty_lo: u32,
+    dirty_hi: u32,
+    /// Number of currently dirty schedule positions. When a meaningful
+    /// share of the schedule is already dirty before a settle, the
+    /// propagated cone usually covers most of the circuit and
+    /// event-driven propagation would only add bookkeeping on top of
+    /// near-full work, so the settle adaptively drops to the compiled
+    /// sweep.
+    n_dirty: u32,
+    /// When set, the next settle re-evaluates every gate (initial state,
+    /// or values were bypassed by a cone batch).
+    all_dirty: bool,
+    /// Schedule positions of the overridden gates, ascending.
+    override_sched: Vec<u32>,
+    cone: Option<ConePlan>,
 }
 
 impl Simulator {
@@ -86,12 +164,69 @@ impl Simulator {
             }
         }
         let overrides = std::iter::repeat_with(|| None).take(values.len()).collect();
+        let n_sched = net.schedule().0.len();
+        let mode = if full_settle_forced() {
+            SettleMode::Full
+        } else {
+            SettleMode::Event
+        };
         Simulator {
             net,
             values,
             overrides,
             n_overrides: 0,
+            mode,
+            dirty: vec![false; n_sched],
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
+            n_dirty: 0,
+            all_dirty: true,
+            override_sched: Vec::new(),
+            cone: None,
         }
+    }
+
+    /// The active settle strategy.
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
+    }
+
+    /// Switches the settle strategy. Entering [`SettleMode::Event`]
+    /// schedules one full re-evaluation so the incremental bookkeeping
+    /// starts from a settled state.
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        if mode == SettleMode::Event && self.mode != SettleMode::Event {
+            self.all_dirty = true;
+        }
+        self.mode = mode;
+    }
+
+    /// Marks the consumers of `node` dirty.
+    fn mark_fanout(&mut self, node: u32) {
+        for &pos in self.net.fanout_of(node) {
+            if !self.dirty[pos as usize] {
+                self.dirty[pos as usize] = true;
+                self.dirty_lo = self.dirty_lo.min(pos);
+                self.dirty_hi = self.dirty_hi.max(pos);
+                self.n_dirty += 1;
+            }
+        }
+    }
+
+    /// Marks one schedule position dirty.
+    fn mark_pos(&mut self, pos: u32) {
+        if !self.dirty[pos as usize] {
+            self.dirty[pos as usize] = true;
+            self.dirty_lo = self.dirty_lo.min(pos);
+            self.dirty_hi = self.dirty_hi.max(pos);
+            self.n_dirty += 1;
+        }
+    }
+
+    /// True when a node-value change must be tracked for the next
+    /// event-driven settle.
+    fn tracking_changes(&self) -> bool {
+        self.mode == SettleMode::Event && !self.all_dirty
     }
 
     /// The netlist being simulated.
@@ -109,7 +244,13 @@ impl Simulator {
             matches!(self.net.node(id), Node::Input { .. }),
             "{id} is not a primary input"
         );
+        if self.values[id.index()] == value {
+            return;
+        }
         self.values[id.index()] = value;
+        if self.tracking_changes() {
+            self.mark_fanout(id.0);
+        }
     }
 
     /// Drives a bus of inputs from the low bits of `word`, LSB first.
@@ -119,8 +260,20 @@ impl Simulator {
         }
     }
 
-    /// Settles the combinational logic in topological order.
+    /// Settles the combinational logic — event-driven by default,
+    /// compiled full sweep in [`SettleMode::Full`]. Both strategies are
+    /// bit-identical.
     pub fn settle(&mut self) {
+        match self.mode {
+            SettleMode::Full => self.settle_full(),
+            SettleMode::Event => self.settle_event(),
+        }
+    }
+
+    /// Settles with one compiled sweep over every gate in topological
+    /// order, regardless of the active mode — the fallback engine and the
+    /// oracle the event-driven path is differentially tested against.
+    pub fn settle_full(&mut self) {
         // Clone the Arc (cheap) so the netlist borrow does not conflict
         // with mutating values/overrides.
         let net = Arc::clone(&self.net);
@@ -132,10 +285,82 @@ impl Simulator {
                 let p = &pins[g.in_start as usize..][..g.in_len as usize];
                 values[g.out as usize] = eval_pins(g.kind, values, p);
             }
-            return;
+        } else {
+            let overrides = &mut self.overrides;
+            for g in sched {
+                let p = &pins[g.in_start as usize..][..g.in_len as usize];
+                let v = match overrides[g.out as usize].as_mut() {
+                    Some(behavior) => {
+                        let mut buf = [false; MAX_ARITY];
+                        for (k, &i) in p.iter().enumerate() {
+                            buf[k] = values[i as usize];
+                        }
+                        behavior.eval(&buf[..p.len()])
+                    }
+                    None => eval_pins(g.kind, values, p),
+                };
+                values[g.out as usize] = v;
+            }
         }
+        // A full sweep leaves everything settled: drop any pending
+        // incremental work so the two paths stay interchangeable.
+        self.all_dirty = false;
+        if self.dirty_lo <= self.dirty_hi {
+            for pos in self.dirty_lo..=self.dirty_hi {
+                self.dirty[pos as usize] = false;
+            }
+        }
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+        self.n_dirty = 0;
+    }
+
+    /// Event-driven settle: sweeps the dirty range of the schedule in
+    /// topological order, re-evaluating only gates whose inputs changed
+    /// since the previous settle and propagating output changes to their
+    /// fan-out until quiescent. (All fan-out positions are greater than
+    /// the producing gate's, so one forward sweep with a growing upper
+    /// bound reaches quiescence — no priority queue needed.)
+    ///
+    /// When more than ~1/64 of the schedule is already dirty before
+    /// propagation, drops to [`Simulator::settle_full`]: seeded dirt
+    /// fans out hard in arithmetic circuits (one multiplier input bit
+    /// reaches most of the array), so dense input changes end up doing
+    /// near-full work and the compiled sweep does it without the
+    /// change-tracking overhead. Bit-identical either way.
+    fn settle_event(&mut self) {
+        if self.all_dirty || self.n_dirty as usize * 64 >= self.dirty.len() {
+            return self.settle_full();
+        }
+        let net = Arc::clone(&self.net);
+        let (sched, pins) = net.schedule();
+        let mut lo = self.dirty_lo;
+        let mut hi = self.dirty_hi;
+        // Overridden gates re-evaluate every settle: stateful behaviors
+        // advance their memory/activation state once per evaluation and
+        // can change output with unchanged inputs. Widen the sweep to
+        // include them.
+        let ov = &self.override_sched;
+        if let (Some(&first), Some(&last)) = (ov.first(), ov.last()) {
+            lo = lo.min(first);
+            hi = hi.max(last);
+        }
+        let values = &mut self.values;
         let overrides = &mut self.overrides;
-        for g in sched {
+        let dirty = &mut self.dirty;
+        let mut next_ov = 0usize;
+        let mut pos = lo;
+        while pos <= hi {
+            let forced = next_ov < ov.len() && ov[next_ov] == pos;
+            if forced {
+                next_ov += 1;
+            }
+            if !dirty[pos as usize] && !forced {
+                pos += 1;
+                continue;
+            }
+            dirty[pos as usize] = false;
+            let g = &sched[pos as usize];
             let p = &pins[g.in_start as usize..][..g.in_len as usize];
             let v = match overrides[g.out as usize].as_mut() {
                 Some(behavior) => {
@@ -147,8 +372,20 @@ impl Simulator {
                 }
                 None => eval_pins(g.kind, values, p),
             };
-            values[g.out as usize] = v;
+            if v != values[g.out as usize] {
+                values[g.out as usize] = v;
+                for &t in net.fanout_of(g.out) {
+                    if !dirty[t as usize] {
+                        dirty[t as usize] = true;
+                        hi = hi.max(t);
+                    }
+                }
+            }
+            pos += 1;
         }
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+        self.n_dirty = 0;
     }
 
     /// Captures each latch's data input into its stored value. Call after
@@ -157,7 +394,13 @@ impl Simulator {
         let net = Arc::clone(&self.net);
         for &l in net.latches() {
             if let Node::Latch { data, .. } = net.node(l) {
-                self.values[l.index()] = self.values[data.index()];
+                let v = self.values[data.index()];
+                if self.values[l.index()] != v {
+                    self.values[l.index()] = v;
+                    if self.tracking_changes() {
+                        self.mark_fanout(l.0);
+                    }
+                }
             }
         }
     }
@@ -195,8 +438,15 @@ impl Simulator {
             "{id} is not a gate"
         );
         let prev = self.overrides[id.index()].replace(behavior);
+        let pos = self.net.sched_index(id.0);
         if prev.is_none() {
             self.n_overrides += 1;
+            let at = self.override_sched.partition_point(|&p| p < pos);
+            self.override_sched.insert(at, pos);
+        }
+        self.cone = None;
+        if self.tracking_changes() {
+            self.mark_pos(pos);
         }
         prev
     }
@@ -206,6 +456,13 @@ impl Simulator {
         let prev = self.overrides[id.index()].take();
         if prev.is_some() {
             self.n_overrides -= 1;
+            let pos = self.net.sched_index(id.0);
+            self.override_sched.retain(|&p| p != pos);
+            self.cone = None;
+            // The gate's function changed back: re-evaluate it once.
+            if self.tracking_changes() {
+                self.mark_pos(pos);
+            }
         }
         prev
     }
@@ -222,12 +479,140 @@ impl Simulator {
         let net = Arc::clone(&self.net);
         for &l in net.latches() {
             if let Node::Latch { init, .. } = net.node(l) {
-                self.values[l.index()] = *init;
+                if self.values[l.index()] != *init {
+                    self.values[l.index()] = *init;
+                    if self.tracking_changes() {
+                        self.mark_fanout(l.0);
+                    }
+                }
             }
         }
+        // Overrides are re-evaluated every settle, so their reset state
+        // propagates without extra dirty marking.
         for behavior in self.overrides.iter_mut().flatten() {
             behavior.reset();
         }
+    }
+
+    /// Precomputes the union fan-out cone of the currently overridden
+    /// gates for [`Simulator::settle_cone_from64`]. Outside the cone a
+    /// faulty evaluation equals the healthy circuit by construction, so
+    /// batch evaluation can read those values from a healthy 64-lane
+    /// twin and gate-simulate only the cone — overridden gates per lane,
+    /// in lane order, which keeps stateful faulty cells on the exact
+    /// evaluation sequence the scalar path would produce.
+    ///
+    /// Returns `false` (and installs nothing) when there is no override
+    /// to prune around or the netlist has latches (cones do not follow
+    /// latch data edges).
+    pub fn prepare_cone(&mut self) -> bool {
+        self.cone = None;
+        if self.n_overrides == 0 || !self.net.latches().is_empty() {
+            return false;
+        }
+        let seeds: Vec<NodeId> = (0..self.overrides.len() as u32)
+            .filter(|&i| self.overrides[i as usize].is_some())
+            .map(NodeId)
+            .collect();
+        let (sched, in_cone) = self.net.fanout_cone(&seeds);
+        let mut slot = vec![u32::MAX; in_cone.len()];
+        let mut n_slots = 0u32;
+        for (i, &m) in in_cone.iter().enumerate() {
+            if m {
+                slot[i] = n_slots;
+                n_slots += 1;
+            }
+        }
+        self.cone = Some(ConePlan {
+            sched,
+            in_cone,
+            slot,
+            values: vec![0u64; n_slots as usize],
+        });
+        true
+    }
+
+    /// True once [`Simulator::prepare_cone`] has installed a cone plan.
+    pub fn cone_ready(&self) -> bool {
+        self.cone.is_some()
+    }
+
+    /// Number of gates in the installed cone, if any.
+    pub fn cone_len(&self) -> Option<usize> {
+        self.cone.as_ref().map(|c| c.sched.len())
+    }
+
+    /// Evaluates only the cone gates against `n_lanes` lanes of a
+    /// settled healthy 64-lane twin driven with the same stimuli:
+    /// in-cone pins read the 64-lane cone scratch words, out-of-cone
+    /// pins read the healthy twin's words. Healthy cone gates evaluate
+    /// word-parallel (all lanes in one op); each *overridden* gate
+    /// evaluates per lane, in ascending lane order, so every stateful
+    /// behavior advances through exactly the input sequence the scalar
+    /// path would feed it. Behaviors are evaluated gate-by-gate rather
+    /// than row-by-row, which is indistinguishable: each behavior's
+    /// state is private, and cross-gate data flow follows the
+    /// topological order either way. The simulator's own node values
+    /// and event bookkeeping are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cone plan is installed (see
+    /// [`Simulator::prepare_cone`]), `healthy` runs a different netlist,
+    /// or `n_lanes > 64`.
+    pub fn settle_cone_from64(&mut self, healthy: &Simulator64, n_lanes: usize) {
+        let net = Arc::clone(&self.net);
+        let (sched, pins) = net.schedule();
+        let plan = self.cone.as_mut().expect("prepare_cone first");
+        assert!(
+            Arc::ptr_eq(&self.net, healthy.netlist_arc()),
+            "netlist mismatch"
+        );
+        assert!(n_lanes <= 64, "at most 64 lanes");
+        let overrides = &mut self.overrides;
+        for &pos in &plan.sched {
+            let g = &sched[pos as usize];
+            let p = &pins[g.in_start as usize..][..g.in_len as usize];
+            let mut buf = [0u64; MAX_ARITY];
+            for (k, &i) in p.iter().enumerate() {
+                buf[k] = if plan.in_cone[i as usize] {
+                    plan.values[plan.slot[i as usize] as usize]
+                } else {
+                    healthy.word(i)
+                };
+            }
+            let v = match overrides[g.out as usize].as_mut() {
+                Some(behavior) => {
+                    // Per-lane, in lane order: one state advance per row.
+                    let mut out = 0u64;
+                    let mut lane_buf = [false; MAX_ARITY];
+                    for lane in 0..n_lanes {
+                        for (k, b) in lane_buf.iter_mut().take(p.len()).enumerate() {
+                            *b = (buf[k] >> lane) & 1 == 1;
+                        }
+                        out |= u64::from(behavior.eval(&lane_buf[..p.len()])) << lane;
+                    }
+                    out
+                }
+                None => eval_kind64(g.kind, &buf[..p.len()]),
+            };
+            plan.values[plan.slot[g.out as usize] as usize] = v;
+        }
+    }
+
+    /// Reads lane `lane` of a bus after [`Simulator::settle_cone_from64`]:
+    /// in-cone bits from the cone scratch words, the rest from the
+    /// healthy twin.
+    pub fn read_word_cone(&self, healthy: &Simulator64, lane: usize, bus: &[NodeId]) -> u64 {
+        let plan = self.cone.as_ref().expect("prepare_cone first");
+        bus.iter().enumerate().fold(0u64, |acc, (bit, &id)| {
+            let v = if plan.in_cone[id.index()] {
+                (plan.values[plan.slot[id.index()] as usize] >> lane) & 1 == 1
+            } else {
+                healthy.lane_bit(id.0, lane)
+            };
+            acc | (u64::from(v) << bit)
+        })
     }
 }
 

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, Node, NodeId};
-use crate::sim::MAX_ARITY;
+use crate::sim::{full_settle_forced, SettleMode, MAX_ARITY};
 use crate::stuck::{StuckPort, StuckSet};
 
 /// Vectorized replacement behavior for a gate: every input and the
@@ -116,6 +116,16 @@ pub struct Simulator64 {
     /// Dense per-node override slots — see [`crate::Simulator`].
     overrides: Vec<Option<Box<dyn Behavior64>>>,
     n_overrides: usize,
+    mode: SettleMode,
+    /// Event-driven bookkeeping, mirroring [`crate::Simulator`]: dirty
+    /// flags plus the bounds of the dirty schedule range (empty when
+    /// `dirty_lo > dirty_hi`).
+    dirty: Vec<bool>,
+    dirty_lo: u32,
+    dirty_hi: u32,
+    n_dirty: u32,
+    all_dirty: bool,
+    override_sched: Vec<u32>,
 }
 
 impl Simulator64 {
@@ -129,12 +139,79 @@ impl Simulator64 {
             }
         }
         let overrides = std::iter::repeat_with(|| None).take(values.len()).collect();
+        let n_sched = net.schedule().0.len();
+        let mode = if full_settle_forced() {
+            SettleMode::Full
+        } else {
+            SettleMode::Event
+        };
         Simulator64 {
             net,
             values,
             overrides,
             n_overrides: 0,
+            mode,
+            dirty: vec![false; n_sched],
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
+            n_dirty: 0,
+            all_dirty: true,
+            override_sched: Vec::new(),
         }
+    }
+
+    /// The shared netlist handle (for identity checks by cone helpers).
+    pub(crate) fn netlist_arc(&self) -> &Arc<Netlist> {
+        &self.net
+    }
+
+    /// The value of one node in one lane.
+    #[inline]
+    pub(crate) fn lane_bit(&self, node: u32, lane: usize) -> bool {
+        (self.values[node as usize] >> lane) & 1 == 1
+    }
+
+    /// The full 64-lane word of one node (for cone helpers).
+    #[inline]
+    pub(crate) fn word(&self, node: u32) -> u64 {
+        self.values[node as usize]
+    }
+
+    /// The active settle strategy.
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
+    }
+
+    /// Switches the settle strategy (see [`crate::Simulator`]).
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        if mode == SettleMode::Event && self.mode != SettleMode::Event {
+            self.all_dirty = true;
+        }
+        self.mode = mode;
+    }
+
+    fn mark_fanout(&mut self, node: u32) {
+        for &pos in self.net.fanout_of(node) {
+            if !self.dirty[pos as usize] {
+                self.dirty[pos as usize] = true;
+                self.dirty_lo = self.dirty_lo.min(pos);
+                self.dirty_hi = self.dirty_hi.max(pos);
+                self.n_dirty += 1;
+            }
+        }
+    }
+
+    fn mark_pos(&mut self, pos: u32) {
+        if !self.dirty[pos as usize] {
+            self.dirty[pos as usize] = true;
+            self.dirty_lo = self.dirty_lo.min(pos);
+            self.dirty_hi = self.dirty_hi.max(pos);
+            self.n_dirty += 1;
+        }
+    }
+
+    fn tracking_changes(&self) -> bool {
+        self.mode == SettleMode::Event && !self.all_dirty
     }
 
     /// Drives a primary input with a 64-lane mask (bit `l` = lane `l`).
@@ -147,7 +224,13 @@ impl Simulator64 {
             matches!(self.net.node(id), Node::Input { .. }),
             "{id} is not a primary input"
         );
+        if self.values[id.index()] == lanes {
+            return;
+        }
         self.values[id.index()] = lanes;
+        if self.tracking_changes() {
+            self.mark_fanout(id.0);
+        }
     }
 
     /// Drives a bus so that lane `l` carries `words[l]` (LSB-first bus).
@@ -167,8 +250,18 @@ impl Simulator64 {
         }
     }
 
-    /// Settles the combinational logic across all lanes.
+    /// Settles the combinational logic across all lanes — event-driven
+    /// by default, compiled full sweep in [`SettleMode::Full`].
     pub fn settle(&mut self) {
+        match self.mode {
+            SettleMode::Full => self.settle_full(),
+            SettleMode::Event => self.settle_event(),
+        }
+    }
+
+    /// Settles with one compiled sweep over every gate, regardless of
+    /// the active mode — the oracle for the event-driven path.
+    pub fn settle_full(&mut self) {
         let net = Arc::clone(&self.net);
         let (sched, pins) = net.schedule();
         let values = &mut self.values;
@@ -177,10 +270,66 @@ impl Simulator64 {
                 let p = &pins[g.in_start as usize..][..g.in_len as usize];
                 values[g.out as usize] = eval_pins64(g.kind, values, p);
             }
-            return;
+        } else {
+            let overrides = &mut self.overrides;
+            for g in sched {
+                let p = &pins[g.in_start as usize..][..g.in_len as usize];
+                let v = match overrides[g.out as usize].as_mut() {
+                    Some(b) => {
+                        let mut buf = [0u64; MAX_ARITY];
+                        for (k, &i) in p.iter().enumerate() {
+                            buf[k] = values[i as usize];
+                        }
+                        b.eval64(&buf[..p.len()])
+                    }
+                    None => eval_pins64(g.kind, values, p),
+                };
+                values[g.out as usize] = v;
+            }
         }
+        self.all_dirty = false;
+        if self.dirty_lo <= self.dirty_hi {
+            for pos in self.dirty_lo..=self.dirty_hi {
+                self.dirty[pos as usize] = false;
+            }
+        }
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+        self.n_dirty = 0;
+    }
+
+    /// Event-driven settle across all lanes; see [`crate::Simulator`]
+    /// (including the adaptive drop to the compiled sweep when ~1/64
+    /// of the schedule is already dirty before propagation).
+    fn settle_event(&mut self) {
+        if self.all_dirty || self.n_dirty as usize * 64 >= self.dirty.len() {
+            return self.settle_full();
+        }
+        let net = Arc::clone(&self.net);
+        let (sched, pins) = net.schedule();
+        let mut lo = self.dirty_lo;
+        let mut hi = self.dirty_hi;
+        let ov = &self.override_sched;
+        if let (Some(&first), Some(&last)) = (ov.first(), ov.last()) {
+            lo = lo.min(first);
+            hi = hi.max(last);
+        }
+        let values = &mut self.values;
         let overrides = &mut self.overrides;
-        for g in sched {
+        let dirty = &mut self.dirty;
+        let mut next_ov = 0usize;
+        let mut pos = lo;
+        while pos <= hi {
+            let forced = next_ov < ov.len() && ov[next_ov] == pos;
+            if forced {
+                next_ov += 1;
+            }
+            if !dirty[pos as usize] && !forced {
+                pos += 1;
+                continue;
+            }
+            dirty[pos as usize] = false;
+            let g = &sched[pos as usize];
             let p = &pins[g.in_start as usize..][..g.in_len as usize];
             let v = match overrides[g.out as usize].as_mut() {
                 Some(b) => {
@@ -192,8 +341,20 @@ impl Simulator64 {
                 }
                 None => eval_pins64(g.kind, values, p),
             };
-            values[g.out as usize] = v;
+            if v != values[g.out as usize] {
+                values[g.out as usize] = v;
+                for &t in net.fanout_of(g.out) {
+                    if !dirty[t as usize] {
+                        dirty[t as usize] = true;
+                        hi = hi.max(t);
+                    }
+                }
+            }
+            pos += 1;
         }
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+        self.n_dirty = 0;
     }
 
     /// Latch capture across all lanes.
@@ -201,7 +362,13 @@ impl Simulator64 {
         let net = Arc::clone(&self.net);
         for &l in net.latches() {
             if let Node::Latch { data, .. } = net.node(l) {
-                self.values[l.index()] = self.values[data.index()];
+                let v = self.values[data.index()];
+                if self.values[l.index()] != v {
+                    self.values[l.index()] = v;
+                    if self.tracking_changes() {
+                        self.mark_fanout(l.0);
+                    }
+                }
             }
         }
     }
@@ -234,8 +401,14 @@ impl Simulator64 {
             matches!(self.net.node(id), Node::Gate { .. }),
             "{id} is not a gate"
         );
+        let pos = self.net.sched_index(id.0);
         if self.overrides[id.index()].replace(behavior).is_none() {
             self.n_overrides += 1;
+            let at = self.override_sched.partition_point(|&p| p < pos);
+            self.override_sched.insert(at, pos);
+        }
+        if self.tracking_changes() {
+            self.mark_pos(pos);
         }
     }
 
@@ -243,6 +416,11 @@ impl Simulator64 {
     pub fn clear_override(&mut self, id: NodeId) {
         if self.overrides[id.index()].take().is_some() {
             self.n_overrides -= 1;
+            let pos = self.net.sched_index(id.0);
+            self.override_sched.retain(|&p| p != pos);
+            if self.tracking_changes() {
+                self.mark_pos(pos);
+            }
         }
     }
 

@@ -4,7 +4,10 @@
 
 use std::sync::Arc;
 
-use dta_logic::{GateKind, Netlist, NetlistBuilder, Node, NodeId, Simulator, Simulator64};
+use dta_logic::{
+    GateBehavior, GateKind, Netlist, NetlistBuilder, Node, NodeId, SettleMode, Simulator,
+    Simulator64,
+};
 use proptest::prelude::*;
 
 /// A recipe for one random gate: kind selector and input selectors
@@ -20,9 +23,19 @@ fn kinds() -> [GateKind; 13] {
 }
 
 fn build(n_inputs: usize, recipes: &[GateRecipe]) -> (Arc<Netlist>, Vec<NodeId>, Vec<NodeId>) {
+    let (net, inputs, _, outputs) = build_with_gates(n_inputs, recipes);
+    (net, inputs, outputs)
+}
+
+#[allow(clippy::type_complexity)]
+fn build_with_gates(
+    n_inputs: usize,
+    recipes: &[GateRecipe],
+) -> (Arc<Netlist>, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
     let mut b = NetlistBuilder::new();
     let inputs = b.input_bus("x", n_inputs);
     let mut pool: Vec<NodeId> = inputs.clone();
+    let mut gates = Vec::new();
     for r in recipes {
         let kind = kinds()[r.kind_sel as usize % kinds().len()];
         let ins: Vec<NodeId> = (0..kind.arity())
@@ -30,10 +43,70 @@ fn build(n_inputs: usize, recipes: &[GateRecipe]) -> (Arc<Netlist>, Vec<NodeId>,
             .collect();
         let g = b.gate(kind, &ins);
         pool.push(g);
+        gates.push(g);
     }
     let outputs: Vec<NodeId> = pool.iter().rev().take(4).copied().collect();
     b.output_bus("y", &outputs);
-    (Arc::new(b.build()), inputs, outputs)
+    (Arc::new(b.build()), inputs, gates, outputs)
+}
+
+/// Like [`build_with_gates`], but with a layer of latches between two
+/// gate clouds: latch data inputs come from the first cloud, the second
+/// cloud consumes the latch outputs.
+#[allow(clippy::type_complexity)]
+fn build_seq(
+    n_inputs: usize,
+    pre: &[GateRecipe],
+    latch_sels: &[(u16, bool)],
+    post: &[GateRecipe],
+) -> (Arc<Netlist>, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = NetlistBuilder::new();
+    let inputs = b.input_bus("x", n_inputs);
+    let mut pool: Vec<NodeId> = inputs.clone();
+    let mut gates = Vec::new();
+    let mut grow = |b: &mut NetlistBuilder, pool: &mut Vec<NodeId>, recipes: &[GateRecipe]| {
+        for r in recipes {
+            let kind = kinds()[r.kind_sel as usize % kinds().len()];
+            let ins: Vec<NodeId> = (0..kind.arity())
+                .map(|k| pool[r.input_sels[k] as usize % pool.len()])
+                .collect();
+            let g = b.gate(kind, &ins);
+            pool.push(g);
+            gates.push(g);
+        }
+    };
+    grow(&mut b, &mut pool, pre);
+    let latches: Vec<NodeId> = latch_sels
+        .iter()
+        .map(|&(sel, init)| b.latch(pool[sel as usize % pool.len()], init))
+        .collect();
+    pool.extend(&latches);
+    grow(&mut b, &mut pool, post);
+    let outputs: Vec<NodeId> = pool.iter().rev().take(4).copied().collect();
+    b.output_bus("y", &outputs);
+    (Arc::new(b.build()), inputs, gates, outputs)
+}
+
+/// A stateful faulty cell: passes its first input through, but flips it
+/// on every `period`-th evaluation. Bit-identity across settle
+/// strategies requires that the engines feed every override the exact
+/// same evaluation sequence.
+#[derive(Debug)]
+struct PeriodicFlip {
+    n: u32,
+    period: u32,
+}
+
+impl GateBehavior for PeriodicFlip {
+    fn eval(&mut self, inputs: &[bool]) -> bool {
+        self.n = self.n.wrapping_add(1);
+        let healthy = inputs.first().copied().unwrap_or(false);
+        healthy ^ self.n.is_multiple_of(self.period)
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+    }
 }
 
 /// Reference: recursively evaluate a node from the netlist structure.
@@ -124,6 +197,126 @@ proptest! {
                     "lane {} of {:?}",
                     lane,
                     out
+                );
+            }
+        }
+    }
+
+    /// The tentpole invariant: the event-driven settle is bit-identical
+    /// to the compiled full sweep on every node, for any netlist, any
+    /// stimulus sequence, and any set of stateful overrides — including
+    /// a mid-sequence mode switch and a mid-sequence override removal.
+    #[test]
+    fn event_settle_matches_full_settle(
+        n_inputs in 1usize..6,
+        recipes in prop::collection::vec(recipe_strategy(), 1..40),
+        fault_sels in prop::collection::vec((any::<u16>(), 1u32..5), 0..4),
+        stimulus in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let (net, inputs, gates, _) = build_with_gates(n_inputs, &recipes);
+        let mut event = Simulator::new(net.clone());
+        event.set_settle_mode(SettleMode::Event);
+        let mut full = Simulator::new(net.clone());
+        full.set_settle_mode(SettleMode::Full);
+        let mut faulty = Vec::new();
+        for &(sel, period) in &fault_sels {
+            let g = gates[sel as usize % gates.len()];
+            event.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+            full.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+            faulty.push(g);
+        }
+        for (step, word) in stimulus.iter().enumerate() {
+            let w = *word as u64;
+            event.set_input_word(&inputs, w);
+            event.settle();
+            full.set_input_word(&inputs, w);
+            full.settle();
+            for &id in &gates {
+                prop_assert_eq!(
+                    event.value(id), full.value(id),
+                    "node {:?} at step {}", id, step
+                );
+            }
+            // Halfway through, heal one defect and bounce the event
+            // simulator through the Full mode — neither may
+            // desynchronize the engines. (No extra settle: that would
+            // legitimately advance the stateful overrides.)
+            if step == stimulus.len() / 2 {
+                if let Some(g) = faulty.pop() {
+                    event.clear_override(g);
+                    full.clear_override(g);
+                }
+                event.set_settle_mode(SettleMode::Full);
+                event.set_settle_mode(SettleMode::Event);
+            }
+        }
+    }
+
+    /// Same invariant through latches: `tick` and `reset_state` must
+    /// keep the incremental bookkeeping consistent across clock cycles.
+    #[test]
+    fn event_settle_matches_full_settle_with_latches(
+        n_inputs in 1usize..5,
+        pre in prop::collection::vec(recipe_strategy(), 1..20),
+        latch_sels in prop::collection::vec((any::<u16>(), any::<bool>()), 1..5),
+        post in prop::collection::vec(recipe_strategy(), 1..20),
+        fault_sels in prop::collection::vec((any::<u16>(), 1u32..5), 0..3),
+        stimulus in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let (net, inputs, gates, _) = build_seq(n_inputs, &pre, &latch_sels, &post);
+        let mut event = Simulator::new(net.clone());
+        let mut full = Simulator::new(net.clone());
+        full.set_settle_mode(SettleMode::Full);
+        prop_assert_eq!(event.settle_mode(), SettleMode::Event);
+        for &(sel, period) in &fault_sels {
+            let g = gates[sel as usize % gates.len()];
+            event.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+            full.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+        }
+        for (step, word) in stimulus.iter().enumerate() {
+            let w = *word as u64;
+            event.set_input_word(&inputs, w);
+            event.settle();
+            full.set_input_word(&inputs, w);
+            full.settle();
+            for &id in &gates {
+                prop_assert_eq!(
+                    event.value(id), full.value(id),
+                    "node {:?} at step {}", id, step
+                );
+            }
+            event.tick();
+            full.tick();
+            if step % 5 == 4 {
+                event.reset_state();
+                full.reset_state();
+            }
+        }
+    }
+
+    /// The 64-lane engine's event-driven settle must match its own
+    /// compiled sweep on every lane.
+    #[test]
+    fn event_settle_matches_full_settle_64(
+        n_inputs in 1usize..6,
+        recipes in prop::collection::vec(recipe_strategy(), 1..40),
+        stimulus in prop::collection::vec(any::<[u8; 4]>(), 1..12),
+    ) {
+        let (net, inputs, gates, _) = build_with_gates(n_inputs, &recipes);
+        let mut event = Simulator64::new(net.clone());
+        event.set_settle_mode(SettleMode::Event);
+        let mut full = Simulator64::new(net.clone());
+        full.set_settle_mode(SettleMode::Full);
+        for (step, lanes) in stimulus.iter().enumerate() {
+            let words: Vec<u64> = lanes.iter().map(|&w| w as u64).collect();
+            event.set_input_words(&inputs, &words);
+            event.settle();
+            full.set_input_words(&inputs, &words);
+            full.settle();
+            for &id in &gates {
+                prop_assert_eq!(
+                    event.lanes(id), full.lanes(id),
+                    "node {:?} at step {}", id, step
                 );
             }
         }
