@@ -12,7 +12,12 @@
 //!   settles 64 rows per pass and only the union fan-out cone of the
 //!   faulty gates is gate-simulated per row;
 //! * `batch64` — the lane-parallel simulator with faulty truth tables
-//!   broadcast across lanes (combinational fault sets only).
+//!   broadcast across lanes (combinational fault sets only);
+//! * `lut` — the compiled LUT instruction stream: the netlist is
+//!   topologically ranked once into straight-line table-lookup
+//!   instructions, permanent faults patch truth words in place, and
+//!   dynamic faults drop only the affected instructions to per-lane
+//!   evaluation (works for every activation class).
 //!
 //! Every strategy must produce bit-identical products; the binary
 //! asserts this before reporting throughput. The stimulus mimics the
@@ -27,7 +32,8 @@
 //!
 //! A machine-readable record goes to `BENCH_simspeed.json`
 //! (`--bench-out` overrides), including the headline
-//! `min_speedup_cone_vs_compiled` the acceptance gate checks (>= 3x).
+//! `min_speedup_cone_vs_compiled` (acceptance gate >= 3x) and
+//! `min_speedup_lut_vs_compiled` (CI floor, see `.github/workflows`).
 
 use std::time::Instant;
 
@@ -104,15 +110,16 @@ fn main() {
     println!("Simulation speed — faulty 16-bit multiplier, {rows} rows, {activation:?} defects");
     println!("(evals/s; every strategy is bit-identical to the seed's switch-level path)\n");
 
-    let measure = |stim: &str, a: &[Fx]| -> Vec<(usize, Vec<Measurement>, f64)> {
+    let measure = |stim: &str, a: &[Fx]| -> Vec<(usize, Vec<Measurement>, f64, f64)> {
         print!("{:<18}", format!("{stim}/defects"));
-        for name in ["switch", "compiled", "event", "cone", "batch64"] {
+        for name in ["switch", "compiled", "event", "cone", "batch64", "lut"] {
             print!("{name:>12}");
         }
-        println!("{:>12}", "cone/comp");
-        rule(18 + 12 * 6);
+        print!("{:>12}", "cone/comp");
+        println!("{:>12}", "lut/comp");
+        rule(18 + 12 * 8);
 
-        let mut per_count: Vec<(usize, Vec<Measurement>, f64)> = Vec::new();
+        let mut per_count: Vec<(usize, Vec<Measurement>, f64, f64)> = Vec::new();
         for &n in &defect_counts {
             let mut ms: Vec<Measurement> = Vec::new();
 
@@ -193,6 +200,20 @@ fn main() {
                 }
             }
 
+            {
+                // The compiled LUT instruction stream handles every
+                // activation class: permanent faults as in-place truth
+                // word patches, dynamic ones as per-lane overrides.
+                let mut ex = mul.lut_exec();
+                build_plan(&mul, n, activation, seed).apply_lut(&mut ex);
+                let (evals_per_s, out) = time_run(rows, || mul.compute_lut(&mut ex, a, &b));
+                ms.push(Measurement {
+                    name: "lut",
+                    evals_per_s,
+                    out,
+                });
+            }
+
             let reference = &ms[0];
             for m in &ms[1..] {
                 assert_eq!(
@@ -204,15 +225,17 @@ fn main() {
 
             let rate = |name: &str| ms.iter().find(|m| m.name == name).map(|m| m.evals_per_s);
             let cone_vs_compiled = rate("cone").unwrap() / rate("compiled").unwrap();
+            let lut_vs_compiled = rate("lut").unwrap() / rate("compiled").unwrap();
             print!("{n:<18}");
-            for name in ["switch", "compiled", "event", "cone", "batch64"] {
+            for name in ["switch", "compiled", "event", "cone", "batch64", "lut"] {
                 match rate(name) {
                     Some(r) => print!("{r:>12.0}"),
                     None => print!("{:>12}", "-"),
                 }
             }
-            println!("{cone_vs_compiled:>11.1}x");
-            per_count.push((n, ms, cone_vs_compiled));
+            print!("{cone_vs_compiled:>11.1}x");
+            println!("{lut_vs_compiled:>11.1}x");
+            per_count.push((n, ms, cone_vs_compiled, lut_vs_compiled));
         }
         println!();
         per_count
@@ -224,17 +247,25 @@ fn main() {
     // The acceptance gate runs on the dense (training-like) stimulus.
     let min_speedup = dense_counts
         .iter()
-        .map(|&(_, _, s)| s)
+        .map(|&(_, _, s, _)| s)
         .fold(f64::INFINITY, f64::min);
     println!(
         "cone-pruned differential settle vs compiled full sweep (dense): >= {min_speedup:.1}x \
          at every defect count (acceptance gate: 3x)"
     );
+    let min_speedup_lut = dense_counts
+        .iter()
+        .map(|&(_, _, _, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "LUT instruction stream vs compiled full sweep (dense): >= {min_speedup_lut:.1}x \
+         at every defect count"
+    );
 
-    let rates = |per_count: &[(usize, Vec<Measurement>, f64)], name: &str| -> Vec<f64> {
+    let rates = |per_count: &[(usize, Vec<Measurement>, f64, f64)], name: &str| -> Vec<f64> {
         per_count
             .iter()
-            .map(|(_, ms, _)| {
+            .map(|(_, ms, _, _)| {
                 ms.iter()
                     .find(|m| m.name == name)
                     .map_or(0.0, |m| m.evals_per_s)
@@ -251,7 +282,7 @@ fn main() {
         .int("rows", rows as u64)
         .int_list("defect_counts", &defect_counts);
     for (suffix, per_count) in [("", &dense_counts), ("_sparse", &sparse_counts)] {
-        for name in ["switch", "compiled", "event", "cone", "batch64"] {
+        for name in ["switch", "compiled", "event", "cone", "batch64", "lut"] {
             let rs = rates(per_count, name);
             if rs.iter().any(|&r| r > 0.0) {
                 record = record.num_list(&format!("evals_per_s_{name}{suffix}"), &rs);
@@ -261,9 +292,20 @@ fn main() {
     record = record
         .num_list(
             "speedup_cone_vs_compiled",
-            &dense_counts.iter().map(|&(_, _, s)| s).collect::<Vec<_>>(),
+            &dense_counts
+                .iter()
+                .map(|&(_, _, s, _)| s)
+                .collect::<Vec<_>>(),
         )
-        .num("min_speedup_cone_vs_compiled", min_speedup);
+        .num("min_speedup_cone_vs_compiled", min_speedup)
+        .num_list(
+            "speedup_lut_vs_compiled",
+            &dense_counts
+                .iter()
+                .map(|&(_, _, _, s)| s)
+                .collect::<Vec<_>>(),
+        )
+        .num("min_speedup_lut_vs_compiled", min_speedup_lut);
     match record.write(&out_path) {
         Ok(()) => println!("perf record written to {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),

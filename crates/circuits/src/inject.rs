@@ -27,7 +27,9 @@ use rand::seq::IndexedRandom;
 use rand::Rng;
 
 use dta_logic::gate::GateBehavior;
-use dta_logic::{Netlist, Node, NodeId, Simulator, Simulator64, StuckAt, StuckPort, StuckSet};
+use dta_logic::{
+    LutExec, Netlist, Node, NodeId, Simulator, Simulator64, StuckAt, StuckPort, StuckSet,
+};
 use dta_transistor::{
     Activation, ActivationState, CachedCell, CellTable, CmosCell, Defect, DynamicCell,
     DynamicDefect, DynamicRefCell, FaultyCell,
@@ -423,6 +425,71 @@ impl DefectPlan {
         true
     }
 
+    /// Lowers this plan onto a compiled LUT executor (the
+    /// instruction-stream backend). Permanent combinational faults are
+    /// *patched into the instruction's truth word* — transistor-level
+    /// cells through their memoized [`CellTable::lut_patch`], gate-level
+    /// stuck-at sets by collapsing the set over all pin assignments — so
+    /// the faulty sweep costs exactly as much as the healthy sweep.
+    /// Everything else (cells with reachable memory state or delay
+    /// defects, dynamically activated faults) installs a per-lane
+    /// behavioral override, which [`LutExec::exec`] evaluates in lane
+    /// order for bit-identity with the scalar event-driven engine.
+    ///
+    /// Returns `true` when every fault lowered to a pure truth-word
+    /// patch (the sweep stays fully branchless and word-parallel).
+    pub fn apply_lut(&self, ex: &mut LutExec) -> bool {
+        let mut fully_patched = true;
+        for (&gate, tg) in &self.trans_cells {
+            let patch = if tg.dynamic.is_empty() {
+                CellTable::cached(&tg.cell).lut_patch()
+            } else {
+                None
+            };
+            match patch {
+                Some(word) => ex.patch_gate(gate, word),
+                None => {
+                    fully_patched = false;
+                    if tg.dynamic.is_empty() {
+                        ex.override_gate(gate, Box::new(CachedCell::new(&tg.cell)));
+                    } else {
+                        let dynamic = DynamicCell::new(tg.cell.clone(), Self::dynamic_defects(tg))
+                            .expect("dynamic sites were drawn from this cell");
+                        ex.override_gate(gate, Box::new(dynamic));
+                    }
+                }
+            }
+        }
+        for (&gate, sg) in &self.stuck_sets {
+            if sg.dynamic.is_empty() {
+                ex.patch_gate(gate, Self::stuck_table(&sg.set));
+            } else {
+                fully_patched = false;
+                ex.override_gate(gate, Self::stuck_behavior(sg));
+            }
+        }
+        fully_patched
+    }
+
+    /// Collapses a permanent stuck-at set into a LUT truth word by
+    /// evaluating it over all `2^arity` packed pin assignments (the set
+    /// is stateless, so the collapse is exact).
+    fn stuck_table(set: &StuckSet) -> u16 {
+        let n = set.kind().arity();
+        let mut s = set.clone();
+        let mut table = 0u16;
+        let mut buf = [false; 4];
+        for v in 0..1u16 << n {
+            for (k, b) in buf.iter_mut().enumerate().take(n) {
+                *b = (v >> k) & 1 == 1;
+            }
+            if s.eval(&buf[..n]) {
+                table |= 1 << v;
+            }
+        }
+        table
+    }
+
     /// Removes this plan's overrides from a simulator (restoring the
     /// healthy circuit).
     pub fn remove(&self, sim: &mut Simulator) {
@@ -662,6 +729,118 @@ mod tests {
             let mut sim64 = Simulator64::new(Arc::clone(adder.netlist()));
             assert!(!plan.apply64(&mut sim64), "dynamic plans cannot vectorize");
             assert_eq!(sim64.override_count(), 0);
+        }
+    }
+
+    #[test]
+    fn apply_lut_matches_scalar_apply() {
+        // Lowering a permanent plan onto the LUT instruction stream —
+        // truth-word patches for combinational cells, per-lane stateful
+        // overrides otherwise — must stay bit-identical to the scalar
+        // simulator over a whole batch.
+        use crate::multiplier::FxMulCircuit;
+        use dta_fixed::Fx;
+        let mul = FxMulCircuit::new();
+        for seed in 0..8u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            for _ in 0..3 {
+                plan.add_random(mul.netlist(), mul.cells(), &mut rng);
+            }
+            let mut sim = mul.simulator();
+            plan.apply(&mut sim);
+            let mut ex = mul.lut_exec();
+            let fully = plan.apply_lut(&mut ex);
+            assert_eq!(fully, ex.fully_patched());
+            let mut data = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+            let a: Vec<Fx> = (0..100).map(|_| Fx::from_bits(data.random())).collect();
+            let b: Vec<Fx> = (0..100).map(|_| Fx::from_bits(data.random())).collect();
+            let want: Vec<Fx> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| mul.compute(&mut sim, x, y))
+                .collect();
+            let got = mul.compute_lut(&mut ex, &a, &b);
+            assert_eq!(got, want, "seed {seed}: LUT diverged from scalar");
+        }
+    }
+
+    #[test]
+    fn apply_lut_matches_scalar_apply_dynamic() {
+        // Transient and intermittent defects become per-lane overrides;
+        // lanes advance the seeded activation streams in lane order, so
+        // a batch must equal the same inputs fed one by one to the
+        // scalar simulator.
+        use crate::multiplier::FxMulCircuit;
+        use dta_fixed::Fx;
+        let mul = FxMulCircuit::new();
+        for (seed, activation) in [
+            (
+                11u64,
+                Activation::Transient {
+                    per_eval_probability: 0.3,
+                },
+            ),
+            (12, Activation::Intermittent { period: 5, duty: 2 }),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            for i in 0..3 {
+                let act = if i % 2 == 0 {
+                    activation
+                } else {
+                    Activation::Permanent
+                };
+                plan.add_random_with(mul.netlist(), mul.cells(), act, &mut rng);
+            }
+            assert!(plan.has_dynamic());
+            let mut sim = mul.simulator();
+            plan.apply(&mut sim);
+            let mut ex = mul.lut_exec();
+            assert!(!plan.apply_lut(&mut ex), "dynamic plans cannot fully patch");
+            assert!(ex.override_count() > 0);
+            let mut data = ChaCha8Rng::seed_from_u64(seed ^ 0xF00D);
+            let a: Vec<Fx> = (0..100).map(|_| Fx::from_bits(data.random())).collect();
+            let b: Vec<Fx> = (0..100).map(|_| Fx::from_bits(data.random())).collect();
+            let want: Vec<Fx> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| mul.compute(&mut sim, x, y))
+                .collect();
+            let got = mul.compute_lut(&mut ex, &a, &b);
+            assert_eq!(got, want, "{activation}: LUT diverged from scalar");
+        }
+    }
+
+    #[test]
+    fn apply_lut_patches_permanent_stuck_faults() {
+        // Gate-level stuck faults collapse to plain truth-word patches:
+        // no overrides, full-speed execution, same outputs as scalar.
+        use crate::multiplier::FxMulCircuit;
+        use dta_fixed::Fx;
+        let mul = FxMulCircuit::new();
+        for seed in 20..26u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::GateLevel);
+            for _ in 0..2 {
+                plan.add_random(mul.netlist(), mul.cells(), &mut rng);
+            }
+            let mut sim = mul.simulator();
+            plan.apply(&mut sim);
+            let mut ex = mul.lut_exec();
+            assert!(plan.apply_lut(&mut ex), "permanent stuck plans fully patch");
+            assert_eq!(ex.override_count(), 0);
+            assert!(ex.patched_count() > 0);
+            let mut data = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+            let a: Vec<Fx> = (0..80).map(|_| Fx::from_bits(data.random())).collect();
+            let b: Vec<Fx> = (0..80).map(|_| Fx::from_bits(data.random())).collect();
+            let want: Vec<Fx> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| mul.compute(&mut sim, x, y))
+                .collect();
+            let got = mul.compute_lut(&mut ex, &a, &b);
+            assert_eq!(got, want, "seed {seed}: stuck patch diverged from scalar");
         }
     }
 

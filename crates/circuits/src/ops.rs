@@ -42,6 +42,13 @@ macro_rules! hw_operator {
             /// 64 stimuli at a time and gate-simulate only `sim`'s cone
             /// of influence per lane (see [`dta_logic::Simulator::prepare_cone`]).
             healthy64: Option<dta_logic::Simulator64>,
+            /// Compiled LUT instruction-stream engine, present iff the
+            /// plan lowered to truth-word patches alone (see
+            /// [`DefectPlan::apply_lut`]); it is the fastest batch path
+            /// and is preferred over `sim64` when available. Stateful
+            /// plans stay on the cone path so memory effects share
+            /// `sim`'s behavior state with the scalar entry points.
+            lut: Option<dta_logic::LutExec>,
             plan: DefectPlan,
         }
 
@@ -61,6 +68,7 @@ macro_rules! hw_operator {
                     sim,
                     sim64,
                     healthy64: None,
+                    lut: None,
                     plan: DefectPlan::new(FaultModel::TransistorLevel),
                 }
             }
@@ -72,6 +80,17 @@ macro_rules! hw_operator {
             /// baseline forces the seed or PR-1 engine, in which case
             /// batches fall back to plain scalar evaluation.
             fn rebuild_sim64(&mut self) {
+                self.lut = None;
+                if !self.plan.is_empty()
+                    && !dta_logic::lut_backend_disabled()
+                    && !switch_level_baseline()
+                    && !dta_logic::full_settle_forced()
+                {
+                    let mut ex = self.circuit.lut_exec();
+                    if self.plan.apply_lut(&mut ex) {
+                        self.lut = Some(ex);
+                    }
+                }
                 let mut s = self.circuit.simulator64();
                 if self.plan.apply64(&mut s) {
                     self.sim64 = Some(s);
@@ -101,6 +120,14 @@ macro_rules! hw_operator {
             /// falling back to the scalar simulator.
             pub fn vectorizable(&self) -> bool {
                 self.sim64.is_some()
+            }
+
+            /// True if the current plan lowered entirely to truth-word
+            /// patches on the compiled LUT instruction stream, i.e. the
+            /// batch entry points run the straight-line schedule instead
+            /// of event-driven settles.
+            pub fn lut_ready(&self) -> bool {
+                self.lut.is_some()
             }
 
             /// Injects `n` random **permanent** defects under the given
@@ -176,6 +203,9 @@ macro_rules! hw_operator {
             /// previous evaluations (call between independent runs).
             pub fn reset_state(&mut self) {
                 self.sim.reset_state();
+                if let Some(lut) = self.lut.as_mut() {
+                    lut.reset_state();
+                }
             }
         }
 
@@ -215,13 +245,17 @@ impl HwAdder {
         self.circuit.compute(&mut self.sim, a, b)
     }
 
-    /// Computes a whole batch of sums — native when healthy, 64 lanes
-    /// per settle when the fault set is combinational, cone-pruned
-    /// differential batches when it is stateful. Identical to mapping
-    /// [`HwAdder::add`] over the pairs.
+    /// Computes a whole batch of sums — native when healthy, a compiled
+    /// LUT instruction stream when the fault set lowered to truth-word
+    /// patches, 64 lanes per settle when it is merely combinational,
+    /// cone-pruned differential batches when it is stateful. Identical
+    /// to mapping [`HwAdder::add`] over the pairs.
     pub fn add_batch(&mut self, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
         if self.native_ok() {
             return a.iter().zip(b).map(|(&x, &y)| x + y).collect();
+        }
+        if let Some(lut) = self.lut.as_mut() {
+            return self.circuit.compute_lut(lut, a, b);
         }
         match (self.sim64.as_mut(), self.healthy64.as_mut()) {
             (Some(sim64), _) => self.circuit.compute64(sim64, a, b),
@@ -263,13 +297,18 @@ impl HwMultiplier {
         self.circuit.compute(&mut self.sim, a, b)
     }
 
-    /// Computes a whole batch of products — native when healthy, 64
-    /// lanes per settle when the fault set is combinational, cone-pruned
-    /// differential batches when it is stateful. Identical to mapping
-    /// [`HwMultiplier::mul`] over the pairs.
+    /// Computes a whole batch of products — native when healthy, a
+    /// compiled LUT instruction stream when the fault set lowered to
+    /// truth-word patches, 64 lanes per settle when it is merely
+    /// combinational, cone-pruned differential batches when it is
+    /// stateful. Identical to mapping [`HwMultiplier::mul`] over the
+    /// pairs.
     pub fn mul_batch(&mut self, a: &[Fx], b: &[Fx]) -> Vec<Fx> {
         if self.native_ok() {
             return a.iter().zip(b).map(|(&x, &y)| x * y).collect();
+        }
+        if let Some(lut) = self.lut.as_mut() {
+            return self.circuit.compute_lut(lut, a, b);
         }
         match (self.sim64.as_mut(), self.healthy64.as_mut()) {
             (Some(sim64), _) => self.circuit.compute64(sim64, a, b),
@@ -311,14 +350,19 @@ impl HwSigmoid {
         self.circuit.compute(&mut self.sim, x)
     }
 
-    /// Computes a whole batch of activations — native when healthy, 64
-    /// lanes per settle when the fault set is combinational, cone-pruned
-    /// differential batches when it is stateful. Identical to mapping
-    /// [`HwSigmoid::eval`] over the inputs.
+    /// Computes a whole batch of activations — native when healthy, a
+    /// compiled LUT instruction stream when the fault set lowered to
+    /// truth-word patches, 64 lanes per settle when it is merely
+    /// combinational, cone-pruned differential batches when it is
+    /// stateful. Identical to mapping [`HwSigmoid::eval`] over the
+    /// inputs.
     pub fn eval_batch(&mut self, xs: &[Fx]) -> Vec<Fx> {
         if self.native_ok() {
             let lut = sigmoid_lut();
             return xs.iter().map(|&x| lut.eval(x)).collect();
+        }
+        if let Some(lut) = self.lut.as_mut() {
+            return self.circuit.compute_lut(lut, xs);
         }
         match (self.sim64.as_mut(), self.healthy64.as_mut()) {
             (Some(sim64), _) => self.circuit.compute64(sim64, xs),
@@ -474,6 +518,43 @@ mod tests {
             assert_eq!(prods[i], a[i] * b[i]);
             assert_eq!(acts[i], lut.eval(a[i]));
         }
+    }
+
+    #[test]
+    fn lut_backend_matches_scalar_and_can_be_disabled() {
+        // Operators whose plan lowers to pure truth-word patches route
+        // batches through the compiled LUT stream; outputs must equal
+        // element-wise scalar evaluation, and the process-global
+        // disable hook must force the rebuilt operator off the engine
+        // without changing any output bit.
+        let mut found = false;
+        for seed in 0..20 {
+            let mut mul = HwMultiplier::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            mul.inject_random(FaultModel::TransistorLevel, 4, &mut rng);
+            if !mul.lut_ready() {
+                continue;
+            }
+            found = true;
+            let a: Vec<Fx> = (0..150).map(|i| Fx::from_raw((i * 431) as i16)).collect();
+            let b: Vec<Fx> = (0..150)
+                .map(|i| Fx::from_raw((i * 77 - 999) as i16))
+                .collect();
+            let batch = mul.mul_batch(&a, &b);
+            let scalar: Vec<Fx> = a.iter().zip(&b).map(|(&x, &y)| mul.mul(x, y)).collect();
+            assert_eq!(batch, scalar, "seed {seed}");
+            dta_logic::disable_lut_backend(true);
+            let mut off = HwMultiplier::new();
+            let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+            off.inject_random(FaultModel::TransistorLevel, 4, &mut rng2);
+            let off_ready = off.lut_ready();
+            let off_batch = off.mul_batch(&a, &b);
+            dta_logic::disable_lut_backend(false);
+            assert!(!off_ready, "hook must keep the LUT engine off");
+            assert_eq!(off_batch, batch, "seed {seed}: backends diverged");
+            break;
+        }
+        assert!(found, "no fully-patchable 4-defect seed in 0..20");
     }
 
     #[test]

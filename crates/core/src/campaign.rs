@@ -608,6 +608,34 @@ mod tests {
         }
     }
 
+    /// Forcing operators off the compiled LUT instruction stream (back
+    /// onto the event-driven / cone-pruned batch paths) must reproduce
+    /// the default curves bit-for-bit, for every activation class —
+    /// permanent plans exercise the truth-word-patch lowering, dynamic
+    /// ones the per-lane override fallback.
+    #[test]
+    fn lut_backend_curves_are_bit_identical() {
+        let spec = iris();
+        for activation in [
+            Activation::Permanent,
+            Activation::Transient {
+                per_eval_probability: 0.3,
+            },
+            Activation::Intermittent { period: 4, duty: 2 },
+        ] {
+            let cfg = CampaignConfig {
+                activation,
+                defect_counts: vec![0, 6],
+                ..tiny_cfg()
+            };
+            let with_lut = defect_tolerance_curve(&spec, &cfg).unwrap();
+            dta_logic::disable_lut_backend(true);
+            let without = defect_tolerance_curve(&spec, &cfg);
+            dta_logic::disable_lut_backend(false);
+            assert_eq!(with_lut, without.unwrap(), "{activation:?}");
+        }
+    }
+
     #[test]
     fn parallel_curve_is_bit_identical_to_serial() {
         let spec = iris();

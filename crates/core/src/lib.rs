@@ -55,6 +55,7 @@ pub mod cost;
 pub mod dark_silicon;
 pub mod interface;
 pub mod large;
+pub mod lutpar;
 pub mod parallel;
 pub mod processor;
 pub mod recover;
@@ -69,6 +70,7 @@ pub use checkpoint::Checkpoint;
 pub use cost::{CostModel, CostReport, SensitiveAreaReport};
 pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
 pub use interface::MemoryInterface;
+pub use lutpar::PartitionedLutExec;
 pub use parallel::parallel_map;
 pub use processor::ProcessorModel;
 pub use recover::{RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung, RungBudget};

@@ -1,0 +1,345 @@
+//! Rank-synchronized parallel execution of compiled LUT instruction
+//! streams.
+//!
+//! [`PartitionedLutExec`] partitions each *rank* of a
+//! [`dta_logic::LutProgram`]'s schedule across the scoped-thread pool
+//! conventions of [`crate::parallel`]: every worker sweeps a contiguous
+//! chunk of the rank's instructions, then all workers meet at a
+//! [`Barrier`] before anyone starts the next rank. An instruction at
+//! rank `r` reads only slots written at ranks `< r` (or primary
+//! input/latch slots, which the schedule never writes), so within a
+//! rank there are no read-write conflicts at all, and the per-rank
+//! barrier provides the happens-before edge that publishes one rank's
+//! writes to the next. Register slots are [`AtomicU64`]s accessed with
+//! [`Ordering::Relaxed`] — on x86 a plain `mov` — because the barrier,
+//! not the atomics, carries the synchronization.
+//!
+//! Only truth-word *patches* (permanent defects) are supported: per-lane
+//! behavioral overrides are inherently sequential in lane order, so
+//! stateful plans stay on the single-threaded [`LutExec`] / cone paths.
+//! Construct via [`PartitionedLutExec::from_exec`] to inherit a lowered
+//! plan, or [`PartitionedLutExec::new`] for a healthy stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use dta_logic::{LutExec, LutInstr, LutProgram, Netlist, Node, NodeId};
+
+use crate::parallel::effective_threads;
+
+/// A 64-lane LUT instruction-stream executor that splits every rank of
+/// the schedule across scoped OS threads, synchronizing with one
+/// barrier per rank. Bit-identical to [`LutExec`] on the same stream.
+#[derive(Debug)]
+pub struct PartitionedLutExec {
+    prog: Arc<LutProgram>,
+    /// Private copy of the stream so truth words can be patched without
+    /// touching the shared program.
+    instrs: Vec<LutInstr>,
+    regs: Vec<AtomicU64>,
+    threads: usize,
+}
+
+impl PartitionedLutExec {
+    /// Creates a partitioned executor over a healthy compiled program.
+    /// `threads == 0` uses every available core; `threads <= 1` runs
+    /// the schedule inline on the calling thread (no pool, no barrier).
+    pub fn new(prog: Arc<LutProgram>, threads: usize) -> PartitionedLutExec {
+        let regs: Vec<AtomicU64> = (0..prog.n_slots()).map(|_| AtomicU64::new(0)).collect();
+        let mut ex = PartitionedLutExec {
+            instrs: prog.instrs().to_vec(),
+            regs,
+            prog,
+            threads: effective_threads(threads),
+        };
+        ex.reset_state();
+        ex
+    }
+
+    /// Adopts the (possibly patched) stream of a single-threaded
+    /// executor. Returns `None` unless the plan lowered entirely to
+    /// truth-word patches ([`LutExec::fully_patched`]): per-lane
+    /// behavioral overrides advance state in lane order and cannot be
+    /// partitioned.
+    pub fn from_exec(ex: &LutExec, threads: usize) -> Option<PartitionedLutExec> {
+        if !ex.fully_patched() {
+            return None;
+        }
+        let prog = Arc::clone(ex.program());
+        let regs: Vec<AtomicU64> = (0..prog.n_slots()).map(|_| AtomicU64::new(0)).collect();
+        let mut par = PartitionedLutExec {
+            instrs: ex.instrs().to_vec(),
+            regs,
+            prog,
+            threads: effective_threads(threads),
+        };
+        par.reset_state();
+        Some(par)
+    }
+
+    /// The compiled program this executor runs.
+    pub fn program(&self) -> &Arc<LutProgram> {
+        &self.prog
+    }
+
+    /// The netlist behind the program.
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        self.prog.netlist()
+    }
+
+    /// The resolved worker count (after [`effective_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Patches the truth word of a gate's instruction in place — the
+    /// permanent-defect lowering, same semantics as
+    /// [`LutExec::patch_gate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a gate node.
+    pub fn patch_gate(&mut self, id: NodeId, table: u16) {
+        let pos = self
+            .prog
+            .instr_index(id)
+            .unwrap_or_else(|| panic!("{id} is not a gate"));
+        self.instrs[pos].table = table;
+    }
+
+    /// Drives a primary input with a 64-lane mask (bit `l` = lane `l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a primary input.
+    pub fn set_input_lanes(&mut self, id: NodeId, lanes: u64) {
+        assert!(
+            matches!(self.netlist().node(id), Node::Input { .. }),
+            "{id} is not a primary input"
+        );
+        self.regs[id.index()].store(lanes, Ordering::Relaxed);
+    }
+
+    /// Drives a bus so lane `l` carries `words[l]` (LSB-first bus);
+    /// fewer than 64 words leave the remaining lanes at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 words are supplied.
+    pub fn set_input_words(&mut self, bus: &[NodeId], words: &[u64]) {
+        assert!(words.len() <= 64, "at most 64 lanes");
+        for (bit, &id) in bus.iter().enumerate() {
+            let mut lanes = 0u64;
+            for (l, &w) in words.iter().enumerate() {
+                lanes |= ((w >> bit) & 1) << l;
+            }
+            self.set_input_lanes(id, lanes);
+        }
+    }
+
+    /// Executes the straight-line schedule once, settling all lanes:
+    /// each rank's instructions are split into contiguous per-worker
+    /// chunks, with a barrier between ranks.
+    pub fn exec(&mut self) {
+        let threads = self.threads;
+        if threads <= 1 {
+            for ins in &self.instrs {
+                let v = ins.eval_with(|i| self.regs[i as usize].load(Ordering::Relaxed));
+                self.regs[ins.out as usize].store(v, Ordering::Relaxed);
+            }
+            return;
+        }
+        let barrier = Barrier::new(threads);
+        let regs = &self.regs;
+        let instrs = &self.instrs;
+        let prog = &self.prog;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for rank in 0..prog.n_ranks() {
+                        let range = prog.rank_range(rank);
+                        let len = range.len();
+                        let chunk = len.div_ceil(threads);
+                        let lo = range.start + (t * chunk).min(len);
+                        let hi = range.start + ((t + 1) * chunk).min(len);
+                        for ins in &instrs[lo..hi] {
+                            let v = ins.eval_with(|i| regs[i as usize].load(Ordering::Relaxed));
+                            regs[ins.out as usize].store(v, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Latch capture across all lanes, in declaration order — matching
+    /// [`LutExec::tick`] exactly (runs on the calling thread; latch
+    /// copies are far too cheap to partition).
+    pub fn tick(&mut self) {
+        for ls in self.prog.latch_slots() {
+            let v = self.regs[ls.data as usize].load(Ordering::Relaxed);
+            self.regs[ls.latch as usize].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets latch slots to their init values. Truth-word patches
+    /// persist (permanent defects survive reset).
+    pub fn reset_state(&mut self) {
+        for ls in self.prog.latch_slots() {
+            let v = if ls.init { !0 } else { 0 };
+            self.regs[ls.latch as usize].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The 64-lane word of any node slot.
+    pub fn lanes(&self, id: NodeId) -> u64 {
+        self.regs[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// Reads lane `lane` of a bus back as a word (LSB-first).
+    pub fn read_word_lane(&self, bus: &[NodeId], lane: usize) -> u64 {
+        assert!(lane < 64);
+        bus.iter().enumerate().fold(0u64, |acc, (bit, &id)| {
+            acc | (((self.regs[id.index()].load(Ordering::Relaxed) >> lane) & 1) << bit)
+        })
+    }
+
+    /// Reads the first `n_lanes` lanes of a bus back as words.
+    pub fn read_words(&self, bus: &[NodeId], n_lanes: usize) -> Vec<u64> {
+        (0..n_lanes).map(|l| self.read_word_lane(bus, l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_circuits::multiplier::FxMulCircuit;
+    use dta_circuits::{DefectPlan, FaultModel};
+    use dta_fixed::Fx;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn batch(seed: u64, n: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = (0..n).map(|_| u64::from(rng.random::<u16>())).collect();
+        let b = (0..n).map(|_| u64::from(rng.random::<u16>())).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn healthy_partitioned_exec_is_bit_identical_across_thread_counts() {
+        let mul = FxMulCircuit::new();
+        let mut reference = mul.lut_exec();
+        let (a, b) = batch(7, 64);
+        reference.set_input_words(mul.a_bus(), &a);
+        reference.set_input_words(mul.b_bus(), &b);
+        reference.exec();
+        let want = reference.read_words(mul.out_bus(), 64);
+        for threads in [1, 2, 4] {
+            let mut par =
+                PartitionedLutExec::new(dta_logic::LutProgram::cached(mul.netlist()), threads);
+            par.set_input_words(mul.a_bus(), &a);
+            par.set_input_words(mul.b_bus(), &b);
+            par.exec();
+            assert_eq!(
+                par.read_words(mul.out_bus(), 64),
+                want,
+                "{threads} threads diverged from LutExec"
+            );
+        }
+    }
+
+    #[test]
+    fn patched_partitioned_exec_matches_single_threaded() {
+        let mul = FxMulCircuit::new();
+        for seed in 0..10u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::GateLevel);
+            for _ in 0..3 {
+                plan.add_random(mul.netlist(), mul.cells(), &mut rng);
+            }
+            let mut ex = mul.lut_exec();
+            assert!(plan.apply_lut(&mut ex), "gate-level permanents patch");
+            let (a, b) = batch(seed ^ 0x51, 64);
+            ex.set_input_words(mul.a_bus(), &a);
+            ex.set_input_words(mul.b_bus(), &b);
+            ex.exec();
+            let want = ex.read_words(mul.out_bus(), 64);
+            for threads in [2, 4] {
+                let mut par = PartitionedLutExec::from_exec(&ex, threads)
+                    .expect("fully patched stream partitions");
+                par.set_input_words(mul.a_bus(), &a);
+                par.set_input_words(mul.b_bus(), &b);
+                par.exec();
+                assert_eq!(
+                    par.read_words(mul.out_bus(), 64),
+                    want,
+                    "seed {seed}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_exec_refuses_stateful_streams() {
+        let mul = FxMulCircuit::new();
+        for seed in 0..30u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut plan = DefectPlan::new(FaultModel::TransistorLevel);
+            plan.add_random_with(
+                mul.netlist(),
+                mul.cells(),
+                dta_transistor::Activation::Transient {
+                    per_eval_probability: 0.5,
+                },
+                &mut rng,
+            );
+            let mut ex = mul.lut_exec();
+            assert!(!plan.apply_lut(&mut ex));
+            assert!(
+                PartitionedLutExec::from_exec(&ex, 4).is_none(),
+                "seed {seed}: overrides cannot be partitioned"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_patch_matches_lut_exec_patch() {
+        // Patching through either executor must produce the same faulty
+        // outputs. Inverting the truth word of the gate driving output
+        // bit 0 is guaranteed visible: every product's LSB flips.
+        let mul = FxMulCircuit::new();
+        let prog = dta_logic::LutProgram::cached(mul.netlist());
+        let gate = mul.out_bus()[0];
+        let pos = prog.instr_index(gate).expect("out bit 0 is a gate");
+        let ins = prog.instrs()[pos];
+        let mask = ((1u32 << (1usize << ins.arity)) - 1) as u16;
+        let inverted = !ins.table & mask;
+        let mut ex = mul.lut_exec();
+        ex.patch_gate(gate, inverted);
+        let mut par = PartitionedLutExec::new(Arc::clone(&prog), 2);
+        par.patch_gate(gate, inverted);
+        let (a, b) = batch(99, 64);
+        ex.set_input_words(mul.a_bus(), &a);
+        ex.set_input_words(mul.b_bus(), &b);
+        ex.exec();
+        par.set_input_words(mul.a_bus(), &a);
+        par.set_input_words(mul.b_bus(), &b);
+        par.exec();
+        assert_eq!(
+            par.read_words(mul.out_bus(), 64),
+            ex.read_words(mul.out_bus(), 64)
+        );
+        // And the patch actually changed something vs. healthy.
+        let healthy: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                u64::from((Fx::from_bits(x as u16) * Fx::from_bits(y as u16)).to_bits())
+            })
+            .collect();
+        assert_ne!(par.read_words(mul.out_bus(), 64), healthy);
+    }
+}

@@ -513,13 +513,17 @@ fn sigmoid_visibility_of(
     seed: u64,
 ) -> f64 {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut visible = 0usize;
-    for _ in 0..samples {
-        let x = Fx::from_raw(rand::Rng::random::<i16>(&mut rng));
-        if nf.activation(x, lut) != lut.eval(x) {
-            visible += 1;
-        }
-    }
+    let xs: Vec<Fx> = (0..samples)
+        .map(|_| Fx::from_raw(rand::Rng::random::<i16>(&mut rng)))
+        .collect();
+    // Batch entry point: rides the compiled-LUT / cone-pruned paths
+    // instead of one event-driven settle per sample.
+    let got = nf.activation_batch(&xs, lut);
+    let visible = got
+        .iter()
+        .zip(&xs)
+        .filter(|&(&y, &x)| y != lut.eval(x))
+        .count();
     visible as f64 / samples.max(1) as f64
 }
 

@@ -234,6 +234,7 @@ fn screen_lanes(
 fn probe_operators(accel: &mut Accelerator, cfg: &BistConfig) -> (Vec<FaultSite>, usize) {
     let phys = accel.geometry();
     let vectors = bist_vectors(cfg.vectors_per_operator, cfg.seed ^ 0x0B15);
+    let (va, vb): (Vec<Fx>, Vec<Fx>) = vectors.iter().copied().unzip();
     let lut = SigmoidLut::new();
     let plan = accel.faults_mut();
     plan.reset_state();
@@ -272,7 +273,10 @@ fn probe_operators(accel: &mut Accelerator, cfg: &BistConfig) -> (Vec<FaultSite>
             }
             if let Some(hw) = nf.multiplier_mut(s) {
                 probed += 1;
-                if vectors.iter().any(|&(a, b)| hw.mul(a, b) != a * b) {
+                // Batch entry point: rides the compiled-LUT / cone-pruned
+                // paths instead of one event-driven settle per vector.
+                let got = hw.mul_batch(&va, &vb);
+                if got.iter().zip(&vectors).any(|(&p, &(a, b))| p != a * b) {
                     flagged.insert(FaultSite {
                         layer,
                         neuron,
@@ -283,7 +287,8 @@ fn probe_operators(accel: &mut Accelerator, cfg: &BistConfig) -> (Vec<FaultSite>
             }
             if let Some(hw) = nf.adder_mut(s) {
                 probed += 1;
-                if vectors.iter().any(|&(a, b)| hw.add(a, b) != a + b) {
+                let got = hw.add_batch(&va, &vb);
+                if got.iter().zip(&vectors).any(|(&s, &(a, b))| s != a + b) {
                     flagged.insert(FaultSite {
                         layer,
                         neuron,
@@ -294,10 +299,8 @@ fn probe_operators(accel: &mut Accelerator, cfg: &BistConfig) -> (Vec<FaultSite>
             }
         }
         probed += 1;
-        if vectors
-            .iter()
-            .any(|&(x, _)| nf.activation(x, &lut) != lut.eval(x))
-        {
+        let got = nf.activation_batch(&va, &lut);
+        if got.iter().zip(&va).any(|(&y, &x)| y != lut.eval(x)) {
             flagged.insert(FaultSite {
                 layer,
                 neuron,

@@ -43,14 +43,20 @@
 //! assert!(sim.value(carry));
 //! ```
 
+pub mod compile;
+pub mod exec;
 pub mod gate;
 pub mod netlist;
 pub mod sim;
 pub mod sim64;
 pub mod stuck;
 
+pub use compile::{
+    disable_lut_backend, kind_table, lut_backend_disabled, LatchSlot, LutInstr, LutProgram,
+};
+pub use exec::LutExec;
 pub use gate::{GateBehavior, GateKind};
-pub use netlist::{Netlist, NetlistBuilder, NetlistError, Node, NodeId};
+pub use netlist::{ConeClosure, Netlist, NetlistBuilder, NetlistError, Node, NodeId};
 pub use sim::{force_full_settle, full_settle_forced, SettleMode, Simulator};
 pub use sim64::{Behavior64, Simulator64};
 pub use stuck::{StuckAt, StuckPort, StuckSet};

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::gate::{GateBehavior, GateKind};
-use crate::netlist::{Netlist, Node, NodeId};
+use crate::netlist::{ConeClosure, Netlist, Node, NodeId};
 use crate::sim64::{eval_kind64, Simulator64};
 
 /// Benchmark hook: when set, every subsequently constructed [`Simulator`]
@@ -51,12 +51,9 @@ pub enum SettleMode {
 /// the exact scalar sequence).
 #[derive(Debug)]
 struct ConePlan {
-    /// Schedule positions inside the cone, ascending (topological).
-    sched: Vec<u32>,
-    /// Node-index membership bitmap.
-    in_cone: Vec<bool>,
-    /// Node index → dense slot in `values` (`u32::MAX` outside the cone).
-    slot: Vec<u32>,
+    /// The shared, memoized closure (schedule, membership, slots,
+    /// in-cone latches) — see [`Netlist::cone_closure`].
+    closure: Arc<ConeClosure>,
     /// 64-lane scratch values for the cone nodes.
     values: Vec<u64>,
 }
@@ -492,6 +489,12 @@ impl Simulator {
         for behavior in self.overrides.iter_mut().flatten() {
             behavior.reset();
         }
+        // Cone scratch latch slots carry sequential state too.
+        if let Some(plan) = &mut self.cone {
+            for &(l, _, init) in &plan.closure.latches {
+                plan.values[plan.closure.slot[l as usize] as usize] = if init { !0 } else { 0 };
+            }
+        }
     }
 
     /// Precomputes the union fan-out cone of the currently overridden
@@ -502,33 +505,35 @@ impl Simulator {
     /// in lane order, which keeps stateful faulty cells on the exact
     /// evaluation sequence the scalar path would produce.
     ///
+    /// The cone is closed across latches (a latch whose data input is in
+    /// the cone joins it), so sequential netlists prune too: call
+    /// [`Simulator::tick_cone_from64`] in place of [`Simulator::tick`]
+    /// between batch settles. The closure itself is memoized per
+    /// (netlist, seed set) — see [`Netlist::cone_closure`] — so cells
+    /// that hit the same sites share the walk.
+    ///
     /// Returns `false` (and installs nothing) when there is no override
-    /// to prune around or the netlist has latches (cones do not follow
-    /// latch data edges).
+    /// to prune around, or when an in-cone latch's data input is an
+    /// out-of-cone latch (a latch-to-latch boundary whose mid-tick value
+    /// cannot be recovered from a settled healthy twin).
     pub fn prepare_cone(&mut self) -> bool {
         self.cone = None;
-        if self.n_overrides == 0 || !self.net.latches().is_empty() {
+        if self.n_overrides == 0 {
             return false;
         }
         let seeds: Vec<NodeId> = (0..self.overrides.len() as u32)
             .filter(|&i| self.overrides[i as usize].is_some())
             .map(NodeId)
             .collect();
-        let (sched, in_cone) = self.net.fanout_cone(&seeds);
-        let mut slot = vec![u32::MAX; in_cone.len()];
-        let mut n_slots = 0u32;
-        for (i, &m) in in_cone.iter().enumerate() {
-            if m {
-                slot[i] = n_slots;
-                n_slots += 1;
-            }
+        let closure = self.net.cone_closure(&seeds);
+        if closure.boundary_chain {
+            return false;
         }
-        self.cone = Some(ConePlan {
-            sched,
-            in_cone,
-            slot,
-            values: vec![0u64; n_slots as usize],
-        });
+        let mut values = vec![0u64; closure.n_slots as usize];
+        for &(l, _, init) in &closure.latches {
+            values[closure.slot[l as usize] as usize] = if init { !0 } else { 0 };
+        }
+        self.cone = Some(ConePlan { closure, values });
         true
     }
 
@@ -539,7 +544,7 @@ impl Simulator {
 
     /// Number of gates in the installed cone, if any.
     pub fn cone_len(&self) -> Option<usize> {
-        self.cone.as_ref().map(|c| c.sched.len())
+        self.cone.as_ref().map(|c| c.closure.sched.len())
     }
 
     /// Evaluates only the cone gates against `n_lanes` lanes of a
@@ -570,13 +575,13 @@ impl Simulator {
         );
         assert!(n_lanes <= 64, "at most 64 lanes");
         let overrides = &mut self.overrides;
-        for &pos in &plan.sched {
+        for &pos in &plan.closure.sched {
             let g = &sched[pos as usize];
             let p = &pins[g.in_start as usize..][..g.in_len as usize];
             let mut buf = [0u64; MAX_ARITY];
             for (k, &i) in p.iter().enumerate() {
-                buf[k] = if plan.in_cone[i as usize] {
-                    plan.values[plan.slot[i as usize] as usize]
+                buf[k] = if plan.closure.in_cone[i as usize] {
+                    plan.values[plan.closure.slot[i as usize] as usize]
                 } else {
                     healthy.word(i)
                 };
@@ -596,7 +601,30 @@ impl Simulator {
                 }
                 None => eval_kind64(g.kind, &buf[..p.len()]),
             };
-            plan.values[plan.slot[g.out as usize] as usize] = v;
+            plan.values[plan.closure.slot[g.out as usize] as usize] = v;
+        }
+    }
+
+    /// Latch capture for the cone scratch state, lane-parallel: each
+    /// in-cone latch slot takes its data value — from the cone scratch
+    /// words when the data node is in the cone, from the settled healthy
+    /// twin otherwise. Updates happen in declaration order, in place,
+    /// matching [`Simulator::tick`] exactly (including in-cone latch
+    /// chains). Call after [`Simulator::settle_cone_from64`] and
+    /// *before* ticking the healthy twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cone plan is installed.
+    pub fn tick_cone_from64(&mut self, healthy: &Simulator64) {
+        let plan = self.cone.as_mut().expect("prepare_cone first");
+        for &(l, data, _) in &plan.closure.latches {
+            let v = if plan.closure.in_cone[data as usize] {
+                plan.values[plan.closure.slot[data as usize] as usize]
+            } else {
+                healthy.word(data)
+            };
+            plan.values[plan.closure.slot[l as usize] as usize] = v;
         }
     }
 
@@ -606,8 +634,8 @@ impl Simulator {
     pub fn read_word_cone(&self, healthy: &Simulator64, lane: usize, bus: &[NodeId]) -> u64 {
         let plan = self.cone.as_ref().expect("prepare_cone first");
         bus.iter().enumerate().fold(0u64, |acc, (bit, &id)| {
-            let v = if plan.in_cone[id.index()] {
-                (plan.values[plan.slot[id.index()] as usize] >> lane) & 1 == 1
+            let v = if plan.closure.in_cone[id.index()] {
+                (plan.values[plan.closure.slot[id.index()] as usize] >> lane) & 1 == 1
             } else {
                 healthy.lane_bit(id.0, lane)
             };

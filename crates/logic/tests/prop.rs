@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use dta_logic::{
-    GateBehavior, GateKind, Netlist, NetlistBuilder, Node, NodeId, SettleMode, Simulator,
-    Simulator64,
+    GateBehavior, GateKind, LutExec, LutProgram, Netlist, NetlistBuilder, Node, NodeId, SettleMode,
+    Simulator, Simulator64,
 };
 use proptest::prelude::*;
 
@@ -106,6 +106,34 @@ impl GateBehavior for PeriodicFlip {
 
     fn reset(&mut self) {
         self.n = 0;
+    }
+}
+
+/// A stateless truth-word override: the scalar-simulator twin of
+/// [`LutExec::patch_gate`], so patched streams can be checked against
+/// an identically faulted event-driven engine.
+#[derive(Debug)]
+struct TableBehavior {
+    table: u16,
+}
+
+impl GateBehavior for TableBehavior {
+    fn eval(&mut self, inputs: &[bool]) -> bool {
+        let v = inputs
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (k, &b)| acc | (usize::from(b) << k));
+        (self.table >> v) & 1 == 1
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// All-ones truth word for a gate's arity (tables are `2^arity` bits).
+fn table_mask(net: &Netlist, id: NodeId) -> u16 {
+    match net.node(id) {
+        Node::Gate { kind, .. } => ((1u32 << (1usize << kind.arity())) - 1) as u16,
+        _ => unreachable!("patch targets are gates"),
     }
 }
 
@@ -318,6 +346,138 @@ proptest! {
                     event.lanes(id), full.lanes(id),
                     "node {:?} at step {}", id, step
                 );
+            }
+        }
+    }
+
+    /// The compiled LUT instruction stream, run one lane at a time,
+    /// must be bit-identical to the event-driven scalar engine for any
+    /// netlist with latches, any mix of truth-word patches and stateful
+    /// overrides, across settle/tick cycles and state resets.
+    #[test]
+    fn lut_exec_matches_event_simulator(
+        n_inputs in 1usize..5,
+        pre in prop::collection::vec(recipe_strategy(), 1..20),
+        latch_sels in prop::collection::vec((any::<u16>(), any::<bool>()), 1..5),
+        post in prop::collection::vec(recipe_strategy(), 1..20),
+        fault_sels in prop::collection::vec((any::<u16>(), 1u32..5), 0..3),
+        patch_sels in prop::collection::vec((any::<u16>(), any::<u16>()), 0..3),
+        stimulus in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let (net, inputs, gates, _) = build_seq(n_inputs, &pre, &latch_sels, &post);
+        let mut sim = Simulator::new(net.clone());
+        prop_assert_eq!(sim.settle_mode(), SettleMode::Event);
+        let mut ex = LutExec::new(Arc::new(LutProgram::compile(net.clone())));
+        ex.set_active_lanes(1);
+        for &(sel, period) in &fault_sels {
+            let g = gates[sel as usize % gates.len()];
+            sim.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+            ex.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+        }
+        for &(sel, table) in &patch_sels {
+            let g = gates[sel as usize % gates.len()];
+            let t = table & table_mask(&net, g);
+            sim.override_gate(g, Box::new(TableBehavior { table: t }));
+            ex.patch_gate(g, t);
+        }
+        for (step, word) in stimulus.iter().enumerate() {
+            let w = *word as u64;
+            sim.set_input_word(&inputs, w);
+            sim.settle();
+            ex.set_input_words(&inputs, &[w]);
+            ex.exec();
+            for &id in &gates {
+                prop_assert_eq!(
+                    ex.lanes(id) & 1 == 1, sim.value(id),
+                    "node {:?} at step {}", id, step
+                );
+            }
+            sim.tick();
+            ex.tick();
+            if step % 5 == 4 {
+                sim.reset_state();
+                ex.reset_state();
+            }
+        }
+    }
+
+    /// 64-lane sweeps over a patched sequential netlist must match an
+    /// identically faulted scalar engine run independently per lane.
+    #[test]
+    fn lut_exec_lanes_match_per_lane_scalar(
+        n_inputs in 1usize..5,
+        pre in prop::collection::vec(recipe_strategy(), 1..15),
+        latch_sels in prop::collection::vec((any::<u16>(), any::<bool>()), 1..4),
+        post in prop::collection::vec(recipe_strategy(), 1..15),
+        patch_sels in prop::collection::vec((any::<u16>(), any::<u16>()), 0..3),
+        stimulus in prop::collection::vec(any::<[u8; 6]>(), 1..8),
+    ) {
+        let (net, inputs, gates, _) = build_seq(n_inputs, &pre, &latch_sels, &post);
+        let mut ex = LutExec::new(Arc::new(LutProgram::compile(net.clone())));
+        let mut sims: Vec<Simulator> = (0..6).map(|_| Simulator::new(net.clone())).collect();
+        for &(sel, table) in &patch_sels {
+            let g = gates[sel as usize % gates.len()];
+            let t = table & table_mask(&net, g);
+            ex.patch_gate(g, t);
+            for sim in &mut sims {
+                sim.override_gate(g, Box::new(TableBehavior { table: t }));
+            }
+        }
+        prop_assert!(ex.fully_patched());
+        for (step, lanes) in stimulus.iter().enumerate() {
+            let words: Vec<u64> = lanes.iter().map(|&w| w as u64).collect();
+            ex.set_input_words(&inputs, &words);
+            ex.exec();
+            for (lane, sim) in sims.iter_mut().enumerate() {
+                sim.set_input_word(&inputs, words[lane]);
+                sim.settle();
+                for &id in &gates {
+                    prop_assert_eq!(
+                        ex.lanes(id) >> lane & 1 == 1, sim.value(id),
+                        "node {:?}, lane {}, step {}", id, lane, step
+                    );
+                }
+            }
+            ex.tick();
+            for sim in &mut sims {
+                sim.tick();
+            }
+        }
+    }
+
+    /// Stateful overrides drop the affected instructions to per-lane
+    /// evaluation in ascending lane order — one batch of N rows must
+    /// equal N consecutive scalar calls.
+    #[test]
+    fn lut_exec_stateful_lanes_replay_scalar_row_order(
+        n_inputs in 1usize..5,
+        recipes in prop::collection::vec(recipe_strategy(), 1..25),
+        fault_sels in prop::collection::vec((any::<u16>(), 1u32..5), 1..3),
+        rows in prop::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let (net, inputs, gates, outputs) = build_with_gates(n_inputs, &recipes);
+        let mut ex = LutExec::new(Arc::new(LutProgram::compile(net.clone())));
+        let mut sim = Simulator::new(net.clone());
+        for &(sel, period) in &fault_sels {
+            let g = gates[sel as usize % gates.len()];
+            ex.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+            sim.override_gate(g, Box::new(PeriodicFlip { n: 0, period }));
+        }
+        prop_assert!(!ex.fully_patched());
+        for chunk in rows.chunks(64) {
+            let words: Vec<u64> = chunk.iter().map(|&w| w as u64).collect();
+            ex.set_active_lanes(words.len());
+            ex.set_input_words(&inputs, &words);
+            ex.exec();
+            for (lane, &w) in words.iter().enumerate() {
+                sim.set_input_word(&inputs, w);
+                sim.settle();
+                for &out in &outputs {
+                    prop_assert_eq!(
+                        ex.lanes(out) >> lane & 1 == 1, sim.value(out),
+                        "output {:?}, row {}", out, lane
+                    );
+                }
             }
         }
     }
