@@ -12,6 +12,7 @@ use dta_circuits::{
     SatAdderCircuit, SigmoidUnitCircuit,
 };
 use dta_fixed::{Fx, SigmoidLut};
+use dta_mem::{Bank, WeightMemory};
 
 /// Which layer a faulty neuron belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -277,6 +278,19 @@ pub struct FaultPlan {
     hidden_map: HashMap<usize, usize>,
     /// Physical lanes whose output is gated to 0 (fail-silent masking).
     masked: HashSet<(Layer, usize)>,
+    /// Optional weight-store model: when attached, every weight and bias
+    /// fetch of the faulty forward paths goes through the (possibly
+    /// defective) bit-cell array. A transparent (defect-free) array is
+    /// skipped entirely, keeping the healthy path bit-identical.
+    mem: Option<WeightMemory>,
+}
+
+/// The memory bank a layer's weight rows live in.
+pub(crate) fn bank_of(layer: Layer) -> Bank {
+    match layer {
+        Layer::Hidden => Bank::Hidden,
+        Layer::Output => Bank::Output,
+    }
 }
 
 impl FaultPlan {
@@ -290,6 +304,64 @@ impl FaultPlan {
             sites: Vec::new(),
             hidden_map: HashMap::new(),
             masked: HashSet::new(),
+            mem: None,
+        }
+    }
+
+    /// Attaches a weight-store model; subsequent faulty forward passes
+    /// fetch every weight and bias through its bit-cell array.
+    pub fn attach_memory(&mut self, mem: WeightMemory) {
+        self.mem = Some(mem);
+    }
+
+    /// Removes the attached weight store, if any.
+    pub fn detach_memory(&mut self) -> Option<WeightMemory> {
+        self.mem.take()
+    }
+
+    /// The attached weight store, if any.
+    pub fn memory(&self) -> Option<&WeightMemory> {
+        self.mem.as_ref()
+    }
+
+    /// Mutable access to the attached weight store (defect injection,
+    /// BIST, steering repairs).
+    pub fn memory_mut(&mut self) -> Option<&mut WeightMemory> {
+        self.mem.as_mut()
+    }
+
+    /// The weight store *if it can disturb fetches* (attached and not
+    /// transparent), alongside the neuron's fault entry. Split accessor
+    /// so the forward path can hold both mutably at once.
+    pub fn fetch_units(
+        &mut self,
+        layer: Layer,
+        neuron: usize,
+    ) -> (Option<&mut WeightMemory>, Option<&mut NeuronFaults>) {
+        let mem = self.mem.as_mut().filter(|m| !m.is_transparent());
+        let nf = self.neurons.get_mut(&(layer, neuron));
+        (mem, nf)
+    }
+
+    /// Routes one weight through the attached array (identity when no
+    /// non-transparent memory is attached).
+    pub fn mem_weight(&mut self, layer: Layer, lane: usize, slot: usize, w: Fx) -> Fx {
+        match self.mem.as_mut().filter(|m| !m.is_transparent()) {
+            Some(m) => m.fetch(bank_of(layer), lane, slot, w),
+            None => w,
+        }
+    }
+
+    /// Routes one bias through the attached array (the bias occupies the
+    /// last word slot of its lane's row).
+    pub fn mem_bias(&mut self, layer: Layer, lane: usize, w: Fx) -> Fx {
+        match self.mem.as_mut().filter(|m| !m.is_transparent()) {
+            Some(m) => {
+                let bank = bank_of(layer);
+                let slot = m.bias_slot(bank);
+                m.fetch(bank, lane, slot, w)
+            }
+            None => w,
         }
     }
 
@@ -581,6 +653,9 @@ impl FaultPlan {
         for nf in self.neurons.values_mut() {
             nf.reset_state();
         }
+        if let Some(mem) = self.mem.as_mut() {
+            mem.reset_state();
+        }
     }
 
     /// True if every faulty operator in the plan is combinational, so
@@ -590,6 +665,7 @@ impl FaultPlan {
     /// evaluation order is part of the semantics.
     pub fn vectorizable(&self) -> bool {
         self.neurons.values().all(|nf| nf.vectorizable())
+            && self.mem.as_ref().is_none_or(|m| m.vectorizable())
     }
 }
 

@@ -7,8 +7,25 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use dta_fixed::{sigmoid::sigmoid, Fx, SigmoidLut};
+use dta_mem::WeightMemory;
 
-use crate::fault::{FaultPlan, Layer};
+use crate::fault::{bank_of, FaultPlan, Layer};
+
+/// Streams one weight through the attached (non-transparent) array, if
+/// any: the companion core writes the value into its word and the
+/// datapath reads it back through the fault pipeline.
+fn fetch_through(
+    mem: &mut Option<&mut WeightMemory>,
+    layer: Layer,
+    lane: usize,
+    slot: usize,
+    w: Fx,
+) -> Fx {
+    match mem {
+        Some(m) => m.fetch(bank_of(layer), lane, slot, w),
+        None => w,
+    }
+}
 
 /// Network dimensions: one hidden layer, as in the paper ("a 2-layer MLP
 /// with one hidden layer, plus the input layer").
@@ -239,7 +256,11 @@ impl Mlp {
                 hidden_fx.push(Fx::ZERO);
                 continue;
             }
-            let bias = Fx::from_f64(self.w_hidden(j, self.topo.inputs));
+            let bias = faults.mem_bias(
+                Layer::Hidden,
+                lane,
+                Fx::from_f64(self.w_hidden(j, self.topo.inputs)),
+            );
             let acc = self.neuron_sum(Layer::Hidden, lane, bias, &xq, faults, |s, i| {
                 Fx::from_f64(s.w_hidden(j, i))
             });
@@ -258,7 +279,11 @@ impl Mlp {
                 output.push(0.0);
                 continue;
             }
-            let bias = Fx::from_f64(self.w_output(k, self.topo.hidden));
+            let bias = faults.mem_bias(
+                Layer::Output,
+                k,
+                Fx::from_f64(self.w_output(k, self.topo.hidden)),
+            );
             let acc = self.neuron_sum(Layer::Output, k, bias, &hidden_fx, faults, |s, j| {
                 Fx::from_f64(s.w_output(k, j))
             });
@@ -321,7 +346,11 @@ impl Mlp {
                 }
                 continue;
             }
-            let bias = Fx::from_f64(self.w_hidden(j, self.topo.inputs));
+            let bias = faults.mem_bias(
+                Layer::Hidden,
+                lane,
+                Fx::from_f64(self.w_hidden(j, self.topo.inputs)),
+            );
             let accs = self.neuron_sum_batch(Layer::Hidden, lane, bias, &xq, faults, |s, i| {
                 Fx::from_f64(s.w_hidden(j, i))
             });
@@ -351,7 +380,11 @@ impl Mlp {
                 }
                 continue;
             }
-            let bias = Fx::from_f64(self.w_output(k, self.topo.hidden));
+            let bias = faults.mem_bias(
+                Layer::Output,
+                k,
+                Fx::from_f64(self.w_output(k, self.topo.hidden)),
+            );
             let accs = self.neuron_sum_batch(Layer::Output, k, bias, &hidden_fx, faults, |s, j| {
                 Fx::from_f64(s.w_output(k, j))
             });
@@ -382,14 +415,22 @@ impl Mlp {
         weight_of: impl Fn(&Mlp, usize) -> Fx,
     ) -> Vec<Fx> {
         let n = inputs.len();
-        let Some(nf) = faults.neuron_mut(layer, neuron) else {
-            // Fully native accumulation per sample.
+        let (mut mem, nf) = faults.fetch_units(layer, neuron);
+        let Some(nf) = nf else {
+            // Fully native accumulation per sample; when a defective
+            // array is attached each weight is streamed through it once
+            // per batch (a vectorizable array is a pure function, so
+            // this matches the scalar path's per-sample fetches).
+            let n_logical = inputs.first().map_or(0, Vec::len);
+            let ws: Vec<Fx> = (0..n_logical)
+                .map(|i| fetch_through(&mut mem, layer, neuron, i, weight_of(self, i)))
+                .collect();
             return inputs
                 .iter()
                 .map(|x| {
                     let mut acc = bias;
                     for (i, &xi) in x.iter().enumerate() {
-                        acc += weight_of(self, i) * xi;
+                        acc += ws[i] * xi;
                     }
                     acc
                 })
@@ -399,14 +440,15 @@ impl Mlp {
         let n_eff = n_logical.max(nf.max_synapse_excl());
         let mut accs = vec![bias; n];
         for i in 0..n_eff {
-            let w = nf.latch_filter(
-                i,
-                if i < n_logical {
-                    weight_of(self, i)
-                } else {
-                    Fx::ZERO
-                },
-            );
+            let w = if i < n_logical {
+                weight_of(self, i)
+            } else {
+                Fx::ZERO
+            };
+            // Array first (the store feeds the lane's weight latch),
+            // then the latch's own stuck bits.
+            let w = fetch_through(&mut mem, layer, neuron, i, w);
+            let w = nf.latch_filter(i, w);
             let lane: Vec<Fx> = if i < n_logical {
                 inputs.iter().map(|x| x[i]).collect()
             } else {
@@ -439,11 +481,15 @@ impl Mlp {
         faults: &mut FaultPlan,
         weight_of: impl Fn(&Mlp, usize) -> Fx,
     ) -> Fx {
-        let Some(nf) = faults.neuron_mut(layer, neuron) else {
-            // Fast path: fully native accumulation.
+        let (mut mem, nf) = faults.fetch_units(layer, neuron);
+        let Some(nf) = nf else {
+            // Fast path: fully native accumulation, with each weight
+            // still streamed through the array when a defective one is
+            // attached (memory faults hit every lane, not just neurons
+            // with operator faults).
             let mut acc = bias;
             for (i, &xi) in inputs.iter().enumerate() {
-                acc += weight_of(self, i) * xi;
+                acc += fetch_through(&mut mem, layer, neuron, i, weight_of(self, i)) * xi;
             }
             return acc;
         };
@@ -459,6 +505,9 @@ impl Mlp {
             } else {
                 (Fx::ZERO, Fx::ZERO) // physical synapse beyond the task
             };
+            // Array first (the store feeds the lane's weight latch),
+            // then the latch's own stuck bits.
+            let w = fetch_through(&mut mem, layer, neuron, i, w);
             let w = nf.latch_filter(i, w);
             let p = match nf.multiplier_mut(i) {
                 Some(hw) => hw.mul(w, xi),
@@ -631,6 +680,85 @@ mod tests {
             assert_eq!(*trace, mlp.forward_faulty(row, &lut, &mut plan));
             assert_ne!(*trace, mlp.forward_fixed(row, &lut));
         }
+    }
+
+    #[test]
+    fn transparent_memory_is_bit_invisible() {
+        // The zero-defect guard: attaching a defect-free weight store
+        // (with or without ECC) must leave both faulty forward paths
+        // byte-identical to the plain fixed path.
+        use dta_mem::{MemGeometry, WeightMemory};
+        let topo = Topology::new(10, 4, 3);
+        let mlp = Mlp::new(topo, 5);
+        let lut = SigmoidLut::new();
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|s| {
+                (0..10)
+                    .map(|i| ((s * 5 + i * 3) % 17) as f64 / 17.0)
+                    .collect()
+            })
+            .collect();
+        for ecc in [false, true] {
+            let mut plan = FaultPlan::new(90);
+            plan.attach_memory(WeightMemory::new(MemGeometry::for_network(10, 4, 3, ecc)));
+            assert!(plan.vectorizable());
+            for row in &rows {
+                assert_eq!(
+                    mlp.forward_fixed(row, &lut),
+                    mlp.forward_faulty(row, &lut, &mut plan),
+                    "ecc={ecc}"
+                );
+            }
+            let batch = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
+            for (row, trace) in rows.iter().zip(&batch) {
+                assert_eq!(mlp.forward_fixed(row, &lut), *trace, "ecc={ecc}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_faults_reach_every_lane_and_batch_matches_scalar() {
+        use dta_mem::{Activation, MemGeometry, WeightMemory};
+        use rand::SeedableRng;
+        let topo = Topology::new(10, 4, 3);
+        let mlp = Mlp::new(topo, 5);
+        let lut = SigmoidLut::new();
+        let rows: Vec<Vec<f64>> = (0..90)
+            .map(|s| {
+                (0..10)
+                    .map(|i| ((s * 7 + i * 11) % 23) as f64 / 23.0)
+                    .collect()
+            })
+            .collect();
+        let lifetimes = [
+            Activation::Permanent,
+            Activation::Transient {
+                per_eval_probability: 0.3,
+            },
+        ];
+        let mut corrupted = 0;
+        for (li, activation) in lifetimes.into_iter().enumerate() {
+            // Raw array (no ECC) so even small damage is visible.
+            let mut plan = FaultPlan::new(90);
+            let mut mem = WeightMemory::new(MemGeometry::for_network(10, 4, 3, false));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xD00D + li as u64);
+            mem.inject_many(8, activation, &mut rng);
+            plan.attach_memory(mem);
+            assert_eq!(plan.vectorizable(), activation.is_permanent());
+            plan.reset_state();
+            let batch = mlp.forward_faulty_batch(&rows, &lut, &mut plan);
+            plan.reset_state();
+            for (row, trace) in rows.iter().zip(&batch) {
+                assert_eq!(*trace, mlp.forward_faulty(row, &lut, &mut plan));
+                if *trace != mlp.forward_fixed(row, &lut) {
+                    corrupted += 1;
+                }
+            }
+        }
+        assert!(
+            corrupted > 0,
+            "8 raw-array defects never disturbed the output"
+        );
     }
 
     #[test]

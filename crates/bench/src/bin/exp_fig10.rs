@@ -77,6 +77,7 @@ fn main() {
         seed: args.get("seed", 0xF1610u64),
         threads: args.get("threads", 1usize),
         chaos: Vec::new(),
+        mem: None,
     };
     // `--checkpoint FILE` journals finished grid cells so a killed run
     // resumes where it left off (and reproduces the same curve).

@@ -1,0 +1,383 @@
+//! Experiment: accuracy vs. **weight-memory defect density** — the
+//! Figure-10 sweep re-run against the bit-cell array fault surface of
+//! `dta-mem` instead of transistor-level operator defects.
+//!
+//! For each density, a commissioned accelerator (clean-trained on the
+//! task) gets a SEC-DED-protected weight store attached and seeded with
+//! `round(density × data_cells)` array defects (stuck cells, row and
+//! column failures, sense-amp/write-driver faults, bitline bridges).
+//! Twin copies then race through the recovery ladder:
+//!
+//! * **blind** — retraining only, no diagnosis, no memory repair (the
+//!   paper's Figure 10 mechanism applied to a faulty weight store);
+//! * **recovered** — the full pipeline: March C- BIST localizes the
+//!   damage, then ECC scrub, spare row/column steering,
+//!   sensitivity-aware placement, remap and graceful degradation fall
+//!   through in order.
+//!
+//! Both arms share seeds and budgets, so the pipeline arm can never end
+//! below the blind arm; the binary asserts this floor at every cell.
+//! With `--checkpoint`, finished cells land in a fingerprint-guarded
+//! journal and a killed sweep resumes byte-identical.
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_memfault
+//! cargo run --release -p dta-bench --bin exp_memfault -- \
+//!     --densities 0,0.001,0.01 --reps 1 --checkpoint memfault.jsonl
+//! ```
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dta_ann::{Mlp, Topology};
+use dta_bench::{pct, require_task, rule, Args, JsonMap};
+use dta_core::recover::recover;
+use dta_core::{
+    run_selftest, Accelerator, BistConfig, CellOutcome, Checkpoint, Diagnosis, MemActivation,
+    MemGeometry, RecoveryPolicy, RungBudget, WeightMemory,
+};
+use dta_datasets::{Dataset, TaskSpec};
+
+/// One (density × repetition) cell of the sweep. Only quantities that
+/// fit the checkpoint journal live here — anything else would differ
+/// between a fresh run and a resumed one.
+struct CellResult {
+    clean: f64,
+    faulty: f64,
+    blind: f64,
+    recovered: f64,
+}
+
+/// The four journal pseudo-tasks one cell fans out into.
+const ARMS: [&str; 4] = ["clean", "faulty", "blind", "full"];
+
+/// Builds a commissioned accelerator: the task's network mapped onto
+/// the 90-10-10 array and clean-trained on the training fold.
+fn commission(
+    spec: &TaskSpec,
+    ds: &Dataset,
+    train: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> Accelerator {
+    let mut accel = Accelerator::new();
+    let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
+    if let Err(e) = accel.map_network(Mlp::new(topo, seed)) {
+        eprintln!("exp_memfault: task {} does not map: {e}", spec.name);
+        std::process::exit(2);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    if let Err(e) = accel.retrain(ds, train, spec.learning_rate, 0.1, epochs, &mut rng) {
+        eprintln!("exp_memfault: commissioning train failed: {e}");
+        std::process::exit(1);
+    }
+    accel
+}
+
+/// Everything shared by every cell of the sweep.
+struct Sweep<'a> {
+    spec: &'a TaskSpec,
+    ds: &'a Dataset,
+    epochs: usize,
+    policy_base: RecoveryPolicy,
+    target_drop: f64,
+    seed: u64,
+    geom: MemGeometry,
+}
+
+impl Sweep<'_> {
+    /// Runs one cell: `idx` is the density's position in the sweep (the
+    /// journal key), `n_defects` the realized defect count.
+    fn run_cell(&self, idx: usize, n_defects: usize, rep: usize) -> CellResult {
+        let (spec, ds, epochs) = (self.spec, self.ds, self.epochs);
+        let cell_seed = self.seed ^ (idx as u64) << 24 ^ (rep as u64) << 8;
+        let folds = ds.k_folds(5, self.seed ^ rep as u64);
+        let fold = &folds[0];
+
+        let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+            eprintln!("exp_memfault: {what} (density idx={idx} rep={rep}): {e}");
+            std::process::exit(1);
+        };
+
+        // Twin arrays with identical weights behind identically damaged
+        // weight stores: one for the blind-retrain baseline, one for the
+        // full memory-repair pipeline. The store spans the full physical
+        // array so a remapped lane always has a backing row.
+        let arm = || {
+            let mut accel = commission(spec, ds, &fold.train, epochs, cell_seed);
+            accel.attach_weight_memory_with(WeightMemory::new(self.geom));
+            let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0x3E3);
+            accel
+                .inject_memory_defects(n_defects, MemActivation::Permanent, &mut rng)
+                .unwrap_or_else(|e| fail("defect injection", &e));
+            accel
+        };
+        let mut blind_accel = arm();
+        let mut full_accel = arm();
+
+        let clean = {
+            // Measured on a third, undamaged copy of the same
+            // commissioning run.
+            let mut pristine = commission(spec, ds, &fold.train, epochs, cell_seed);
+            pristine
+                .evaluate(ds, &fold.test)
+                .unwrap_or_else(|e| fail("clean evaluation", &e))
+        };
+        let faulty = full_accel
+            .evaluate(ds, &fold.test)
+            .unwrap_or_else(|e| fail("faulty evaluation", &e));
+
+        // Detect and diagnose (pipeline arm only — both the operator
+        // BIST and the March pass are state-clean, so the arm stays
+        // bit-identical to its twin).
+        let diagnosis = run_selftest(&mut full_accel, &BistConfig::default())
+            .unwrap_or_else(|e| fail("selftest", &e));
+
+        let policy = RecoveryPolicy {
+            target_accuracy: (clean - self.target_drop).max(0.0),
+            seed: cell_seed,
+            ..self.policy_base.clone()
+        };
+        let blind_policy = RecoveryPolicy {
+            use_remap: false,
+            use_memory_repair: false,
+            ..policy.clone()
+        };
+        let blind_report = recover(
+            &mut blind_accel,
+            ds,
+            &fold.train,
+            &fold.test,
+            &Diagnosis::default(),
+            &blind_policy,
+        )
+        .unwrap_or_else(|e| fail("blind recovery", &e));
+        let full_report = recover(
+            &mut full_accel,
+            ds,
+            &fold.train,
+            &fold.test,
+            &diagnosis,
+            &policy,
+        )
+        .unwrap_or_else(|e| fail("pipeline recovery", &e));
+
+        CellResult {
+            clean,
+            faulty,
+            blind: blind_report.accuracy,
+            recovered: full_report.accuracy,
+        }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Replays a journaled cell, if all four of its arms were recorded.
+fn replay(ck: &Checkpoint, task: &str, idx: usize, rep: usize) -> Option<CellResult> {
+    let acc = |arm: &str| match ck.lookup(&format!("{task}#{arm}"), idx, rep) {
+        Some(CellOutcome::Completed { accuracy, .. }) => Some(accuracy),
+        _ => None,
+    };
+    Some(CellResult {
+        clean: acc(ARMS[0])?,
+        faulty: acc(ARMS[1])?,
+        blind: acc(ARMS[2])?,
+        recovered: acc(ARMS[3])?,
+    })
+}
+
+fn record(ck: &Checkpoint, task: &str, idx: usize, rep: usize, cell: &CellResult) {
+    let values = [cell.clean, cell.faulty, cell.blind, cell.recovered];
+    for (arm, accuracy) in ARMS.iter().zip(values) {
+        let outcome = CellOutcome::Completed {
+            accuracy,
+            retried: false,
+        };
+        if let Err(e) = ck.record(&format!("{task}#{arm}"), idx, rep, &outcome) {
+            eprintln!("exp_memfault: checkpoint write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let task = args.get_str_list("task", &["iris"])[0].clone();
+    let densities = args.get_f64_list("densities", &[0.0, 5e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2]);
+    let reps = args.get("reps", 2usize);
+    let epochs = args.get("epochs", 30usize);
+    let recovery_epochs = args.get("recovery-epochs", 24usize);
+    let budget_ms = args.get("budget-ms", 60_000u64);
+    let target_drop = args.get("target-drop", 0.02f64);
+    let seed = args.get("seed", 0x3E30u64);
+    let ecc = args.get_bool("ecc", true);
+    let spare_rows = args.get("spare-rows", 2usize);
+    let spare_cols = args.get("spare-cols", 8usize);
+    let bench_out = args
+        .get_opt_str("bench-out")
+        .unwrap_or("BENCH_memfault.json");
+    let checkpoint_path = args.get_opt_str("checkpoint");
+
+    let spec = require_task(&task);
+    let ds = spec.dataset();
+    let phys = Topology::accelerator();
+    let mut geom = MemGeometry::for_network(phys.inputs, phys.hidden, phys.outputs, ecc);
+    geom.spare_rows = spare_rows;
+    geom.spare_cols = spare_cols;
+    let data_cells = geom.data_cells();
+    let counts: Vec<usize> = densities
+        .iter()
+        .map(|d| (d * data_cells as f64).round() as usize)
+        .collect();
+
+    let budget = RungBudget {
+        max_epochs: recovery_epochs,
+        wall_clock_ms: budget_ms,
+    };
+    let sweep = Sweep {
+        spec: &spec,
+        ds: &ds,
+        epochs,
+        policy_base: RecoveryPolicy {
+            retrain: budget,
+            remap: budget,
+            learning_rate: spec.learning_rate,
+            momentum: 0.1,
+            ..RecoveryPolicy::default()
+        },
+        target_drop,
+        seed,
+        geom,
+    };
+
+    // Everything that determines cell results goes into the journal
+    // fingerprint — a resumed run with a different memory profile (or
+    // grid) must refuse the journal, not silently mix curves.
+    let fingerprint = format!(
+        "exp_memfault v1 task={task} densities={densities:?} reps={reps} epochs={epochs} \
+         recovery_epochs={recovery_epochs} budget_ms={budget_ms} target_drop={target_drop:?} \
+         seed={seed:#x} mem=rows:{spare_rows},cols:{spare_cols},ecc:{ecc}"
+    );
+    let checkpoint = checkpoint_path.map(|p| match Checkpoint::open(p, &fingerprint) {
+        Ok(ck) => {
+            if ck.completed() > 0 {
+                eprintln!(
+                    "exp_memfault: resuming from {} ({} journaled arm(s))",
+                    ck.path().display(),
+                    ck.completed()
+                );
+            }
+            ck
+        }
+        Err(e) => {
+            eprintln!("exp_memfault: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    println!(
+        "Weight-memory defect sweep on {task}: {reps} rep(s) per density over {data_cells} \
+         bit cells (ecc={ecc}, spares {spare_rows}r/{spare_cols}c), {recovery_epochs} epochs \
+         / {budget_ms} ms per rung, target drop {target_drop}\n"
+    );
+    println!(
+        "{:<10}{:>8}{:>8}{:>8}{:>8}{:>10}{:>8}",
+        "density", "defects", "clean", "faulty", "blind", "recovered", "gain"
+    );
+    rule(60);
+
+    let start = Instant::now();
+    let mut agg_clean = Vec::new();
+    let mut agg_faulty = Vec::new();
+    let mut agg_blind = Vec::new();
+    let mut agg_recovered = Vec::new();
+    for (idx, (&density, &n_defects)) in densities.iter().zip(&counts).enumerate() {
+        let cells: Vec<CellResult> = (0..reps)
+            .map(|rep| {
+                if let Some(cell) = checkpoint
+                    .as_ref()
+                    .and_then(|ck| replay(ck, &task, idx, rep))
+                {
+                    return cell;
+                }
+                let cell = sweep.run_cell(idx, n_defects, rep);
+                if let Some(ck) = &checkpoint {
+                    record(ck, &task, idx, rep, &cell);
+                }
+                cell
+            })
+            .collect();
+        for cell in &cells {
+            assert!(
+                cell.recovered >= cell.blind,
+                "pipeline arm below blind arm at density={density} — shared-seed \
+                 invariant broken"
+            );
+        }
+        let clean = mean(&cells.iter().map(|c| c.clean).collect::<Vec<_>>());
+        let faulty = mean(&cells.iter().map(|c| c.faulty).collect::<Vec<_>>());
+        let blind = mean(&cells.iter().map(|c| c.blind).collect::<Vec<_>>());
+        let recovered = mean(&cells.iter().map(|c| c.recovered).collect::<Vec<_>>());
+
+        println!(
+            "{:<10}{:>8}{:>8}{:>8}{:>8}{:>10}{:>8}",
+            format!("{density}"),
+            n_defects,
+            pct(clean),
+            pct(faulty),
+            pct(blind),
+            pct(recovered),
+            pct(recovered - blind),
+        );
+        println!(
+            "data {task} {idx} {density:?} {n_defects} {clean:?} {faulty:?} {blind:?} \
+             {recovered:?}"
+        );
+        agg_clean.push(clean);
+        agg_faulty.push(faulty);
+        agg_blind.push(blind);
+        agg_recovered.push(recovered);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    rule(60);
+    println!(
+        "\nrecovered >= blind at every density (shared rung-1 trajectory, asserted \
+         in-binary); the gain column is what the memory-repair rungs — ECC scrub, \
+         spare steering, placement — plus remap add on top of blind retraining."
+    );
+
+    let json = JsonMap::new()
+        .str("bin", "exp_memfault")
+        .str("task", &task)
+        .num_list("densities", &densities)
+        .int_list("counts", &counts)
+        .int("data_cells", data_cells as u64)
+        .int("reps", reps as u64)
+        .int("epochs", epochs as u64)
+        .int("recovery_epochs", recovery_epochs as u64)
+        .int("budget_ms", budget_ms)
+        .num("target_drop", target_drop)
+        .int("seed", seed)
+        .int("ecc", ecc as u64)
+        .int("spare_rows", spare_rows as u64)
+        .int("spare_cols", spare_cols as u64)
+        .num_list("clean", &agg_clean)
+        .num_list("faulty", &agg_faulty)
+        .num_list("blind", &agg_blind)
+        .num_list("recovered", &agg_recovered)
+        .num("wall_s", wall_s);
+    if let Err(e) = json.write(bench_out) {
+        eprintln!("exp_memfault: writing {bench_out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {bench_out} ({wall_s:.1}s)");
+}

@@ -121,6 +121,7 @@ fn main() {
         seed: args.get("seed", 0x7A41u64),
         threads: args.get("threads", 1usize),
         chaos,
+        mem: None,
     };
 
     let specs: Vec<TaskSpec> = task_names

@@ -73,6 +73,16 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
         "recovery-epochs",
         "exp_recovery: epoch budget per recovery rung",
     ),
+    (
+        "densities",
+        "exp_memfault: comma-separated memory defect densities (faults per bit cell)",
+    ),
+    (
+        "ecc",
+        "exp_memfault: protect words with SEC-DED (default true)",
+    ),
+    ("spare-rows", "exp_memfault: spare rows for steering"),
+    ("spare-cols", "exp_memfault: spare columns for steering"),
 ];
 
 /// Parsed `--key value` command-line options.
@@ -142,6 +152,21 @@ impl Args {
 
     /// Fetches a comma-separated list of `usize`, or the default.
     pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|e| bad_value(&format!("--{key} `{s}`: {e}")))
+                })
+                .collect(),
+        }
+    }
+
+    /// Fetches a comma-separated list of `f64`, or the default.
+    pub fn get_f64_list(&self, key: &str, default: &[f64]) -> Vec<f64> {
         match self.values.get(key) {
             None => default.to_vec(),
             Some(v) => v

@@ -9,6 +9,7 @@ use dta_ann::{FaultPlan, ForwardMode, Mlp, Topology, Trainer};
 use dta_circuits::FaultModel;
 use dta_datasets::Dataset;
 use dta_fixed::SigmoidLut;
+use dta_mem::{Activation, MemGeometry, WeightMemory};
 
 use crate::cost::{CostModel, CostReport};
 
@@ -60,6 +61,8 @@ pub enum AccelError {
         /// The contested physical lane.
         lane: usize,
     },
+    /// A memory operation was requested but no weight store is attached.
+    NoMemory,
 }
 
 impl fmt::Display for AccelError {
@@ -88,6 +91,7 @@ impl fmt::Display for AccelError {
             AccelError::LaneInUse { lane } => {
                 write!(f, "physical lane {lane} is already occupied")
             }
+            AccelError::NoMemory => write!(f, "no weight memory attached"),
         }
     }
 }
@@ -238,6 +242,88 @@ impl Accelerator {
     /// Number of injected defects.
     pub fn defect_count(&self) -> usize {
         self.faults.len()
+    }
+
+    /// Backs the weight latches with an explicit bit-cell weight store
+    /// sized for this array's physical geometry (ECC on, the paper-scale
+    /// spare budget). Every subsequent weight/bias fetch on the forward
+    /// path round-trips through the array, so memory defects injected
+    /// with [`Accelerator::inject_memory_defects`] corrupt computation
+    /// exactly where a real SRAM fault would.
+    pub fn attach_weight_memory(&mut self) {
+        let geom = MemGeometry::for_network(
+            self.physical.inputs,
+            self.physical.hidden,
+            self.physical.outputs,
+            true,
+        );
+        self.faults.attach_memory(WeightMemory::new(geom));
+    }
+
+    /// Backs the weight latches with a caller-built array (custom
+    /// geometry, ECC off, different spare budget).
+    pub fn attach_weight_memory_with(&mut self, mem: WeightMemory) {
+        self.faults.attach_memory(mem);
+    }
+
+    /// Removes the attached weight store, returning it; weights revert
+    /// to the ideal distributed latches.
+    pub fn detach_weight_memory(&mut self) -> Option<WeightMemory> {
+        self.faults.detach_memory()
+    }
+
+    /// The attached weight store, if any.
+    pub fn memory(&self) -> Option<&WeightMemory> {
+        self.faults.memory()
+    }
+
+    /// Mutable access to the attached weight store (scrub, BIST,
+    /// steering).
+    pub fn memory_mut(&mut self) -> Option<&mut WeightMemory> {
+        self.faults.memory_mut()
+    }
+
+    /// Injects `n` random bit-cell array defects (stuck cells, row and
+    /// column failures, sense-amp/write-driver faults, bitline bridges)
+    /// into the attached weight store and returns their descriptions.
+    /// Defects accumulate across calls.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoMemory`] if no weight store is attached.
+    pub fn inject_memory_defects<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Result<Vec<String>, AccelError> {
+        let mem = self.faults.memory_mut().ok_or(AccelError::NoMemory)?;
+        let before = mem.records().len();
+        mem.inject_many(n, activation, rng);
+        Ok(mem.records()[before..].to_vec())
+    }
+
+    /// Injects memory defects at `density` faulty cells per data cell
+    /// (the Figure-10-style sweep axis), returning the descriptions.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoMemory`] if no weight store is attached.
+    pub fn inject_memory_density<R: Rng + ?Sized>(
+        &mut self,
+        density: f64,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Result<Vec<String>, AccelError> {
+        let mem = self.faults.memory_mut().ok_or(AccelError::NoMemory)?;
+        let before = mem.records().len();
+        mem.inject_density(density, activation, rng);
+        Ok(mem.records()[before..].to_vec())
+    }
+
+    /// Number of injected memory defects (0 when no store is attached).
+    pub fn memory_defect_count(&self) -> usize {
+        self.faults.memory().map_or(0, |m| m.defects().len())
     }
 
     /// Routes logical hidden neuron `logical` of the mapped network onto
@@ -726,6 +812,65 @@ mod tests {
             // The mapped network is untouched by a rejected call.
             assert!(accel.network().is_some());
         }
+    }
+
+    #[test]
+    fn transparent_weight_memory_leaves_evaluation_bit_identical() {
+        // A/B guard mirroring the LUT-backend one: attaching a
+        // defect-free weight store must not move a single output bit,
+        // so the memory fault surface costs nothing when unused.
+        let ds = suite::load("iris").unwrap();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 8, 3), 11))
+            .unwrap();
+        accel.retrain(&ds, &idx, 0.2, 0.1, 30, &mut rng).unwrap();
+
+        let baseline: Vec<Vec<f64>> = ds
+            .samples()
+            .iter()
+            .map(|s| accel.process_row(&s.features).unwrap())
+            .collect();
+        let base_acc = accel.evaluate(&ds, &idx).unwrap();
+
+        accel.attach_weight_memory();
+        assert!(accel.memory().unwrap().is_transparent());
+        assert_eq!(accel.memory_defect_count(), 0);
+        let routed: Vec<Vec<f64>> = ds
+            .samples()
+            .iter()
+            .map(|s| accel.process_row(&s.features).unwrap())
+            .collect();
+        assert_eq!(baseline, routed);
+        assert_eq!(accel.evaluate(&ds, &idx).unwrap(), base_acc);
+
+        let mem = accel.detach_weight_memory().unwrap();
+        assert!(mem.geometry().ecc);
+        assert!(accel.memory().is_none());
+    }
+
+    #[test]
+    fn memory_defects_require_attachment_and_accumulate() {
+        let mut accel = Accelerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(
+            accel.inject_memory_defects(1, dta_mem::Activation::Permanent, &mut rng),
+            Err(AccelError::NoMemory)
+        );
+        accel.attach_weight_memory();
+        let reports = accel
+            .inject_memory_defects(4, dta_mem::Activation::Permanent, &mut rng)
+            .unwrap();
+        assert_eq!(reports.len(), 4);
+        let more = accel
+            .inject_memory_density(1e-4, dta_mem::Activation::Permanent, &mut rng)
+            .unwrap();
+        assert!(!more.is_empty());
+        assert_eq!(accel.memory_defect_count(), 4 + more.len());
+        assert!(!accel.memory().unwrap().is_transparent());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! the uninterrupted curve byte-for-byte.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::PoisonError;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -20,6 +22,7 @@ use dta_ann::{cross_validate, FaultPlan, ForwardMode, Mlp, Topology, Trainer};
 use dta_circuits::{Activation, FaultModel};
 use dta_datasets::{Dataset, TaskSpec};
 use dta_fixed::SigmoidLut;
+use dta_mem::{MemGeometry, WeightMemory};
 
 use crate::checkpoint::Checkpoint;
 use crate::parallel::parallel_map;
@@ -56,6 +59,37 @@ pub struct CampaignConfig {
     /// demonstrate) panic isolation, retry, and checkpoint recovery;
     /// leave empty for real campaigns.
     pub chaos: Vec<ChaosCell>,
+    /// Weight-store profile for a *memory*-defect campaign. When
+    /// present, every grid cell backs the weight latches with a
+    /// bit-cell array of this shape and the defect axis injects array
+    /// defects (stuck cells, row/column failures, sense-amp and
+    /// write-driver faults, bitline bridges) instead of operator
+    /// defects. `None` (the default) is the classic Figure 10 operator
+    /// campaign.
+    pub mem: Option<MemProfile>,
+}
+
+/// Shape of the weight store a memory-defect campaign attaches per
+/// cell. Geometry follows the task's network; these are the repair
+/// resources.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemProfile {
+    /// Spare rows available for steering.
+    pub spare_rows: usize,
+    /// Spare columns available for steering.
+    pub spare_cols: usize,
+    /// Whether words are protected by the SEC-DED (22,16) code.
+    pub ecc: bool,
+}
+
+impl Default for MemProfile {
+    fn default() -> MemProfile {
+        MemProfile {
+            spare_rows: 2,
+            spare_cols: 8,
+            ecc: true,
+        }
+    }
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +104,7 @@ impl Default for CampaignConfig {
             seed: 0xD7A,
             threads: 1,
             chaos: Vec::new(),
+            mem: None,
         }
     }
 }
@@ -80,7 +115,7 @@ impl CampaignConfig {
     /// (results are thread-invariant) and so is `chaos` (an engine
     /// test hook, not part of the experiment).
     pub fn fingerprint(&self) -> String {
-        format!(
+        let mut fp = format!(
             "v1 seed={:#x} counts={:?} reps={} folds={} epochs={:?} model={} activation={}",
             self.seed,
             self.defect_counts,
@@ -89,7 +124,18 @@ impl CampaignConfig {
             self.epochs,
             self.model,
             self.activation,
-        )
+        );
+        // Appended only when a weight store is configured, so every
+        // fingerprint (and journal) written before the memory campaign
+        // existed stays byte-identical and resumable.
+        if let Some(mem) = &self.mem {
+            let _ = write!(
+                fp,
+                " mem=rows:{},cols:{},ecc:{}",
+                mem.spare_rows, mem.spare_cols, mem.ecc
+            );
+        }
+        fp
     }
 }
 
@@ -261,12 +307,21 @@ pub fn defect_tolerance_curve_resumable(
             // in-flight cells drain, rather than continuing with silent
             // resume-state loss.
             if let Err(e) = ck.record(spec.name, n_defects, rep, &outcome) {
-                journal_error.lock().unwrap().get_or_insert(e);
+                // A worker that panicked while holding this mutex only
+                // poisons the flag, not the data: recover the guard
+                // rather than double-panicking on the hot path.
+                journal_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get_or_insert(e);
             }
         }
         outcome
     });
-    if let Some(e) = journal_error.into_inner().unwrap() {
+    if let Some(e) = journal_error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(e);
     }
 
@@ -368,8 +423,22 @@ fn campaign_cell(
     }
     let mut rng = ChaCha8Rng::seed_from_u64(cell_seed(cfg.seed, n_defects, rep));
     let mut plan = FaultPlan::new(90);
-    for _ in 0..n_defects {
-        plan.inject_random_hidden_with(spec.hidden, cfg.model, cfg.activation, &mut rng);
+    match cfg.mem {
+        None => {
+            for _ in 0..n_defects {
+                plan.inject_random_hidden_with(spec.hidden, cfg.model, cfg.activation, &mut rng);
+            }
+        }
+        Some(profile) => {
+            // Memory-defect campaign: the operators stay healthy and
+            // the defect axis lands in the weight store instead.
+            let mut geom = MemGeometry::for_network(90, spec.hidden, ds.n_classes(), profile.ecc);
+            geom.spare_rows = profile.spare_rows;
+            geom.spare_cols = profile.spare_cols;
+            let mut mem = WeightMemory::new(geom);
+            mem.inject_many(n_defects, cfg.activation, &mut rng);
+            plan.attach_memory(mem);
+        }
     }
     let cv = cross_validate(
         trainer,
@@ -501,6 +570,7 @@ mod tests {
             seed: 7,
             threads: 1,
             chaos: Vec::new(),
+            mem: None,
         }
     }
 
@@ -781,6 +851,140 @@ mod tests {
         ck.replace_writer_for_tests(full);
         let err = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap_err();
         assert!(matches!(err, CampaignError::Checkpoint { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Zero-defect bit-identity through the memory path: attaching a
+    /// healthy weight store to every cell must reproduce the operator
+    /// campaign byte-for-byte, for every activation class (mirrors the
+    /// `disable_lut_backend` A/B guard).
+    #[test]
+    fn zero_defect_memory_campaign_is_bit_identical() {
+        let spec = iris();
+        for activation in [
+            Activation::Permanent,
+            Activation::Transient {
+                per_eval_probability: 0.3,
+            },
+            Activation::Intermittent { period: 4, duty: 2 },
+        ] {
+            for profile in [
+                MemProfile::default(),
+                MemProfile {
+                    ecc: false,
+                    ..MemProfile::default()
+                },
+            ] {
+                let cfg = CampaignConfig {
+                    defect_counts: vec![0],
+                    activation,
+                    ..tiny_cfg()
+                };
+                let bare = defect_tolerance_curve(&spec, &cfg).unwrap();
+                let with_mem = CampaignConfig {
+                    mem: Some(profile),
+                    ..cfg
+                };
+                let routed = defect_tolerance_curve(&spec, &with_mem).unwrap();
+                assert_eq!(
+                    bare[0].mean_accuracy.to_bits(),
+                    routed[0].mean_accuracy.to_bits(),
+                    "{activation:?} {profile:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_campaign_is_deterministic_and_defects_bite() {
+        let spec = iris();
+        let cfg = CampaignConfig {
+            defect_counts: vec![0, 60],
+            mem: Some(MemProfile {
+                ecc: false,
+                ..MemProfile::default()
+            }),
+            ..tiny_cfg()
+        };
+        let a = defect_tolerance_curve(&spec, &cfg).unwrap();
+        let b = defect_tolerance_curve(&spec, &cfg).unwrap();
+        assert_eq!(a, b);
+        for p in &a {
+            assert!((0.0..=1.0).contains(&p.mean_accuracy));
+            assert_eq!(p.failed, 0);
+        }
+        // 60 raw-array defects must actually reach the datapath.
+        assert_ne!(
+            a[0].mean_accuracy.to_bits(),
+            a[1].mean_accuracy.to_bits(),
+            "memory defects never touched the computation"
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_memory_profile_only_when_present() {
+        let bare = tiny_cfg();
+        assert!(
+            !bare.fingerprint().contains("mem="),
+            "operator-campaign fingerprints must stay byte-identical: {}",
+            bare.fingerprint()
+        );
+        let with_mem = CampaignConfig {
+            mem: Some(MemProfile::default()),
+            ..tiny_cfg()
+        };
+        assert!(with_mem
+            .fingerprint()
+            .contains("mem=rows:2,cols:8,ecc:true"));
+        let raw = CampaignConfig {
+            mem: Some(MemProfile {
+                ecc: false,
+                ..MemProfile::default()
+            }),
+            ..tiny_cfg()
+        };
+        assert_ne!(with_mem.fingerprint(), raw.fingerprint());
+
+        // The journal guard: a checkpoint written by the memory
+        // campaign refuses an operator campaign and vice versa.
+        let path = tmp("memguard");
+        let _ = std::fs::remove_file(&path);
+        drop(Checkpoint::open(&path, &with_mem.fingerprint()).unwrap());
+        assert!(Checkpoint::open(&path, &bare.fingerprint()).is_err());
+        assert!(Checkpoint::open(&path, &raw.fingerprint()).is_err());
+        assert!(Checkpoint::open(&path, &with_mem.fingerprint()).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_memory_campaign_resumes_byte_identical() {
+        // The kill-and-resume drill through the memory-defect path:
+        // truncate the journal mid-grid and re-run; the resumed curve
+        // must be byte-identical to the uninterrupted one.
+        let spec = iris();
+        let mut cfg = tiny_cfg();
+        cfg.defect_counts = vec![0, 30];
+        cfg.repetitions = 2;
+        cfg.mem = Some(MemProfile::default());
+        let fingerprint = cfg.fingerprint();
+        let baseline = defect_tolerance_curve(&spec, &cfg).unwrap();
+
+        let path = tmp("memresume");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+            let full = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+            assert_eq!(full, baseline);
+        }
+        let journal = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = journal.lines().take(3).collect();
+        assert_eq!(truncated.len(), 3, "expected header + >=2 cells");
+        std::fs::write(&path, format!("{}\n", truncated.join("\n"))).unwrap();
+
+        let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+        assert_eq!(ck.completed(), 2);
+        let resumed = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+        assert_eq!(resumed, baseline, "resumed curve must be byte-identical");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -187,7 +187,14 @@ impl Checkpoint {
             }
         }
         line.push('}');
-        let mut w = self.writer.lock().unwrap();
+        // A thread that panicked mid-`record` poisons the mutex but
+        // leaves at most a torn trailing line, which the reader already
+        // tolerates — recover the guard instead of panicking every
+        // subsequent writer.
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         writeln!(w, "{line}").map_err(|e| fail(format!("append failed: {e}")))?;
         w.flush().map_err(|e| fail(format!("flush failed: {e}")))?;
         // `flush` only drains the userspace buffer; `sync_data` pushes

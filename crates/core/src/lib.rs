@@ -73,6 +73,14 @@ pub use interface::MemoryInterface;
 pub use lutpar::PartitionedLutExec;
 pub use parallel::parallel_map;
 pub use processor::ProcessorModel;
-pub use recover::{RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung, RungBudget};
+pub use recover::{
+    MemRungStats, RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung, RungBudget,
+};
 pub use selftest::{detection_rate, localization_precision, run_selftest, BistConfig, Diagnosis};
 pub use time_multiplexed::TimeMultiplexedAccelerator;
+
+// The weight-store fault surface (re-exported so campaign and bench
+// code can drive it without a direct `dta-mem` dependency).
+pub use dta_mem::{
+    Activation as MemActivation, MarchReport, MemDefect, MemGeometry, ScrubReport, WeightMemory,
+};

@@ -1,18 +1,30 @@
 //! The online recovery ladder: what to do once a self-test
 //! ([`crate::selftest`]) has localized defects in the array.
 //!
-//! Three policy rungs, tried in order, each under an epoch budget and
-//! a wall-clock watchdog:
+//! Policy rungs, tried in order, each under an epoch budget and a
+//! wall-clock watchdog:
 //!
 //! 1. **Retrain-around-defect** — the paper's Figure 10 mechanism: the
 //!    companion core retrains the mapped network *through* the faulty
 //!    silicon, letting gradient descent silence defective elements.
-//! 2. **Remap/mask** — faulty hidden lanes named by the diagnosis are
+//! 2. **ECC scrub** (memory-native, when a weight store backs the
+//!    latches) — a full scrub pass over the live words: counts the
+//!    single-bit errors the SEC-DED code absorbs transparently and
+//!    pins down the words it cannot protect.
+//! 3. **Spare steer** (memory-native) — the March C- localization from
+//!    the diagnosis (or a fresh march) drives row/column steering onto
+//!    the array's spares, retiring wordline/bitline-class damage in
+//!    hardware.
+//! 4. **Sensitivity-aware placement** (memory-native) — the logical
+//!    hidden neurons that matter most to the outputs are re-placed on
+//!    the least-damaged surviving memory rows, then a retrain under
+//!    its own budget adapts the network to the new placement.
+//! 5. **Remap/mask** — faulty hidden lanes named by the diagnosis are
 //!    remapped onto spare healthy lanes (physical lanes beyond the
 //!    logical width); when spares run out, lanes can be masked to 0
 //!    (fail-silent) instead. A retrain under its own budget follows, so
 //!    the network adapts to the new routing.
-//! 3. **Graceful degradation** — no further repair is attempted; the
+//! 6. **Graceful degradation** — no further repair is attempted; the
 //!    expected residual accuracy is *estimated* from the output-
 //!    visibility of the flagged operators (no labeled data needed), so
 //!    the accelerator reports how wrong it expects to be instead of
@@ -35,6 +47,7 @@ use dta_ann::{FaultSite, Layer, UnitKind};
 use dta_circuits::visibility::{adder_visibility, multiplier_visibility};
 use dta_datasets::Dataset;
 use dta_fixed::Fx;
+use dta_mem::{apply_repairs, march_cminus, MarchReport};
 
 use crate::accelerator::{AccelError, Accelerator};
 use crate::selftest::Diagnosis;
@@ -44,6 +57,15 @@ use crate::selftest::Diagnosis;
 pub enum RecoveryRung {
     /// Retrain the mapped network through the faulty silicon.
     Retrain,
+    /// Scrub the weight store through its SEC-DED code, counting what
+    /// the code absorbs and localizing what it cannot.
+    EccScrub,
+    /// Steer march-diagnosed bad rows/columns of the weight store onto
+    /// its spare rows/columns.
+    SpareSteer,
+    /// Re-place the most output-sensitive logical neurons on the
+    /// least-damaged memory rows, then retrain.
+    Place,
     /// Remap faulty hidden lanes onto spares (mask when none), then
     /// retrain.
     Remap,
@@ -55,6 +77,9 @@ impl fmt::Display for RecoveryRung {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecoveryRung::Retrain => write!(f, "retrain"),
+            RecoveryRung::EccScrub => write!(f, "ecc-scrub"),
+            RecoveryRung::SpareSteer => write!(f, "spare-steer"),
+            RecoveryRung::Place => write!(f, "place"),
             RecoveryRung::Remap => write!(f, "remap"),
             RecoveryRung::Degrade => write!(f, "degrade"),
         }
@@ -164,6 +189,11 @@ pub struct RecoveryPolicy {
     /// Whether the remap rung runs at all (`false` = the blind-retrain
     /// baseline the paper's mechanism is compared against).
     pub use_remap: bool,
+    /// Whether the memory-native rungs (ECC scrub, spare steer,
+    /// sensitivity-aware placement) run when a weight store is
+    /// attached. `false` together with `use_remap = false` is the
+    /// blind-retrain baseline of the memory-defect campaign.
+    pub use_memory_repair: bool,
     /// Whether faulty lanes with no spare may be masked to 0 instead of
     /// failing the remap rung with [`RecoveryError::NoSpareLane`].
     pub mask_unmappable: bool,
@@ -188,10 +218,30 @@ impl Default for RecoveryPolicy {
             momentum: 0.1,
             seed: 0x5EC0,
             use_remap: true,
+            use_memory_repair: true,
             mask_unmappable: true,
             chaos_stall: None,
         }
     }
+}
+
+/// What a memory-native rung did to the weight store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemRungStats {
+    /// Words the ECC scrub visited.
+    pub words_scrubbed: usize,
+    /// Words where the scrub's SEC-DED pass fixed a single-bit error.
+    pub corrected: usize,
+    /// Words the code could not protect (double or worse).
+    pub uncorrectable: usize,
+    /// Memory rows steered onto spares.
+    pub rows_steered: usize,
+    /// Memory columns steered onto spares.
+    pub cols_steered: usize,
+    /// March-diagnosed units left unrepaired (spares exhausted).
+    pub unrepaired: usize,
+    /// Logical hidden neurons moved by sensitivity-aware placement.
+    pub moved: usize,
 }
 
 /// What one rung did.
@@ -209,6 +259,8 @@ pub struct RungReport {
     pub remapped: usize,
     /// Physical lanes masked to 0 (remap rung only).
     pub masked: usize,
+    /// Weight-store statistics (memory-native rungs only).
+    pub memory: Option<MemRungStats>,
 }
 
 /// The graceful-degradation estimate: expected residual accuracy from
@@ -286,6 +338,9 @@ fn retrain_under_budget(
 ) -> Result<RungReport, AccelError> {
     let salt = match rung {
         RecoveryRung::Retrain => 0x517A,
+        RecoveryRung::EccScrub => 0xECC5,
+        RecoveryRung::SpareSteer => 0x57EE,
+        RecoveryRung::Place => 0x97AC,
         RecoveryRung::Remap => 0x9E3A,
         RecoveryRung::Degrade => 0xDE64,
     };
@@ -313,6 +368,7 @@ fn retrain_under_budget(
                     }),
                     remapped: 0,
                     masked: 0,
+                    memory: None,
                 });
             }
             accel.retrain(
@@ -336,6 +392,7 @@ fn retrain_under_budget(
                     error: None,
                     remapped: 0,
                     masked: 0,
+                    memory: None,
                 });
             }
         }
@@ -350,6 +407,7 @@ fn retrain_under_budget(
             }),
             remapped: 0,
             masked: 0,
+            memory: None,
         })
     })
 }
@@ -396,6 +454,61 @@ fn install_remaps(
         }
     }
     Ok((remapped, masked))
+}
+
+/// Residual damage score of one hidden-bank memory row: a whole-row
+/// failure dominates any count of residual bad cells.
+fn row_badness(march: &MarchReport, row: usize) -> usize {
+    let cells = march.bad_cells.iter().filter(|&&(r, _)| r == row).count();
+    if march.bad_rows.contains(&row) {
+        cells + 1_000_000
+    } else {
+        cells
+    }
+}
+
+/// Sensitivity-aware placement: permutes the logical hidden neurons
+/// across the physical lanes they currently occupy so that the neurons
+/// the output layer leans on hardest (largest summed |output weight|)
+/// land on the least-damaged memory rows. Returns how many logical
+/// neurons moved.
+fn place_by_sensitivity(accel: &mut Accelerator) -> Result<usize, RecoveryError> {
+    let net = accel
+        .network()
+        .ok_or(RecoveryError::Accel(AccelError::NoNetwork))?;
+    let topo = net.topology();
+    // Output-sensitivity of each logical hidden neuron.
+    let mut by_sensitivity: Vec<(usize, f64)> = (0..topo.hidden)
+        .map(|j| {
+            let s: f64 = (0..topo.outputs).map(|k| net.w_output(k, j).abs()).sum();
+            (j, s)
+        })
+        .collect();
+    by_sensitivity.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // Residual row damage after any steering, from a fresh march (the
+    // march rewinds the store's activation streams when it finishes).
+    let march = march_cminus(accel.memory_mut().ok_or(AccelError::NoMemory)?);
+    // The lanes currently in use, healthiest memory row first. A hidden
+    // lane's weights live on the hidden-bank row of the same index.
+    let mut lanes: Vec<(usize, usize)> = (0..topo.hidden)
+        .map(|j| {
+            let lane = accel.faults().hidden_lane(j);
+            (lane, row_badness(&march, lane))
+        })
+        .collect();
+    lanes.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    // Most sensitive neuron → healthiest row. Both sides draw from the
+    // same lane set, so the assignment stays a bijection.
+    let mut moved = 0usize;
+    for (&(j, _), &(lane, _)) in by_sensitivity.iter().zip(&lanes) {
+        if accel.faults().hidden_lane(j) != lane {
+            moved += 1;
+        }
+        accel.faults_mut().remap_hidden(j, lane);
+    }
+    Ok(moved)
 }
 
 /// Estimates residual accuracy without labeled data: each flagged,
@@ -529,8 +642,10 @@ fn sigmoid_visibility_of(
 
 /// Runs the recovery ladder on a diagnosed accelerator.
 ///
-/// Rungs execute in order (retrain → remap → degrade); a rung that
-/// reaches `policy.target_accuracy` stops the ladder. The report's
+/// Rungs execute in order (retrain → ecc-scrub → spare-steer → place →
+/// remap → degrade, the memory-native rungs only when a weight store is
+/// attached); a rung that reaches `policy.target_accuracy` stops the
+/// ladder. The report's
 /// `accuracy` is the best *measured* accuracy across the pre-recovery
 /// state and every rung — recovery never serves a worse network than it
 /// started with.
@@ -569,10 +684,105 @@ pub fn recover(
         best = best.max(a);
     }
     succeeded |= r1.error.is_none();
-    let stop = r1.error.is_none();
+    let mut stop = r1.error.is_none();
     rungs.push(r1);
 
-    // Rung 2: remap faulty lanes onto spares, then retrain.
+    // Memory-native rungs: only when a weight store backs the latches.
+    let memory_rungs = policy.use_memory_repair && accel.memory().is_some();
+
+    // Rung: ECC scrub — count what the code absorbs, pin down what it
+    // cannot, then re-measure.
+    if !stop && memory_rungs {
+        let scrub = accel
+            .memory_mut()
+            .expect("weight store checked above")
+            .scrub();
+        let acc = accel.evaluate(ds, test_idx)?;
+        best = best.max(acc);
+        let reached = acc >= policy.target_accuracy;
+        succeeded |= reached;
+        stop |= reached;
+        rungs.push(RungReport {
+            rung: RecoveryRung::EccScrub,
+            accuracy: Some(acc),
+            epochs_used: 0,
+            error: (!reached).then_some(RecoveryError::AccuracyShortfall {
+                rung: RecoveryRung::EccScrub,
+                achieved: Some(acc),
+                target: policy.target_accuracy,
+            }),
+            remapped: 0,
+            masked: 0,
+            memory: Some(MemRungStats {
+                words_scrubbed: scrub.words,
+                corrected: scrub.corrected,
+                uncorrectable: scrub.uncorrectable.len(),
+                ..MemRungStats::default()
+            }),
+        });
+    }
+
+    // Rung: spare steer — retire march-diagnosed rows/columns onto the
+    // store's spares.
+    if !stop && memory_rungs {
+        let march = match &diagnosis.memory {
+            Some(m) => m.clone(),
+            None => march_cminus(accel.memory_mut().expect("weight store checked above")),
+        };
+        let summary = apply_repairs(
+            accel.memory_mut().expect("weight store checked above"),
+            &march,
+        );
+        let acc = accel.evaluate(ds, test_idx)?;
+        best = best.max(acc);
+        let reached = acc >= policy.target_accuracy;
+        succeeded |= reached;
+        stop |= reached;
+        rungs.push(RungReport {
+            rung: RecoveryRung::SpareSteer,
+            accuracy: Some(acc),
+            epochs_used: 0,
+            error: (!reached).then_some(RecoveryError::AccuracyShortfall {
+                rung: RecoveryRung::SpareSteer,
+                achieved: Some(acc),
+                target: policy.target_accuracy,
+            }),
+            remapped: 0,
+            masked: 0,
+            memory: Some(MemRungStats {
+                rows_steered: summary.rows_steered,
+                cols_steered: summary.cols_steered,
+                unrepaired: summary.unrepaired,
+                ..MemRungStats::default()
+            }),
+        });
+    }
+
+    // Rung: sensitivity-aware placement, then retrain to the new rows.
+    if !stop && memory_rungs {
+        let moved = place_by_sensitivity(accel)?;
+        let mut rp = retrain_under_budget(
+            accel,
+            ds,
+            train_idx,
+            test_idx,
+            policy,
+            &policy.remap,
+            RecoveryRung::Place,
+        )?;
+        rp.memory = Some(MemRungStats {
+            moved,
+            ..MemRungStats::default()
+        });
+        if let Some(a) = rp.accuracy {
+            best = best.max(a);
+        }
+        succeeded |= rp.error.is_none();
+        stop |= rp.error.is_none();
+        rungs.push(rp);
+    }
+
+    // Rung: remap faulty lanes onto spares, then retrain.
     if !stop && policy.use_remap {
         match install_remaps(accel, diagnosis, policy) {
             Ok((remapped, masked)) => {
@@ -601,6 +811,7 @@ pub fn recover(
                     error: Some(e),
                     remapped: 0,
                     masked: 0,
+                    memory: None,
                 });
             }
             Err(e) => return Err(e),
@@ -619,6 +830,7 @@ pub fn recover(
             error: None,
             remapped: 0,
             masked: 0,
+            memory: None,
         });
         Some(est)
     };
@@ -731,6 +943,7 @@ mod tests {
             flagged: Vec::new(),
             screened_lanes: (0..5).map(|n| (Layer::Hidden, n)).collect(),
             operators_probed: 0,
+            memory: None,
         };
         let policy = RecoveryPolicy {
             retrain: RungBudget {
@@ -755,6 +968,97 @@ mod tests {
             })
         );
         assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+    }
+
+    #[test]
+    fn memory_rungs_run_and_never_lose_to_blind_retraining() {
+        // Twin arrays with the same memory damage: the full ladder
+        // (ECC scrub, spare steer, placement) must never end below the
+        // blind-retrain arm, because the rungs are strictly additive
+        // over the same rung-1 trajectory.
+        for seed in [2u64, 13] {
+            let build = || {
+                let (mut accel, ds, train, test) = commissioned_accel(seed, 0);
+                accel.attach_weight_memory();
+                let mem = accel.memory_mut().unwrap();
+                // A wordline failure on an in-use hidden row plus a
+                // spread of stuck cells: enough to hurt, repairable.
+                mem.push_defect(
+                    dta_mem::MemDefect::RowStuck {
+                        row: 1 + (seed as usize % 4),
+                    },
+                    None,
+                );
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFEED);
+                mem.inject_many(6, dta_mem::Activation::Permanent, &mut rng);
+                (accel, ds, train, test)
+            };
+            let base = RecoveryPolicy {
+                retrain: RungBudget {
+                    max_epochs: 6,
+                    wall_clock_ms: 60_000,
+                },
+                remap: RungBudget {
+                    max_epochs: 6,
+                    wall_clock_ms: 60_000,
+                },
+                target_accuracy: 0.97,
+                seed,
+                ..RecoveryPolicy::default()
+            };
+            let blind_policy = RecoveryPolicy {
+                use_remap: false,
+                use_memory_repair: false,
+                ..base.clone()
+            };
+
+            let (mut blind_accel, ds, train, test) = build();
+            let blind = recover(
+                &mut blind_accel,
+                &ds,
+                &train,
+                &test,
+                &Diagnosis::default(),
+                &blind_policy,
+            )
+            .unwrap();
+
+            let (mut full_accel, _, _, _) = build();
+            let diagnosis = run_selftest(&mut full_accel, &BistConfig::default()).unwrap();
+            assert!(
+                diagnosis.memory.as_ref().is_some_and(|m| !m.clean()),
+                "seed {seed}: march missed the planted damage"
+            );
+            let full = recover(&mut full_accel, &ds, &train, &test, &diagnosis, &base).unwrap();
+
+            assert_eq!(
+                blind.pre_recovery_accuracy, full.pre_recovery_accuracy,
+                "seed {seed}: twins diverged before recovery"
+            );
+            assert!(
+                full.accuracy >= blind.accuracy,
+                "seed {seed}: recovered {} < blind {}",
+                full.accuracy,
+                blind.accuracy
+            );
+            // Unless rung 1 already hit the target, the memory rungs
+            // must appear in order with their stats populated.
+            if full.rungs[0].error.is_some() {
+                let kinds: Vec<RecoveryRung> = full.rungs.iter().map(|r| r.rung).collect();
+                assert!(kinds.contains(&RecoveryRung::EccScrub), "{kinds:?}");
+                assert!(kinds.contains(&RecoveryRung::SpareSteer), "{kinds:?}");
+                let steer = full
+                    .rungs
+                    .iter()
+                    .find(|r| r.rung == RecoveryRung::SpareSteer)
+                    .unwrap();
+                let stats = steer.memory.as_ref().unwrap();
+                assert!(
+                    stats.rows_steered > 0,
+                    "seed {seed}: row failure not steered: {stats:?}"
+                );
+            }
+        }
     }
 
     #[test]

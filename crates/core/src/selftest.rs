@@ -22,6 +22,12 @@
 //!    against the native arithmetic the healthy silicon is bit-exact
 //!    with. A mismatching multiplier/adder/latch/activation unit is
 //!    flagged as a [`FaultSite`].
+//! 3. **Memory march** — when a [`dta_mem::WeightMemory`] backs the
+//!    weight latches, a March C- pass walks every word of the store in
+//!    both address orders under complementary backgrounds and folds the
+//!    raw failure bitmap into bad rows, bad columns, and residual bad
+//!    cells — the row/column granularity the ECC-scrub and spare-steer
+//!    rungs of the recovery ladder act on.
 //!
 //! Because every healthy operator is bit-exact with the native
 //! datapath (a crate-level invariant tested in `dta-circuits`), a
@@ -43,6 +49,7 @@ use rand_chacha::ChaCha8Rng;
 
 use dta_ann::{FaultSite, Layer, Mlp, UnitKind};
 use dta_fixed::{Fx, SigmoidLut};
+use dta_mem::{march_cminus, MarchReport};
 
 use crate::accelerator::{AccelError, Accelerator};
 
@@ -84,12 +91,19 @@ pub struct Diagnosis {
     pub screened_lanes: Vec<(Layer, usize)>,
     /// Operator probes executed by the diagnosis stage.
     pub operators_probed: usize,
+    /// March C- report for the attached weight store (`None` when no
+    /// store is attached): bad rows, bad columns, and residual bad
+    /// cells, localized to row/column granularity for the memory rungs
+    /// of the recovery ladder.
+    pub memory: Option<MarchReport>,
 }
 
 impl Diagnosis {
     /// True if anything at all was flagged.
     pub fn detected(&self) -> bool {
-        !self.flagged.is_empty() || !self.screened_lanes.is_empty()
+        !self.flagged.is_empty()
+            || !self.screened_lanes.is_empty()
+            || self.memory.as_ref().is_some_and(|m| !m.clean())
     }
 
     /// The physical hidden lanes implicated by either stage, sorted and
@@ -161,11 +175,17 @@ pub fn run_selftest(accel: &mut Accelerator, cfg: &BistConfig) -> Result<Diagnos
     let screened = screen?;
 
     let flagged = probe_operators(accel, cfg);
+    // Memory BIST stage: march the attached weight store (if any) and
+    // localize failures to row/column granularity. `march_cminus` ends
+    // by rewinding the store's activation streams, so the stage is as
+    // invisible to later evaluations as the operator probes are.
+    let memory = accel.memory_mut().map(march_cminus);
     accel.faults_mut().reset_state();
     Ok(Diagnosis {
         flagged: flagged.0,
         screened_lanes: screened,
         operators_probed: flagged.1,
+        memory,
     })
 }
 
@@ -416,6 +436,38 @@ mod tests {
         fresh.map_network(mlp).unwrap();
         let row = [0.3, -0.1, 0.8, 0.5];
         assert_eq!(a.process_row(&row), fresh.process_row(&row));
+    }
+
+    #[test]
+    fn march_stage_localizes_memory_defects() {
+        let mut accel = Accelerator::new();
+        // No weight store attached: no memory report at all.
+        let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        assert_eq!(diag.memory, None);
+
+        accel.attach_weight_memory();
+        let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        assert!(diag.memory.as_ref().unwrap().clean());
+        assert!(!diag.detected());
+
+        // Plant a wordline failure and a lone stuck cell; the march
+        // localizes each at its own granularity.
+        let mem = accel.memory_mut().unwrap();
+        mem.push_defect(dta_mem::MemDefect::RowStuck { row: 3 }, None);
+        mem.push_defect(
+            dta_mem::MemDefect::StuckCell {
+                row: 7,
+                col: 11,
+                value: true,
+            },
+            None,
+        );
+        let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        assert!(diag.detected());
+        let report = diag.memory.as_ref().unwrap();
+        assert_eq!(report.bad_rows, vec![3]);
+        assert_eq!(report.bad_cells, vec![(7, 11)]);
+        assert!(report.bad_cols.is_empty());
     }
 
     #[test]

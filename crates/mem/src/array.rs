@@ -1,0 +1,676 @@
+//! Bit-cell array model of the accelerator's weight store.
+//!
+//! The spatially expanded design keeps one weight row per neuron lane:
+//! hidden lanes first, then output lanes, each row wide enough for the
+//! largest synapse count plus a bias slot. A [`WeightMemory`] models that
+//! store as a physical bit-cell array with optional SEC-DED ECC columns,
+//! spare rows/columns for post-test steering, and **array-structured
+//! defects** — stuck cells, whole row/column failures, sense-amp and
+//! write-driver faults, and bitline bridges — each optionally carrying a
+//! [`Activation`] lifetime (permanent / transient / intermittent) on the
+//! same seeded-RNG state machine as transistor defects.
+//!
+//! Weight fetches follow the companion-core discipline: the current
+//! weight is written into its word, then the word is read back through
+//! the fault pipeline (and the ECC decoder when enabled). With no
+//! defects the fetch is exactly the identity on the Q6.10 bit pattern,
+//! so attaching a healthy array is bit-invisible.
+
+use std::fmt;
+
+use dta_fixed::Fx;
+use dta_transistor::{Activation, ActivationState};
+use rand::Rng;
+
+use crate::ecc::{self, EccStatus};
+
+/// Width of a raw (unprotected) weight word in bits.
+pub const RAW_BITS: u32 = 16;
+
+/// Which bank of weight rows an address falls in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bank {
+    /// Hidden-layer lanes: rows `0..hidden_rows`.
+    Hidden,
+    /// Output-layer lanes: rows `hidden_rows..hidden_rows + output_rows`.
+    Output,
+}
+
+/// Physical organization of the weight store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemGeometry {
+    /// Rows holding hidden-lane weights (one per physical hidden lane).
+    pub hidden_rows: usize,
+    /// Rows holding output-lane weights (one per physical output lane).
+    pub output_rows: usize,
+    /// Synapse slots per hidden row (the bias occupies one more slot).
+    pub hidden_synapses: usize,
+    /// Synapse slots per output row (the bias occupies one more slot).
+    pub output_synapses: usize,
+    /// Spare rows available for post-BIST row steering.
+    pub spare_rows: usize,
+    /// Spare bit columns available for post-BIST column steering.
+    pub spare_cols: usize,
+    /// Protect every word with the SEC-DED (22,16) code of [`crate::ecc`].
+    pub ecc: bool,
+}
+
+impl MemGeometry {
+    /// Geometry matching the paper's 90-10-10 spatially expanded design,
+    /// with ECC on and a small spare budget (2 rows, 8 bit columns).
+    pub fn accelerator() -> MemGeometry {
+        MemGeometry {
+            hidden_rows: 10,
+            output_rows: 10,
+            hidden_synapses: 90,
+            output_synapses: 10,
+            spare_rows: 2,
+            spare_cols: 8,
+            ecc: true,
+        }
+    }
+
+    /// Geometry for a logical `inputs → hidden → outputs` network mapped
+    /// one lane per neuron (used by campaigns without a physical array).
+    pub fn for_network(inputs: usize, hidden: usize, outputs: usize, ecc: bool) -> MemGeometry {
+        MemGeometry {
+            hidden_rows: hidden,
+            output_rows: outputs,
+            hidden_synapses: inputs,
+            output_synapses: hidden,
+            spare_rows: 2,
+            spare_cols: 8,
+            ecc,
+        }
+    }
+
+    /// Bits per stored word: 22 with ECC, 16 raw.
+    pub fn code_bits(&self) -> usize {
+        if self.ecc {
+            ecc::CODE_BITS as usize
+        } else {
+            RAW_BITS as usize
+        }
+    }
+
+    /// Word slots per row (worst-case synapse count plus the bias slot).
+    pub fn words_per_row(&self) -> usize {
+        self.hidden_synapses.max(self.output_synapses) + 1
+    }
+
+    /// Rows holding live weights (hidden + output banks).
+    pub fn data_rows(&self) -> usize {
+        self.hidden_rows + self.output_rows
+    }
+
+    /// Total physical rows including spares.
+    pub fn total_rows(&self) -> usize {
+        self.data_rows() + self.spare_rows
+    }
+
+    /// Bit columns holding live words.
+    pub fn data_cols(&self) -> usize {
+        self.words_per_row() * self.code_bits()
+    }
+
+    /// Total physical bit columns including spares.
+    pub fn total_cols(&self) -> usize {
+        self.data_cols() + self.spare_cols
+    }
+
+    /// Number of live bit cells — the denominator for defect densities.
+    pub fn data_cells(&self) -> usize {
+        self.data_rows() * self.data_cols()
+    }
+}
+
+/// One array-structured defect, in **physical** array coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemDefect {
+    /// One bit cell reads as `value` regardless of what was written.
+    StuckCell {
+        /// Physical row of the cell.
+        row: usize,
+        /// Physical bit column of the cell.
+        col: usize,
+        /// The value the cell is stuck at.
+        value: bool,
+    },
+    /// A wordline failure: every read of the row returns all ones (the
+    /// precharged bitlines are never discharged).
+    RowStuck {
+        /// Physical row whose wordline is broken.
+        row: usize,
+    },
+    /// A bitline shorted to a rail: every read of the column sees `value`.
+    ColStuck {
+        /// Physical bit column.
+        col: usize,
+        /// The rail the bitline is shorted to.
+        value: bool,
+    },
+    /// A faulty sense amplifier: the column's read value is inverted.
+    SenseAmp {
+        /// Physical bit column.
+        col: usize,
+    },
+    /// A dead write driver: writes to the column are lost and its cells
+    /// hold their power-on zero.
+    WriteDriver {
+        /// Physical bit column.
+        col: usize,
+    },
+    /// A bridge between adjacent bitlines `col` and `col + 1` (within one
+    /// word slot): both columns read the wired-OR of the two cells.
+    Bridge {
+        /// Left column of the bridged pair.
+        col: usize,
+    },
+}
+
+impl fmt::Display for MemDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemDefect::StuckCell { row, col, value } => {
+                write!(f, "stuck-cell r{row} c{col} ={}", u8::from(*value))
+            }
+            MemDefect::RowStuck { row } => write!(f, "row-stuck r{row}"),
+            MemDefect::ColStuck { col, value } => {
+                write!(f, "col-stuck c{col} ={}", u8::from(*value))
+            }
+            MemDefect::SenseAmp { col } => write!(f, "sense-amp c{col}"),
+            MemDefect::WriteDriver { col } => write!(f, "write-driver c{col}"),
+            MemDefect::Bridge { col } => write!(f, "bridge c{col}-c{}", col + 1),
+        }
+    }
+}
+
+/// A defect plus its lifetime state (`None` = permanent, always active).
+#[derive(Clone, Debug)]
+pub struct MemDefectState {
+    /// The defect site and class.
+    pub defect: MemDefect,
+    /// Lifetime state machine for transient/intermittent defects;
+    /// `None` for permanent ones (the vectorizable fast path).
+    pub state: Option<ActivationState>,
+}
+
+/// Error returned when a repair runs out of spare resources.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemRepairError {
+    /// All spare rows are already in use.
+    NoSpareRow,
+    /// All spare bit columns are already in use.
+    NoSpareCol,
+}
+
+impl fmt::Display for MemRepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemRepairError::NoSpareRow => write!(f, "no spare row left"),
+            MemRepairError::NoSpareCol => write!(f, "no spare column left"),
+        }
+    }
+}
+
+impl std::error::Error for MemRepairError {}
+
+/// Running ECC bookkeeping for a [`WeightMemory`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EccCounters {
+    /// Words whose single-bit error the decoder corrected.
+    pub corrected: u64,
+    /// Words with a detected-but-uncorrectable double error.
+    pub uncorrectable: u64,
+}
+
+/// Result of a full ECC scrub pass over the live words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Words visited (rows × slots).
+    pub words: usize,
+    /// Words where at least one test pattern needed a single-bit fix.
+    pub corrected: usize,
+    /// `(row, slot)` addresses the code could not protect.
+    pub uncorrectable: Vec<(usize, usize)>,
+}
+
+/// The weight store: a bit-cell array with defects, ECC, and steering.
+#[derive(Clone, Debug)]
+pub struct WeightMemory {
+    geom: MemGeometry,
+    /// Physical cell storage, row-major over `total_rows × total_cols`.
+    cells: Vec<bool>,
+    defects: Vec<MemDefectState>,
+    records: Vec<String>,
+    /// Logical data row → physical row (identity until steered).
+    row_map: Vec<usize>,
+    /// Logical data bit column → physical bit column.
+    col_map: Vec<usize>,
+    spare_rows_used: usize,
+    spare_cols_used: usize,
+    ecc_counters: EccCounters,
+    /// Scratch activation mask, one slot per defect, reused per access.
+    active: Vec<bool>,
+}
+
+impl WeightMemory {
+    /// A pristine array with the given geometry (cells at power-on zero).
+    pub fn new(geom: MemGeometry) -> WeightMemory {
+        WeightMemory {
+            geom,
+            cells: vec![false; geom.total_rows() * geom.total_cols()],
+            defects: Vec::new(),
+            records: Vec::new(),
+            row_map: (0..geom.data_rows()).collect(),
+            col_map: (0..geom.data_cols()).collect(),
+            spare_rows_used: 0,
+            spare_cols_used: 0,
+            ecc_counters: EccCounters::default(),
+            active: Vec::new(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> MemGeometry {
+        self.geom
+    }
+
+    /// Injected defects with their lifetime state.
+    pub fn defects(&self) -> &[MemDefectState] {
+        &self.defects
+    }
+
+    /// Human-readable injection log, one line per defect.
+    pub fn records(&self) -> &[String] {
+        &self.records
+    }
+
+    /// ECC correction/detection counters accumulated by fetches.
+    pub fn ecc_counters(&self) -> EccCounters {
+        self.ecc_counters
+    }
+
+    /// `(used, budget)` spare-row accounting.
+    pub fn spare_rows(&self) -> (usize, usize) {
+        (self.spare_rows_used, self.geom.spare_rows)
+    }
+
+    /// `(used, budget)` spare-column accounting.
+    pub fn spare_cols(&self) -> (usize, usize) {
+        (self.spare_cols_used, self.geom.spare_cols)
+    }
+
+    /// True when the array cannot disturb any fetch: no defects injected.
+    /// Transparent arrays are skipped entirely on the forward path, so
+    /// attaching one is guaranteed bit-invisible.
+    pub fn is_transparent(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// True when every defect is permanent, so fetches are pure functions
+    /// of the address and written word and the 64-lane batch path stays
+    /// bit-identical to scalar evaluation order.
+    pub fn vectorizable(&self) -> bool {
+        self.defects.iter().all(|d| d.state.is_none())
+    }
+
+    /// Power-on reset: clear every cell, rewind dynamic defect state and
+    /// ECC counters. Steering survives (it is a fuse-style repair).
+    pub fn reset_state(&mut self) {
+        self.cells.fill(false);
+        for d in &mut self.defects {
+            if let Some(state) = &mut d.state {
+                state.reset();
+            }
+        }
+        self.ecc_counters = EccCounters::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Defect injection
+    // ------------------------------------------------------------------
+
+    /// Inject one random defect with the given lifetime, drawing the
+    /// class, site and (for dynamic lifetimes) state seed from `rng`.
+    /// Returns the record line appended to [`records`](Self::records).
+    ///
+    /// Class mix: 60 % stuck cells, 10 % sense-amp, 10 % write-driver,
+    /// 10 % bitline bridges, 5 % column failures, 5 % row failures —
+    /// cell defects dominate, matching published SRAM failure Paretos.
+    pub fn inject_random<R: Rng + ?Sized>(
+        &mut self,
+        activation: Activation,
+        rng: &mut R,
+    ) -> String {
+        let geom = self.geom;
+        let code = geom.code_bits();
+        let pick = rng.random_range(0..100u32);
+        let defect = if pick < 60 {
+            MemDefect::StuckCell {
+                row: rng.random_range(0..geom.data_rows()),
+                col: rng.random_range(0..geom.data_cols()),
+                value: rng.random_bool(0.5),
+            }
+        } else if pick < 70 {
+            MemDefect::SenseAmp {
+                col: rng.random_range(0..geom.data_cols()),
+            }
+        } else if pick < 80 {
+            MemDefect::WriteDriver {
+                col: rng.random_range(0..geom.data_cols()),
+            }
+        } else if pick < 90 {
+            // Keep the bridged pair inside one word slot so a fetch (which
+            // writes the whole word before reading it) stays pure.
+            let slot = rng.random_range(0..geom.words_per_row());
+            let bit = rng.random_range(0..code - 1);
+            MemDefect::Bridge {
+                col: slot * code + bit,
+            }
+        } else if pick < 95 {
+            MemDefect::ColStuck {
+                col: rng.random_range(0..geom.data_cols()),
+                value: rng.random_bool(0.5),
+            }
+        } else {
+            MemDefect::RowStuck {
+                row: rng.random_range(0..geom.data_rows()),
+            }
+        };
+        let state = if activation.is_permanent() {
+            None
+        } else {
+            Some(ActivationState::new(activation, rng.random::<u64>()))
+        };
+        let record = format!("mem {defect}: {activation}");
+        self.records.push(record.clone());
+        self.defects.push(MemDefectState { defect, state });
+        record
+    }
+
+    /// Place one specific defect (deterministic counterpart of
+    /// [`inject_random`](Self::inject_random), used by diagnosis tests
+    /// and targeted experiments). `state` carries the lifetime; `None`
+    /// means permanent.
+    pub fn push_defect(&mut self, defect: MemDefect, state: Option<ActivationState>) {
+        let lifetime = match &state {
+            None => "permanent".to_string(),
+            Some(_) => "dynamic".to_string(),
+        };
+        self.records.push(format!("mem {defect}: {lifetime}"));
+        self.defects.push(MemDefectState { defect, state });
+    }
+
+    /// Inject `n` random defects; returns their record lines.
+    pub fn inject_many<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Vec<String> {
+        (0..n)
+            .map(|_| self.inject_random(activation, rng))
+            .collect()
+    }
+
+    /// Inject defects at a target density (defects per live bit cell),
+    /// rounding to the nearest whole count. Returns the record lines.
+    pub fn inject_density<R: Rng + ?Sized>(
+        &mut self,
+        density: f64,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Vec<String> {
+        let n = (density * self.geom.data_cells() as f64).round() as usize;
+        self.inject_many(n, activation, rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Cell-level access with the fault pipeline
+    // ------------------------------------------------------------------
+
+    fn cell(&self, prow: usize, pcol: usize) -> bool {
+        self.cells[prow * self.geom.total_cols() + pcol]
+    }
+
+    fn set_cell(&mut self, prow: usize, pcol: usize, v: bool) {
+        let idx = prow * self.geom.total_cols() + pcol;
+        self.cells[idx] = v;
+    }
+
+    /// Advance every dynamic defect by one access and refresh the
+    /// activation scratch mask (permanent defects are always active).
+    fn advance_access(&mut self) {
+        self.active.clear();
+        let active = &mut self.active;
+        for d in &mut self.defects {
+            active.push(match &mut d.state {
+                None => true,
+                Some(state) => state.advance(),
+            });
+        }
+    }
+
+    /// Write one word through the write-path faults (write drivers lose
+    /// the bit, stuck cells ignore it).
+    fn write_word_phys(&mut self, prow: usize, slot: usize, bits: u32) {
+        let code = self.geom.code_bits();
+        for b in 0..code {
+            let pcol = self.col_map[slot * code + b];
+            let mut v = bits >> b & 1 == 1;
+            for i in 0..self.defects.len() {
+                if !self.active[i] {
+                    continue;
+                }
+                match self.defects[i].defect {
+                    MemDefect::WriteDriver { col } if col == pcol => v = false,
+                    MemDefect::StuckCell { row, col, value } if row == prow && col == pcol => {
+                        v = value
+                    }
+                    _ => {}
+                }
+            }
+            self.set_cell(prow, pcol, v);
+        }
+    }
+
+    /// Read one word through the read-path faults: cell/bridge first,
+    /// then bitline (column stuck), wordline (row stuck), sense amp.
+    fn read_word_phys(&self, prow: usize, slot: usize) -> u32 {
+        let code = self.geom.code_bits();
+        let mut bits = 0u32;
+        for b in 0..code {
+            let pcol = self.col_map[slot * code + b];
+            let mut v = self.cell(prow, pcol);
+            for (i, d) in self.defects.iter().enumerate() {
+                if !self.active[i] {
+                    continue;
+                }
+                match d.defect {
+                    MemDefect::StuckCell { row, col, value } if row == prow && col == pcol => {
+                        v = value
+                    }
+                    MemDefect::Bridge { col } if col == pcol => v |= self.cell(prow, col + 1),
+                    MemDefect::Bridge { col } if col + 1 == pcol => v |= self.cell(prow, col),
+                    _ => {}
+                }
+            }
+            for (i, d) in self.defects.iter().enumerate() {
+                if !self.active[i] {
+                    continue;
+                }
+                match d.defect {
+                    MemDefect::ColStuck { col, value } if col == pcol => v = value,
+                    _ => {}
+                }
+            }
+            for (i, d) in self.defects.iter().enumerate() {
+                if !self.active[i] {
+                    continue;
+                }
+                match d.defect {
+                    MemDefect::RowStuck { row } if row == prow => v = true,
+                    _ => {}
+                }
+            }
+            for (i, d) in self.defects.iter().enumerate() {
+                if !self.active[i] {
+                    continue;
+                }
+                match d.defect {
+                    MemDefect::SenseAmp { col } if col == pcol => v = !v,
+                    _ => {}
+                }
+            }
+            if v {
+                bits |= 1 << b;
+            }
+        }
+        bits
+    }
+
+    /// Logical data row for a bank-relative lane index.
+    pub fn row_of(&self, bank: Bank, lane: usize) -> usize {
+        match bank {
+            Bank::Hidden => {
+                assert!(
+                    lane < self.geom.hidden_rows,
+                    "hidden lane {lane} out of range"
+                );
+                lane
+            }
+            Bank::Output => {
+                assert!(
+                    lane < self.geom.output_rows,
+                    "output lane {lane} out of range"
+                );
+                self.geom.hidden_rows + lane
+            }
+        }
+    }
+
+    /// The word slot holding the bias for a bank.
+    pub fn bias_slot(&self, bank: Bank) -> usize {
+        match bank {
+            Bank::Hidden => self.geom.hidden_synapses,
+            Bank::Output => self.geom.output_synapses,
+        }
+    }
+
+    /// Fetch one weight through the array: the companion core writes the
+    /// current value into its word, then the word is read back through
+    /// the fault pipeline (and the ECC decoder when enabled). One fetch
+    /// counts as one access for transient/intermittent defects.
+    pub fn fetch(&mut self, bank: Bank, lane: usize, slot: usize, w: Fx) -> Fx {
+        debug_assert!(slot < self.geom.words_per_row(), "slot {slot} out of range");
+        let lrow = self.row_of(bank, lane);
+        let prow = self.row_map[lrow];
+        let raw = w.to_bits();
+        let stored = if self.geom.ecc {
+            ecc::encode(raw)
+        } else {
+            u32::from(raw)
+        };
+        self.advance_access();
+        self.write_word_phys(prow, slot, stored);
+        let got = self.read_word_phys(prow, slot);
+        if self.geom.ecc {
+            let (data, status) = ecc::decode(got);
+            match status {
+                EccStatus::Clean => {}
+                EccStatus::Corrected => self.ecc_counters.corrected += 1,
+                EccStatus::DoubleDetected => self.ecc_counters.uncorrectable += 1,
+            }
+            Fx::from_bits(data)
+        } else {
+            Fx::from_bits(got as u16)
+        }
+    }
+
+    /// Raw BIST write of a full code word at a logical `(row, slot)`
+    /// address (no ECC involvement). One access.
+    pub fn bist_write(&mut self, row: usize, slot: usize, bits: u32) {
+        let prow = self.row_map[row];
+        self.advance_access();
+        self.write_word_phys(prow, slot, bits);
+    }
+
+    /// Raw BIST read of a full code word. One access.
+    pub fn bist_read(&mut self, row: usize, slot: usize) -> u32 {
+        let prow = self.row_map[row];
+        self.advance_access();
+        self.read_word_phys(prow, slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Repair: ECC scrub and spare steering
+    // ------------------------------------------------------------------
+
+    /// Walk every live word with three test patterns through the full
+    /// write/read/decode path and report which addresses the code
+    /// corrects and which it cannot protect. Leaves the array power-on
+    /// clean (scrubbing is state-neutral).
+    pub fn scrub(&mut self) -> ScrubReport {
+        let geom = self.geom;
+        let mut report = ScrubReport::default();
+        for row in 0..geom.data_rows() {
+            for slot in 0..geom.words_per_row() {
+                report.words += 1;
+                let mut corrected = false;
+                let mut broken = false;
+                for pattern in [0x0000u16, 0xFFFF, 0xA5A5] {
+                    let prow = self.row_map[row];
+                    let stored = if geom.ecc {
+                        ecc::encode(pattern)
+                    } else {
+                        u32::from(pattern)
+                    };
+                    self.advance_access();
+                    self.write_word_phys(prow, slot, stored);
+                    let got = self.read_word_phys(prow, slot);
+                    if geom.ecc {
+                        let (data, status) = ecc::decode(got);
+                        corrected |= status == EccStatus::Corrected;
+                        broken |= status == EccStatus::DoubleDetected || data != pattern;
+                    } else {
+                        broken |= got != u32::from(pattern);
+                    }
+                }
+                if broken {
+                    report.uncorrectable.push((row, slot));
+                } else if corrected {
+                    report.corrected += 1;
+                }
+            }
+        }
+        self.reset_state();
+        report
+    }
+
+    /// Steer a logical data row onto the next spare physical row.
+    /// Power-cycles the array so steered-out cells hold benign zeros.
+    pub fn steer_row(&mut self, row: usize) -> Result<(), MemRepairError> {
+        if self.spare_rows_used >= self.geom.spare_rows {
+            return Err(MemRepairError::NoSpareRow);
+        }
+        assert!(row < self.geom.data_rows(), "row {row} out of range");
+        self.row_map[row] = self.geom.data_rows() + self.spare_rows_used;
+        self.spare_rows_used += 1;
+        self.cells.fill(false);
+        Ok(())
+    }
+
+    /// Steer a logical bit column onto the next spare physical column.
+    /// Power-cycles the array so steered-out cells hold benign zeros.
+    pub fn steer_col(&mut self, col: usize) -> Result<(), MemRepairError> {
+        if self.spare_cols_used >= self.geom.spare_cols {
+            return Err(MemRepairError::NoSpareCol);
+        }
+        assert!(col < self.geom.data_cols(), "column {col} out of range");
+        self.col_map[col] = self.geom.data_cols() + self.spare_cols_used;
+        self.spare_cols_used += 1;
+        self.cells.fill(false);
+        Ok(())
+    }
+}

@@ -1,0 +1,139 @@
+//! SEC-DED extended Hamming (22,16) code for the weight store.
+//!
+//! Each Q6.10 weight word (16 bits) is protected by 5 Hamming check bits
+//! plus one overall-parity bit, the classic single-error-correct /
+//! double-error-detect organization used by SRAM macros. Codeword layout
+//! (LSB first):
+//!
+//! * bit 0 — overall parity (makes the XOR of all 22 bits even),
+//! * bits at power-of-two positions 1, 2, 4, 8, 16 — Hamming check bits,
+//! * the remaining 16 positions — data bits in ascending order.
+//!
+//! [`decode`] distinguishes three outcomes: a clean word, a corrected
+//! single-bit error (any of the 22 positions, including the parity bits
+//! themselves), and a detected-but-uncorrectable double error. Triple and
+//! heavier errors are outside the code's guarantee and may alias.
+
+/// Data bits per codeword (one Q6.10 weight).
+pub const DATA_BITS: u32 = 16;
+
+/// Total bits per codeword: 16 data + 5 Hamming check + 1 overall parity.
+pub const CODE_BITS: u32 = 22;
+
+/// Codeword positions holding data bits, LSB of the data word first
+/// (every position in `1..22` that is not a power of two).
+const DATA_POS: [u32; 16] = [3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15, 17, 18, 19, 20, 21];
+
+/// Outcome of decoding one codeword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EccStatus {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was detected and corrected.
+    Corrected,
+    /// A double-bit error was detected; the returned data is unreliable.
+    DoubleDetected,
+}
+
+/// Encode a 16-bit data word into a 22-bit SEC-DED codeword.
+pub fn encode(data: u16) -> u32 {
+    let mut cw: u32 = 0;
+    for (i, &pos) in DATA_POS.iter().enumerate() {
+        if data >> i & 1 == 1 {
+            cw |= 1 << pos;
+        }
+    }
+    for k in 0..5u32 {
+        let check = 1u32 << k;
+        let mut parity = 0u32;
+        for pos in 1..CODE_BITS {
+            if pos & check != 0 {
+                parity ^= cw >> pos & 1;
+            }
+        }
+        if parity == 1 {
+            cw |= 1 << check;
+        }
+    }
+    let mut overall = 0u32;
+    for pos in 1..CODE_BITS {
+        overall ^= cw >> pos & 1;
+    }
+    cw | overall
+}
+
+/// Decode a 22-bit codeword back to its data word plus an error verdict.
+///
+/// Single-bit errors (any position) are corrected; double-bit errors are
+/// reported as [`EccStatus::DoubleDetected`] and never silently
+/// miscorrected into a different clean word.
+pub fn decode(cw: u32) -> (u16, EccStatus) {
+    let mut syndrome = 0u32;
+    for pos in 1..CODE_BITS {
+        if cw >> pos & 1 == 1 {
+            syndrome ^= pos;
+        }
+    }
+    let mut overall = 0u32;
+    for pos in 0..CODE_BITS {
+        overall ^= cw >> pos & 1;
+    }
+    let mut fixed = cw;
+    let status = if syndrome == 0 && overall == 0 {
+        EccStatus::Clean
+    } else if overall == 1 {
+        // A single flipped bit: the syndrome names its position (0 means
+        // the overall-parity bit itself). A syndrome above the codeword
+        // width can only arise from ≥3 errors, which the code cannot
+        // correct; the flip below is then harmless to the data bits.
+        fixed ^= 1u32.checked_shl(syndrome).unwrap_or(0);
+        EccStatus::Corrected
+    } else {
+        EccStatus::DoubleDetected
+    };
+    let mut data = 0u16;
+    for (i, &pos) in DATA_POS.iter().enumerate() {
+        if fixed >> pos & 1 == 1 {
+            data |= 1 << i;
+        }
+    }
+    (data, status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_identity_for_every_word() {
+        for w in 0..=u16::MAX {
+            let cw = encode(w);
+            assert_eq!(cw >> CODE_BITS, 0, "codeword wider than 22 bits");
+            assert_eq!(decode(cw), (w, EccStatus::Clean), "word {w:#06x}");
+        }
+    }
+
+    #[test]
+    fn every_single_flip_is_corrected() {
+        for w in [0u16, 0xFFFF, 0xA5A5, 0x1234, 0x8001] {
+            let cw = encode(w);
+            for bit in 0..CODE_BITS {
+                let (data, status) = decode(cw ^ (1 << bit));
+                assert_eq!(status, EccStatus::Corrected, "word {w:#06x} bit {bit}");
+                assert_eq!(data, w, "word {w:#06x} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_flip_is_detected() {
+        let w = 0x6B2Du16;
+        let cw = encode(w);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                let (_, status) = decode(cw ^ (1 << a) ^ (1 << b));
+                assert_eq!(status, EccStatus::DoubleDetected, "bits {a},{b}");
+            }
+        }
+    }
+}

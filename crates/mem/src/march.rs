@@ -1,0 +1,217 @@
+//! March C- memory BIST with row/column fault localization.
+//!
+//! The classic March C- element sequence
+//! `⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇑(r0)` detects
+//! stuck-at, transition, address-decoder and state-coupling faults. It is
+//! run twice — once with a solid background and once with a checkerboard
+//! background — because a wired-OR bridge between two bitlines of the
+//! same word is invisible when both bits always carry the same value.
+//!
+//! Every mismatched bit is logged per `(row, column)` cell and the
+//! failure map is condensed to repair granularity: rows with a quarter
+//! or more of their bits failing become *bad rows* (wordline faults),
+//! columns failing in at least half the remaining rows become *bad
+//! columns* (bitline, sense-amp, write-driver and bridge faults), and
+//! the rest stay individual *bad cells* — exactly the units the spare
+//! row/column steering of [`WeightMemory`] can repair.
+
+use crate::array::{MemRepairError, WeightMemory};
+
+/// Condensed result of a March pass, in logical array coordinates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MarchReport {
+    /// Rows dominated by failures (wordline-class faults).
+    pub bad_rows: Vec<usize>,
+    /// Columns failing across rows (bitline-class faults), excluding
+    /// cells already accounted to bad rows.
+    pub bad_cols: Vec<usize>,
+    /// Residual failing `(row, col)` cells outside bad rows/columns.
+    pub bad_cells: Vec<(usize, usize)>,
+    /// Total word reads performed.
+    pub reads: usize,
+    /// Total failing bit observations.
+    pub fails: usize,
+}
+
+impl MarchReport {
+    /// True when the pass observed no failure at all.
+    pub fn clean(&self) -> bool {
+        self.fails == 0
+    }
+
+    /// Number of distinct failing repair units (rows + cols + cells).
+    pub fn units(&self) -> usize {
+        self.bad_rows.len() + self.bad_cols.len() + self.bad_cells.len()
+    }
+}
+
+/// Summary of a steering pass driven by a [`MarchReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Rows steered onto spares.
+    pub rows_steered: usize,
+    /// Columns steered onto spares.
+    pub cols_steered: usize,
+    /// Failing units left unrepaired (spares exhausted or cell-level).
+    pub unrepaired: usize,
+}
+
+/// Run the double-background March C- pass over the live address space
+/// (through the current steering maps, so a repaired array tests clean).
+/// Leaves the array power-on clean.
+pub fn march_cminus(mem: &mut WeightMemory) -> MarchReport {
+    let geom = mem.geometry();
+    let rows = geom.data_rows();
+    let slots = geom.words_per_row();
+    let code = geom.code_bits();
+    let mask: u32 = if code == 32 {
+        u32::MAX
+    } else {
+        (1 << code) - 1
+    };
+    // Per-cell failure map: one bit per (row, col), packed row-major.
+    let cols = slots * code;
+    let words_per_row_map = cols.div_ceil(64);
+    let mut fail_bits = vec![0u64; rows * words_per_row_map];
+    let mut report = MarchReport::default();
+
+    let mark =
+        |fail_bits: &mut Vec<u64>, report: &mut MarchReport, row: usize, slot: usize, diff: u32| {
+            for b in 0..code {
+                if diff >> b & 1 == 1 {
+                    let col = slot * code + b;
+                    let idx = row * words_per_row_map + col / 64;
+                    if fail_bits[idx] >> (col % 64) & 1 == 0 {
+                        fail_bits[idx] |= 1 << (col % 64);
+                    }
+                    report.fails += 1;
+                }
+            }
+        };
+
+    // Background value for one address: solid zero or per-row/slot
+    // checkerboard so bridged neighbors carry opposite values.
+    let backgrounds: [Box<dyn Fn(usize, usize) -> u32>; 2] = [
+        Box::new(|_, _| 0u32),
+        Box::new(move |row, slot| {
+            let alt = 0x2AAAAAu32 & mask;
+            if (row + slot) % 2 == 0 {
+                alt
+            } else {
+                !alt & mask
+            }
+        }),
+    ];
+
+    for bg in &backgrounds {
+        let asc: Vec<(usize, usize)> = (0..rows)
+            .flat_map(|r| (0..slots).map(move |s| (r, s)))
+            .collect();
+        let desc: Vec<(usize, usize)> = asc.iter().rev().copied().collect();
+
+        // ⇑(w0)
+        for &(r, s) in &asc {
+            mem.bist_write(r, s, bg(r, s));
+        }
+        // ⇑(r0, w1); ⇑(r1, w0); ⇓(r0, w1); ⇓(r1, w0)
+        for (order, flip) in [(&asc, false), (&asc, true), (&desc, false), (&desc, true)] {
+            for &(r, s) in order {
+                let expect = if flip { !bg(r, s) & mask } else { bg(r, s) };
+                let got = mem.bist_read(r, s);
+                report.reads += 1;
+                mark(&mut fail_bits, &mut report, r, s, got ^ expect);
+                mem.bist_write(r, s, !expect & mask);
+            }
+        }
+        // ⇑(r0)
+        for &(r, s) in &asc {
+            let got = mem.bist_read(r, s);
+            report.reads += 1;
+            mark(&mut fail_bits, &mut report, r, s, got ^ bg(r, s));
+        }
+    }
+
+    // Condense the per-cell failure map to repair granularity.
+    let cell_failed = |row: usize, col: usize| -> bool {
+        fail_bits[row * words_per_row_map + col / 64] >> (col % 64) & 1 == 1
+    };
+    let mut row_counts = vec![0usize; rows];
+    let mut col_counts = vec![0usize; cols];
+    for (row, row_count) in row_counts.iter_mut().enumerate() {
+        for (col, col_count) in col_counts.iter_mut().enumerate() {
+            if cell_failed(row, col) {
+                *row_count += 1;
+                *col_count += 1;
+            }
+        }
+    }
+    let bad_row = |r: usize| row_counts[r] >= cols.div_ceil(4);
+    report.bad_rows = (0..rows).filter(|&r| bad_row(r)).collect();
+    let live_rows = rows - report.bad_rows.len();
+    for col in 0..cols {
+        let outside = (0..rows)
+            .filter(|&r| !bad_row(r) && cell_failed(r, col))
+            .count();
+        if outside >= (live_rows.max(1)).div_ceil(2).max(2) {
+            report.bad_cols.push(col);
+        }
+    }
+    for row in 0..rows {
+        if bad_row(row) {
+            continue;
+        }
+        for col in 0..cols {
+            if cell_failed(row, col) && !report.bad_cols.contains(&col) {
+                report.bad_cells.push((row, col));
+            }
+        }
+    }
+
+    mem.reset_state();
+    report
+}
+
+/// Steer the units a March pass flagged onto spare rows/columns:
+/// bad rows first, then bad columns, then rows holding cell clusters a
+/// SEC-DED word cannot absorb (two or more failing bits in one word, or
+/// any failing bit when ECC is off). Stops when spares run out.
+pub fn apply_repairs(mem: &mut WeightMemory, report: &MarchReport) -> RepairSummary {
+    let code = mem.geometry().code_bits();
+    let ecc = mem.geometry().ecc;
+    let mut summary = RepairSummary::default();
+    for &row in &report.bad_rows {
+        match mem.steer_row(row) {
+            Ok(()) => summary.rows_steered += 1,
+            Err(MemRepairError::NoSpareRow) => summary.unrepaired += 1,
+            Err(_) => summary.unrepaired += 1,
+        }
+    }
+    for &col in &report.bad_cols {
+        match mem.steer_col(col) {
+            Ok(()) => summary.cols_steered += 1,
+            Err(_) => summary.unrepaired += 1,
+        }
+    }
+    // Group residual cells by (row, word slot); a single SEC-DED word
+    // self-heals one bad bit, so only clusters force a row repair.
+    let mut rows_to_fix: Vec<usize> = Vec::new();
+    let mut by_word: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    for &(row, col) in &report.bad_cells {
+        *by_word.entry((row, col / code)).or_insert(0) += 1;
+    }
+    for (&(row, _), &count) in &by_word {
+        let needs_repair = if ecc { count >= 2 } else { count >= 1 };
+        if needs_repair && !rows_to_fix.contains(&row) {
+            rows_to_fix.push(row);
+        }
+    }
+    rows_to_fix.sort_unstable();
+    for row in rows_to_fix {
+        match mem.steer_row(row) {
+            Ok(()) => summary.rows_steered += 1,
+            Err(_) => summary.unrepaired += 1,
+        }
+    }
+    summary
+}
