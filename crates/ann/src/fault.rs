@@ -43,6 +43,9 @@ pub enum UnitKind {
     Latch,
     /// The neuron's sigmoid activation unit (one per neuron).
     Activation,
+    /// A whole multiply-accumulate processing element (systolic
+    /// topology: one PE serves many synapses across weight tiles).
+    Pe,
 }
 
 impl fmt::Display for UnitKind {
@@ -52,6 +55,7 @@ impl fmt::Display for UnitKind {
             UnitKind::Adder => write!(f, "add"),
             UnitKind::Latch => write!(f, "latch"),
             UnitKind::Activation => write!(f, "act"),
+            UnitKind::Pe => write!(f, "pe"),
         }
     }
 }

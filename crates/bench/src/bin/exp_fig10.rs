@@ -21,16 +21,53 @@
 //! records honest speedup factors for both optimizations.
 //! `--checkpoint FILE` journals each finished grid cell: a killed run
 //! restarted with the same flags skips the journaled cells and
-//! reproduces the uninterrupted curve byte-for-byte.
+//! reproduces the uninterrupted curve byte-for-byte. `--lutpar true`
+//! additionally times the row-parallel gate engine
+//! (`PartitionedLutExec`) on the Q6.10 multiplier netlist at the
+//! campaign thread count vs. one thread (bit-identity asserted) and
+//! adds the numbers to the perf record.
 
 use std::time::Instant;
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
 use dta_bench::{rule, Args, JsonMap};
+use dta_circuits::multiplier::FxMulCircuit;
 use dta_circuits::{force_switch_level_baseline, Activation, FaultModel};
 use dta_core::campaign::{defect_tolerance_curve_resumable, CampaignConfig, CurvePoint};
 use dta_core::checkpoint::Checkpoint;
 use dta_core::parallel::effective_threads;
+use dta_core::PartitionedLutExec;
 use dta_datasets::{suite, TaskSpec};
+
+/// Batched 64-lane passes for the `--lutpar` timing loop.
+const LUTPAR_ITERS: usize = 4000;
+
+/// Times `LUTPAR_ITERS` batched multiplier evaluations on the
+/// partitioned engine and returns every batch's output words plus the
+/// wall time. The input stream is re-seeded per call so every thread
+/// count sees identical work.
+fn time_lutpar(mul: &FxMulCircuit, threads: usize) -> (Vec<Vec<u64>>, f64) {
+    // Program lowering is cached and excluded from the timed region —
+    // this measures the executor, not the compile.
+    let prog = dta_logic::LutProgram::cached(mul.netlist());
+    let mut par = PartitionedLutExec::new(prog, threads);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1F7);
+    // One untimed pass warms caches and worker threads.
+    par.exec();
+    let started = Instant::now();
+    let mut outputs = Vec::with_capacity(LUTPAR_ITERS);
+    for _ in 0..LUTPAR_ITERS {
+        let a: Vec<u64> = (0..64).map(|_| u64::from(rng.random::<u16>())).collect();
+        let b: Vec<u64> = (0..64).map(|_| u64::from(rng.random::<u16>())).collect();
+        par.set_input_words(mul.a_bus(), &a);
+        par.set_input_words(mul.b_bus(), &b);
+        par.exec();
+        outputs.push(par.read_words(mul.out_bus(), 64));
+    }
+    (outputs, started.elapsed().as_secs_f64())
+}
 
 /// Runs the full campaign (every task) once and returns the per-task
 /// curves plus the wall time. Campaign errors (bad configuration, bad
@@ -200,6 +237,23 @@ fn main() {
         t
     });
 
+    // --- Row-parallel gate engine timing (--lutpar true) -----------------
+    // The campaign numbers above time the whole train/evaluate pipeline;
+    // this isolates the `PartitionedLutExec` rank-parallel executor on
+    // the Q6.10 multiplier netlist, same-work serial reference included.
+    let lutpar = args.get_bool("lutpar", false).then(|| {
+        let mul = FxMulCircuit::new();
+        let (par_out, par_s) = time_lutpar(&mul, threads_used);
+        let (ser_out, ser_s) = time_lutpar(&mul, 1);
+        assert_eq!(par_out, ser_out, "partitioned engine must be bit-identical");
+        println!(
+            "lutpar: {LUTPAR_ITERS} x 64-lane multiplier batches — {par_s:.3} s on \
+             {threads_used} thread(s), {ser_s:.3} s serial ({:.2}x)",
+            ser_s / par_s
+        );
+        (par_s, ser_s)
+    });
+
     let out_path = args.get("bench-out", "BENCH_campaign.json".to_string());
     let record = JsonMap::new()
         .str("bin", "exp_fig10")
@@ -220,7 +274,11 @@ fn main() {
         .opt_num(
             "speedup_vs_switch_level",
             switch_level_wall_s.map(|t| t / wall_s),
-        );
+        )
+        .int("lutpar_iters", lutpar.map_or(0, |_| LUTPAR_ITERS as u64))
+        .opt_num("lutpar_wall_s", lutpar.map(|(p, _)| p))
+        .opt_num("lutpar_serial_wall_s", lutpar.map(|(_, s)| s))
+        .opt_num("lutpar_speedup", lutpar.map(|(p, s)| s / p));
     match record.write(&out_path) {
         Ok(()) => println!("perf record written to {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),

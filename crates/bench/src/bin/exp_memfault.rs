@@ -18,7 +18,9 @@
 //! Both arms share seeds and budgets, so the pipeline arm can never end
 //! below the blind arm; the binary asserts this floor at every cell.
 //! With `--checkpoint`, finished cells land in a fingerprint-guarded
-//! journal and a killed sweep resumes byte-identical.
+//! journal and a killed sweep resumes byte-identical. The twin-arm
+//! protocol and the journal arm layout live in [`dta_bench::twin`],
+//! shared with `exp_recovery` and `exp_systolic`.
 //!
 //! ```sh
 //! cargo run --release -p dta-bench --bin exp_memfault
@@ -31,50 +33,13 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use dta_ann::{Mlp, Topology};
+use dta_ann::Topology;
+use dta_bench::twin::{self, TwinCell};
 use dta_bench::{pct, require_task, rule, Args, JsonMap};
-use dta_core::recover::recover;
-use dta_core::{
-    run_selftest, Accelerator, BistConfig, CellOutcome, Checkpoint, Diagnosis, MemActivation,
-    MemGeometry, RecoveryPolicy, RungBudget, WeightMemory,
-};
+use dta_core::{Accelerator, MemActivation, MemGeometry, RecoveryPolicy, RungBudget, WeightMemory};
 use dta_datasets::{Dataset, TaskSpec};
 
-/// One (density × repetition) cell of the sweep. Only quantities that
-/// fit the checkpoint journal live here — anything else would differ
-/// between a fresh run and a resumed one.
-struct CellResult {
-    clean: f64,
-    faulty: f64,
-    blind: f64,
-    recovered: f64,
-}
-
-/// The four journal pseudo-tasks one cell fans out into.
-const ARMS: [&str; 4] = ["clean", "faulty", "blind", "full"];
-
-/// Builds a commissioned accelerator: the task's network mapped onto
-/// the 90-10-10 array and clean-trained on the training fold.
-fn commission(
-    spec: &TaskSpec,
-    ds: &Dataset,
-    train: &[usize],
-    epochs: usize,
-    seed: u64,
-) -> Accelerator {
-    let mut accel = Accelerator::new();
-    let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
-    if let Err(e) = accel.map_network(Mlp::new(topo, seed)) {
-        eprintln!("exp_memfault: task {} does not map: {e}", spec.name);
-        std::process::exit(2);
-    }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    if let Err(e) = accel.retrain(ds, train, spec.learning_rate, 0.1, epochs, &mut rng) {
-        eprintln!("exp_memfault: commissioning train failed: {e}");
-        std::process::exit(1);
-    }
-    accel
-}
+const BIN: &str = "exp_memfault";
 
 /// Everything shared by every cell of the sweep.
 struct Sweep<'a> {
@@ -90,122 +55,47 @@ struct Sweep<'a> {
 impl Sweep<'_> {
     /// Runs one cell: `idx` is the density's position in the sweep (the
     /// journal key), `n_defects` the realized defect count.
-    fn run_cell(&self, idx: usize, n_defects: usize, rep: usize) -> CellResult {
+    fn run_cell(&self, idx: usize, n_defects: usize, rep: usize) -> TwinCell {
         let (spec, ds, epochs) = (self.spec, self.ds, self.epochs);
         let cell_seed = self.seed ^ (idx as u64) << 24 ^ (rep as u64) << 8;
         let folds = ds.k_folds(5, self.seed ^ rep as u64);
         let fold = &folds[0];
+        let label = format!("density idx={idx} rep={rep}");
 
-        let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
-            eprintln!("exp_memfault: {what} (density idx={idx} rep={rep}): {e}");
-            std::process::exit(1);
+        let commission = || {
+            twin::commission(
+                BIN,
+                Accelerator::new(),
+                spec,
+                ds,
+                &fold.train,
+                epochs,
+                cell_seed,
+            )
         };
-
-        // Twin arrays with identical weights behind identically damaged
-        // weight stores: one for the blind-retrain baseline, one for the
-        // full memory-repair pipeline. The store spans the full physical
-        // array so a remapped lane always has a backing row.
-        let arm = || {
-            let mut accel = commission(spec, ds, &fold.train, epochs, cell_seed);
-            accel.attach_weight_memory_with(WeightMemory::new(self.geom));
-            let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0x3E3);
-            accel
-                .inject_memory_defects(n_defects, MemActivation::Permanent, &mut rng)
-                .unwrap_or_else(|e| fail("defect injection", &e));
-            accel
-        };
-        let mut blind_accel = arm();
-        let mut full_accel = arm();
-
-        let clean = {
-            // Measured on a third, undamaged copy of the same
-            // commissioning run.
-            let mut pristine = commission(spec, ds, &fold.train, epochs, cell_seed);
-            pristine
-                .evaluate(ds, &fold.test)
-                .unwrap_or_else(|e| fail("clean evaluation", &e))
-        };
-        let faulty = full_accel
-            .evaluate(ds, &fold.test)
-            .unwrap_or_else(|e| fail("faulty evaluation", &e));
-
-        // Detect and diagnose (pipeline arm only — both the operator
-        // BIST and the March pass are state-clean, so the arm stays
-        // bit-identical to its twin).
-        let diagnosis = run_selftest(&mut full_accel, &BistConfig::default())
-            .unwrap_or_else(|e| fail("selftest", &e));
-
-        let policy = RecoveryPolicy {
-            target_accuracy: (clean - self.target_drop).max(0.0),
-            seed: cell_seed,
-            ..self.policy_base.clone()
-        };
-        let blind_policy = RecoveryPolicy {
-            use_remap: false,
-            use_memory_repair: false,
-            ..policy.clone()
-        };
-        let blind_report = recover(
-            &mut blind_accel,
+        // The damaged arms put the task's weights behind an identically
+        // broken weight store. The store spans the full physical array
+        // so a remapped lane always has a backing row.
+        twin::run_twin_race(
+            BIN,
+            &label,
+            || {
+                let mut accel = commission();
+                accel.attach_weight_memory_with(WeightMemory::new(self.geom));
+                let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0x3E3);
+                accel
+                    .inject_memory_defects(n_defects, MemActivation::Permanent, &mut rng)
+                    .unwrap_or_else(|e| twin::die(BIN, &label, "defect injection", &e));
+                accel
+            },
+            commission,
             ds,
-            &fold.train,
-            &fold.test,
-            &Diagnosis::default(),
-            &blind_policy,
+            fold,
+            &self.policy_base,
+            self.target_drop,
+            cell_seed,
         )
-        .unwrap_or_else(|e| fail("blind recovery", &e));
-        let full_report = recover(
-            &mut full_accel,
-            ds,
-            &fold.train,
-            &fold.test,
-            &diagnosis,
-            &policy,
-        )
-        .unwrap_or_else(|e| fail("pipeline recovery", &e));
-
-        CellResult {
-            clean,
-            faulty,
-            blind: blind_report.accuracy,
-            recovered: full_report.accuracy,
-        }
-    }
-}
-
-fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        f64::NAN
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
-/// Replays a journaled cell, if all four of its arms were recorded.
-fn replay(ck: &Checkpoint, task: &str, idx: usize, rep: usize) -> Option<CellResult> {
-    let acc = |arm: &str| match ck.lookup(&format!("{task}#{arm}"), idx, rep) {
-        Some(CellOutcome::Completed { accuracy, .. }) => Some(accuracy),
-        _ => None,
-    };
-    Some(CellResult {
-        clean: acc(ARMS[0])?,
-        faulty: acc(ARMS[1])?,
-        blind: acc(ARMS[2])?,
-        recovered: acc(ARMS[3])?,
-    })
-}
-
-fn record(ck: &Checkpoint, task: &str, idx: usize, rep: usize, cell: &CellResult) {
-    let values = [cell.clean, cell.faulty, cell.blind, cell.recovered];
-    for (arm, accuracy) in ARMS.iter().zip(values) {
-        let outcome = CellOutcome::Completed {
-            accuracy,
-            retried: false,
-        };
-        if let Err(e) = ck.record(&format!("{task}#{arm}"), idx, rep, &outcome) {
-            eprintln!("exp_memfault: checkpoint write failed: {e}");
-            std::process::exit(1);
-        }
+        .cell
     }
 }
 
@@ -267,22 +157,7 @@ fn main() {
          recovery_epochs={recovery_epochs} budget_ms={budget_ms} target_drop={target_drop:?} \
          seed={seed:#x} mem=rows:{spare_rows},cols:{spare_cols},ecc:{ecc}"
     );
-    let checkpoint = checkpoint_path.map(|p| match Checkpoint::open(p, &fingerprint) {
-        Ok(ck) => {
-            if ck.completed() > 0 {
-                eprintln!(
-                    "exp_memfault: resuming from {} ({} journaled arm(s))",
-                    ck.path().display(),
-                    ck.completed()
-                );
-            }
-            ck
-        }
-        Err(e) => {
-            eprintln!("exp_memfault: {e}");
-            std::process::exit(1);
-        }
-    });
+    let checkpoint = checkpoint_path.map(|p| twin::open_checkpoint(BIN, p, &fingerprint));
 
     println!(
         "Weight-memory defect sweep on {task}: {reps} rep(s) per density over {data_cells} \
@@ -301,32 +176,26 @@ fn main() {
     let mut agg_blind = Vec::new();
     let mut agg_recovered = Vec::new();
     for (idx, (&density, &n_defects)) in densities.iter().zip(&counts).enumerate() {
-        let cells: Vec<CellResult> = (0..reps)
+        let cells: Vec<TwinCell> = (0..reps)
             .map(|rep| {
                 if let Some(cell) = checkpoint
                     .as_ref()
-                    .and_then(|ck| replay(ck, &task, idx, rep))
+                    .and_then(|ck| twin::replay_twin(ck, &task, idx, rep))
                 {
                     return cell;
                 }
                 let cell = sweep.run_cell(idx, n_defects, rep);
                 if let Some(ck) = &checkpoint {
-                    record(ck, &task, idx, rep, &cell);
+                    twin::record_twin(BIN, ck, &task, idx, rep, &cell);
                 }
                 cell
             })
             .collect();
-        for cell in &cells {
-            assert!(
-                cell.recovered >= cell.blind,
-                "pipeline arm below blind arm at density={density} — shared-seed \
-                 invariant broken"
-            );
-        }
-        let clean = mean(&cells.iter().map(|c| c.clean).collect::<Vec<_>>());
-        let faulty = mean(&cells.iter().map(|c| c.faulty).collect::<Vec<_>>());
-        let blind = mean(&cells.iter().map(|c| c.blind).collect::<Vec<_>>());
-        let recovered = mean(&cells.iter().map(|c| c.recovered).collect::<Vec<_>>());
+        twin::assert_twin_floor(&cells, &format!("density={density}"));
+        let clean = twin::mean(&cells.iter().map(|c| c.clean).collect::<Vec<_>>());
+        let faulty = twin::mean(&cells.iter().map(|c| c.faulty).collect::<Vec<_>>());
+        let blind = twin::mean(&cells.iter().map(|c| c.blind).collect::<Vec<_>>());
+        let recovered = twin::mean(&cells.iter().map(|c| c.recovered).collect::<Vec<_>>());
 
         println!(
             "{:<10}{:>8}{:>8}{:>8}{:>8}{:>10}{:>8}",

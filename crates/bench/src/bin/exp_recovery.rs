@@ -14,7 +14,9 @@
 //!
 //! Both arms share seeds and budgets, so the pipeline arm can never end
 //! below the blind arm — the table quantifies how much the diagnosis
-//! buys on top of blind retraining.
+//! buys on top of blind retraining. The twin-arm protocol itself lives
+//! in [`dta_bench::twin`], shared with `exp_memfault` and
+//! `exp_systolic`.
 //!
 //! ```sh
 //! cargo run --release -p dta-bench --bin exp_recovery
@@ -26,48 +28,23 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use dta_ann::{Mlp, Topology};
+use dta_bench::twin;
 use dta_bench::{pct, require_task, rule, Args, JsonMap};
 use dta_circuits::FaultModel;
-use dta_core::recover::recover;
 use dta_core::{
-    detection_rate, localization_precision, run_selftest, Accelerator, BistConfig, Diagnosis,
-    RecoveryPolicy, RecoveryRung, RungBudget,
+    detection_rate, localization_precision, Accelerator, RecoveryPolicy, RecoveryRung, RungBudget,
 };
 use dta_datasets::{Dataset, TaskSpec};
 
-/// One (defect count × repetition) cell of the sweep.
+const BIN: &str = "exp_recovery";
+
+/// One (defect count × repetition) cell of the sweep: the shared twin
+/// accuracies plus the diagnosis scores this campaign adds on top.
 struct CellResult {
+    twin: twin::TwinCell,
     detection: Option<f64>,
     precision: Option<f64>,
-    clean: f64,
-    faulty: f64,
-    blind: f64,
-    recovered: f64,
     final_rung: RecoveryRung,
-}
-
-/// Builds a commissioned accelerator: the task's network mapped onto
-/// the 90-10-10 array and clean-trained on the training fold.
-fn commission(
-    spec: &TaskSpec,
-    ds: &Dataset,
-    train: &[usize],
-    epochs: usize,
-    seed: u64,
-) -> Accelerator {
-    let mut accel = Accelerator::new();
-    let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
-    if let Err(e) = accel.map_network(Mlp::new(topo, seed)) {
-        eprintln!("exp_recovery: task {} does not map: {e}", spec.name);
-        std::process::exit(2);
-    }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    if let Err(e) = accel.retrain(ds, train, spec.learning_rate, 0.1, epochs, &mut rng) {
-        eprintln!("exp_recovery: commissioning train failed: {e}");
-        std::process::exit(1);
-    }
-    accel
 }
 
 /// Everything shared by every cell of the sweep.
@@ -87,87 +64,46 @@ impl Sweep<'_> {
         let folds = ds.k_folds(5, self.seed ^ rep as u64);
         let fold = &folds[0];
 
-        // Twin arrays with identical weights and identical defect sets:
-        // one for the blind-retrain baseline, one for the full pipeline.
-        let arm = || {
-            let mut accel = commission(spec, ds, &fold.train, epochs, cell_seed);
-            let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0xFA11);
-            accel.inject_defects(defects, FaultModel::TransistorLevel, &mut rng);
-            accel
+        let commission = || {
+            twin::commission(
+                BIN,
+                Accelerator::new(),
+                spec,
+                ds,
+                &fold.train,
+                epochs,
+                cell_seed,
+            )
         };
-        let mut blind_accel = arm();
-        let mut full_accel = arm();
-
-        let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
-            eprintln!("exp_recovery: {what} (defects={defects} rep={rep}): {e}");
-            std::process::exit(1);
-        };
-
-        let clean = {
-            // Measured before injection would be ideal, but the twin
-            // construction makes it available on a third copy for free.
-            let mut pristine = commission(spec, ds, &fold.train, epochs, cell_seed);
-            pristine
-                .evaluate(ds, &fold.test)
-                .unwrap_or_else(|e| fail("clean evaluation", &e))
-        };
-        let faulty = full_accel
-            .evaluate(ds, &fold.test)
-            .unwrap_or_else(|e| fail("faulty evaluation", &e));
-
-        // Detect and diagnose (pipeline arm only — the BIST is
-        // state-clean, so it leaves the arm bit-identical to its twin).
-        let diagnosis = run_selftest(&mut full_accel, &BistConfig::default())
-            .unwrap_or_else(|e| fail("selftest", &e));
-        let truth = full_accel.faults().sites().to_vec();
-        let detection = detection_rate(&truth, &diagnosis.flagged);
-        let precision = localization_precision(&truth, &diagnosis.flagged);
-
-        let policy = RecoveryPolicy {
-            target_accuracy: (clean - self.target_drop).max(0.0),
-            seed: cell_seed,
-            ..self.policy_base.clone()
-        };
-        let blind_policy = RecoveryPolicy {
-            use_remap: false,
-            ..policy.clone()
-        };
-        let blind_report = recover(
-            &mut blind_accel,
+        let race = twin::run_twin_race(
+            BIN,
+            &format!("defects={defects} rep={rep}"),
+            || {
+                let mut accel = commission();
+                let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0xFA11);
+                accel.inject_defects(defects, FaultModel::TransistorLevel, &mut rng);
+                accel
+            },
+            commission,
             ds,
-            &fold.train,
-            &fold.test,
-            &Diagnosis::default(),
-            &blind_policy,
-        )
-        .unwrap_or_else(|e| fail("blind recovery", &e));
-        let full_report = recover(
-            &mut full_accel,
-            ds,
-            &fold.train,
-            &fold.test,
-            &diagnosis,
-            &policy,
-        )
-        .unwrap_or_else(|e| fail("pipeline recovery", &e));
+            fold,
+            &self.policy_base,
+            self.target_drop,
+            cell_seed,
+        );
 
+        // Score the diagnosis against the injected ground truth (the
+        // truth list is injection-order and immutable under recovery).
+        let truth = race.full_accel.faults().sites().to_vec();
         CellResult {
-            detection,
-            precision,
-            clean,
-            faulty,
-            blind: blind_report.accuracy,
-            recovered: full_report.accuracy,
-            final_rung: full_report.final_rung().unwrap_or(RecoveryRung::Retrain),
+            twin: race.cell,
+            detection: detection_rate(&truth, &race.diagnosis.flagged),
+            precision: localization_precision(&truth, &race.diagnosis.flagged),
+            final_rung: race
+                .full_report
+                .final_rung()
+                .unwrap_or(RecoveryRung::Retrain),
         }
-    }
-}
-
-fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        f64::NAN
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
     }
 }
 
@@ -233,20 +169,16 @@ fn main() {
     let mut agg_recovered = Vec::new();
     for &defects in &counts {
         let cells: Vec<CellResult> = (0..reps).map(|rep| sweep.run_cell(defects, rep)).collect();
-        for cell in &cells {
-            assert!(
-                cell.recovered >= cell.blind,
-                "pipeline arm below blind arm at defects={defects} — shared-seed invariant broken"
-            );
-        }
+        let twins: Vec<twin::TwinCell> = cells.iter().map(|c| c.twin).collect();
+        twin::assert_twin_floor(&twins, &format!("defects={defects}"));
         let detections: Vec<f64> = cells.iter().filter_map(|c| c.detection).collect();
         let precisions: Vec<f64> = cells.iter().filter_map(|c| c.precision).collect();
-        let clean = mean(&cells.iter().map(|c| c.clean).collect::<Vec<_>>());
-        let faulty = mean(&cells.iter().map(|c| c.faulty).collect::<Vec<_>>());
-        let blind = mean(&cells.iter().map(|c| c.blind).collect::<Vec<_>>());
-        let recovered = mean(&cells.iter().map(|c| c.recovered).collect::<Vec<_>>());
-        let detection = mean(&detections);
-        let precision = mean(&precisions);
+        let clean = twin::mean(&twins.iter().map(|c| c.clean).collect::<Vec<_>>());
+        let faulty = twin::mean(&twins.iter().map(|c| c.faulty).collect::<Vec<_>>());
+        let blind = twin::mean(&twins.iter().map(|c| c.blind).collect::<Vec<_>>());
+        let recovered = twin::mean(&twins.iter().map(|c| c.recovered).collect::<Vec<_>>());
+        let detection = twin::mean(&detections);
+        let precision = twin::mean(&precisions);
         let rungs: Vec<usize> = [
             RecoveryRung::Retrain,
             RecoveryRung::Remap,

@@ -14,6 +14,13 @@ use std::collections::HashMap;
 use std::fmt::Display;
 use std::str::FromStr;
 
+pub mod twin;
+
+pub use twin::{
+    assert_twin_floor, commission, mean, open_checkpoint, record_twin, replay_twin, run_twin_race,
+    TwinCell, TwinRace, TWIN_ARMS,
+};
+
 /// The `--key value` options the experiment binaries read, with one-line
 /// help. Not every binary reads every key; unread keys are ignored.
 const KNOWN_KEYS: &[(&str, &str)] = &[
@@ -38,6 +45,10 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
     (
         "baseline",
         "exp_fig10: also time the uncached switch-level engine",
+    ),
+    (
+        "lutpar",
+        "exp_fig10: also time PartitionedLutExec vs a one-thread reference",
     ),
     ("bench-out", "path for the machine-readable timing JSON"),
     (

@@ -1,0 +1,301 @@
+//! The **blind-vs-pipeline twin-arm protocol** shared by the recovery
+//! campaigns (`exp_recovery`, `exp_memfault`, `exp_systolic`).
+//!
+//! Every cell of those sweeps races twin copies of the same damaged,
+//! commissioned accelerator through the recovery ladder: one *blind*
+//! (retraining only — the paper's Figure 10 mechanism) and one with the
+//! full pipeline (BIST diagnosis, then the topology's structural repair
+//! rungs, then graceful degradation). Both arms share seeds and
+//! budgets, so the pipeline arm can never end below the blind arm; the
+//! campaigns assert that floor at every cell.
+//!
+//! This module holds the protocol once, generically over
+//! [`Accel`](dta_core::accel::Accel), so a new topology gets the whole
+//! campaign machinery — twin construction, state-clean diagnosis,
+//! unified blind policy, fingerprint-guarded checkpoint journaling —
+//! by implementing the trait.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dta_ann::{Mlp, Topology};
+use dta_core::accel::Accel;
+use dta_core::recover::{recover, RecoveryReport};
+use dta_core::{BistConfig, CellOutcome, Checkpoint, Diagnosis, RecoveryPolicy};
+use dta_datasets::{Dataset, Fold, TaskSpec};
+
+/// The four journal pseudo-tasks one twin cell fans out into.
+pub const TWIN_ARMS: [&str; 4] = ["clean", "faulty", "blind", "full"];
+
+/// One cell's journaled accuracies. Only quantities that fit the
+/// checkpoint journal live here — anything else would differ between a
+/// fresh run and a resumed one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwinCell {
+    /// Accuracy of a pristine third copy of the commissioning run.
+    pub clean: f64,
+    /// Accuracy of the damaged array before any recovery.
+    pub faulty: f64,
+    /// Accuracy after blind retraining only.
+    pub blind: f64,
+    /// Accuracy after the full diagnosis-guided pipeline.
+    pub recovered: f64,
+}
+
+/// Everything one twin race produces beyond the journaled accuracies —
+/// campaigns that score diagnosis quality or report final rungs read
+/// these; checkpoint-replayed cells don't have them.
+pub struct TwinRace<A> {
+    /// The journaled accuracies.
+    pub cell: TwinCell,
+    /// The BIST diagnosis the pipeline arm recovered under.
+    pub diagnosis: Diagnosis,
+    /// The blind arm's ladder report.
+    pub blind_report: RecoveryReport,
+    /// The pipeline arm's ladder report.
+    pub full_report: RecoveryReport,
+    /// The pipeline arm itself, post-recovery (fault truth, routing).
+    pub full_accel: A,
+}
+
+/// Reports a fatal campaign error as `bin: what (label): e` and exits
+/// with status 1.
+pub fn die(bin: &str, label: &str, what: &str, e: &dyn std::fmt::Display) -> ! {
+    eprintln!("{bin}: {what} ({label}): {e}");
+    std::process::exit(1);
+}
+
+/// Commissions an accelerator of any topology: maps the task's network
+/// and clean-trains it on the training fold. Exits with status 2 when
+/// the network does not fit, 1 when training fails.
+pub fn commission<A: Accel>(
+    bin: &str,
+    mut accel: A,
+    spec: &TaskSpec,
+    ds: &Dataset,
+    train: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> A {
+    let topo = Topology::new(ds.n_features(), spec.hidden, ds.n_classes());
+    if let Err(e) = accel.map_network(Mlp::new(topo, seed)) {
+        eprintln!("{bin}: task {} does not map: {e}", spec.name);
+        std::process::exit(2);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    if let Err(e) = accel.retrain(ds, train, spec.learning_rate, 0.1, epochs, &mut rng) {
+        eprintln!("{bin}: commissioning train failed: {e}");
+        std::process::exit(1);
+    }
+    accel
+}
+
+/// Runs one cell of the twin-arm protocol.
+///
+/// `arm` builds one damaged, commissioned accelerator (called twice —
+/// the twins must be bit-identical, so it must derive all randomness
+/// from the cell seed); `pristine` builds the undamaged third copy the
+/// clean reference is measured on. The pipeline arm is diagnosed with a
+/// state-clean BIST (leaving it bit-identical to its twin), then both
+/// arms recover: the blind arm under a unified blind policy (no remap,
+/// no memory repair) against an empty diagnosis, the pipeline arm under
+/// `policy_base` with `target_accuracy` set `target_drop` below the
+/// measured clean accuracy and the cell seed installed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_twin_race<A: Accel>(
+    bin: &str,
+    label: &str,
+    mut arm: impl FnMut() -> A,
+    pristine: impl FnOnce() -> A,
+    ds: &Dataset,
+    fold: &Fold,
+    policy_base: &RecoveryPolicy,
+    target_drop: f64,
+    cell_seed: u64,
+) -> TwinRace<A> {
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! { die(bin, label, what, e) };
+
+    // Twin arrays with identical weights and identical damage: one for
+    // the blind-retrain baseline, one for the full pipeline.
+    let mut blind_accel = arm();
+    let mut full_accel = arm();
+
+    let clean = {
+        // Measured before injection would be ideal, but the twin
+        // construction makes it available on a third copy for free.
+        let mut p = pristine();
+        p.evaluate(ds, &fold.test)
+            .unwrap_or_else(|e| fail("clean evaluation", &e))
+    };
+    let faulty = full_accel
+        .evaluate(ds, &fold.test)
+        .unwrap_or_else(|e| fail("faulty evaluation", &e));
+
+    // Detect and diagnose (pipeline arm only — the BIST is state-clean,
+    // so it leaves the arm bit-identical to its twin).
+    let diagnosis = full_accel
+        .self_test(&BistConfig::default())
+        .unwrap_or_else(|e| fail("selftest", &e));
+
+    let policy = RecoveryPolicy {
+        target_accuracy: (clean - target_drop).max(0.0),
+        seed: cell_seed,
+        ..policy_base.clone()
+    };
+    let blind_policy = RecoveryPolicy {
+        use_remap: false,
+        use_memory_repair: false,
+        ..policy.clone()
+    };
+    let blind_report = recover(
+        &mut blind_accel,
+        ds,
+        &fold.train,
+        &fold.test,
+        &Diagnosis::default(),
+        &blind_policy,
+    )
+    .unwrap_or_else(|e| fail("blind recovery", &e));
+    let full_report = recover(
+        &mut full_accel,
+        ds,
+        &fold.train,
+        &fold.test,
+        &diagnosis,
+        &policy,
+    )
+    .unwrap_or_else(|e| fail("pipeline recovery", &e));
+
+    TwinRace {
+        cell: TwinCell {
+            clean,
+            faulty,
+            blind: blind_report.accuracy,
+            recovered: full_report.accuracy,
+        },
+        diagnosis,
+        blind_report,
+        full_report,
+        full_accel,
+    }
+}
+
+/// Asserts the shared-seed floor over a batch of cells: the pipeline
+/// arm can never end below the blind arm.
+pub fn assert_twin_floor(cells: &[TwinCell], label: &str) {
+    for cell in cells {
+        assert!(
+            cell.recovered >= cell.blind,
+            "pipeline arm below blind arm at {label} — shared-seed invariant broken"
+        );
+    }
+}
+
+/// Opens (or resumes) a fingerprint-guarded checkpoint journal,
+/// reporting how many arms were already journaled. A fingerprint
+/// mismatch exits with status 1.
+pub fn open_checkpoint(bin: &str, path: &str, fingerprint: &str) -> Checkpoint {
+    match Checkpoint::open(path, fingerprint) {
+        Ok(ck) => {
+            if ck.completed() > 0 {
+                eprintln!(
+                    "{bin}: resuming from {} ({} journaled arm(s))",
+                    ck.path().display(),
+                    ck.completed()
+                );
+            }
+            ck
+        }
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Replays a journaled cell under pseudo-task key `key` (e.g. the task
+/// name, or `task@topology`), if all four of its arms were recorded.
+pub fn replay_twin(ck: &Checkpoint, key: &str, idx: usize, rep: usize) -> Option<TwinCell> {
+    let acc = |arm: &str| match ck.lookup(&format!("{key}#{arm}"), idx, rep) {
+        Some(CellOutcome::Completed { accuracy, .. }) => Some(accuracy),
+        _ => None,
+    };
+    Some(TwinCell {
+        clean: acc(TWIN_ARMS[0])?,
+        faulty: acc(TWIN_ARMS[1])?,
+        blind: acc(TWIN_ARMS[2])?,
+        recovered: acc(TWIN_ARMS[3])?,
+    })
+}
+
+/// Journals a finished cell's four arms under pseudo-task key `key`.
+/// A write failure exits with status 1.
+pub fn record_twin(bin: &str, ck: &Checkpoint, key: &str, idx: usize, rep: usize, cell: &TwinCell) {
+    let values = [cell.clean, cell.faulty, cell.blind, cell.recovered];
+    for (arm, accuracy) in TWIN_ARMS.iter().zip(values) {
+        let outcome = CellOutcome::Completed {
+            accuracy,
+            retried: false,
+        };
+        if let Err(e) = ck.record(&format!("{key}#{arm}"), idx, rep, &outcome) {
+            eprintln!("{bin}: checkpoint write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Mean of a slice, `NaN` when empty (printed as `-` by the tables).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(mean(&[0.25, 0.75]), 0.5);
+    }
+
+    #[test]
+    fn twin_journal_round_trips() {
+        let dir = std::env::temp_dir().join(format!("dta-twin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let ck = Checkpoint::open(&path, "twin test v1").unwrap();
+        let cell = TwinCell {
+            clean: 0.95,
+            faulty: 0.4,
+            blind: 0.8,
+            recovered: 0.9,
+        };
+        assert!(replay_twin(&ck, "iris@systolic", 1, 0).is_none());
+        record_twin("test", &ck, "iris@systolic", 1, 0, &cell);
+        let ck = Checkpoint::open(&path, "twin test v1").unwrap();
+        assert_eq!(replay_twin(&ck, "iris@systolic", 1, 0), Some(cell));
+        // A different key or index misses.
+        assert!(replay_twin(&ck, "iris@spatial", 1, 0).is_none());
+        assert!(replay_twin(&ck, "iris@systolic", 2, 0).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-seed invariant")]
+    fn floor_assert_fires() {
+        assert_twin_floor(
+            &[TwinCell {
+                clean: 1.0,
+                faulty: 0.5,
+                blind: 0.9,
+                recovered: 0.8,
+            }],
+            "defects=3",
+        );
+    }
+}

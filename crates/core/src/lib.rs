@@ -48,6 +48,7 @@
 //! assert!(class < 3);
 //! ```
 
+pub mod accel;
 pub mod accelerator;
 pub mod campaign;
 pub mod checkpoint;
@@ -62,6 +63,7 @@ pub mod recover;
 pub mod selftest;
 pub mod time_multiplexed;
 
+pub use accel::{Accel, StructuralOutcome};
 pub use accelerator::{AccelError, Accelerator};
 pub use campaign::{
     AmplitudePoint, CampaignConfig, CampaignError, CellOutcome, ChaosCell, CurvePoint,
@@ -74,7 +76,8 @@ pub use lutpar::PartitionedLutExec;
 pub use parallel::parallel_map;
 pub use processor::ProcessorModel;
 pub use recover::{
-    MemRungStats, RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung, RungBudget,
+    DegradationEstimate, MemRungStats, RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung,
+    RungBudget,
 };
 pub use selftest::{detection_rate, localization_precision, run_selftest, BistConfig, Diagnosis};
 pub use time_multiplexed::TimeMultiplexedAccelerator;

@@ -47,8 +47,9 @@ use dta_ann::{FaultSite, Layer, UnitKind};
 use dta_circuits::visibility::{adder_visibility, multiplier_visibility};
 use dta_datasets::Dataset;
 use dta_fixed::Fx;
-use dta_mem::{apply_repairs, march_cminus, MarchReport};
+use dta_mem::{march_cminus, MarchReport};
 
+use crate::accel::Accel;
 use crate::accelerator::{AccelError, Accelerator};
 use crate::selftest::Diagnosis;
 
@@ -69,6 +70,12 @@ pub enum RecoveryRung {
     /// Remap faulty hidden lanes onto spares (mask when none), then
     /// retrain.
     Remap,
+    /// Bypass flagged systolic PEs (fail-silent pass-through of the
+    /// incoming partial sum), then retrain around the holes.
+    PeBypass,
+    /// Re-point systolic schedule rows through flagged PEs at healthy
+    /// spare physical rows, then retrain.
+    GridRemap,
     /// Stop repairing; estimate and report the expected accuracy loss.
     Degrade,
 }
@@ -81,6 +88,8 @@ impl fmt::Display for RecoveryRung {
             RecoveryRung::SpareSteer => write!(f, "spare-steer"),
             RecoveryRung::Place => write!(f, "place"),
             RecoveryRung::Remap => write!(f, "remap"),
+            RecoveryRung::PeBypass => write!(f, "pe-bypass"),
+            RecoveryRung::GridRemap => write!(f, "grid-remap"),
             RecoveryRung::Degrade => write!(f, "degrade"),
         }
     }
@@ -128,6 +137,12 @@ pub enum RecoveryError {
         /// Healthy spare lanes available.
         spares: usize,
     },
+    /// A structural rung was applied to a topology that does not
+    /// implement it (setup error; aborts the ladder).
+    UnsupportedRung {
+        /// The rung the topology rejected.
+        rung: RecoveryRung,
+    },
     /// An accelerator operation failed (setup error; aborts the
     /// ladder).
     Accel(AccelError),
@@ -157,6 +172,9 @@ impl fmt::Display for RecoveryError {
                     f,
                     "{needed} lane(s) need relocation, {spares} spare(s) free"
                 )
+            }
+            RecoveryError::UnsupportedRung { rung } => {
+                write!(f, "{rung} rung is not implemented by this topology")
             }
             RecoveryError::Accel(e) => write!(f, "accelerator error: {e}"),
         }
@@ -327,8 +345,8 @@ fn with_watchdog<T>(budget: Duration, body: impl FnOnce(&AtomicBool) -> T) -> T 
 /// returns a typed [`RecoveryError::Timeout`] report when the watchdog
 /// trips first, an [`RecoveryError::AccuracyShortfall`] report when the
 /// epoch budget runs dry below target.
-fn retrain_under_budget(
-    accel: &mut Accelerator,
+fn retrain_under_budget<A: Accel>(
+    accel: &mut A,
     ds: &Dataset,
     train_idx: &[usize],
     test_idx: &[usize],
@@ -342,6 +360,8 @@ fn retrain_under_budget(
         RecoveryRung::SpareSteer => 0x57EE,
         RecoveryRung::Place => 0x97AC,
         RecoveryRung::Remap => 0x9E3A,
+        RecoveryRung::PeBypass => 0xB97A,
+        RecoveryRung::GridRemap => 0x6E1D,
         RecoveryRung::Degrade => 0xDE64,
     };
     let stall = match policy.chaos_stall {
@@ -414,7 +434,7 @@ fn retrain_under_budget(
 
 /// Installs the remap/mask repairs for the diagnosed faulty hidden
 /// lanes. Returns `(remapped, masked)` or [`RecoveryError::NoSpareLane`].
-fn install_remaps(
+pub(crate) fn install_remaps(
     accel: &mut Accelerator,
     diagnosis: &Diagnosis,
     policy: &RecoveryPolicy,
@@ -472,7 +492,7 @@ fn row_badness(march: &MarchReport, row: usize) -> usize {
 /// the output layer leans on hardest (largest summed |output weight|)
 /// land on the least-damaged memory rows. Returns how many logical
 /// neurons moved.
-fn place_by_sensitivity(accel: &mut Accelerator) -> Result<usize, RecoveryError> {
+pub(crate) fn place_by_sensitivity(accel: &mut Accelerator) -> Result<usize, RecoveryError> {
     let net = accel
         .network()
         .ok_or(RecoveryError::Accel(AccelError::NoNetwork))?;
@@ -516,7 +536,7 @@ fn place_by_sensitivity(accel: &mut Accelerator) -> Result<usize, RecoveryError>
 /// its measured output visibility, scaled by how much of the neuron's
 /// accumulation it touches. A deliberately simple, monotone heuristic —
 /// the point is an honest "how wrong to expect", not a tight bound.
-fn estimate_degradation(
+pub(crate) fn estimate_degradation(
     accel: &mut Accelerator,
     diagnosis: &Diagnosis,
     baseline_accuracy: f64,
@@ -563,7 +583,7 @@ fn estimate_degradation(
         // terms; adders and activation units sit on the whole sum.
         let sensitivity = match site.unit {
             UnitKind::Adder | UnitKind::Activation => 0.25,
-            UnitKind::Multiplier | UnitKind::Latch => 0.25 / hw_inputs.sqrt(),
+            UnitKind::Multiplier | UnitKind::Latch | UnitKind::Pe => 0.25 / hw_inputs.sqrt(),
         };
         loss += vf * sensitivity;
     }
@@ -642,10 +662,12 @@ fn sigmoid_visibility_of(
 
 /// Runs the recovery ladder on a diagnosed accelerator.
 ///
-/// Rungs execute in order (retrain → ecc-scrub → spare-steer → place →
-/// remap → degrade, the memory-native rungs only when a weight store is
-/// attached); a rung that reaches `policy.target_accuracy` stops the
-/// ladder. The report's
+/// Rungs execute in order: the universal retrain-around-defect rung
+/// first, then the topology's own structural rungs
+/// ([`Accel::structural_rungs`]: ecc-scrub → spare-steer → place →
+/// remap on the spatial array, pe-bypass → grid-remap on the systolic
+/// grid), then graceful degradation; a rung that reaches
+/// `policy.target_accuracy` stops the ladder. The report's
 /// `accuracy` is the best *measured* accuracy across the pre-recovery
 /// state and every rung — recovery never serves a worse network than it
 /// started with.
@@ -657,8 +679,8 @@ fn sigmoid_visibility_of(
 /// shortfall, no spare lane) are recorded in the per-rung reports and
 /// do *not* abort the ladder — that is the fall-through the ladder
 /// exists for.
-pub fn recover(
-    accel: &mut Accelerator,
+pub fn recover<A: Accel>(
+    accel: &mut A,
     ds: &Dataset,
     train_idx: &[usize],
     test_idx: &[usize],
@@ -687,125 +709,59 @@ pub fn recover(
     let mut stop = r1.error.is_none();
     rungs.push(r1);
 
-    // Memory-native rungs: only when a weight store backs the latches.
-    let memory_rungs = policy.use_memory_repair && accel.memory().is_some();
-
-    // Rung: ECC scrub — count what the code absorbs, pin down what it
-    // cannot, then re-measure.
-    if !stop && memory_rungs {
-        let scrub = accel
-            .memory_mut()
-            .expect("weight store checked above")
-            .scrub();
-        let acc = accel.evaluate(ds, test_idx)?;
-        best = best.max(acc);
-        let reached = acc >= policy.target_accuracy;
-        succeeded |= reached;
-        stop |= reached;
-        rungs.push(RungReport {
-            rung: RecoveryRung::EccScrub,
-            accuracy: Some(acc),
-            epochs_used: 0,
-            error: (!reached).then_some(RecoveryError::AccuracyShortfall {
-                rung: RecoveryRung::EccScrub,
-                achieved: Some(acc),
-                target: policy.target_accuracy,
-            }),
-            remapped: 0,
-            masked: 0,
-            memory: Some(MemRungStats {
-                words_scrubbed: scrub.words,
-                corrected: scrub.corrected,
-                uncorrectable: scrub.uncorrectable.len(),
-                ..MemRungStats::default()
-            }),
-        });
-    }
-
-    // Rung: spare steer — retire march-diagnosed rows/columns onto the
-    // store's spares.
-    if !stop && memory_rungs {
-        let march = match &diagnosis.memory {
-            Some(m) => m.clone(),
-            None => march_cminus(accel.memory_mut().expect("weight store checked above")),
-        };
-        let summary = apply_repairs(
-            accel.memory_mut().expect("weight store checked above"),
-            &march,
-        );
-        let acc = accel.evaluate(ds, test_idx)?;
-        best = best.max(acc);
-        let reached = acc >= policy.target_accuracy;
-        succeeded |= reached;
-        stop |= reached;
-        rungs.push(RungReport {
-            rung: RecoveryRung::SpareSteer,
-            accuracy: Some(acc),
-            epochs_used: 0,
-            error: (!reached).then_some(RecoveryError::AccuracyShortfall {
-                rung: RecoveryRung::SpareSteer,
-                achieved: Some(acc),
-                target: policy.target_accuracy,
-            }),
-            remapped: 0,
-            masked: 0,
-            memory: Some(MemRungStats {
-                rows_steered: summary.rows_steered,
-                cols_steered: summary.cols_steered,
-                unrepaired: summary.unrepaired,
-                ..MemRungStats::default()
-            }),
-        });
-    }
-
-    // Rung: sensitivity-aware placement, then retrain to the new rows.
-    if !stop && memory_rungs {
-        let moved = place_by_sensitivity(accel)?;
-        let mut rp = retrain_under_budget(
-            accel,
-            ds,
-            train_idx,
-            test_idx,
-            policy,
-            &policy.remap,
-            RecoveryRung::Place,
-        )?;
-        rp.memory = Some(MemRungStats {
-            moved,
-            ..MemRungStats::default()
-        });
-        if let Some(a) = rp.accuracy {
-            best = best.max(a);
+    // Topology-specific structural rungs, in the topology's order.
+    for rung in accel.structural_rungs(policy) {
+        if stop {
+            break;
         }
-        succeeded |= rp.error.is_none();
-        stop |= rp.error.is_none();
-        rungs.push(rp);
-    }
-
-    // Rung: remap faulty lanes onto spares, then retrain.
-    if !stop && policy.use_remap {
-        match install_remaps(accel, diagnosis, policy) {
-            Ok((remapped, masked)) => {
-                let mut r2 = retrain_under_budget(
+        match accel.apply_structural_rung(rung, diagnosis, policy) {
+            // Routing changed: retrain to the new configuration under
+            // the remap budget.
+            Ok(outcome) if outcome.retrain_after => {
+                let mut rp = retrain_under_budget(
                     accel,
                     ds,
                     train_idx,
                     test_idx,
                     policy,
                     &policy.remap,
-                    RecoveryRung::Remap,
+                    rung,
                 )?;
-                r2.remapped = remapped;
-                r2.masked = masked;
-                if let Some(a) = r2.accuracy {
+                rp.remapped = outcome.remapped;
+                rp.masked = outcome.masked;
+                rp.memory = outcome.memory;
+                if let Some(a) = rp.accuracy {
                     best = best.max(a);
                 }
-                succeeded |= r2.error.is_none();
-                rungs.push(r2);
+                succeeded |= rp.error.is_none();
+                stop |= rp.error.is_none();
+                rungs.push(rp);
             }
+            // Weight-transparent repair: just re-measure.
+            Ok(outcome) => {
+                let acc = accel.evaluate(ds, test_idx)?;
+                best = best.max(acc);
+                let reached = acc >= policy.target_accuracy;
+                succeeded |= reached;
+                stop |= reached;
+                rungs.push(RungReport {
+                    rung,
+                    accuracy: Some(acc),
+                    epochs_used: 0,
+                    error: (!reached).then_some(RecoveryError::AccuracyShortfall {
+                        rung,
+                        achieved: Some(acc),
+                        target: policy.target_accuracy,
+                    }),
+                    remapped: outcome.remapped,
+                    masked: outcome.masked,
+                    memory: outcome.memory,
+                });
+            }
+            // Spares ran out: record the typed failure, keep climbing.
             Err(e @ RecoveryError::NoSpareLane { .. }) => {
                 rungs.push(RungReport {
-                    rung: RecoveryRung::Remap,
+                    rung,
                     accuracy: None,
                     epochs_used: 0,
                     error: Some(e),
@@ -818,11 +774,11 @@ pub fn recover(
         }
     }
 
-    // Rung 3: graceful degradation — always "succeeds" at reporting.
+    // Final rung: graceful degradation — always "succeeds" at reporting.
     let degradation = if succeeded {
         None
     } else {
-        let est = estimate_degradation(accel, diagnosis, best);
+        let est = accel.degradation(diagnosis, best);
         rungs.push(RungReport {
             rung: RecoveryRung::Degrade,
             accuracy: None,

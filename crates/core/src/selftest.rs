@@ -128,8 +128,9 @@ impl Diagnosis {
 
 /// Deterministic operator test vectors: Q6.10 corner words (zero, ±LSB,
 /// ±1.0, the extremes, alternating bit patterns) crossed pairwise,
-/// padded with seeded random words up to `n` pairs.
-fn bist_vectors(n: usize, seed: u64) -> Vec<(Fx, Fx)> {
+/// padded with seeded random words up to `n` pairs. Shared by the
+/// spatial operator probes and the systolic per-PE MAC probes.
+pub fn bist_vectors(n: usize, seed: u64) -> Vec<(Fx, Fx)> {
     const CORNERS: [u16; 9] = [
         0x0000, 0x0001, 0xFFFF, 0x7FFF, 0x8000, 0x5555, 0xAAAA, 0x0400, 0xFC00,
     ];
@@ -149,19 +150,34 @@ fn bist_vectors(n: usize, seed: u64) -> Vec<(Fx, Fx)> {
     v
 }
 
-/// Runs the two-stage self-test on the accelerator's silicon.
+/// Runs the topology's built-in self-test.
 ///
-/// The user's mapped network (if any) is set aside for the duration of
-/// the array screen and restored before returning; the fault state is
-/// reset to power-on before and after, so the test is invisible to
-/// subsequent evaluations. Run it *before* installing recovery remaps
-/// or masks — the screen exercises the identity lane mapping.
+/// Dispatches to the topology's own BIST via [`crate::accel::Accel`]:
+/// the spatial array runs the two-stage screen/probe described in the
+/// module docs (plus the memory march when a weight store is attached);
+/// the systolic grid runs per-PE MAC vector probes. Either way the
+/// fault state is reset to power-on afterwards and any mapped user
+/// network is preserved, so the test is invisible to subsequent
+/// evaluations. Run it *before* installing recovery remaps, masks or
+/// bypasses — the screens exercise the identity mapping.
 ///
 /// # Errors
 ///
-/// Propagates [`AccelError`] from the diagnostic row processing
-/// (cannot occur for a well-formed accelerator).
-pub fn run_selftest(accel: &mut Accelerator, cfg: &BistConfig) -> Result<Diagnosis, AccelError> {
+/// Propagates [`AccelError`] from the diagnostic datapath (cannot
+/// occur for a well-formed accelerator).
+pub fn run_selftest<A: crate::accel::Accel>(
+    accel: &mut A,
+    cfg: &BistConfig,
+) -> Result<Diagnosis, AccelError> {
+    accel.self_test(cfg)
+}
+
+/// The spatial array's two-stage self-test: array-level lane screen,
+/// operator-level vector diagnosis, memory march.
+pub(crate) fn spatial_selftest(
+    accel: &mut Accelerator,
+    cfg: &BistConfig,
+) -> Result<Diagnosis, AccelError> {
     let saved = accel.unmap_network();
     let screen = screen_lanes(accel, cfg);
     // Restore the user's network before the `?` so an error cannot

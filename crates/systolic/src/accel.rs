@@ -1,0 +1,839 @@
+//! The systolic accelerator: an MLP mapped onto the weight-stationary
+//! PE grid tile by tile, behind the same [`Accel`] surface the spatial
+//! array implements — campaigns, self-test and the recovery ladder run
+//! on it unchanged.
+//!
+//! Both layers of the network run on the *same* physical grid (the
+//! array is time-shared between layers, as a real systolic accelerator
+//! would be), so one defective PE can corrupt hidden *and* output
+//! accumulations. The activation unit stays host-side: pre-activation
+//! sums leave the array and pass through the shared Q6.10 sigmoid LUT,
+//! exactly as in the reference `Mlp::forward_fixed` — which the
+//! defect-free grid is bit-identical to by construction (tile walks
+//! accumulate synapses in ascending index order with the same
+//! saturating arithmetic).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use dta_ann::{FaultSite, ForwardTrace, Mlp, Topology, Trainer, UnitKind};
+use dta_circuits::Activation;
+use dta_core::accel::{Accel, StructuralOutcome};
+use dta_core::recover::{DegradationEstimate, RecoveryError, RecoveryPolicy, RecoveryRung};
+use dta_core::selftest::{bist_vectors, BistConfig, Diagnosis};
+use dta_core::AccelError;
+use dta_datasets::Dataset;
+use dta_fixed::{Fx, SigmoidLut};
+
+use crate::grid::{GridGeometry, PassMask, PeGrid};
+use crate::schedule::{run_tiles, run_tiles_batch, TileSchedule};
+
+/// Samples per batch block: one stationary weight fetch serves up to
+/// this many MAC lanes.
+pub const BATCH_LANES: usize = 64;
+
+/// The weight-stationary systolic MAC-array accelerator.
+#[derive(Debug)]
+pub struct SystolicAccelerator {
+    grid: PeGrid,
+    network: Option<Mlp>,
+    lut: SigmoidLut,
+    /// Largest network the array is commissioned for (matches the
+    /// spatial array's physical geometry so both topologies accept the
+    /// same workloads).
+    envelope: Topology,
+    passes: u64,
+}
+
+impl Default for SystolicAccelerator {
+    fn default() -> SystolicAccelerator {
+        SystolicAccelerator::new()
+    }
+}
+
+impl SystolicAccelerator {
+    /// An all-healthy grid of the default geometry (16×10 + 2 spare
+    /// rows), sized for the same 90-10-10 envelope as the spatial
+    /// array.
+    pub fn new() -> SystolicAccelerator {
+        SystolicAccelerator::with_geometry(GridGeometry::default())
+    }
+
+    /// An all-healthy grid of a custom geometry.
+    pub fn with_geometry(geom: GridGeometry) -> SystolicAccelerator {
+        SystolicAccelerator {
+            grid: PeGrid::new(geom),
+            network: None,
+            lut: SigmoidLut::new(),
+            envelope: Topology::accelerator(),
+            passes: 0,
+        }
+    }
+
+    /// The PE grid (defect truth, repair state).
+    pub fn grid(&self) -> &PeGrid {
+        &self.grid
+    }
+
+    /// Mutable access to the PE grid.
+    pub fn grid_mut(&mut self) -> &mut PeGrid {
+        &mut self.grid
+    }
+
+    /// Forward passes executed (scalar or per batch lane).
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Injects `n` random PE defects under the shared activation
+    /// taxonomy; returns one record string per defect.
+    pub fn inject_defects<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Vec<String> {
+        self.grid.inject_random(n, activation, rng)
+    }
+
+    /// Ground-truth fault sites of every injected defect.
+    pub fn fault_sites(&self) -> Vec<FaultSite> {
+        self.grid.sites()
+    }
+
+    /// True when the grid can take the fault-free fast path: no
+    /// defects injected and no repairs installed.
+    pub fn fast_path(&self) -> bool {
+        !self.grid.has_defects() && self.grid.is_pristine_routing()
+    }
+
+    fn require_network(&self) -> Result<&Mlp, AccelError> {
+        self.network.as_ref().ok_or(AccelError::NoNetwork)
+    }
+
+    /// One forward pass through the grid, fast-pathing to the
+    /// reference fixed-point walk when the grid is pristine.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NoNetwork`] / [`AccelError::WrongRowWidth`].
+    pub fn forward(&mut self, x: &[f64]) -> Result<ForwardTrace, AccelError> {
+        let expected = self.require_network()?.topology().inputs;
+        if x.len() != expected {
+            return Err(AccelError::WrongRowWidth {
+                got: x.len(),
+                expected,
+            });
+        }
+        self.passes += 1;
+        let net = self.network.as_ref().expect("checked above");
+        if self.fast_path() {
+            return Ok(net.forward_fixed(x, &self.lut));
+        }
+        let mask = self.grid.pass_mask();
+        Ok(forward_with_mask(&self.grid, net, x, &self.lut, &mask))
+    }
+
+    /// One forward pass that always takes the tiled grid walk (no fast
+    /// path) — the entry point the bit-identity properties probe.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SystolicAccelerator::forward`].
+    pub fn forward_tiled(&mut self, x: &[f64]) -> Result<ForwardTrace, AccelError> {
+        let expected = self.require_network()?.topology().inputs;
+        if x.len() != expected {
+            return Err(AccelError::WrongRowWidth {
+                got: x.len(),
+                expected,
+            });
+        }
+        self.passes += 1;
+        let mask = self.grid.pass_mask();
+        let net = self.network.as_ref().expect("checked above");
+        Ok(forward_with_mask(&self.grid, net, x, &self.lut, &mask))
+    }
+
+    /// Batched forward over many rows: samples run in blocks of
+    /// [`BATCH_LANES`], tiles outer / lanes inner, each stationary
+    /// weight fetched once per block. Pass masks are drawn in sample
+    /// order before the block runs, so the result is bit-identical to
+    /// calling [`SystolicAccelerator::forward`] row by row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SystolicAccelerator::forward`].
+    pub fn forward_batch(&mut self, rows: &[&[f64]]) -> Result<Vec<ForwardTrace>, AccelError> {
+        let expected = self.require_network()?.topology().inputs;
+        for row in rows {
+            if row.len() != expected {
+                return Err(AccelError::WrongRowWidth {
+                    got: row.len(),
+                    expected,
+                });
+            }
+        }
+        self.passes += rows.len() as u64;
+        if self.fast_path() {
+            let net = self.network.as_ref().expect("checked above");
+            return Ok(rows
+                .iter()
+                .map(|r| net.forward_fixed(r, &self.lut))
+                .collect());
+        }
+        let mut traces = Vec::with_capacity(rows.len());
+        for block in rows.chunks(BATCH_LANES) {
+            // Activation streams advance once per sample, in sample
+            // order — exactly as the scalar path would draw them.
+            let masks: Vec<PassMask> = block.iter().map(|_| self.grid.pass_mask()).collect();
+            let net = self.network.as_ref().expect("checked above");
+            traces.extend(forward_block(&self.grid, net, block, &self.lut, &masks));
+        }
+        Ok(traces)
+    }
+
+    /// Bypasses every PE the diagnosis flags (Zhang-style fail-silent
+    /// repair). Returns how many PEs were newly bypassed.
+    fn install_bypasses(&mut self, diagnosis: &Diagnosis) -> usize {
+        let mut fresh = 0usize;
+        for site in flagged_pes(diagnosis) {
+            if self.grid.bypass_pe(site.1, site.0) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Re-points schedule rows that route through flagged PEs at
+    /// healthy spare physical rows; rows left over when spares run out
+    /// keep their bypasses. Returns `(remapped_rows, bypassed_left)`.
+    fn install_row_remaps(
+        &mut self,
+        diagnosis: &Diagnosis,
+        policy: &RecoveryPolicy,
+    ) -> Result<(usize, usize), RecoveryError> {
+        use std::collections::BTreeSet;
+        let geom = self.grid.geometry();
+        let flagged: Vec<(usize, usize)> = flagged_pes(diagnosis);
+        let bad_rows: BTreeSet<usize> = flagged.iter().map(|&(_, p)| p).collect();
+        let need: Vec<usize> = (0..geom.rows)
+            .filter(|&r| bad_rows.contains(&self.grid.row_map()[r]))
+            .collect();
+        let in_use: BTreeSet<usize> = self.grid.row_map().iter().copied().collect();
+        let spares: Vec<usize> = (0..geom.phys_rows())
+            .filter(|p| !in_use.contains(p))
+            .filter(|p| !bad_rows.contains(p))
+            .collect();
+        if need.len() > spares.len() && !policy.mask_unmappable {
+            return Err(RecoveryError::NoSpareLane {
+                needed: need.len(),
+                spares: spares.len(),
+            });
+        }
+        let mut remapped = 0usize;
+        let mut left = 0usize;
+        for (i, &r) in need.iter().enumerate() {
+            if let Some(&spare) = spares.get(i) {
+                self.grid.remap_row(r, spare);
+                remapped += 1;
+            } else {
+                // No spare: make sure the flagged PEs of this row stay
+                // fail-silent (the bypass rung normally did this
+                // already; count only fresh bypasses).
+                let p = self.grid.row_map()[r];
+                let cols: Vec<usize> = flagged
+                    .iter()
+                    .filter(|&&(_, fp)| fp == p)
+                    .map(|&(c, _)| c)
+                    .collect();
+                for c in cols {
+                    if self.grid.bypass_pe(p, c) {
+                        left += 1;
+                    }
+                }
+            }
+        }
+        Ok((remapped, left))
+    }
+
+    /// Per-PE BIST: every physical PE is driven with the shared Q6.10
+    /// corner/random vector pairs, in MAC and idle modes, and compared
+    /// against the native `acc + w·x` arithmetic the healthy grid is
+    /// bit-exact with — so a flagged PE is necessarily defective (no
+    /// false positives by construction). Fault state is reset to
+    /// power-on before and after, and probes ignore installed bypasses
+    /// (the BIST measures the silicon, not the repair routing).
+    fn pe_selftest(&mut self, cfg: &BistConfig) -> Diagnosis {
+        use std::collections::BTreeSet;
+        let geom = self.grid.geometry();
+        let vectors = bist_vectors(cfg.vectors_per_operator, cfg.seed ^ 0x0B15);
+        self.grid.reset_state();
+        let mut flagged: BTreeSet<FaultSite> = BTreeSet::new();
+        let mut probed = 0usize;
+        for p in 0..geom.phys_rows() {
+            for c in 0..geom.cols {
+                probed += 1;
+                let mut bad = false;
+                for (vi, &(a, b)) in vectors.iter().enumerate() {
+                    // A third operand for the incoming partial sum,
+                    // drawn from the same deterministic vector set.
+                    let acc = vectors[(vi + 1) % vectors.len()].1;
+                    let mask = self.grid.pass_mask();
+                    if self.grid.pe_step_raw(p, c, acc, a, b, &mask) != acc + a * b {
+                        bad = true;
+                    }
+                    if self.grid.pe_idle_raw(p, c, acc, &mask) != acc {
+                        bad = true;
+                    }
+                }
+                if bad {
+                    flagged.insert(FaultSite {
+                        layer: dta_ann::Layer::Hidden,
+                        neuron: c,
+                        unit: UnitKind::Pe,
+                        synapse: Some(p),
+                    });
+                }
+            }
+        }
+        self.grid.reset_state();
+        Diagnosis {
+            flagged: flagged.into_iter().collect(),
+            screened_lanes: Vec::new(),
+            operators_probed: probed,
+            memory: None,
+        }
+    }
+}
+
+/// The PEs named by a diagnosis, as `(col, phys_row)` pairs.
+fn flagged_pes(diagnosis: &Diagnosis) -> Vec<(usize, usize)> {
+    diagnosis
+        .flagged
+        .iter()
+        .filter(|s| s.unit == UnitKind::Pe)
+        .filter_map(|s| s.synapse.map(|p| (s.neuron, p)))
+        .collect()
+}
+
+/// One full two-layer forward pass under a fixed pass mask.
+fn forward_with_mask(
+    grid: &PeGrid,
+    net: &Mlp,
+    x: &[f64],
+    lut: &SigmoidLut,
+    mask: &PassMask,
+) -> ForwardTrace {
+    let topo = net.topology();
+    let geom = grid.geometry();
+    let xq: Vec<Fx> = x.iter().map(|&v| Fx::from_f64(v)).collect();
+
+    let sched1 = TileSchedule::for_layer(&geom, topo.inputs, topo.hidden);
+    let mut acc1: Vec<Fx> = (0..topo.hidden)
+        .map(|j| Fx::from_f64(net.w_hidden(j, topo.inputs)))
+        .collect();
+    run_tiles(
+        grid,
+        &sched1,
+        |j, i| Fx::from_f64(net.w_hidden(j, i)),
+        &xq,
+        &mut acc1,
+        mask,
+    );
+    let hidden_fx: Vec<Fx> = acc1.iter().map(|&a| lut.eval(a)).collect();
+
+    let sched2 = TileSchedule::for_layer(&geom, topo.hidden, topo.outputs);
+    let mut acc2: Vec<Fx> = (0..topo.outputs)
+        .map(|k| Fx::from_f64(net.w_output(k, topo.hidden)))
+        .collect();
+    run_tiles(
+        grid,
+        &sched2,
+        |k, j| Fx::from_f64(net.w_output(k, j)),
+        &hidden_fx,
+        &mut acc2,
+        mask,
+    );
+
+    ForwardTrace {
+        hidden: hidden_fx.iter().map(|h| h.to_f64()).collect(),
+        output_pre: acc2.iter().map(|a| a.to_f64()).collect(),
+        output: acc2.iter().map(|&a| lut.eval(a).to_f64()).collect(),
+    }
+}
+
+/// One block (≤ [`BATCH_LANES`] samples) of the batched forward pass.
+fn forward_block(
+    grid: &PeGrid,
+    net: &Mlp,
+    rows: &[&[f64]],
+    lut: &SigmoidLut,
+    masks: &[PassMask],
+) -> Vec<ForwardTrace> {
+    let topo = net.topology();
+    let geom = grid.geometry();
+    let lanes1: Vec<Vec<Fx>> = rows
+        .iter()
+        .map(|r| r.iter().map(|&v| Fx::from_f64(v)).collect())
+        .collect();
+
+    let sched1 = TileSchedule::for_layer(&geom, topo.inputs, topo.hidden);
+    let mut acc1: Vec<Vec<Fx>> = (0..topo.hidden)
+        .map(|j| vec![Fx::from_f64(net.w_hidden(j, topo.inputs)); rows.len()])
+        .collect();
+    run_tiles_batch(
+        grid,
+        &sched1,
+        |j, i| Fx::from_f64(net.w_hidden(j, i)),
+        &lanes1,
+        &mut acc1,
+        masks,
+    );
+    // Hidden activations become the second layer's streaming lanes.
+    let lanes2: Vec<Vec<Fx>> = (0..rows.len())
+        .map(|s| acc1.iter().map(|accs| lut.eval(accs[s])).collect())
+        .collect();
+
+    let sched2 = TileSchedule::for_layer(&geom, topo.hidden, topo.outputs);
+    let mut acc2: Vec<Vec<Fx>> = (0..topo.outputs)
+        .map(|k| vec![Fx::from_f64(net.w_output(k, topo.hidden)); rows.len()])
+        .collect();
+    run_tiles_batch(
+        grid,
+        &sched2,
+        |k, j| Fx::from_f64(net.w_output(k, j)),
+        &lanes2,
+        &mut acc2,
+        masks,
+    );
+
+    (0..rows.len())
+        .map(|s| ForwardTrace {
+            hidden: lanes2[s].iter().map(|h| h.to_f64()).collect(),
+            output_pre: acc2.iter().map(|accs| accs[s].to_f64()).collect(),
+            output: acc2.iter().map(|accs| lut.eval(accs[s]).to_f64()).collect(),
+        })
+        .collect()
+}
+
+fn check_hyperparameters(
+    learning_rate: f64,
+    momentum: f64,
+    epochs: usize,
+) -> Result<(), AccelError> {
+    if !(learning_rate > 0.0 && learning_rate.is_finite()) {
+        return Err(AccelError::BadHyperparameter {
+            what: format!("learning rate {learning_rate} must be positive and finite"),
+        });
+    }
+    if !(0.0..1.0).contains(&momentum) {
+        return Err(AccelError::BadHyperparameter {
+            what: format!("momentum {momentum} must be in [0, 1)"),
+        });
+    }
+    if epochs == 0 {
+        return Err(AccelError::BadHyperparameter {
+            what: "epochs must be at least 1".to_string(),
+        });
+    }
+    Ok(())
+}
+
+impl Accel for SystolicAccelerator {
+    fn geometry(&self) -> Topology {
+        self.envelope
+    }
+
+    fn network(&self) -> Option<&Mlp> {
+        self.network.as_ref()
+    }
+
+    fn map_network(&mut self, mlp: Mlp) -> Result<(), AccelError> {
+        let logical = mlp.topology();
+        if logical.inputs > self.envelope.inputs
+            || logical.hidden > self.envelope.hidden
+            || logical.outputs > self.envelope.outputs
+        {
+            return Err(AccelError::DoesNotFit {
+                logical,
+                physical: self.envelope,
+            });
+        }
+        self.network = Some(mlp);
+        Ok(())
+    }
+
+    fn unmap_network(&mut self) -> Option<Mlp> {
+        self.network.take()
+    }
+
+    fn evaluate(&mut self, ds: &Dataset, idx: &[usize]) -> Result<f64, AccelError> {
+        let net = self.require_network()?;
+        if idx.is_empty() {
+            return Err(AccelError::EmptySelection);
+        }
+        if net.topology().outputs == 0 {
+            return Err(AccelError::NoOutputs);
+        }
+        let rows: Vec<&[f64]> = idx
+            .iter()
+            .map(|&s| ds.samples()[s].features.as_slice())
+            .collect();
+        let traces = self.forward_batch(&rows)?;
+        let correct = idx
+            .iter()
+            .zip(&traces)
+            .filter(|&(&s, t)| t.predicted() == ds.samples()[s].label)
+            .count();
+        Ok(correct as f64 / idx.len() as f64)
+    }
+
+    fn retrain(
+        &mut self,
+        ds: &Dataset,
+        idx: &[usize],
+        learning_rate: f64,
+        momentum: f64,
+        epochs: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), AccelError> {
+        check_hyperparameters(learning_rate, momentum, epochs)?;
+        let mut mlp = self.network.take().ok_or(AccelError::NoNetwork)?;
+        let trainer = Trainer::new(learning_rate, momentum, epochs, dta_ann::ForwardMode::Fixed);
+        self.grid.reset_state();
+        let fast = self.fast_path();
+        let lut = &self.lut;
+        let grid = &mut self.grid;
+        let mut passes = 0u64;
+        trainer.train_with(&mut mlp, ds, idx, rng, |m, x| {
+            passes += 1;
+            if fast {
+                m.forward_fixed(x, lut)
+            } else {
+                let mask = grid.pass_mask();
+                forward_with_mask(grid, m, x, lut, &mask)
+            }
+        });
+        self.passes += passes;
+        self.network = Some(mlp);
+        Ok(())
+    }
+
+    fn self_test(&mut self, cfg: &BistConfig) -> Result<Diagnosis, AccelError> {
+        Ok(self.pe_selftest(cfg))
+    }
+
+    fn structural_rungs(&self, policy: &RecoveryPolicy) -> Vec<RecoveryRung> {
+        if policy.use_remap {
+            vec![RecoveryRung::PeBypass, RecoveryRung::GridRemap]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn apply_structural_rung(
+        &mut self,
+        rung: RecoveryRung,
+        diagnosis: &Diagnosis,
+        policy: &RecoveryPolicy,
+    ) -> Result<StructuralOutcome, RecoveryError> {
+        match rung {
+            RecoveryRung::PeBypass => {
+                let masked = self.install_bypasses(diagnosis);
+                Ok(StructuralOutcome {
+                    masked,
+                    retrain_after: true,
+                    ..StructuralOutcome::default()
+                })
+            }
+            RecoveryRung::GridRemap => {
+                let (remapped, masked) = self.install_row_remaps(diagnosis, policy)?;
+                Ok(StructuralOutcome {
+                    remapped,
+                    masked,
+                    retrain_after: true,
+                    ..StructuralOutcome::default()
+                })
+            }
+            _ => Err(RecoveryError::UnsupportedRung { rung }),
+        }
+    }
+
+    fn degradation(&mut self, diagnosis: &Diagnosis, baseline: f64) -> DegradationEstimate {
+        use std::collections::BTreeSet;
+        let geom = self.grid.geometry();
+        let in_use: BTreeSet<usize> = self.grid.row_map().iter().copied().collect();
+        let outputs = self
+            .network
+            .as_ref()
+            .map_or(self.envelope.outputs, |m| m.topology().outputs);
+        let chance = 1.0 / outputs.max(1) as f64;
+        // A PE serves ~1/rows of each mapped neuron's accumulation.
+        let sensitivity = 0.25 / (geom.rows as f64).sqrt();
+        let samples = 256;
+
+        let mut active_sites = 0usize;
+        let mut visible_sites = 0usize;
+        let mut vf_sum = 0.0f64;
+        let mut loss = 0.0f64;
+        for (i, site) in flagged_pes(diagnosis).iter().enumerate() {
+            let (c, p) = *site;
+            // Bypassed or steered-away PEs are no longer in the data
+            // path; their damage cannot reach an output.
+            if !in_use.contains(&p) || self.grid.is_bypassed(p, c) {
+                continue;
+            }
+            active_sites += 1;
+            // Match every defect on this PE and take the worst case.
+            let mut vf = 0.0f64;
+            for (di, d) in self.grid.defects().iter().enumerate() {
+                if d.row == p && d.col == c {
+                    vf = vf.max(
+                        self.grid
+                            .defect_visibility(di, samples, 0xD156_0000 ^ i as u64),
+                    );
+                }
+            }
+            if vf > 0.0 {
+                visible_sites += 1;
+            }
+            vf_sum += vf;
+            loss += vf * sensitivity;
+        }
+        let expected = (baseline - loss).clamp(chance, baseline.max(chance));
+        DegradationEstimate {
+            expected_accuracy: expected,
+            active_sites,
+            visible_sites,
+            mean_visible_fraction: if active_sites > 0 {
+                vf_sum / active_sites as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::PeFaultKind;
+    use dta_core::recover::recover;
+    use dta_core::selftest::run_selftest;
+    use dta_datasets::suite;
+    use rand::SeedableRng;
+
+    fn iris_split() -> (Dataset, Vec<usize>, Vec<usize>) {
+        let ds = suite::load("iris").unwrap();
+        let train: Vec<usize> = (0..ds.len()).filter(|i| i % 3 != 0).collect();
+        let test: Vec<usize> = (0..ds.len()).step_by(3).collect();
+        (ds, train, test)
+    }
+
+    fn commissioned(seed: u64) -> (SystolicAccelerator, Dataset, Vec<usize>, Vec<usize>) {
+        let (ds, train, test) = iris_split();
+        let mut accel = SystolicAccelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 6, 3), seed))
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        accel.retrain(&ds, &train, 0.2, 0.1, 30, &mut rng).unwrap();
+        (accel, ds, train, test)
+    }
+
+    #[test]
+    fn defect_free_forward_is_bit_identical_to_reference() {
+        let mlp = Mlp::new(Topology::new(7, 9, 4), 21);
+        let lut = SigmoidLut::new();
+        let mut accel = SystolicAccelerator::new();
+        accel.map_network(mlp.clone()).unwrap();
+        let x: Vec<f64> = (0..7).map(|i| (i as f64) * 0.37 - 1.2).collect();
+        let want = mlp.forward_fixed(&x, &lut);
+        assert_eq!(accel.forward(&x).unwrap(), want, "fast path");
+        assert_eq!(accel.forward_tiled(&x).unwrap(), want, "tiled walk");
+        let rows: Vec<&[f64]> = vec![&x; 70];
+        for t in accel.forward_batch(&rows).unwrap() {
+            assert_eq!(t, want, "batch lane");
+        }
+    }
+
+    #[test]
+    fn commissioning_matches_the_spatial_array_bit_for_bit() {
+        // Clean training takes the fast path (== forward_fixed), which
+        // is exactly what the spatial array trains through — so both
+        // topologies commission to identical weights and accuracy.
+        let (mut sys, ds, train, test) = commissioned(11);
+        let mut spatial = dta_core::Accelerator::new();
+        spatial
+            .map_network(Mlp::new(Topology::new(4, 6, 3), 11))
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        spatial
+            .retrain(&ds, &train, 0.2, 0.1, 30, &mut rng)
+            .unwrap();
+        assert_eq!(Accel::network(&sys), spatial.network());
+        assert_eq!(
+            Accel::evaluate(&mut sys, &ds, &test).unwrap(),
+            spatial.evaluate(&ds, &test).unwrap()
+        );
+    }
+
+    #[test]
+    fn selftest_localizes_planted_pe_defects_exactly() {
+        let mut accel = SystolicAccelerator::new();
+        accel
+            .grid_mut()
+            .inject(3, 5, PeFaultKind::DeadPe, Activation::Permanent, 1);
+        accel.grid_mut().inject(
+            12,
+            0,
+            PeFaultKind::StuckAccBit {
+                bit: 9,
+                stuck_one: true,
+            },
+            Activation::Permanent,
+            2,
+        );
+        let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        assert_eq!(diag.flagged, accel.fault_sites_sorted());
+        assert_eq!(diag.operators_probed, accel.grid().geometry().pes());
+        assert!(diag.memory.is_none());
+    }
+
+    impl SystolicAccelerator {
+        fn fault_sites_sorted(&self) -> Vec<FaultSite> {
+            let mut v = self.fault_sites();
+            v.sort();
+            v
+        }
+    }
+
+    #[test]
+    fn clean_grid_passes_selftest() {
+        let mut accel = SystolicAccelerator::new();
+        let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        assert!(!diag.detected());
+    }
+
+    #[test]
+    fn recovery_ladder_runs_native_rungs_and_beats_blind() {
+        for seed in [3u64, 19] {
+            let build = || {
+                let (mut accel, ds, train, test) = commissioned(seed);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA11);
+                accel.inject_defects(10, Activation::Permanent, &mut rng);
+                (accel, ds, train, test)
+            };
+            let base = RecoveryPolicy {
+                retrain: dta_core::RungBudget {
+                    max_epochs: 6,
+                    wall_clock_ms: 60_000,
+                },
+                remap: dta_core::RungBudget {
+                    max_epochs: 6,
+                    wall_clock_ms: 60_000,
+                },
+                target_accuracy: 0.97,
+                seed,
+                ..RecoveryPolicy::default()
+            };
+            let blind_policy = RecoveryPolicy {
+                use_remap: false,
+                use_memory_repair: false,
+                ..base.clone()
+            };
+            let (mut blind_accel, ds, train, test) = build();
+            let blind = recover(
+                &mut blind_accel,
+                &ds,
+                &train,
+                &test,
+                &Diagnosis::default(),
+                &blind_policy,
+            )
+            .unwrap();
+            let (mut full_accel, _, _, _) = build();
+            let diagnosis = run_selftest(&mut full_accel, &BistConfig::default()).unwrap();
+            assert!(diagnosis.detected(), "seed {seed}: BIST missed everything");
+            let full = recover(&mut full_accel, &ds, &train, &test, &diagnosis, &base).unwrap();
+            assert_eq!(
+                blind.pre_recovery_accuracy, full.pre_recovery_accuracy,
+                "seed {seed}: twins diverged before recovery"
+            );
+            assert!(
+                full.accuracy >= blind.accuracy,
+                "seed {seed}: recovered {} < blind {}",
+                full.accuracy,
+                blind.accuracy
+            );
+            // Unless rung 1 already hit the target, the grid-native
+            // rungs must have run.
+            if full.rungs[0].error.is_some() {
+                let kinds: Vec<RecoveryRung> = full.rungs.iter().map(|r| r.rung).collect();
+                assert!(kinds.contains(&RecoveryRung::PeBypass), "{kinds:?}");
+                assert!(kinds.contains(&RecoveryRung::GridRemap), "{kinds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_remap_restores_contributions_a_bypass_loses() {
+        // Kill a whole schedule row's PE in one column, bypass it, then
+        // remap: the remapped grid must evaluate exactly like a healthy
+        // grid (the spare row is defect-free).
+        let (mut accel, ds, _train, test) = commissioned(5);
+        accel
+            .grid_mut()
+            .inject(2, 4, PeFaultKind::DeadPe, Activation::Permanent, 77);
+        let healthy = {
+            let (mut h, _, _, _) = commissioned(5);
+            Accel::evaluate(&mut h, &ds, &test).unwrap()
+        };
+        let diagnosis = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        let policy = RecoveryPolicy::default();
+        accel
+            .apply_structural_rung(RecoveryRung::GridRemap, &diagnosis, &policy)
+            .unwrap();
+        assert_eq!(accel.grid().row_map()[2], 16, "row 2 steered to spare");
+        assert_eq!(Accel::evaluate(&mut accel, &ds, &test).unwrap(), healthy);
+    }
+
+    #[test]
+    fn no_spare_rows_is_a_typed_error_when_masking_forbidden() {
+        let mut accel = SystolicAccelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 6, 3), 9))
+            .unwrap();
+        // Flag PEs on three distinct schedule rows — more than the two
+        // spare rows can absorb.
+        let mut diag = Diagnosis::default();
+        for p in [0usize, 5, 9] {
+            diag.flagged.push(FaultSite {
+                layer: dta_ann::Layer::Hidden,
+                neuron: 0,
+                unit: UnitKind::Pe,
+                synapse: Some(p),
+            });
+        }
+        let policy = RecoveryPolicy {
+            mask_unmappable: false,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(
+            accel.apply_structural_rung(RecoveryRung::GridRemap, &diag, &policy),
+            Err(RecoveryError::NoSpareLane {
+                needed: 3,
+                spares: 2
+            })
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_oversized_networks() {
+        let mut accel = SystolicAccelerator::new();
+        let err = accel
+            .map_network(Mlp::new(Topology::new(91, 10, 10), 1))
+            .unwrap_err();
+        assert!(matches!(err, AccelError::DoesNotFit { .. }));
+    }
+}

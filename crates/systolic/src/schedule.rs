@@ -1,0 +1,206 @@
+//! Weight-tile scheduling: how an MLP layer's `n_out × n_in` weight
+//! matrix maps onto the fixed `rows × cols` PE grid.
+//!
+//! The grid is **weight-stationary** and **output-stationary**: a tile
+//! pins `rows` consecutive synapse positions × `cols` consecutive
+//! neurons onto the PEs, the weights stay put while activations stream
+//! through, and each neuron's partial sum rides down its column —
+//! entering pre-loaded with the bias and leaving with `rows` more
+//! products accumulated. Column tiles walk the neuron axis, row tiles
+//! walk the synapse axis *in ascending order*, so the accumulation
+//! order per neuron is exactly the reference `Mlp::forward_fixed` order
+//! and a defect-free grid is bit-identical to it.
+//!
+//! The batch entry point keeps a weight loaded across all lanes of a
+//! 64-sample block before moving on — the weight-stationary payoff: one
+//! weight fetch serves 64 MACs.
+
+use dta_fixed::Fx;
+
+use crate::grid::{GridGeometry, PassMask, PeGrid};
+
+/// The tile walk of one layer on one grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileSchedule {
+    /// Synapse positions per tile (= grid rows).
+    pub rows: usize,
+    /// Neurons per tile (= grid cols).
+    pub cols: usize,
+    /// Fan-in of the layer (synapses per neuron, bias excluded).
+    pub n_in: usize,
+    /// Neurons in the layer.
+    pub n_out: usize,
+    /// Tiles along the neuron axis.
+    pub col_tiles: usize,
+    /// Tiles along the synapse axis.
+    pub row_tiles: usize,
+}
+
+impl TileSchedule {
+    /// Lays a layer out on the grid.
+    pub fn for_layer(geom: &GridGeometry, n_in: usize, n_out: usize) -> TileSchedule {
+        TileSchedule {
+            rows: geom.rows,
+            cols: geom.cols,
+            n_in,
+            n_out,
+            col_tiles: n_out.div_ceil(geom.cols),
+            row_tiles: n_in.div_ceil(geom.rows),
+        }
+    }
+
+    /// Weight tiles the walk visits.
+    pub fn tiles(&self) -> usize {
+        self.col_tiles * self.row_tiles
+    }
+
+    /// Genuine multiply-accumulates (one per weight).
+    pub fn active_macs(&self) -> usize {
+        self.n_in * self.n_out
+    }
+
+    /// Idle PE steps: partial-tile positions whose PEs only pass the
+    /// partial sum through (still exposed to result-register faults).
+    pub fn idle_steps(&self) -> usize {
+        let row_slack = self.row_tiles * self.rows - self.n_in;
+        // Idle rows run for every *real* neuron of each column tile;
+        // columns beyond the layer's width carry no partial sum at all.
+        row_slack * self.n_out
+    }
+
+    /// Grid occupancy: active MACs over the PE-steps the walk schedules.
+    pub fn utilization(&self) -> f64 {
+        let scheduled = self.active_macs() + self.idle_steps();
+        if scheduled == 0 {
+            return 0.0;
+        }
+        self.active_macs() as f64 / scheduled as f64
+    }
+}
+
+/// Runs one layer's tile walk for a single sample. `accs[j]` must come
+/// in holding neuron `j`'s bias and leaves holding its pre-activation
+/// accumulation; `w(j, i)` supplies the stationary weight of neuron `j`
+/// at synapse `i`, and `xq` the quantized activations streaming in.
+pub fn run_tiles<W: Fn(usize, usize) -> Fx>(
+    grid: &PeGrid,
+    sched: &TileSchedule,
+    w: W,
+    xq: &[Fx],
+    accs: &mut [Fx],
+    mask: &PassMask,
+) {
+    debug_assert_eq!(xq.len(), sched.n_in);
+    debug_assert_eq!(accs.len(), sched.n_out);
+    let row_map = grid.row_map();
+    for ct in 0..sched.col_tiles {
+        for rt in 0..sched.row_tiles {
+            for (r, &p) in row_map.iter().enumerate() {
+                let i = rt * sched.rows + r;
+                for c in 0..sched.cols {
+                    let j = ct * sched.cols + c;
+                    if j >= sched.n_out {
+                        break;
+                    }
+                    accs[j] = if i < sched.n_in {
+                        grid.pe_step(p, c, accs[j], w(j, i), xq[i], mask)
+                    } else {
+                        grid.pe_idle(p, c, accs[j], mask)
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The batched tile walk: `lanes[s]` is sample `s`'s activation vector,
+/// `accs[j][s]` its accumulator for neuron `j`, `masks[s]` its pass
+/// mask. Each stationary weight is fetched once per tile position and
+/// applied across every lane before the walk moves on; per-sample
+/// arithmetic is untouched, so the result is bit-identical to running
+/// [`run_tiles`] per sample.
+pub fn run_tiles_batch<W: Fn(usize, usize) -> Fx>(
+    grid: &PeGrid,
+    sched: &TileSchedule,
+    w: W,
+    lanes: &[Vec<Fx>],
+    accs: &mut [Vec<Fx>],
+    masks: &[PassMask],
+) {
+    debug_assert_eq!(lanes.len(), masks.len());
+    debug_assert_eq!(accs.len(), sched.n_out);
+    let row_map = grid.row_map();
+    for ct in 0..sched.col_tiles {
+        for rt in 0..sched.row_tiles {
+            for (r, &p) in row_map.iter().enumerate() {
+                let i = rt * sched.rows + r;
+                for c in 0..sched.cols {
+                    let j = ct * sched.cols + c;
+                    if j >= sched.n_out {
+                        break;
+                    }
+                    if i < sched.n_in {
+                        let wq = w(j, i); // fetched once, reused per lane
+                        let accs_j = &mut accs[j];
+                        for (s, mask) in masks.iter().enumerate() {
+                            accs_j[s] = grid.pe_step(p, c, accs_j[s], wq, lanes[s][i], mask);
+                        }
+                    } else {
+                        let accs_j = &mut accs[j];
+                        for (s, mask) in masks.iter().enumerate() {
+                            accs_j[s] = grid.pe_idle(p, c, accs_j[s], mask);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_shapes_cover_the_reference_layers() {
+        let geom = GridGeometry::default();
+        // The paper's 90-input hidden layer: 6 row tiles, 1 col tile.
+        let hid = TileSchedule::for_layer(&geom, 90, 10);
+        assert_eq!((hid.row_tiles, hid.col_tiles), (6, 1));
+        assert_eq!(hid.active_macs(), 900);
+        assert_eq!(hid.idle_steps(), (96 - 90) * 10);
+        assert!(hid.utilization() > 0.9);
+        // Iris-sized 4-6-3: single tile, mostly idle rows.
+        let small = TileSchedule::for_layer(&geom, 4, 6);
+        assert_eq!((small.row_tiles, small.col_tiles), (1, 1));
+        assert_eq!(small.idle_steps(), 12 * 6);
+        // A layer wider than the grid walks two column tiles.
+        let wide = TileSchedule::for_layer(&geom, 16, 15);
+        assert_eq!(wide.col_tiles, 2);
+        assert_eq!(wide.tiles(), 2);
+    }
+
+    #[test]
+    fn healthy_tile_walk_matches_direct_accumulation() {
+        let geom = GridGeometry::default();
+        let grid = PeGrid::new(geom);
+        let (n_in, n_out) = (23, 13); // partial tiles on both axes
+        let sched = TileSchedule::for_layer(&geom, n_in, n_out);
+        let w = |j: usize, i: usize| Fx::from_f64((j as f64 - i as f64) * 0.07);
+        let xq: Vec<Fx> = (0..n_in)
+            .map(|i| Fx::from_f64(i as f64 * 0.11 - 1.0))
+            .collect();
+        let mut accs: Vec<Fx> = (0..n_out).map(|j| Fx::from_f64(j as f64 * 0.01)).collect();
+        let want: Vec<Fx> = (0..n_out)
+            .map(|j| {
+                let mut acc = Fx::from_f64(j as f64 * 0.01);
+                for (i, &x) in xq.iter().enumerate() {
+                    acc += w(j, i) * x;
+                }
+                acc
+            })
+            .collect();
+        run_tiles(&grid, &sched, w, &xq, &mut accs, &PassMask::default());
+        assert_eq!(accs, want);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`datasets`] | `dta-datasets` | the synthetic UCI benchmark suite, Figure 2 catalog |
 //! | [`ann`] | `dta-ann` | MLP, back-propagation, fault hooks, hyper-parameter search |
 //! | [`core`] | `dta-core` | the accelerator, baselines, cost/processor models, campaigns |
+//! | [`systolic`] | `dta-systolic` | weight-stationary systolic MAC array: the second topology |
 //!
 //! # Quickstart
 //!
@@ -49,4 +50,5 @@ pub use dta_core as core;
 pub use dta_datasets as datasets;
 pub use dta_fixed as fixed;
 pub use dta_logic as logic;
+pub use dta_systolic as systolic;
 pub use dta_transistor as transistor;
