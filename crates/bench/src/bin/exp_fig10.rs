@@ -115,6 +115,7 @@ fn main() {
         threads: args.get("threads", 1usize),
         chaos: Vec::new(),
         mem: None,
+        combined: false,
     };
     // `--checkpoint FILE` journals finished grid cells so a killed run
     // resumes where it left off (and reproduces the same curve).

@@ -81,7 +81,9 @@ impl Sweep<'_> {
             &label,
             || {
                 let mut accel = commission();
-                accel.attach_weight_memory_with(WeightMemory::new(self.geom));
+                accel
+                    .attach_weight_memory_with(WeightMemory::new(self.geom))
+                    .unwrap_or_else(|e| twin::die(BIN, &label, "memory attach", &e));
                 let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0x3E3);
                 accel
                     .inject_memory_defects(n_defects, MemActivation::Permanent, &mut rng)

@@ -1,0 +1,556 @@
+//! Experiment: **mission mode** — degrade-and-recover operation under
+//! mid-stream fault arrival, on both accelerator topologies.
+//!
+//! Where the other campaigns damage a commissioned array once and
+//! measure the repaired steady state, this binary serves a sustained
+//! inference stream while a seeded Poisson process plants defects *mid
+//! -stream*, and compares two arms of the same seed at each arrival
+//! rate:
+//!
+//! * **blind** — same traffic, same fault arrivals, no probes, no
+//!   repair: the array just soaks up damage (the deployed-and-ignored
+//!   control);
+//! * **mission** — periodic incremental BIST probes drive the
+//!   per-accelerator health machine (Healthy → Suspect → Recovering →
+//!   {Healthy, Degraded, Quarantined}); detection triggers the full
+//!   recovery ladder, failed episodes charge exponential backoff in
+//!   skipped batches, and exhausted retry budgets quarantine the unit
+//!   fail-silent while the stream keeps serving.
+//!
+//! On the spatial topology each arrival is **combined-surface**
+//! (transistor-level operator defects plus permanent bit-cell defects
+//! in the attached SEC-DED weight store, split `ceil/floor` like the
+//! combined campaign cells); on the systolic grid each arrival plants
+//! permanent PE faults. Both arms of a cell share the mission seed, so
+//! they see bit-identical arrival schedules and fault draws; the binary
+//! asserts the floor **mission terminal accuracy ≥ blind** at every
+//! (topology, rate) cell and exits 1 on a violation.
+//!
+//! With `--checkpoint`, every finished arm lands in a
+//! fingerprint-guarded journal (pseudo-tasks
+//! `task@topo#rN:arm:{acc,avail,sum}`; the health-state summary row is
+//! written last as the completion marker) and a killed sweep resumes
+//! byte-identical. Machine-readable lines for scripts/CI start with
+//! `data `; the perf record goes to `BENCH_mission.json` (`--bench-out`
+//! overrides).
+//!
+//! ```sh
+//! cargo run --release -p dta-bench --bin exp_mission
+//! cargo run --release -p dta-bench --bin exp_mission -- \
+//!     --rates 0.05 --windows 4 --batches 8 --checkpoint mission.jsonl
+//! ```
+
+use std::time::Instant;
+
+use dta_bench::twin;
+use dta_bench::{pct, require_task, rule, Args, JsonMap};
+use dta_circuits::Activation;
+use dta_core::{
+    run_mission, Accel, Accelerator, BistConfig, CellOutcome, Checkpoint, HealthState, MemGeometry,
+    MissionConfig, RecoveryPolicy, RungBudget, SurfaceMix, WeightMemory,
+};
+use dta_datasets::{Dataset, TaskSpec};
+use dta_systolic::SystolicAccelerator;
+
+const BIN: &str = "exp_mission";
+
+/// The two topologies of the comparison, in run order.
+const TOPOS: [&str; 2] = ["spatial", "systolic"];
+
+/// The two arms of each cell, in run order.
+const ARMS: [&str; 2] = ["blind", "mission"];
+
+/// One arm's journaled trace and summary. Everything is `f64` so the
+/// whole struct round-trips through the checkpoint journal's accuracy
+/// slot; counters are exact small integers, so the round trip is
+/// lossless. `-1.0` stands in for "no episode/detection happened"
+/// (`None` in the mission outcome).
+#[derive(Clone, Debug, PartialEq)]
+struct ArmResult {
+    /// Mean served accuracy per reporting window.
+    window_accuracy: Vec<f64>,
+    /// Served-batch fraction per reporting window.
+    window_availability: Vec<f64>,
+    /// Accuracy over the full evaluation split after the last batch.
+    final_accuracy: f64,
+    /// Served batches over total batches.
+    availability: f64,
+    /// Fault-arrival events that fired.
+    arrivals: f64,
+    /// Arrivals a later probe detected.
+    detected: f64,
+    /// Mean batches from arrival to the detecting probe (`-1` = none).
+    detection_latency: f64,
+    /// Mean retraining epochs per recovery episode (`-1` = none ran).
+    recovery_epochs: f64,
+    /// Recovery-ladder episodes run.
+    episodes: f64,
+    /// Units masked fail-silent by quarantine.
+    quarantined: f64,
+    /// Final health state, encoded by [`state_code`].
+    state: f64,
+}
+
+/// Stable numeric encoding of a health state for the journal.
+fn state_code(state: HealthState) -> f64 {
+    match state {
+        HealthState::Healthy => 0.0,
+        HealthState::Suspect => 1.0,
+        HealthState::Recovering => 2.0,
+        HealthState::Degraded => 3.0,
+        HealthState::Quarantined => 4.0,
+    }
+}
+
+/// Human-readable name for a journaled state code.
+fn state_name(code: f64) -> &'static str {
+    match code as i64 {
+        0 => "healthy",
+        1 => "suspect",
+        2 => "recovering",
+        3 => "degraded",
+        4 => "quarantined",
+        _ => "?",
+    }
+}
+
+/// The summary slots of one arm's `:sum` pseudo-task, in journal order.
+/// The state code (index 8) is written last and doubles as the arm's
+/// completion marker on replay.
+const SUM_SLOTS: usize = 9;
+
+/// One finished (topology index, rate index) cell: blind arm, then
+/// mission arm.
+type CellRow = (usize, usize, ArmResult, ArmResult);
+
+/// Everything shared by every cell of the sweep.
+struct Sweep<'a> {
+    spec: &'a TaskSpec,
+    ds: &'a Dataset,
+    epochs: usize,
+    windows: usize,
+    batches: u64,
+    rows: usize,
+    probe_interval: u64,
+    probe_budget_ms: u64,
+    event_defects: usize,
+    max_attempts: usize,
+    recovery_epochs: usize,
+    budget_ms: u64,
+    target_drop: f64,
+    seed: u64,
+    geom: MemGeometry,
+}
+
+impl Sweep<'_> {
+    /// The shared mission seed of one (topology, rate) cell. Both arms
+    /// use it, so they see identical arrival schedules and fault draws.
+    fn cell_seed(&self, topo_idx: usize, rate_idx: usize) -> u64 {
+        self.seed ^ ((topo_idx as u64) << 40) ^ ((rate_idx as u64) << 24)
+    }
+
+    /// The mission configuration of one arm.
+    fn config(&self, rate: f64, detection: bool, cell_seed: u64, clean: f64) -> MissionConfig {
+        let budget = RungBudget {
+            max_epochs: self.recovery_epochs,
+            wall_clock_ms: self.budget_ms,
+        };
+        MissionConfig {
+            windows: self.windows,
+            batches_per_window: self.batches,
+            rows_per_batch: self.rows,
+            arrival_rate: rate,
+            probe_interval: self.probe_interval,
+            probe_budget_ms: self.probe_budget_ms,
+            detection,
+            max_recovery_attempts: self.max_attempts,
+            seed: cell_seed,
+            bist: BistConfig::default(),
+            recovery: RecoveryPolicy {
+                retrain: budget,
+                remap: budget,
+                target_accuracy: (clean - self.target_drop).max(0.0),
+                learning_rate: self.spec.learning_rate,
+                momentum: 0.1,
+                seed: cell_seed,
+                ..RecoveryPolicy::default()
+            },
+        }
+    }
+
+    /// Runs one arm of one cell and returns its trace.
+    fn run_arm(&self, topo: &str, rate_idx: usize, rate: f64, arm: &str) -> ArmResult {
+        let (spec, ds) = (self.spec, self.ds);
+        let topo_idx = TOPOS.iter().position(|t| *t == topo).unwrap();
+        let cell_seed = self.cell_seed(topo_idx, rate_idx);
+        let detection = arm == "mission";
+        let label = format!("{topo} rate={rate} {arm}");
+        let fold = &ds.k_folds(5, self.seed)[0];
+
+        let outcome = match topo {
+            "spatial" => {
+                let mut accel = twin::commission(
+                    BIN,
+                    Accelerator::new(),
+                    spec,
+                    ds,
+                    &fold.train,
+                    self.epochs,
+                    cell_seed,
+                );
+                accel
+                    .attach_weight_memory_with(WeightMemory::new(self.geom))
+                    .unwrap_or_else(|e| twin::die(BIN, &label, "memory attach", &e));
+                let clean = accel
+                    .evaluate(ds, &fold.test)
+                    .unwrap_or_else(|e| twin::die(BIN, &label, "clean evaluation", &e));
+                let cfg = self.config(rate, detection, cell_seed, clean);
+                // Combined-surface arrivals: operator cells and weight
+                // bit cells damaged by the same event.
+                let mix = SurfaceMix::combined(self.event_defects);
+                run_mission(
+                    &mut accel,
+                    ds,
+                    &fold.train,
+                    &fold.test,
+                    &cfg,
+                    |a, _, rng| mix.inject_spatial(a, rng),
+                )
+            }
+            _ => {
+                let mut accel = twin::commission(
+                    BIN,
+                    SystolicAccelerator::new(),
+                    spec,
+                    ds,
+                    &fold.train,
+                    self.epochs,
+                    cell_seed,
+                );
+                let clean = accel
+                    .evaluate(ds, &fold.test)
+                    .unwrap_or_else(|e| twin::die(BIN, &label, "clean evaluation", &e));
+                let cfg = self.config(rate, detection, cell_seed, clean);
+                let n = self.event_defects;
+                run_mission(
+                    &mut accel,
+                    ds,
+                    &fold.train,
+                    &fold.test,
+                    &cfg,
+                    |a, _, rng| a.inject_defects(n, Activation::Permanent, rng),
+                )
+            }
+        };
+        let outcome = outcome.unwrap_or_else(|e| twin::die(BIN, &label, "mission", &e));
+
+        ArmResult {
+            window_accuracy: outcome.window_accuracy,
+            window_availability: outcome.window_availability,
+            final_accuracy: outcome.final_accuracy,
+            availability: outcome.availability,
+            arrivals: outcome.arrivals as f64,
+            detected: outcome.detected as f64,
+            detection_latency: outcome.mean_detection_latency.unwrap_or(-1.0),
+            recovery_epochs: outcome.mean_recovery_epochs.unwrap_or(-1.0),
+            episodes: outcome.recovery_episodes as f64,
+            quarantined: outcome.quarantined_units as f64,
+            state: state_code(outcome.final_state),
+        }
+    }
+}
+
+/// Replays a journaled arm if it finished (its state-code summary row,
+/// written last, is present) — otherwise `None` and the arm re-runs.
+fn replay_arm(ck: &Checkpoint, key: &str, windows: usize) -> Option<ArmResult> {
+    let get = |task: &str, idx: usize| match ck.lookup(task, idx, 0) {
+        Some(CellOutcome::Completed { accuracy, .. }) => Some(accuracy),
+        _ => None,
+    };
+    let sum = format!("{key}:sum");
+    get(&sum, SUM_SLOTS - 1)?;
+    let mut window_accuracy = Vec::with_capacity(windows);
+    let mut window_availability = Vec::with_capacity(windows);
+    for w in 0..windows {
+        window_accuracy.push(get(&format!("{key}:acc"), w)?);
+        window_availability.push(get(&format!("{key}:avail"), w)?);
+    }
+    Some(ArmResult {
+        window_accuracy,
+        window_availability,
+        final_accuracy: get(&sum, 0)?,
+        availability: get(&sum, 1)?,
+        arrivals: get(&sum, 2)?,
+        detected: get(&sum, 3)?,
+        detection_latency: get(&sum, 4)?,
+        recovery_epochs: get(&sum, 5)?,
+        episodes: get(&sum, 6)?,
+        quarantined: get(&sum, 7)?,
+        state: get(&sum, 8)?,
+    })
+}
+
+/// Journals a finished arm: per-window rows first, summary rows in slot
+/// order, the state code last (the completion marker `replay_arm`
+/// checks). A write failure exits with status 1.
+fn record_arm(ck: &Checkpoint, key: &str, r: &ArmResult) {
+    let put = |task: String, idx: usize, accuracy: f64| {
+        let outcome = CellOutcome::Completed {
+            accuracy,
+            retried: false,
+        };
+        if let Err(e) = ck.record(&task, idx, 0, &outcome) {
+            eprintln!("{BIN}: checkpoint write failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (w, (&acc, &avail)) in r
+        .window_accuracy
+        .iter()
+        .zip(&r.window_availability)
+        .enumerate()
+    {
+        put(format!("{key}:acc"), w, acc);
+        put(format!("{key}:avail"), w, avail);
+    }
+    let sum = [
+        r.final_accuracy,
+        r.availability,
+        r.arrivals,
+        r.detected,
+        r.detection_latency,
+        r.recovery_epochs,
+        r.episodes,
+        r.quarantined,
+        r.state,
+    ];
+    for (idx, &value) in sum.iter().enumerate() {
+        put(format!("{key}:sum"), idx, value);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let task = args.get_str_list("task", &["iris"])[0].clone();
+    let rates = args.get_f64_list("rates", &[0.02, 0.05, 0.1]);
+    let windows = args.get("windows", 6usize);
+    let batches = args.get("batches", 12u64);
+    let rows = args.get("rows", 8usize);
+    let probe_interval = args.get("probe-interval", 4u64);
+    let probe_budget_ms = args.get("probe-budget-ms", 10_000u64);
+    let event_defects = args.get("event-defects", 4usize);
+    let max_attempts = args.get("max-attempts", 2usize);
+    let epochs = args.get("epochs", 30usize);
+    let recovery_epochs = args.get("recovery-epochs", 12usize);
+    let budget_ms = args.get("budget-ms", 60_000u64);
+    let target_drop = args.get("target-drop", 0.05f64);
+    let seed = args.get("seed", 0x00A1_1077u64);
+    let bench_out = args
+        .get_opt_str("bench-out")
+        .unwrap_or("BENCH_mission.json");
+    let checkpoint_path = args.get_opt_str("checkpoint");
+
+    let spec = require_task(&task);
+    let ds = spec.dataset();
+    let phys = dta_ann::Topology::accelerator();
+    let mut geom = MemGeometry::for_network(phys.inputs, phys.hidden, phys.outputs, true);
+    geom.spare_rows = 2;
+    geom.spare_cols = 8;
+
+    let sweep = Sweep {
+        spec: &spec,
+        ds: &ds,
+        epochs,
+        windows,
+        batches,
+        rows,
+        probe_interval,
+        probe_budget_ms,
+        event_defects,
+        max_attempts,
+        recovery_epochs,
+        budget_ms,
+        target_drop,
+        seed,
+        geom,
+    };
+
+    // Everything that determines arm results goes into the journal
+    // fingerprint — a resumed run with a different stream shape, fault
+    // mix, or ladder budget must refuse the journal, not mix traces.
+    let fingerprint = format!(
+        "exp_mission v1 task={task} rates={rates:?} windows={windows} batches={batches} \
+         rows={rows} probe_interval={probe_interval} probe_budget_ms={probe_budget_ms} \
+         event_defects={event_defects} max_attempts={max_attempts} epochs={epochs} \
+         recovery_epochs={recovery_epochs} budget_ms={budget_ms} target_drop={target_drop:?} \
+         seed={seed:#x} mem=ecc:2r8c"
+    );
+    let checkpoint = checkpoint_path.map(|p| twin::open_checkpoint(BIN, p, &fingerprint));
+
+    println!(
+        "Mission mode on {task}: {windows}x{batches} batches of {rows} rows, probe every \
+         {probe_interval}, {event_defects} defects/event, {max_attempts} retry(s) before \
+         quarantine, {recovery_epochs} epochs / {budget_ms} ms per rung\n"
+    );
+    println!(
+        "{:<10}{:>7}{:>8}{:>9}{:>7}{:>9}{:>8}{:>6}  {:<12}",
+        "topo", "rate", "blind", "mission", "gain", "avail", "detlat", "quar", "state"
+    );
+    rule(78);
+
+    let start = Instant::now();
+    // results[(topo, rate_idx)] = [blind, mission]
+    let mut results: Vec<CellRow> = Vec::new();
+    let mut floor_violations = 0usize;
+    for (topo_idx, topo) in TOPOS.iter().enumerate() {
+        for (rate_idx, &rate) in rates.iter().enumerate() {
+            let mut arms: Vec<ArmResult> = Vec::with_capacity(2);
+            for arm in ARMS {
+                let key = format!("{task}@{topo}#r{rate_idx}:{arm}");
+                let result = checkpoint
+                    .as_ref()
+                    .and_then(|ck| replay_arm(ck, &key, windows))
+                    .unwrap_or_else(|| {
+                        let r = sweep.run_arm(topo, rate_idx, rate, arm);
+                        if let Some(ck) = &checkpoint {
+                            record_arm(ck, &key, &r);
+                        }
+                        r
+                    });
+                arms.push(result);
+            }
+            let mission = arms.pop().unwrap();
+            let blind = arms.pop().unwrap();
+            if mission.final_accuracy < blind.final_accuracy {
+                eprintln!(
+                    "{BIN}: FLOOR VIOLATION at {topo} rate={rate}: mission {} < blind {}",
+                    pct(mission.final_accuracy),
+                    pct(blind.final_accuracy)
+                );
+                floor_violations += 1;
+            }
+            println!(
+                "{:<10}{:>7}{:>8}{:>9}{:>7}{:>9}{:>8}{:>6}  {:<12}",
+                topo,
+                format!("{rate}"),
+                pct(blind.final_accuracy),
+                pct(mission.final_accuracy),
+                pct(mission.final_accuracy - blind.final_accuracy),
+                pct(mission.availability),
+                if mission.detection_latency < 0.0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", mission.detection_latency)
+                },
+                mission.quarantined as usize,
+                state_name(mission.state),
+            );
+            results.push((topo_idx, rate_idx, blind, mission));
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    rule(78);
+
+    // Stable machine-readable lines (floats in shortest round-trip
+    // form, so a resumed run diffs clean against an uninterrupted one).
+    println!();
+    for (topo_idx, rate_idx, blind, mission) in &results {
+        for (arm, r) in ARMS.iter().zip([blind, mission]) {
+            println!(
+                "data {task} {} {:?} {arm} {:?} {:?} {:?} {:?} {:?} {:?} {:?} {:?} {:?} {:?} {:?}",
+                TOPOS[*topo_idx],
+                rates[*rate_idx],
+                r.window_accuracy,
+                r.window_availability,
+                r.final_accuracy,
+                r.availability,
+                r.arrivals,
+                r.detected,
+                r.detection_latency,
+                r.recovery_epochs,
+                r.episodes,
+                r.quarantined,
+                r.state,
+            );
+        }
+    }
+
+    println!(
+        "\n{} cell(s) in {wall_s:.2} s; mission terminal accuracy >= blind at every \
+         (topology, rate) — asserted in-binary.",
+        results.len()
+    );
+
+    let mut record = JsonMap::new()
+        .str("bin", BIN)
+        .str("task", &task)
+        .str_list(
+            "topos",
+            &TOPOS.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        )
+        .num_list("rates", &rates)
+        .int("windows", windows as u64)
+        .int("batches_per_window", batches)
+        .int("rows_per_batch", rows as u64)
+        .int("probe_interval", probe_interval)
+        .int("probe_budget_ms", probe_budget_ms)
+        .int("event_defects", event_defects as u64)
+        .int("max_recovery_attempts", max_attempts as u64)
+        .int("epochs", epochs as u64)
+        .int("recovery_epochs", recovery_epochs as u64)
+        .int("budget_ms", budget_ms)
+        .num("target_drop", target_drop)
+        .int("seed", seed);
+    for (topo_idx, topo) in TOPOS.iter().enumerate() {
+        let cells: Vec<&CellRow> = results
+            .iter()
+            .filter(|(t, _, _, _)| *t == topo_idx)
+            .collect();
+        let col =
+            |f: &dyn Fn(&CellRow) -> f64| -> Vec<f64> { cells.iter().map(|c| f(c)).collect() };
+        record = record
+            .num_list(
+                &format!("{topo}_blind_final"),
+                &col(&|c| c.2.final_accuracy),
+            )
+            .num_list(
+                &format!("{topo}_mission_final"),
+                &col(&|c| c.3.final_accuracy),
+            )
+            .num_list(
+                &format!("{topo}_blind_availability"),
+                &col(&|c| c.2.availability),
+            )
+            .num_list(
+                &format!("{topo}_mission_availability"),
+                &col(&|c| c.3.availability),
+            )
+            .num_list(&format!("{topo}_mission_arrivals"), &col(&|c| c.3.arrivals))
+            .num_list(&format!("{topo}_mission_detected"), &col(&|c| c.3.detected))
+            .num_list(
+                &format!("{topo}_mission_detection_latency"),
+                &col(&|c| c.3.detection_latency),
+            )
+            .num_list(
+                &format!("{topo}_mission_recovery_epochs"),
+                &col(&|c| c.3.recovery_epochs),
+            )
+            .num_list(&format!("{topo}_mission_episodes"), &col(&|c| c.3.episodes))
+            .num_list(
+                &format!("{topo}_mission_quarantined"),
+                &col(&|c| c.3.quarantined),
+            )
+            .num_list(&format!("{topo}_mission_state"), &col(&|c| c.3.state));
+    }
+    record = record.num("wall_s", wall_s);
+    if let Err(e) = record.write(bench_out) {
+        eprintln!("{BIN}: writing {bench_out}: {e}");
+        std::process::exit(1);
+    }
+    println!("perf record written to {bench_out}");
+
+    if floor_violations > 0 {
+        eprintln!("{BIN}: {floor_violations} floor violation(s) — mission arm below blind arm");
+        std::process::exit(1);
+    }
+}

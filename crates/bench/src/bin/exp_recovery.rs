@@ -81,7 +81,16 @@ impl Sweep<'_> {
             || {
                 let mut accel = commission();
                 let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0xFA11);
-                accel.inject_defects(defects, FaultModel::TransistorLevel, &mut rng);
+                accel
+                    .inject_defects(defects, FaultModel::TransistorLevel, &mut rng)
+                    .unwrap_or_else(|e| {
+                        twin::die(
+                            BIN,
+                            &format!("defects={defects} rep={rep}"),
+                            "injection",
+                            &e,
+                        )
+                    });
                 accel
             },
             commission,

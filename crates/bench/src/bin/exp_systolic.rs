@@ -82,7 +82,9 @@ impl Sweep<'_> {
                 || {
                     let mut accel = commission();
                     let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0xFA11);
-                    accel.inject_defects(defects, FaultModel::TransistorLevel, &mut rng);
+                    accel
+                        .inject_defects(defects, FaultModel::TransistorLevel, &mut rng)
+                        .unwrap_or_else(|e| twin::die(BIN, &label, "defect injection", &e));
                     accel
                 },
                 commission,
@@ -111,7 +113,9 @@ impl Sweep<'_> {
                 || {
                     let mut accel = commission();
                     let mut rng = ChaCha8Rng::seed_from_u64(cell_seed ^ 0xFA11);
-                    accel.inject_defects(defects, Activation::Permanent, &mut rng);
+                    accel
+                        .inject_defects(defects, Activation::Permanent, &mut rng)
+                        .unwrap_or_else(|e| twin::die(BIN, &label, "defect injection", &e));
                     accel
                 },
                 commission,

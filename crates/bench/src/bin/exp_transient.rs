@@ -122,6 +122,7 @@ fn main() {
         threads: args.get("threads", 1usize),
         chaos,
         mem: None,
+        combined: false,
     };
 
     let specs: Vec<TaskSpec> = task_names

@@ -94,6 +94,29 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
     ),
     ("spare-rows", "exp_memfault: spare rows for steering"),
     ("spare-cols", "exp_memfault: spare columns for steering"),
+    (
+        "rates",
+        "exp_mission: comma-separated Poisson fault-arrival rates (events/batch)",
+    ),
+    ("windows", "exp_mission: reporting windows in the trace"),
+    ("batches", "exp_mission: traffic batches per window"),
+    ("rows", "exp_mission: dataset rows served per batch"),
+    (
+        "probe-interval",
+        "exp_mission: batches between incremental BIST probes",
+    ),
+    (
+        "probe-budget-ms",
+        "exp_mission: wall-clock watchdog per probe",
+    ),
+    (
+        "event-defects",
+        "exp_mission: defects planted per arrival event",
+    ),
+    (
+        "max-attempts",
+        "exp_mission: failed recovery episodes tolerated before quarantine",
+    ),
 ];
 
 /// Parsed `--key value` command-line options.

@@ -22,9 +22,11 @@
 //! are generic over this trait; every bench binary picks a topology by
 //! picking a constructor.
 
+use std::sync::atomic::AtomicBool;
+
 use rand_chacha::ChaCha8Rng;
 
-use dta_ann::{Mlp, Topology};
+use dta_ann::{Layer, Mlp, Topology};
 use dta_datasets::Dataset;
 use dta_mem::{apply_repairs, march_cminus};
 
@@ -132,6 +134,51 @@ pub trait Accel {
     /// Label-free estimate of the residual serving accuracy given the
     /// still-active flagged sites — the graceful-degradation report.
     fn degradation(&mut self, diagnosis: &Diagnosis, baseline: f64) -> DegradationEstimate;
+
+    /// Opens a traffic-batch window: until [`Accel::end_batch`], the
+    /// array is serving and structural mutations (defect injection,
+    /// weight-store attach/detach) must fail typed instead of mutating
+    /// the silicon under in-flight rows. The mission runtime brackets
+    /// every served batch with this pair.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] if a window is already open.
+    fn begin_batch(&mut self) -> Result<(), AccelError>;
+
+    /// Closes the traffic-batch window; idempotent.
+    fn end_batch(&mut self);
+
+    /// Lightweight incremental BIST probe for mission mode: screens
+    /// only the units the serving stream actually exercises (the mapped
+    /// network's routed lanes / active grid rows, plus the attached
+    /// weight store), instead of the full-geometry power-on self-test.
+    /// Checks `abort` as it walks, so a watchdog can stop a stalling
+    /// probe: returns `Ok(None)` when aborted, with the fault state
+    /// reset to power-on either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AccelError`] from the diagnostic datapath (cannot
+    /// occur for a well-formed accelerator).
+    fn probe_touched(
+        &mut self,
+        cfg: &BistConfig,
+        abort: &AtomicBool,
+    ) -> Result<Option<Diagnosis>, AccelError>;
+
+    /// Forces every unit the diagnosis implicates fail-silent (lane
+    /// masks on the spatial array, PE bypasses on the systolic grid) —
+    /// the terminal quarantine action once recovery retries are
+    /// exhausted. Returns how many units were newly silenced; the
+    /// stream keeps serving whatever the surviving fabric delivers.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError`] when a flagged unit does not exist in this
+    /// topology (cannot occur for a diagnosis this accelerator
+    /// produced).
+    fn quarantine(&mut self, diagnosis: &Diagnosis) -> Result<usize, AccelError>;
 }
 
 impl Accel for Accelerator {
@@ -267,6 +314,62 @@ impl Accel for Accelerator {
     fn degradation(&mut self, diagnosis: &Diagnosis, baseline: f64) -> DegradationEstimate {
         crate::recover::estimate_degradation(self, diagnosis, baseline)
     }
+
+    fn begin_batch(&mut self) -> Result<(), AccelError> {
+        Accelerator::begin_batch(self)
+    }
+
+    fn end_batch(&mut self) {
+        Accelerator::end_batch(self)
+    }
+
+    fn probe_touched(
+        &mut self,
+        cfg: &BistConfig,
+        abort: &AtomicBool,
+    ) -> Result<Option<Diagnosis>, AccelError> {
+        crate::selftest::spatial_probe_touched(self, cfg, abort)
+    }
+
+    fn quarantine(&mut self, diagnosis: &Diagnosis) -> Result<usize, AccelError> {
+        let mut silenced = 0usize;
+        for lane in diagnosis.faulty_hidden_lanes() {
+            if !self.faults().is_masked(Layer::Hidden, lane) {
+                self.mask_hidden(lane)?;
+                silenced += 1;
+            }
+        }
+        // Output-stage evidence (screened output lanes or flagged
+        // output operators) is quarantined the same way; the forward
+        // path gates masked output lanes to 0.
+        let outputs = self.geometry().outputs;
+        let out_lanes: std::collections::BTreeSet<usize> = diagnosis
+            .screened_lanes
+            .iter()
+            .filter(|(l, _)| *l == Layer::Output)
+            .map(|&(_, k)| k)
+            .chain(
+                diagnosis
+                    .flagged
+                    .iter()
+                    .filter(|s| s.layer == Layer::Output)
+                    .map(|s| s.neuron),
+            )
+            .collect();
+        for k in out_lanes {
+            if k >= outputs {
+                return Err(AccelError::BadLane {
+                    lane: k,
+                    lanes: outputs,
+                });
+            }
+            if !self.faults().is_masked(Layer::Output, k) {
+                self.faults_mut().mask(Layer::Output, k);
+                silenced += 1;
+            }
+        }
+        Ok(silenced)
+    }
 }
 
 #[cfg(test)]
@@ -279,7 +382,7 @@ mod tests {
         let policy = RecoveryPolicy::default();
         // No memory attached: memory rungs are absent even when allowed.
         assert_eq!(accel.structural_rungs(&policy), vec![RecoveryRung::Remap]);
-        accel.attach_weight_memory();
+        accel.attach_weight_memory().unwrap();
         assert_eq!(
             accel.structural_rungs(&policy),
             vec![

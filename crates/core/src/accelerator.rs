@@ -63,6 +63,16 @@ pub enum AccelError {
     },
     /// A memory operation was requested but no weight store is attached.
     NoMemory,
+    /// A structural mutation (defect injection, weight-store attach or
+    /// detach) was requested while a traffic batch is in flight. Fault
+    /// arrival in mission mode must land on batch boundaries: the
+    /// forward datapath assumes its fault plan and weight store are
+    /// frozen for the duration of a batch, so mutating them mid-batch
+    /// would silently corrupt in-flight rows.
+    NotQuiescent {
+        /// The rejected operation.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -92,6 +102,12 @@ impl fmt::Display for AccelError {
                 write!(f, "physical lane {lane} is already occupied")
             }
             AccelError::NoMemory => write!(f, "no weight memory attached"),
+            AccelError::NotQuiescent { op } => {
+                write!(
+                    f,
+                    "{op} requires a quiescent array (traffic batch in flight)"
+                )
+            }
         }
     }
 }
@@ -154,6 +170,7 @@ pub struct Accelerator {
     faults: FaultPlan,
     lut: SigmoidLut,
     rows_processed: u64,
+    in_flight: bool,
 }
 
 impl Accelerator {
@@ -171,7 +188,45 @@ impl Accelerator {
             faults: FaultPlan::new(physical.inputs),
             lut: SigmoidLut::new(),
             rows_processed: 0,
+            in_flight: false,
         }
+    }
+
+    /// Opens a traffic-batch window. While the window is open the array
+    /// is *not quiescent*: structural mutations (defect injection,
+    /// weight-store attach/detach) return
+    /// [`AccelError::NotQuiescent`] instead of silently changing the
+    /// silicon under in-flight rows. The mission runtime brackets every
+    /// served batch with `begin_batch`/[`Accelerator::end_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] if a window is already open
+    /// (unbalanced bracketing is a runtime logic error).
+    pub fn begin_batch(&mut self) -> Result<(), AccelError> {
+        if self.in_flight {
+            return Err(AccelError::NotQuiescent { op: "begin_batch" });
+        }
+        self.in_flight = true;
+        Ok(())
+    }
+
+    /// Closes the traffic-batch window opened by
+    /// [`Accelerator::begin_batch`]; idempotent.
+    pub fn end_batch(&mut self) {
+        self.in_flight = false;
+    }
+
+    /// True while a traffic-batch window is open.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    fn ensure_quiescent(&self, op: &'static str) -> Result<(), AccelError> {
+        if self.in_flight {
+            return Err(AccelError::NotQuiescent { op });
+        }
+        Ok(())
     }
 
     /// The physical array dimensions.
@@ -213,18 +268,25 @@ impl Accelerator {
     /// Injects `n` random defects into the input/hidden stage of the
     /// silicon (the Figure 10 procedure) and returns their descriptions.
     /// Defects accumulate across calls.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight
+    /// (see [`Accelerator::begin_batch`]): mid-stream fault arrival is
+    /// legal only on batch boundaries.
     pub fn inject_defects<R: Rng + ?Sized>(
         &mut self,
         n: usize,
         model: FaultModel,
         rng: &mut R,
-    ) -> Vec<String> {
+    ) -> Result<Vec<String>, AccelError> {
+        self.ensure_quiescent("inject_defects")?;
         let before = self.faults.len();
         for _ in 0..n {
             self.faults
                 .inject_random_hidden(self.physical.hidden, model, rng);
         }
-        self.faults.records()[before..].to_vec()
+        Ok(self.faults.records()[before..].to_vec())
     }
 
     /// The accumulated fault state (for output-layer injections and
@@ -250,7 +312,14 @@ impl Accelerator {
     /// path round-trips through the array, so memory defects injected
     /// with [`Accelerator::inject_memory_defects`] corrupt computation
     /// exactly where a real SRAM fault would.
-    pub fn attach_weight_memory(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight:
+    /// rerouting every weight fetch under in-flight rows would corrupt
+    /// them silently.
+    pub fn attach_weight_memory(&mut self) -> Result<(), AccelError> {
+        self.ensure_quiescent("attach_weight_memory")?;
         let geom = MemGeometry::for_network(
             self.physical.inputs,
             self.physical.hidden,
@@ -258,18 +327,30 @@ impl Accelerator {
             true,
         );
         self.faults.attach_memory(WeightMemory::new(geom));
+        Ok(())
     }
 
     /// Backs the weight latches with a caller-built array (custom
     /// geometry, ECC off, different spare budget).
-    pub fn attach_weight_memory_with(&mut self, mem: WeightMemory) {
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight.
+    pub fn attach_weight_memory_with(&mut self, mem: WeightMemory) -> Result<(), AccelError> {
+        self.ensure_quiescent("attach_weight_memory")?;
         self.faults.attach_memory(mem);
+        Ok(())
     }
 
     /// Removes the attached weight store, returning it; weights revert
     /// to the ideal distributed latches.
-    pub fn detach_weight_memory(&mut self) -> Option<WeightMemory> {
-        self.faults.detach_memory()
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight.
+    pub fn detach_weight_memory(&mut self) -> Result<Option<WeightMemory>, AccelError> {
+        self.ensure_quiescent("detach_weight_memory")?;
+        Ok(self.faults.detach_memory())
     }
 
     /// The attached weight store, if any.
@@ -290,13 +371,15 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// [`AccelError::NoMemory`] if no weight store is attached.
+    /// [`AccelError::NoMemory`] if no weight store is attached;
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight.
     pub fn inject_memory_defects<R: Rng + ?Sized>(
         &mut self,
         n: usize,
         activation: Activation,
         rng: &mut R,
     ) -> Result<Vec<String>, AccelError> {
+        self.ensure_quiescent("inject_memory_defects")?;
         let mem = self.faults.memory_mut().ok_or(AccelError::NoMemory)?;
         let before = mem.records().len();
         mem.inject_many(n, activation, rng);
@@ -308,13 +391,15 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// [`AccelError::NoMemory`] if no weight store is attached.
+    /// [`AccelError::NoMemory`] if no weight store is attached;
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight.
     pub fn inject_memory_density<R: Rng + ?Sized>(
         &mut self,
         density: f64,
         activation: Activation,
         rng: &mut R,
     ) -> Result<Vec<String>, AccelError> {
+        self.ensure_quiescent("inject_memory_defects")?;
         let mem = self.faults.memory_mut().ok_or(AccelError::NoMemory)?;
         let before = mem.records().len();
         mem.inject_density(density, activation, rng);
@@ -638,7 +723,9 @@ mod tests {
         let clean_acc = accel.evaluate(&ds, &idx).unwrap();
         assert!(clean_acc > 0.85, "clean accuracy {clean_acc}");
 
-        let reports = accel.inject_defects(5, FaultModel::TransistorLevel, &mut rng);
+        let reports = accel
+            .inject_defects(5, FaultModel::TransistorLevel, &mut rng)
+            .unwrap();
         assert_eq!(reports.len(), 5);
         assert_eq!(accel.defect_count(), 5);
 
@@ -836,7 +923,7 @@ mod tests {
             .collect();
         let base_acc = accel.evaluate(&ds, &idx).unwrap();
 
-        accel.attach_weight_memory();
+        accel.attach_weight_memory().unwrap();
         assert!(accel.memory().unwrap().is_transparent());
         assert_eq!(accel.memory_defect_count(), 0);
         let routed: Vec<Vec<f64>> = ds
@@ -847,7 +934,7 @@ mod tests {
         assert_eq!(baseline, routed);
         assert_eq!(accel.evaluate(&ds, &idx).unwrap(), base_acc);
 
-        let mem = accel.detach_weight_memory().unwrap();
+        let mem = accel.detach_weight_memory().unwrap().unwrap();
         assert!(mem.geometry().ecc);
         assert!(accel.memory().is_none());
     }
@@ -860,7 +947,7 @@ mod tests {
             accel.inject_memory_defects(1, dta_mem::Activation::Permanent, &mut rng),
             Err(AccelError::NoMemory)
         );
-        accel.attach_weight_memory();
+        accel.attach_weight_memory().unwrap();
         let reports = accel
             .inject_memory_defects(4, dta_mem::Activation::Permanent, &mut rng)
             .unwrap();
@@ -871,6 +958,63 @@ mod tests {
         assert!(!more.is_empty());
         assert_eq!(accel.memory_defect_count(), 4 + more.len());
         assert!(!accel.memory().unwrap().is_transparent());
+    }
+
+    #[test]
+    fn structural_mutation_mid_batch_is_a_typed_error() {
+        // Satellite fix: every structural mutation used to assume
+        // quiescence silently; now a traffic-batch window makes the
+        // assumption explicit and violations typed.
+        let mut accel = Accelerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        accel.begin_batch().unwrap();
+        assert!(accel.in_flight());
+        // Re-opening an open window is itself a bracketing bug.
+        assert_eq!(
+            accel.begin_batch(),
+            Err(AccelError::NotQuiescent { op: "begin_batch" })
+        );
+        assert_eq!(
+            accel.inject_defects(1, FaultModel::TransistorLevel, &mut rng),
+            Err(AccelError::NotQuiescent {
+                op: "inject_defects"
+            })
+        );
+        assert_eq!(
+            accel.attach_weight_memory(),
+            Err(AccelError::NotQuiescent {
+                op: "attach_weight_memory"
+            })
+        );
+        assert_eq!(
+            accel.detach_weight_memory().map(|m| m.is_some()),
+            Err(AccelError::NotQuiescent {
+                op: "detach_weight_memory"
+            })
+        );
+        assert_eq!(
+            accel.inject_memory_defects(1, dta_mem::Activation::Permanent, &mut rng),
+            Err(AccelError::NotQuiescent {
+                op: "inject_memory_defects"
+            })
+        );
+        assert_eq!(accel.defect_count(), 0, "rejected mutations left no state");
+        // Serving is unaffected by the window; mutation works again
+        // once it closes.
+        accel
+            .map_network(Mlp::new(Topology::new(4, 3, 2), 2))
+            .unwrap();
+        accel.process_row(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        accel.end_batch();
+        assert!(!accel.in_flight());
+        accel
+            .inject_defects(1, FaultModel::TransistorLevel, &mut rng)
+            .unwrap();
+        assert_eq!(accel.defect_count(), 1);
+        let err = AccelError::NotQuiescent {
+            op: "inject_defects",
+        };
+        assert!(err.to_string().contains("quiescent"));
     }
 
     #[test]

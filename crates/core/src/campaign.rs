@@ -67,6 +67,14 @@ pub struct CampaignConfig {
     /// defects. `None` (the default) is the classic Figure 10 operator
     /// campaign.
     pub mem: Option<MemProfile>,
+    /// Combined-surface injection: when `true` **and** `mem` is set,
+    /// each cell splits its defect axis across both surfaces —
+    /// `ceil(n/2)` operator defects in the datapath *and* `floor(n/2)`
+    /// bit-cell defects in the weight store, simultaneously. This is
+    /// the hard case for per-surface repair: one cell carries damage
+    /// the memory rungs cannot see and damage the operator rungs
+    /// cannot see. Ignored without a memory profile.
+    pub combined: bool,
 }
 
 /// Shape of the weight store a memory-defect campaign attaches per
@@ -105,6 +113,7 @@ impl Default for CampaignConfig {
             threads: 1,
             chaos: Vec::new(),
             mem: None,
+            combined: false,
         }
     }
 }
@@ -134,6 +143,13 @@ impl CampaignConfig {
                 " mem=rows:{},cols:{},ecc:{}",
                 mem.spare_rows, mem.spare_cols, mem.ecc
             );
+            // And only when both knobs are set: combined-surface cells
+            // are a distinct experiment, but a `combined` flag without
+            // a store changes nothing and must not invalidate
+            // journals.
+            if self.combined {
+                fp.push_str(" combined=true");
+            }
         }
         fp
     }
@@ -431,12 +447,23 @@ fn campaign_cell(
         }
         Some(profile) => {
             // Memory-defect campaign: the operators stay healthy and
-            // the defect axis lands in the weight store instead.
+            // the defect axis lands in the weight store instead —
+            // unless `combined` splits the axis across both surfaces
+            // (operator draws first, then the store, so the per-cell
+            // stream stays a pure function of the coordinates).
+            let (op_defects, mem_defects) = if cfg.combined {
+                (n_defects.div_ceil(2), n_defects / 2)
+            } else {
+                (0, n_defects)
+            };
+            for _ in 0..op_defects {
+                plan.inject_random_hidden_with(spec.hidden, cfg.model, cfg.activation, &mut rng);
+            }
             let mut geom = MemGeometry::for_network(90, spec.hidden, ds.n_classes(), profile.ecc);
             geom.spare_rows = profile.spare_rows;
             geom.spare_cols = profile.spare_cols;
             let mut mem = WeightMemory::new(geom);
-            mem.inject_many(n_defects, cfg.activation, &mut rng);
+            mem.inject_many(mem_defects, cfg.activation, &mut rng);
             plan.attach_memory(mem);
         }
     }
@@ -571,6 +598,7 @@ mod tests {
             threads: 1,
             chaos: Vec::new(),
             mem: None,
+            combined: false,
         }
     }
 
@@ -953,6 +981,99 @@ mod tests {
         assert!(Checkpoint::open(&path, &bare.fingerprint()).is_err());
         assert!(Checkpoint::open(&path, &raw.fingerprint()).is_err());
         assert!(Checkpoint::open(&path, &with_mem.fingerprint()).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn combined_cells_damage_both_surfaces_at_once() {
+        let spec = iris();
+        let mem_only = CampaignConfig {
+            defect_counts: vec![0, 16],
+            mem: Some(MemProfile {
+                ecc: false,
+                ..MemProfile::default()
+            }),
+            ..tiny_cfg()
+        };
+        let combined = CampaignConfig {
+            combined: true,
+            ..mem_only.clone()
+        };
+        let a = defect_tolerance_curve(&spec, &mem_only).unwrap();
+        let b = defect_tolerance_curve(&spec, &combined).unwrap();
+        // Zero defects: the split is 0 + 0, so the curves coincide bit
+        // for bit.
+        assert_eq!(a[0].mean_accuracy.to_bits(), b[0].mean_accuracy.to_bits());
+        // Sixteen defects: 8 land in the operators instead of the
+        // store, which the memory-only campaign can never produce.
+        assert_ne!(
+            a[1].mean_accuracy.to_bits(),
+            b[1].mean_accuracy.to_bits(),
+            "combined cells must not reduce to memory-only cells"
+        );
+        // Determinism holds through the split draw order.
+        assert_eq!(b, defect_tolerance_curve(&spec, &combined).unwrap());
+    }
+
+    #[test]
+    fn combined_fingerprint_extends_only_with_both_knobs() {
+        // `combined` without a store changes nothing — pre-existing
+        // operator journals must stay valid.
+        let dangling = CampaignConfig {
+            combined: true,
+            ..tiny_cfg()
+        };
+        assert_eq!(dangling.fingerprint(), tiny_cfg().fingerprint());
+
+        let mem_only = CampaignConfig {
+            mem: Some(MemProfile::default()),
+            ..tiny_cfg()
+        };
+        let combined = CampaignConfig {
+            combined: true,
+            ..mem_only.clone()
+        };
+        assert!(combined.fingerprint().contains("combined=true"));
+        assert!(!mem_only.fingerprint().contains("combined"));
+
+        // The journal guard separates the two experiments.
+        let path = tmp("combinedguard");
+        let _ = std::fs::remove_file(&path);
+        drop(Checkpoint::open(&path, &combined.fingerprint()).unwrap());
+        assert!(Checkpoint::open(&path, &mem_only.fingerprint()).is_err());
+        assert!(Checkpoint::open(&path, &combined.fingerprint()).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_combined_campaign_resumes_byte_identical() {
+        let spec = iris();
+        let cfg = CampaignConfig {
+            defect_counts: vec![0, 12],
+            repetitions: 2,
+            mem: Some(MemProfile::default()),
+            combined: true,
+            ..tiny_cfg()
+        };
+        let fingerprint = cfg.fingerprint();
+        let baseline = defect_tolerance_curve(&spec, &cfg).unwrap();
+
+        let path = tmp("combinedresume");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+            let full = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+            assert_eq!(full, baseline);
+        }
+        let journal = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = journal.lines().take(3).collect();
+        assert_eq!(truncated.len(), 3, "expected header + >=2 cells");
+        std::fs::write(&path, format!("{}\n", truncated.join("\n"))).unwrap();
+
+        let ck = Checkpoint::open(&path, &fingerprint).unwrap();
+        assert_eq!(ck.completed(), 2);
+        let resumed = defect_tolerance_curve_resumable(&spec, &cfg, Some(&ck)).unwrap();
+        assert_eq!(resumed, baseline, "resumed curve must be byte-identical");
         let _ = std::fs::remove_file(&path);
     }
 

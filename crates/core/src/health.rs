@@ -1,0 +1,249 @@
+//! The per-accelerator **health-state machine** driven by the
+//! mission-mode runtime ([`crate::mission`]).
+//!
+//! States and legal transitions (everything else is a typed error —
+//! the runtime must never "teleport" an accelerator between states):
+//!
+//! | from | event | to |
+//! |---|---|---|
+//! | `Healthy` | `ProbeMismatch` | `Suspect` |
+//! | `Suspect` | `RecoveryStarted` | `Recovering` |
+//! | `Recovering` | `RecoverySucceeded` | `Healthy` |
+//! | `Recovering` | `RecoveryFellShort` | `Degraded` |
+//! | `Recovering` | `RetriesExhausted` | `Quarantined` |
+//! | `Degraded` | `ProbeMismatch` | `Suspect` |
+//! | `Degraded` | `RecoveryStarted` | `Recovering` |
+//!
+//! `Quarantined` is terminal: the implicated units have been masked
+//! fail-silent ([`crate::accel::Accel::quarantine`]) and the stream
+//! keeps serving whatever accuracy the surviving fabric delivers; no
+//! further probes or repairs are attempted. `ProbeClean` is legal in
+//! every non-terminal state and never changes it — a clean probe is
+//! evidence, not a transition.
+
+use std::fmt;
+
+/// Where an accelerator stands in the degrade-and-recover lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Serving at commissioned accuracy; no unresolved probe evidence.
+    Healthy,
+    /// A BIST probe mismatched its signature; recovery has not started.
+    Suspect,
+    /// The recovery ladder is running (modeled as a batch-boundary
+    /// action by the mission loop).
+    Recovering,
+    /// Recovery ran but fell short of the accuracy target; the stream
+    /// serves at reduced accuracy and further probe evidence re-arms
+    /// recovery (with backoff).
+    Degraded,
+    /// Recovery attempts are exhausted; implicated units are masked
+    /// fail-silent and the state is terminal.
+    Quarantined,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Suspect => write!(f, "suspect"),
+            HealthState::Recovering => write!(f, "recovering"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// Evidence the mission runtime feeds the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// A periodic BIST probe matched every signature.
+    ProbeClean,
+    /// A periodic BIST probe flagged at least one unit.
+    ProbeMismatch,
+    /// The recovery ladder is about to run.
+    RecoveryStarted,
+    /// The ladder reached its accuracy target.
+    RecoverySucceeded,
+    /// The ladder completed but below target.
+    RecoveryFellShort,
+    /// The per-episode retry budget is spent; quarantine follows.
+    RetriesExhausted,
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthEvent::ProbeClean => write!(f, "probe-clean"),
+            HealthEvent::ProbeMismatch => write!(f, "probe-mismatch"),
+            HealthEvent::RecoveryStarted => write!(f, "recovery-started"),
+            HealthEvent::RecoverySucceeded => write!(f, "recovery-succeeded"),
+            HealthEvent::RecoveryFellShort => write!(f, "recovery-fell-short"),
+            HealthEvent::RetriesExhausted => write!(f, "retries-exhausted"),
+        }
+    }
+}
+
+/// An event that is not legal in the machine's current state — a
+/// runtime logic error, surfaced typed instead of silently absorbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The state the machine was in.
+    pub from: HealthState,
+    /// The event that is not legal there.
+    pub event: HealthEvent,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {} is illegal in state {}", self.event, self.from)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// The state machine plus its full transition log (batch-stamped), so
+/// a mission trace can reconstruct *when* the accelerator was in each
+/// state.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    state: HealthState,
+    log: Vec<(u64, HealthState)>,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> HealthMonitor {
+        HealthMonitor::new()
+    }
+}
+
+impl HealthMonitor {
+    /// A fresh monitor: `Healthy` at batch 0.
+    pub fn new() -> HealthMonitor {
+        HealthMonitor {
+            state: HealthState::Healthy,
+            log: vec![(0, HealthState::Healthy)],
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The batch-stamped transition log, oldest first (the initial
+    /// `Healthy` entry included).
+    pub fn log(&self) -> &[(u64, HealthState)] {
+        &self.log
+    }
+
+    /// True once the machine has reached the terminal state.
+    pub fn is_quarantined(&self) -> bool {
+        self.state == HealthState::Quarantined
+    }
+
+    /// Feeds one piece of evidence observed at `batch`; returns the
+    /// state after the transition.
+    ///
+    /// # Errors
+    ///
+    /// [`IllegalTransition`] when `event` is not legal in the current
+    /// state (see the module-level transition table). The state is
+    /// unchanged on error.
+    pub fn on_event(
+        &mut self,
+        event: HealthEvent,
+        batch: u64,
+    ) -> Result<HealthState, IllegalTransition> {
+        use HealthEvent as E;
+        use HealthState as S;
+        let next = match (self.state, event) {
+            // A clean probe is legal wherever probes run and changes
+            // nothing.
+            (s, E::ProbeClean) if s != S::Quarantined => s,
+            (S::Healthy, E::ProbeMismatch) => S::Suspect,
+            (S::Suspect, E::RecoveryStarted) => S::Recovering,
+            (S::Recovering, E::RecoverySucceeded) => S::Healthy,
+            (S::Recovering, E::RecoveryFellShort) => S::Degraded,
+            (S::Recovering, E::RetriesExhausted) => S::Quarantined,
+            (S::Degraded, E::ProbeMismatch) => S::Suspect,
+            (S::Degraded, E::RecoveryStarted) => S::Recovering,
+            (from, event) => return Err(IllegalTransition { from, event }),
+        };
+        if next != self.state {
+            self.log.push((batch, next));
+        }
+        self.state = next;
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use HealthEvent as E;
+    use HealthState as S;
+
+    #[test]
+    fn full_lifecycle_walks_the_table() {
+        let mut m = HealthMonitor::new();
+        assert_eq!(m.state(), S::Healthy);
+        assert_eq!(m.on_event(E::ProbeClean, 1), Ok(S::Healthy));
+        assert_eq!(m.on_event(E::ProbeMismatch, 2), Ok(S::Suspect));
+        assert_eq!(m.on_event(E::RecoveryStarted, 2), Ok(S::Recovering));
+        assert_eq!(m.on_event(E::RecoverySucceeded, 3), Ok(S::Healthy));
+        assert_eq!(m.on_event(E::ProbeMismatch, 7), Ok(S::Suspect));
+        assert_eq!(m.on_event(E::RecoveryStarted, 7), Ok(S::Recovering));
+        assert_eq!(m.on_event(E::RecoveryFellShort, 8), Ok(S::Degraded));
+        assert_eq!(m.on_event(E::ProbeMismatch, 9), Ok(S::Suspect));
+        assert_eq!(m.on_event(E::RecoveryStarted, 9), Ok(S::Recovering));
+        assert_eq!(m.on_event(E::RetriesExhausted, 10), Ok(S::Quarantined));
+        assert!(m.is_quarantined());
+        // The log records each change with its batch stamp.
+        let states: Vec<S> = m.log().iter().map(|&(_, s)| s).collect();
+        assert_eq!(
+            states,
+            vec![
+                S::Healthy,
+                S::Suspect,
+                S::Recovering,
+                S::Healthy,
+                S::Suspect,
+                S::Recovering,
+                S::Degraded,
+                S::Suspect,
+                S::Recovering,
+                S::Quarantined,
+            ]
+        );
+        assert_eq!(m.log()[0], (0, S::Healthy));
+        assert_eq!(*m.log().last().unwrap(), (10, S::Quarantined));
+    }
+
+    #[test]
+    fn illegal_transitions_are_typed_and_leave_state_unchanged() {
+        let mut m = HealthMonitor::new();
+        // Recovery cannot start without probe evidence.
+        let err = m.on_event(E::RecoveryStarted, 1).unwrap_err();
+        assert_eq!(err.from, S::Healthy);
+        assert_eq!(err.event, E::RecoveryStarted);
+        assert_eq!(m.state(), S::Healthy);
+        // Quarantined is terminal: even a clean probe is rejected.
+        m.on_event(E::ProbeMismatch, 1).unwrap();
+        m.on_event(E::RecoveryStarted, 1).unwrap();
+        m.on_event(E::RetriesExhausted, 2).unwrap();
+        assert!(m.on_event(E::ProbeClean, 3).is_err());
+        assert!(m.on_event(E::ProbeMismatch, 3).is_err());
+        assert_eq!(m.state(), S::Quarantined);
+        assert_eq!(m.log().len(), 4);
+    }
+
+    #[test]
+    fn clean_probes_do_not_grow_the_log() {
+        let mut m = HealthMonitor::new();
+        for b in 1..20 {
+            m.on_event(E::ProbeClean, b).unwrap();
+        }
+        assert_eq!(m.log().len(), 1);
+    }
+}

@@ -34,6 +34,15 @@
 //!   retrain-around-defect, remap/mask onto spare lanes, graceful
 //!   degradation — each rung under an epoch budget and a wall-clock
 //!   watchdog with typed timeout errors.
+//! * [`health`] — the per-accelerator health-state machine
+//!   (Healthy → Suspect → Recovering → Degraded → Quarantined) the
+//!   mission runtime drives, with a typed-error transition table.
+//! * [`mission`] — the mission-mode runtime: a sustained inference
+//!   stream served in traffic batches while a seeded Poisson
+//!   fault-arrival process injects mid-stream defects; periodic
+//!   incremental BIST probes, watchdogged recovery with bounded
+//!   retries and exponential backoff, quarantine, and an
+//!   accuracy/availability-over-time trace.
 //!
 //! # Example
 //!
@@ -54,9 +63,11 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod cost;
 pub mod dark_silicon;
+pub mod health;
 pub mod interface;
 pub mod large;
 pub mod lutpar;
+pub mod mission;
 pub mod parallel;
 pub mod processor;
 pub mod recover;
@@ -71,13 +82,17 @@ pub use campaign::{
 pub use checkpoint::Checkpoint;
 pub use cost::{CostModel, CostReport, SensitiveAreaReport};
 pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
+pub use health::{HealthEvent, HealthMonitor, HealthState, IllegalTransition};
 pub use interface::MemoryInterface;
 pub use lutpar::PartitionedLutExec;
+pub use mission::{
+    run_mission, MissionConfig, MissionError, MissionEvent, MissionOutcome, SurfaceMix,
+};
 pub use parallel::parallel_map;
 pub use processor::ProcessorModel;
 pub use recover::{
     DegradationEstimate, MemRungStats, RecoveryError, RecoveryPolicy, RecoveryReport, RecoveryRung,
-    RungBudget,
+    RetryPolicy, RungBudget,
 };
 pub use selftest::{detection_rate, localization_precision, run_selftest, BistConfig, Diagnosis};
 pub use time_multiplexed::TimeMultiplexedAccelerator;

@@ -189,6 +189,59 @@ impl From<AccelError> for RecoveryError {
     }
 }
 
+/// Retry/backoff policy for rungs that hit their wall-clock watchdog.
+///
+/// A rung whose attempt ends in [`RecoveryError::Timeout`] is retried
+/// up to `max_retries_per_rung` more times (every attempt's partial
+/// [`RungReport`] is kept); once the retries are spent the ladder falls
+/// through to the next rung — repeated timeouts never abort it. The
+/// backoff fields are measured in *skipped traffic batches*: the
+/// mission runtime ([`crate::mission`]) charges
+/// [`backoff_batches`](RetryPolicy::backoff_batches) of unavailability
+/// per failed recovery attempt, doubling (by `backoff_factor`) up to
+/// the cap, so a persistently failing unit backs off instead of
+/// stealing the whole stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts granted to a rung after a [`RecoveryError::Timeout`]
+    /// (0 = the pre-retry ladder: one attempt, then fall through).
+    pub max_retries_per_rung: usize,
+    /// Traffic batches skipped after the first failed recovery attempt.
+    pub backoff_base_batches: u64,
+    /// Multiplier applied to the backoff on each further failure.
+    pub backoff_factor: u64,
+    /// Ceiling on the per-attempt backoff, in batches.
+    pub max_backoff_batches: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            // No retries by default: the offline campaigns journaled
+            // before this policy existed stay byte-identical.
+            max_retries_per_rung: 0,
+            backoff_base_batches: 4,
+            backoff_factor: 2,
+            max_backoff_batches: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged for failed recovery attempt number `attempt`
+    /// (0-based): `base · factor^attempt`, saturating at the cap.
+    pub fn backoff_batches(&self, attempt: usize) -> u64 {
+        let mut b = self.backoff_base_batches;
+        for _ in 0..attempt {
+            b = b.saturating_mul(self.backoff_factor);
+            if b >= self.max_backoff_batches {
+                return self.max_backoff_batches;
+            }
+        }
+        b.min(self.max_backoff_batches)
+    }
+}
+
 /// Configuration of the whole ladder.
 #[derive(Clone, Debug)]
 pub struct RecoveryPolicy {
@@ -215,6 +268,10 @@ pub struct RecoveryPolicy {
     /// Whether faulty lanes with no spare may be masked to 0 instead of
     /// failing the remap rung with [`RecoveryError::NoSpareLane`].
     pub mask_unmappable: bool,
+    /// Retry/backoff for rungs that hit their watchdog (see
+    /// [`RetryPolicy`]). The default grants no retries, which is the
+    /// pre-retry ladder exactly.
+    pub retry: RetryPolicy,
     /// Test hook: stall the named rung's epoch loop by this many
     /// milliseconds per epoch, to exercise the watchdog path.
     pub chaos_stall: Option<(RecoveryRung, u64)>,
@@ -238,6 +295,7 @@ impl Default for RecoveryPolicy {
             use_remap: true,
             use_memory_repair: true,
             mask_unmappable: true,
+            retry: RetryPolicy::default(),
             chaos_stall: None,
         }
     }
@@ -321,7 +379,7 @@ impl RecoveryReport {
 
 /// Runs `body` with a watchdog that trips `expired` once `budget`
 /// elapses; the watchdog thread exits as soon as `body` returns.
-fn with_watchdog<T>(budget: Duration, body: impl FnOnce(&AtomicBool) -> T) -> T {
+pub(crate) fn with_watchdog<T>(budget: Duration, body: impl FnOnce(&AtomicBool) -> T) -> T {
     let expired = AtomicBool::new(false);
     let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -428,6 +486,61 @@ fn retrain_under_budget<A: Accel>(
             remapped: 0,
             masked: 0,
             memory: None,
+        })
+    })
+}
+
+/// Re-measures accuracy after a weight-transparent repair (ECC scrub,
+/// spare steering) under the rung watchdog, so a stalled memory
+/// operation (the `chaos_stall` hook, or real pathological silicon)
+/// surfaces as a typed [`RecoveryError::Timeout`] with the repair's
+/// partial stats attached instead of an unbounded hang.
+fn measure_under_watchdog<A: Accel>(
+    accel: &mut A,
+    ds: &Dataset,
+    test_idx: &[usize],
+    policy: &RecoveryPolicy,
+    budget: &RungBudget,
+    rung: RecoveryRung,
+    outcome: &crate::accel::StructuralOutcome,
+) -> Result<RungReport, AccelError> {
+    let stall = match policy.chaos_stall {
+        Some((r, ms)) if r == rung => ms,
+        _ => 0,
+    };
+    with_watchdog(Duration::from_millis(budget.wall_clock_ms), |expired| {
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
+        if expired.load(Ordering::Acquire) {
+            return Ok(RungReport {
+                rung,
+                accuracy: None,
+                epochs_used: 0,
+                error: Some(RecoveryError::Timeout {
+                    rung,
+                    budget_ms: budget.wall_clock_ms,
+                    epochs_done: 0,
+                }),
+                remapped: outcome.remapped,
+                masked: outcome.masked,
+                memory: outcome.memory.clone(),
+            });
+        }
+        let acc = accel.evaluate(ds, test_idx)?;
+        let reached = acc >= policy.target_accuracy;
+        Ok(RungReport {
+            rung,
+            accuracy: Some(acc),
+            epochs_used: 0,
+            error: (!reached).then_some(RecoveryError::AccuracyShortfall {
+                rung,
+                achieved: Some(acc),
+                target: policy.target_accuracy,
+            }),
+            remapped: outcome.remapped,
+            masked: outcome.masked,
+            memory: outcome.memory.clone(),
         })
     })
 }
@@ -692,8 +805,28 @@ pub fn recover<A: Accel>(
     let mut best = pre;
     let mut succeeded = false;
 
+    // Runs one rung attempt up to `1 + max_retries_per_rung` times:
+    // an attempt ending in a typed Timeout is retried with its partial
+    // report kept; any other outcome ends the loop. Returns the final
+    // attempt's report.
+    let retries = policy.retry.max_retries_per_rung;
+    macro_rules! with_retries {
+        ($attempt:expr) => {{
+            let mut left = retries;
+            loop {
+                let r: RungReport = $attempt?;
+                if matches!(r.error, Some(RecoveryError::Timeout { .. })) && left > 0 {
+                    left -= 1;
+                    rungs.push(r);
+                    continue;
+                }
+                break r;
+            }
+        }};
+    }
+
     // Rung 1: retrain around the defects.
-    let r1 = retrain_under_budget(
+    let r1 = with_retries!(retrain_under_budget(
         accel,
         ds,
         train_idx,
@@ -701,7 +834,7 @@ pub fn recover<A: Accel>(
         policy,
         &policy.retrain,
         RecoveryRung::Retrain,
-    )?;
+    ));
     if let Some(a) = r1.accuracy {
         best = best.max(a);
     }
@@ -718,7 +851,7 @@ pub fn recover<A: Accel>(
             // Routing changed: retrain to the new configuration under
             // the remap budget.
             Ok(outcome) if outcome.retrain_after => {
-                let mut rp = retrain_under_budget(
+                let rp = with_retries!(retrain_under_budget(
                     accel,
                     ds,
                     train_idx,
@@ -726,10 +859,13 @@ pub fn recover<A: Accel>(
                     policy,
                     &policy.remap,
                     rung,
-                )?;
-                rp.remapped = outcome.remapped;
-                rp.masked = outcome.masked;
-                rp.memory = outcome.memory;
+                )
+                .map(|mut r| {
+                    r.remapped = outcome.remapped;
+                    r.masked = outcome.masked;
+                    r.memory = outcome.memory.clone();
+                    r
+                }));
                 if let Some(a) = rp.accuracy {
                     best = best.max(a);
                 }
@@ -737,26 +873,24 @@ pub fn recover<A: Accel>(
                 stop |= rp.error.is_none();
                 rungs.push(rp);
             }
-            // Weight-transparent repair: just re-measure.
+            // Weight-transparent repair: re-measure under the rung
+            // watchdog (a stalled store must fall through, not hang).
             Ok(outcome) => {
-                let acc = accel.evaluate(ds, test_idx)?;
-                best = best.max(acc);
-                let reached = acc >= policy.target_accuracy;
-                succeeded |= reached;
-                stop |= reached;
-                rungs.push(RungReport {
+                let rp = with_retries!(measure_under_watchdog(
+                    accel,
+                    ds,
+                    test_idx,
+                    policy,
+                    &policy.remap,
                     rung,
-                    accuracy: Some(acc),
-                    epochs_used: 0,
-                    error: (!reached).then_some(RecoveryError::AccuracyShortfall {
-                        rung,
-                        achieved: Some(acc),
-                        target: policy.target_accuracy,
-                    }),
-                    remapped: outcome.remapped,
-                    masked: outcome.masked,
-                    memory: outcome.memory,
-                });
+                    &outcome,
+                ));
+                if let Some(a) = rp.accuracy {
+                    best = best.max(a);
+                }
+                succeeded |= rp.error.is_none();
+                stop |= rp.error.is_none();
+                rungs.push(rp);
             }
             // Spares ran out: record the typed failure, keep climbing.
             Err(e @ RecoveryError::NoSpareLane { .. }) => {
@@ -826,7 +960,9 @@ mod tests {
             .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         accel.retrain(&ds, &train, 0.2, 0.1, 30, &mut rng).unwrap();
-        accel.inject_defects(defects, FaultModel::TransistorLevel, &mut rng);
+        accel
+            .inject_defects(defects, FaultModel::TransistorLevel, &mut rng)
+            .unwrap();
         (accel, ds, train, test)
     }
 
@@ -891,6 +1027,149 @@ mod tests {
     }
 
     #[test]
+    fn every_spatial_rung_times_out_typed_and_falls_through() {
+        // Satellite: drive the chaos stall through each rung of the
+        // spatial ladder in turn. Whatever rung stalls, the ladder must
+        // record a typed Timeout on it — keeping any partial repair
+        // stats the rung accrued before the watchdog hit — and keep
+        // climbing to graceful degradation instead of hanging.
+        let tight = RungBudget {
+            max_epochs: 3,
+            wall_clock_ms: 30,
+        };
+        let table = [
+            RecoveryRung::Retrain,
+            RecoveryRung::EccScrub,
+            RecoveryRung::SpareSteer,
+            RecoveryRung::Place,
+            RecoveryRung::Remap,
+        ];
+        for &stalled in &table {
+            let (mut accel, ds, train, test) = commissioned_accel(9, 4);
+            accel.attach_weight_memory().unwrap();
+            accel
+                .memory_mut()
+                .unwrap()
+                .push_defect(dta_mem::MemDefect::RowStuck { row: 2 }, None);
+            let diagnosis = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+            let policy = RecoveryPolicy {
+                retrain: tight,
+                remap: tight,
+                target_accuracy: 2.0, // unreachable: forces the full ladder
+                chaos_stall: Some((stalled, 80)),
+                ..RecoveryPolicy::default()
+            };
+            let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+            let pos = report
+                .rungs
+                .iter()
+                .position(|r| r.rung == stalled)
+                .unwrap_or_else(|| panic!("{stalled} never ran"));
+            let hit = &report.rungs[pos];
+            assert!(
+                matches!(hit.error, Some(RecoveryError::Timeout { .. })),
+                "{stalled}: expected a typed timeout, got {:?}",
+                hit.error
+            );
+            if stalled == RecoveryRung::SpareSteer {
+                // The repair itself landed before the watchdog hit: the
+                // timed-out report still carries the steering stats.
+                let stats = hit.memory.as_ref().expect("steer stats on the timeout");
+                assert!(stats.rows_steered > 0, "{stalled}: {stats:?}");
+            }
+            assert!(
+                report.rungs.len() > pos + 1,
+                "{stalled}: ladder stopped at the timeout"
+            );
+            assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+            assert!(!report.succeeded);
+        }
+    }
+
+    #[test]
+    fn timed_out_mask_fallback_keeps_partial_remap_stats() {
+        // The "mask" flavor of the remap rung: 6 faulty in-use lanes on
+        // a 10-lane array leaves 4 spares, so 4 remaps + 2 masks land
+        // before the post-remap retrain stalls out. The typed Timeout
+        // report must still carry those partial repair stats.
+        let (mut accel, ds, train, test) = commissioned_accel(9, 0);
+        let diagnosis = Diagnosis {
+            screened_lanes: (0..6).map(|n| (Layer::Hidden, n)).collect(),
+            ..Diagnosis::default()
+        };
+        let tight = RungBudget {
+            max_epochs: 3,
+            wall_clock_ms: 30,
+        };
+        let policy = RecoveryPolicy {
+            retrain: tight,
+            remap: tight,
+            target_accuracy: 2.0,
+            chaos_stall: Some((RecoveryRung::Remap, 80)),
+            ..RecoveryPolicy::default()
+        };
+        let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+        let hit = report
+            .rungs
+            .iter()
+            .find(|r| r.rung == RecoveryRung::Remap)
+            .expect("remap rung ran");
+        assert!(matches!(hit.error, Some(RecoveryError::Timeout { .. })));
+        assert_eq!(hit.remapped, 4);
+        assert_eq!(hit.masked, 2);
+        assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+    }
+
+    #[test]
+    fn repeated_timeouts_retry_then_fall_through() {
+        // RetryPolicy: a rung that times out is retried up to the
+        // budget, every attempt's partial report kept, and the ladder
+        // still falls through after the last one.
+        let (mut accel, ds, train, test) = commissioned_accel(5, 6);
+        let diagnosis = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+        let policy = RecoveryPolicy {
+            retrain: RungBudget {
+                max_epochs: 5,
+                wall_clock_ms: 30,
+            },
+            target_accuracy: 2.0,
+            chaos_stall: Some((RecoveryRung::Retrain, 100)),
+            retry: RetryPolicy {
+                max_retries_per_rung: 2,
+                ..RetryPolicy::default()
+            },
+            ..RecoveryPolicy::default()
+        };
+        let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+        let retrain_attempts: Vec<&RungReport> = report
+            .rungs
+            .iter()
+            .filter(|r| r.rung == RecoveryRung::Retrain)
+            .collect();
+        assert_eq!(retrain_attempts.len(), 3, "1 attempt + 2 retries");
+        for attempt in &retrain_attempts {
+            assert!(
+                matches!(attempt.error, Some(RecoveryError::Timeout { .. })),
+                "{:?}",
+                attempt.error
+            );
+        }
+        // After the retries are spent, the ladder keeps climbing.
+        assert!(report.rungs.iter().any(|r| r.rung == RecoveryRung::Remap));
+        assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff_batches(0), 4);
+        assert_eq!(retry.backoff_batches(1), 8);
+        assert_eq!(retry.backoff_batches(2), 16);
+        assert_eq!(retry.backoff_batches(4), 64);
+        assert_eq!(retry.backoff_batches(40), 64, "cap holds, no overflow");
+    }
+
+    #[test]
     fn no_spare_lane_is_typed_when_masking_forbidden() {
         // 6 logical neurons on a 10-lane array leaves 4 spares; flag 5
         // in-use lanes so the remap rung cannot relocate them all.
@@ -935,7 +1214,7 @@ mod tests {
         for seed in [2u64, 13] {
             let build = || {
                 let (mut accel, ds, train, test) = commissioned_accel(seed, 0);
-                accel.attach_weight_memory();
+                accel.attach_weight_memory().unwrap();
                 let mem = accel.memory_mut().unwrap();
                 // A wordline failure on an in-use hidden row plus a
                 // spread of stuck cells: enough to hurt, repairable.

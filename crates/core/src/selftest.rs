@@ -205,6 +205,97 @@ pub(crate) fn spatial_selftest(
     })
 }
 
+/// The spatial array's mission-mode incremental probe
+/// ([`crate::accel::Accel::probe_touched`]): screens only the units the
+/// serving stream exercises, under an abort flag.
+///
+/// Instead of unmapping the user's network for a full-geometry
+/// diagnostic screen, the probe pushes seeded stimulus rows through the
+/// *mapped* network's own routing and compares each routed lane against
+/// the native Q6.10 reference — masked (quarantined) lanes are skipped,
+/// remapped lanes are judged on their spare silicon, and flagged units
+/// are reported as *physical* lanes so quarantine can act on them.
+/// Operator probes then cover the neurons carrying fault state, and a
+/// guarded March C- walks the attached weight store (if any). Returns
+/// `None` as soon as `abort` trips; the fault state is reset to
+/// power-on either way, so the probe is invisible to later batches.
+pub(crate) fn spatial_probe_touched(
+    accel: &mut Accelerator,
+    cfg: &BistConfig,
+    abort: &std::sync::atomic::AtomicBool,
+) -> Result<Option<Diagnosis>, AccelError> {
+    use std::sync::atomic::Ordering;
+    accel.faults_mut().reset_state();
+    let lut = SigmoidLut::new();
+    let mut screened: BTreeSet<(Layer, usize)> = BTreeSet::new();
+    if accel.network().is_some() {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7060);
+        let inputs = accel.network().expect("checked").topology().inputs;
+        for _ in 0..cfg.screen_rows {
+            if abort.load(Ordering::Acquire) {
+                accel.faults_mut().reset_state();
+                return Ok(None);
+            }
+            let row: Vec<f64> = (0..inputs).map(|_| rng.random_range(-4.0..4.0)).collect();
+            let observed = accel.diagnose_row(&row)?;
+            let net = accel.network().expect("checked");
+            let topo = net.topology();
+            let reference = net.forward_fixed(&row, &lut);
+            for j in 0..topo.hidden {
+                let lane = accel.faults().hidden_lane(j);
+                if accel.faults().is_masked(Layer::Hidden, lane) {
+                    continue;
+                }
+                if observed.hidden[j] != reference.hidden[j] {
+                    screened.insert((Layer::Hidden, lane));
+                }
+            }
+            // Output lanes against a native recomputation from the
+            // observed hidden words (masked hidden zeros included), so
+            // upstream damage cannot falsely implicate an output lane.
+            let hq: Vec<Fx> = observed.hidden.iter().map(|&h| Fx::from_f64(h)).collect();
+            for k in 0..topo.outputs {
+                if accel.faults().is_masked(Layer::Output, k) {
+                    continue;
+                }
+                let mut acc = Fx::from_f64(net.w_output(k, topo.hidden));
+                for (j, &hj) in hq.iter().enumerate() {
+                    acc += Fx::from_f64(net.w_output(k, j)) * hj;
+                }
+                if observed.output[k] != lut.eval(acc).to_f64() {
+                    screened.insert((Layer::Output, k));
+                }
+            }
+        }
+    }
+    if abort.load(Ordering::Acquire) {
+        accel.faults_mut().reset_state();
+        return Ok(None);
+    }
+    let (mut flagged, operators_probed) = probe_operators(accel, cfg);
+    // A quarantined unit is fail-silent: its masked lane no longer
+    // reaches the outputs, so the probe must not keep raising alarms
+    // for it (the full commissioning BIST still reports everything).
+    flagged.retain(|site| !accel.faults().is_masked(site.layer, site.neuron));
+    let memory = match accel.memory_mut() {
+        Some(mem) => match dta_mem::march_cminus_guarded(mem, abort) {
+            Some(report) => Some(report),
+            None => {
+                accel.faults_mut().reset_state();
+                return Ok(None);
+            }
+        },
+        None => None,
+    };
+    accel.faults_mut().reset_state();
+    Ok(Some(Diagnosis {
+        flagged,
+        screened_lanes: screened.into_iter().collect(),
+        operators_probed,
+        memory,
+    }))
+}
+
 /// Array-level screen: full-geometry diagnostic network, seeded
 /// stimulus rows, per-lane comparison against the native reference.
 fn screen_lanes(
@@ -391,7 +482,9 @@ mod tests {
         let mlp = Mlp::new(Topology::new(4, 3, 2), 5);
         accel.map_network(mlp.clone()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        accel.inject_defects(3, FaultModel::TransistorLevel, &mut rng);
+        accel
+            .inject_defects(3, FaultModel::TransistorLevel, &mut rng)
+            .unwrap();
         let _ = run_selftest(&mut accel, &BistConfig::default()).unwrap();
         assert_eq!(accel.network(), Some(&mlp), "user network restored");
     }
@@ -408,7 +501,9 @@ mod tests {
             let mut accel = Accelerator::new();
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let n = 1 + (seed as usize % 4);
-            accel.inject_defects(n, FaultModel::TransistorLevel, &mut rng);
+            accel
+                .inject_defects(n, FaultModel::TransistorLevel, &mut rng)
+                .unwrap();
             let truth = accel.faults().sites().to_vec();
             let diag = run_selftest(&mut accel, &cfg).unwrap();
             if let Some(p) = localization_precision(&truth, &diag.flagged) {
@@ -436,7 +531,9 @@ mod tests {
         let build = || {
             let mut accel = Accelerator::new();
             let mut rng = ChaCha8Rng::seed_from_u64(77);
-            accel.inject_defects(6, FaultModel::TransistorLevel, &mut rng);
+            accel
+                .inject_defects(6, FaultModel::TransistorLevel, &mut rng)
+                .unwrap();
             accel
         };
         let mut a = build();
@@ -461,7 +558,7 @@ mod tests {
         let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
         assert_eq!(diag.memory, None);
 
-        accel.attach_weight_memory();
+        accel.attach_weight_memory().unwrap();
         let diag = run_selftest(&mut accel, &BistConfig::default()).unwrap();
         assert!(diag.memory.as_ref().unwrap().clean());
         assert!(!diag.detected());
@@ -484,6 +581,92 @@ mod tests {
         assert_eq!(report.bad_rows, vec![3]);
         assert_eq!(report.bad_cells, vec![(7, 11)]);
         assert!(report.bad_cols.is_empty());
+    }
+
+    #[test]
+    fn incremental_probe_screens_routed_lanes_and_respects_masks() {
+        use crate::accel::Accel;
+        use std::sync::atomic::AtomicBool;
+        let clear = AtomicBool::new(false);
+        let cfg = BistConfig::default();
+        // Find a seed whose single defect the probe screens on the
+        // mapped network's own routing.
+        let mut hit = None;
+        for seed in 0..40u64 {
+            let mut accel = Accelerator::new();
+            accel
+                .map_network(Mlp::new(Topology::new(4, 8, 3), 11))
+                .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            accel
+                .inject_defects(1, FaultModel::TransistorLevel, &mut rng)
+                .unwrap();
+            let diag = accel.probe_touched(&cfg, &clear).unwrap().unwrap();
+            let lanes = diag.faulty_hidden_lanes();
+            // Only lanes the mapped network routes through (0..8) can
+            // be screened, and every screened lane is genuinely faulty.
+            let truth: Vec<usize> = accel
+                .faults()
+                .sites()
+                .iter()
+                .filter(|s| s.layer == Layer::Hidden)
+                .map(|s| s.neuron)
+                .collect();
+            for &lane in &lanes {
+                assert!(truth.contains(&lane), "seed {seed}: lane {lane}");
+            }
+            if !lanes.is_empty() && lanes[0] < 8 {
+                hit = Some((accel, lanes[0], seed));
+                break;
+            }
+        }
+        let (mut accel, lane, seed) = hit.expect("some defect visible to the probe");
+        // Quarantining the flagged lane silences it: the next probe
+        // skips the masked lane and reports clean.
+        let evidence = accel.probe_touched(&cfg, &clear).unwrap().unwrap();
+        let silenced = accel.quarantine(&evidence).unwrap();
+        assert!(silenced >= 1, "seed {seed}");
+        let diag = accel.probe_touched(&cfg, &clear).unwrap().unwrap();
+        assert!(
+            !diag.faulty_hidden_lanes().contains(&lane),
+            "seed {seed}: masked lane {lane} re-flagged"
+        );
+        // A tripped abort flag stops the probe with None.
+        let tripped = AtomicBool::new(true);
+        assert_eq!(accel.probe_touched(&cfg, &tripped).unwrap(), None);
+    }
+
+    #[test]
+    fn incremental_probe_is_state_clean_and_walks_the_memory() {
+        use crate::accel::Accel;
+        use std::sync::atomic::AtomicBool;
+        let clear = AtomicBool::new(false);
+        let cfg = BistConfig::default();
+        let mut accel = Accelerator::new();
+        accel
+            .map_network(Mlp::new(Topology::new(4, 6, 3), 7))
+            .unwrap();
+        accel.attach_weight_memory().unwrap();
+        accel
+            .memory_mut()
+            .unwrap()
+            .push_defect(dta_mem::MemDefect::RowStuck { row: 2 }, None);
+        let diag = accel.probe_touched(&cfg, &clear).unwrap().unwrap();
+        assert_eq!(diag.memory.as_ref().unwrap().bad_rows, vec![2]);
+        assert!(diag.detected());
+        // State-clean: a probed array and a fresh twin serve identical
+        // rows afterwards.
+        let mut fresh = Accelerator::new();
+        fresh
+            .map_network(Mlp::new(Topology::new(4, 6, 3), 7))
+            .unwrap();
+        fresh.attach_weight_memory().unwrap();
+        fresh
+            .memory_mut()
+            .unwrap()
+            .push_defect(dta_mem::MemDefect::RowStuck { row: 2 }, None);
+        let row = [0.4, -0.2, 0.9, 0.1];
+        assert_eq!(accel.process_row(&row), fresh.process_row(&row));
     }
 
     #[test]

@@ -252,6 +252,9 @@ pub struct WeightMemory {
     ecc_counters: EccCounters,
     /// Scratch activation mask, one slot per defect, reused per access.
     active: Vec<bool>,
+    /// Chaos hook: milliseconds each March BIST element walk stalls
+    /// (a model of pathologically slow silicon; `None` in production).
+    chaos_stall_ms: Option<u64>,
 }
 
 impl WeightMemory {
@@ -268,7 +271,20 @@ impl WeightMemory {
             spare_cols_used: 0,
             ecc_counters: EccCounters::default(),
             active: Vec::new(),
+            chaos_stall_ms: None,
         }
+    }
+
+    /// Chaos hook: make every March BIST element walk stall `ms`
+    /// milliseconds, so watchdog fall-through paths can be exercised
+    /// against a hanging memory self-test. `None` disables the hook.
+    pub fn set_chaos_stall(&mut self, ms: Option<u64>) {
+        self.chaos_stall_ms = ms;
+    }
+
+    /// The configured March-walk stall, if any.
+    pub fn chaos_stall(&self) -> Option<u64> {
+        self.chaos_stall_ms
     }
 
     /// The array's geometry.

@@ -35,7 +35,7 @@ pub use array::{
     WeightMemory, RAW_BITS,
 };
 pub use ecc::{decode, encode, EccStatus, CODE_BITS, DATA_BITS};
-pub use march::{apply_repairs, march_cminus, MarchReport, RepairSummary};
+pub use march::{apply_repairs, march_cminus, march_cminus_guarded, MarchReport, RepairSummary};
 
 // Re-exported so downstream crates name one source for the lifetime taxonomy.
 pub use dta_transistor::{Activation, ActivationState};
@@ -221,6 +221,21 @@ mod tests {
         let expect = (1e-3 * geom.data_cells() as f64).round() as usize;
         assert_eq!(recs.len(), expect);
         assert!(expect > 0);
+    }
+
+    #[test]
+    fn guarded_march_aborts_on_a_tripped_flag_and_matches_when_clear() {
+        let mut mem = WeightMemory::new(small_geom(true));
+        mem.push_defect(MemDefect::RowStuck { row: 1 }, None);
+        let tripped = std::sync::atomic::AtomicBool::new(true);
+        assert_eq!(march_cminus_guarded(&mut mem, &tripped), None);
+        // The abort path leaves the array power-on clean: a follow-up
+        // guarded walk with a clear flag matches the plain entry point.
+        let clear = std::sync::atomic::AtomicBool::new(false);
+        let guarded = march_cminus_guarded(&mut mem, &clear).unwrap();
+        let plain = march_cminus(&mut mem);
+        assert_eq!(guarded, plain);
+        assert_eq!(guarded.bad_rows, vec![1]);
     }
 
     #[test]

@@ -60,6 +60,35 @@ pub struct RepairSummary {
 /// (through the current steering maps, so a repaired array tests clean).
 /// Leaves the array power-on clean.
 pub fn march_cminus(mem: &mut WeightMemory) -> MarchReport {
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    march_cminus_guarded(mem, &abort).expect("march cannot abort with an untripped flag")
+}
+
+/// [`march_cminus`] under an abort flag: a watchdog (or any supervisor)
+/// that trips `abort` makes the walk stop at the next address instead
+/// of running to completion — the mission runtime uses this so a
+/// stalling memory self-test (see
+/// [`WeightMemory::set_chaos_stall`]) falls through with a typed
+/// timeout rather than hanging the serving loop. Returns `None` when
+/// aborted; the array is left power-on clean either way.
+pub fn march_cminus_guarded(
+    mem: &mut WeightMemory,
+    abort: &std::sync::atomic::AtomicBool,
+) -> Option<MarchReport> {
+    use std::sync::atomic::Ordering;
+    let aborted = |mem: &mut WeightMemory| {
+        if abort.load(Ordering::Acquire) {
+            mem.reset_state();
+            true
+        } else {
+            false
+        }
+    };
+    let stall = |mem: &WeightMemory| {
+        if let Some(ms) = mem.chaos_stall() {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    };
     let geom = mem.geometry();
     let rows = geom.data_rows();
     let slots = geom.words_per_row();
@@ -110,12 +139,20 @@ pub fn march_cminus(mem: &mut WeightMemory) -> MarchReport {
         let desc: Vec<(usize, usize)> = asc.iter().rev().copied().collect();
 
         // ⇑(w0)
+        stall(mem);
         for &(r, s) in &asc {
+            if aborted(mem) {
+                return None;
+            }
             mem.bist_write(r, s, bg(r, s));
         }
         // ⇑(r0, w1); ⇑(r1, w0); ⇓(r0, w1); ⇓(r1, w0)
         for (order, flip) in [(&asc, false), (&asc, true), (&desc, false), (&desc, true)] {
+            stall(mem);
             for &(r, s) in order {
+                if aborted(mem) {
+                    return None;
+                }
                 let expect = if flip { !bg(r, s) & mask } else { bg(r, s) };
                 let got = mem.bist_read(r, s);
                 report.reads += 1;
@@ -124,7 +161,11 @@ pub fn march_cminus(mem: &mut WeightMemory) -> MarchReport {
             }
         }
         // ⇑(r0)
+        stall(mem);
         for &(r, s) in &asc {
+            if aborted(mem) {
+                return None;
+            }
             let got = mem.bist_read(r, s);
             report.reads += 1;
             mark(&mut fail_bits, &mut report, r, s, got ^ bg(r, s));
@@ -168,7 +209,7 @@ pub fn march_cminus(mem: &mut WeightMemory) -> MarchReport {
     }
 
     mem.reset_state();
-    report
+    Some(report)
 }
 
 /// Steer the units a March pass flagged onto spare rows/columns:

@@ -43,6 +43,7 @@ pub struct SystolicAccelerator {
     /// same workloads).
     envelope: Topology,
     passes: u64,
+    in_flight: bool,
 }
 
 impl Default for SystolicAccelerator {
@@ -67,6 +68,7 @@ impl SystolicAccelerator {
             lut: SigmoidLut::new(),
             envelope: Topology::accelerator(),
             passes: 0,
+            in_flight: false,
         }
     }
 
@@ -87,13 +89,24 @@ impl SystolicAccelerator {
 
     /// Injects `n` random PE defects under the shared activation
     /// taxonomy; returns one record string per defect.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotQuiescent`] while a traffic batch is in flight
+    /// (see [`Accel::begin_batch`]): mid-stream fault arrival is legal
+    /// only on batch boundaries.
     pub fn inject_defects<R: Rng + ?Sized>(
         &mut self,
         n: usize,
         activation: Activation,
         rng: &mut R,
-    ) -> Vec<String> {
-        self.grid.inject_random(n, activation, rng)
+    ) -> Result<Vec<String>, AccelError> {
+        if self.in_flight {
+            return Err(AccelError::NotQuiescent {
+                op: "inject_defects",
+            });
+        }
+        Ok(self.grid.inject_random(n, activation, rng))
     }
 
     /// Ground-truth fault sites of every injected defect.
@@ -264,45 +277,70 @@ impl SystolicAccelerator {
     /// power-on before and after, and probes ignore installed bypasses
     /// (the BIST measures the silicon, not the repair routing).
     fn pe_selftest(&mut self, cfg: &BistConfig) -> Diagnosis {
-        use std::collections::BTreeSet;
         let geom = self.grid.geometry();
+        let targets: Vec<(usize, usize)> = (0..geom.phys_rows())
+            .flat_map(|p| (0..geom.cols).map(move |c| (p, c)))
+            .collect();
+        let clear = std::sync::atomic::AtomicBool::new(false);
+        self.probe_pes(cfg, &targets, &clear)
+            .expect("probe cannot abort with an untripped flag")
+    }
+
+    /// Drives the listed `(phys_row, col)` PEs with the shared vector
+    /// set, checking `abort` (and honoring the grid's chaos stall)
+    /// before each PE so a watchdog can stop a stalling probe. Returns
+    /// `None` when aborted; fault state is reset to power-on either
+    /// way.
+    fn probe_pes(
+        &mut self,
+        cfg: &BistConfig,
+        targets: &[(usize, usize)],
+        abort: &std::sync::atomic::AtomicBool,
+    ) -> Option<Diagnosis> {
+        use std::collections::BTreeSet;
+        use std::sync::atomic::Ordering;
         let vectors = bist_vectors(cfg.vectors_per_operator, cfg.seed ^ 0x0B15);
         self.grid.reset_state();
         let mut flagged: BTreeSet<FaultSite> = BTreeSet::new();
         let mut probed = 0usize;
-        for p in 0..geom.phys_rows() {
-            for c in 0..geom.cols {
-                probed += 1;
-                let mut bad = false;
-                for (vi, &(a, b)) in vectors.iter().enumerate() {
-                    // A third operand for the incoming partial sum,
-                    // drawn from the same deterministic vector set.
-                    let acc = vectors[(vi + 1) % vectors.len()].1;
-                    let mask = self.grid.pass_mask();
-                    if self.grid.pe_step_raw(p, c, acc, a, b, &mask) != acc + a * b {
-                        bad = true;
-                    }
-                    if self.grid.pe_idle_raw(p, c, acc, &mask) != acc {
-                        bad = true;
-                    }
+        for &(p, c) in targets {
+            if let Some(ms) = self.grid.chaos_stall() {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            if abort.load(Ordering::Acquire) {
+                self.grid.reset_state();
+                return None;
+            }
+            probed += 1;
+            let mut bad = false;
+            for (vi, &(a, b)) in vectors.iter().enumerate() {
+                // A third operand for the incoming partial sum,
+                // drawn from the same deterministic vector set.
+                let acc = vectors[(vi + 1) % vectors.len()].1;
+                let mask = self.grid.pass_mask();
+                if self.grid.pe_step_raw(p, c, acc, a, b, &mask) != acc + a * b {
+                    bad = true;
                 }
-                if bad {
-                    flagged.insert(FaultSite {
-                        layer: dta_ann::Layer::Hidden,
-                        neuron: c,
-                        unit: UnitKind::Pe,
-                        synapse: Some(p),
-                    });
+                if self.grid.pe_idle_raw(p, c, acc, &mask) != acc {
+                    bad = true;
                 }
+            }
+            if bad {
+                flagged.insert(FaultSite {
+                    layer: dta_ann::Layer::Hidden,
+                    neuron: c,
+                    unit: UnitKind::Pe,
+                    synapse: Some(p),
+                });
             }
         }
         self.grid.reset_state();
-        Diagnosis {
+        Some(Diagnosis {
             flagged: flagged.into_iter().collect(),
             screened_lanes: Vec::new(),
             operators_probed: probed,
             memory: None,
-        }
+        })
     }
 }
 
@@ -612,6 +650,47 @@ impl Accel for SystolicAccelerator {
             },
         }
     }
+
+    fn begin_batch(&mut self) -> Result<(), AccelError> {
+        if self.in_flight {
+            return Err(AccelError::NotQuiescent { op: "begin_batch" });
+        }
+        self.in_flight = true;
+        Ok(())
+    }
+
+    fn end_batch(&mut self) {
+        self.in_flight = false;
+    }
+
+    fn probe_touched(
+        &mut self,
+        cfg: &BistConfig,
+        abort: &std::sync::atomic::AtomicBool,
+    ) -> Result<Option<Diagnosis>, AccelError> {
+        // Only the PEs traffic actually routes through: the physical
+        // rows the schedule's row map points at, minus installed
+        // bypasses (a bypassed PE is already fail-silent).
+        let geom = self.grid.geometry();
+        let mut targets: Vec<(usize, usize)> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..geom.rows {
+            let p = self.grid.row_map()[r];
+            if !seen.insert(p) {
+                continue;
+            }
+            for c in 0..geom.cols {
+                if !self.grid.is_bypassed(p, c) {
+                    targets.push((p, c));
+                }
+            }
+        }
+        Ok(self.probe_pes(cfg, &targets, abort))
+    }
+
+    fn quarantine(&mut self, diagnosis: &Diagnosis) -> Result<usize, AccelError> {
+        Ok(self.install_bypasses(diagnosis))
+    }
 }
 
 #[cfg(test)]
@@ -721,7 +800,9 @@ mod tests {
             let build = || {
                 let (mut accel, ds, train, test) = commissioned(seed);
                 let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA11);
-                accel.inject_defects(10, Activation::Permanent, &mut rng);
+                accel
+                    .inject_defects(10, Activation::Permanent, &mut rng)
+                    .unwrap();
                 (accel, ds, train, test)
             };
             let base = RecoveryPolicy {
@@ -826,6 +907,127 @@ mod tests {
                 spares: 2
             })
         );
+    }
+
+    #[test]
+    fn incremental_probe_covers_active_rows_and_quarantine_silences() {
+        use std::sync::atomic::AtomicBool;
+        let clear = AtomicBool::new(false);
+        let cfg = BistConfig::default();
+        let mut accel = SystolicAccelerator::new();
+        let geom = accel.grid().geometry();
+        // Plant one defect on an active row and one on a spare row:
+        // the incremental probe must flag the first and skip the second
+        // (traffic never routes through a spare).
+        accel
+            .grid_mut()
+            .inject(3, 5, PeFaultKind::DeadPe, Activation::Permanent, 1);
+        accel.grid_mut().inject(
+            geom.phys_rows() - 1,
+            0,
+            PeFaultKind::DeadPe,
+            Activation::Permanent,
+            2,
+        );
+        let diag = accel.probe_touched(&cfg, &clear).unwrap().unwrap();
+        assert_eq!(diag.operators_probed, geom.rows * geom.cols);
+        assert_eq!(diag.flagged.len(), 1);
+        assert_eq!(diag.flagged[0].synapse, Some(3));
+        // Quarantine bypasses the flagged PE; the next probe skips it
+        // and comes back clean.
+        assert_eq!(accel.quarantine(&diag).unwrap(), 1);
+        assert!(accel.grid().is_bypassed(3, 5));
+        let after = accel.probe_touched(&cfg, &clear).unwrap().unwrap();
+        assert!(!after.detected());
+        assert_eq!(after.operators_probed, geom.rows * geom.cols - 1);
+        // A tripped abort flag stops the probe with None.
+        let tripped = AtomicBool::new(true);
+        assert_eq!(accel.probe_touched(&cfg, &tripped).unwrap(), None);
+    }
+
+    #[test]
+    fn systolic_rungs_time_out_typed_and_fall_through() {
+        // Chaos-hook parity on the grid's ladder: stall each
+        // grid-native rung past its deadline and check the typed
+        // Timeout falls through to graceful degradation.
+        for stalled in [RecoveryRung::PeBypass, RecoveryRung::GridRemap] {
+            let (mut accel, ds, train, test) = commissioned(3);
+            let mut rng = ChaCha8Rng::seed_from_u64(0xFA11);
+            accel
+                .inject_defects(6, Activation::Permanent, &mut rng)
+                .unwrap();
+            let diagnosis = run_selftest(&mut accel, &BistConfig::default()).unwrap();
+            let tight = dta_core::RungBudget {
+                max_epochs: 3,
+                wall_clock_ms: 30,
+            };
+            let policy = RecoveryPolicy {
+                retrain: tight,
+                remap: tight,
+                target_accuracy: 2.0,
+                chaos_stall: Some((stalled, 80)),
+                ..RecoveryPolicy::default()
+            };
+            let report = recover(&mut accel, &ds, &train, &test, &diagnosis, &policy).unwrap();
+            let pos = report
+                .rungs
+                .iter()
+                .position(|r| r.rung == stalled)
+                .unwrap_or_else(|| panic!("{stalled} never ran"));
+            assert!(
+                matches!(
+                    report.rungs[pos].error,
+                    Some(dta_core::RecoveryError::Timeout { .. })
+                ),
+                "{stalled}: {:?}",
+                report.rungs[pos].error
+            );
+            assert!(report.rungs.len() > pos + 1, "{stalled}: ladder stopped");
+            assert_eq!(report.final_rung(), Some(RecoveryRung::Degrade));
+        }
+    }
+
+    #[test]
+    fn stalling_pe_probe_falls_through_instead_of_hanging() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cfg = BistConfig::default();
+        let mut accel = SystolicAccelerator::new();
+        accel.grid_mut().set_chaos_stall(Some(20));
+        let abort = AtomicBool::new(false);
+        // A watchdog-shaped supervisor: trip the flag mid-walk. The
+        // stalling probe must come back `None` instead of walking all
+        // 160 PEs at 20 ms each.
+        let out = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                abort.store(true, Ordering::Release);
+            });
+            accel.probe_touched(&cfg, &abort).unwrap()
+        });
+        assert_eq!(out, None, "stalled probe aborted, not completed");
+    }
+
+    #[test]
+    fn mid_batch_injection_is_a_typed_error() {
+        let mut accel = SystolicAccelerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        Accel::begin_batch(&mut accel).unwrap();
+        assert_eq!(
+            Accel::begin_batch(&mut accel),
+            Err(AccelError::NotQuiescent { op: "begin_batch" })
+        );
+        assert_eq!(
+            accel.inject_defects(1, Activation::Permanent, &mut rng),
+            Err(AccelError::NotQuiescent {
+                op: "inject_defects"
+            })
+        );
+        assert!(!accel.grid().has_defects());
+        Accel::end_batch(&mut accel);
+        accel
+            .inject_defects(1, Activation::Permanent, &mut rng)
+            .unwrap();
+        assert!(accel.grid().has_defects());
     }
 
     #[test]

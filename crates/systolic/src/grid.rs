@@ -146,6 +146,9 @@ pub struct PeGrid {
     /// Per-PE bypass latches (`phys_row * cols + col`): a bypassed PE
     /// forwards the partial sum untouched — fail-silent, Zhang-style.
     bypass: Vec<bool>,
+    /// Chaos hook: milliseconds each BIST probe of one PE stalls (a
+    /// model of pathologically slow silicon; `None` in production).
+    chaos_stall_ms: Option<u64>,
 }
 
 impl PeGrid {
@@ -157,7 +160,20 @@ impl PeGrid {
             by_pe: vec![Vec::new(); geom.pes()],
             row_map: (0..geom.rows).collect(),
             bypass: vec![false; geom.pes()],
+            chaos_stall_ms: None,
         }
+    }
+
+    /// Chaos hook: make every BIST probe of one PE stall `ms`
+    /// milliseconds, so watchdog fall-through paths can be exercised
+    /// against a hanging PE self-test. `None` disables the hook.
+    pub fn set_chaos_stall(&mut self, ms: Option<u64>) {
+        self.chaos_stall_ms = ms;
+    }
+
+    /// The configured per-PE probe stall, if any.
+    pub fn chaos_stall(&self) -> Option<u64> {
+        self.chaos_stall_ms
     }
 
     /// The grid's shape.

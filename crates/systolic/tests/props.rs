@@ -99,7 +99,9 @@ proptest! {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             Accel::retrain(&mut accel, &ds, &train, 0.2, 0.1, 8, &mut rng).unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA11);
-            accel.inject_defects(defects, Activation::Permanent, &mut rng);
+            accel
+                .inject_defects(defects, Activation::Permanent, &mut rng)
+                .unwrap();
             accel
         };
         let mut blind_accel = arm();

@@ -32,7 +32,9 @@ fn main() {
 
     // 2. Break the silicon: 8 random transistor-level defects in the
     //    input/hidden stage.
-    let reports = accel.inject_defects(8, FaultModel::TransistorLevel, &mut rng);
+    let reports = accel
+        .inject_defects(8, FaultModel::TransistorLevel, &mut rng)
+        .expect("quiescent array");
     println!("injected {} transistor-level defects:", reports.len());
     for r in &reports {
         println!("  - {r}");

@@ -22,6 +22,10 @@ else
 fi
 $RUN exp_table3
 $RUN exp_table4
+$RUN exp_recovery
+$RUN exp_memfault
+$RUN exp_systolic
+$RUN exp_mission
 $RUN exp_scaling
 $RUN exp_visibility
 $RUN exp_fault_classes

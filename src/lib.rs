@@ -37,7 +37,7 @@
 //! accel.map_network(Mlp::new(Topology::new(4, 8, 3), 42)).unwrap();
 //! accel.retrain(&ds, &idx, 0.2, 0.1, 30, &mut rng).unwrap();
 //!
-//! accel.inject_defects(4, FaultModel::TransistorLevel, &mut rng);
+//! accel.inject_defects(4, FaultModel::TransistorLevel, &mut rng).unwrap();
 //! accel.retrain(&ds, &idx, 0.2, 0.1, 30, &mut rng).unwrap();
 //!
 //! let acc = accel.evaluate(&ds, &idx).unwrap();

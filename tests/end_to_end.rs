@@ -23,7 +23,9 @@ fn full_pipeline_train_map_inject_retrain() {
     let clean = accel.evaluate(&ds, &idx).unwrap();
     assert!(clean > ds.majority_baseline() + 0.1, "clean {clean}");
 
-    accel.inject_defects(6, FaultModel::TransistorLevel, &mut rng);
+    accel
+        .inject_defects(6, FaultModel::TransistorLevel, &mut rng)
+        .unwrap();
     accel.retrain(&ds, &idx, 0.1, 0.1, 60, &mut rng).unwrap();
     let faulty = accel.evaluate(&ds, &idx).unwrap();
     assert!(
