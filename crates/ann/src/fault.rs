@@ -237,6 +237,33 @@ impl NeuronFaults {
             && self.latches.is_empty()
     }
 
+    /// Read-only view of the faulty multiplier at synapse `i` (the
+    /// network fuser reads its patched LUT stream without evaluating).
+    pub(crate) fn mul_at(&self, i: usize) -> Option<&HwMultiplier> {
+        self.muls.get(&i)
+    }
+
+    /// Read-only view of the faulty adder at step `i`.
+    pub(crate) fn add_at(&self, i: usize) -> Option<&HwAdder> {
+        self.adds.get(&i)
+    }
+
+    /// Read-only view of the faulty activation unit.
+    pub(crate) fn act_ref(&self) -> Option<&HwSigmoid> {
+        self.act.as_ref()
+    }
+
+    /// The permanent stuck-bit masks `(and, or)` of synapse `i`'s weight
+    /// latch — `(0xFFFF, 0)` when the latch is clean. Pure (does not
+    /// advance dynamic fault state); only meaningful on
+    /// [vectorizable](NeuronFaults::vectorizable) neurons, where the
+    /// dynamic list is empty.
+    pub(crate) fn latch_masks(&self, i: usize) -> (u16, u16) {
+        self.latches
+            .get(&i)
+            .map_or((0xFFFF, 0), |lf| (lf.and_mask, lf.or_mask))
+    }
+
     fn reset_state(&mut self) {
         for hw in self.muls.values_mut() {
             hw.reset_state();
@@ -453,6 +480,12 @@ impl FaultPlan {
     /// The fault state of a neuron, if it has any.
     pub fn neuron_mut(&mut self, layer: Layer, neuron: usize) -> Option<&mut NeuronFaults> {
         self.neurons.get_mut(&(layer, neuron))
+    }
+
+    /// Read-only view of a neuron's fault state (used by the fused
+    /// network compiler, which must not disturb activation machines).
+    pub(crate) fn neuron(&self, layer: Layer, neuron: usize) -> Option<&NeuronFaults> {
+        self.neurons.get(&(layer, neuron))
     }
 
     /// Indices of faulty neurons per layer.

@@ -1,0 +1,1090 @@
+//! Network-level fusion of the faulty forward pass.
+//!
+//! [`crate::Mlp::forward_faulty_batch`] dispatches every faulty operator
+//! through its own per-operator LUT stream, repacking 64-lane words at
+//! each operator boundary. [`FusedForward`] instead compiles the *whole*
+//! forward pass of one `(topology, fault-plan)` pair into a single
+//! [`dta_logic::FusedProgram`]: every faulty multiplier, adder and
+//! sigmoid unit — faults already lowered into patched truth words —
+//! becomes a segment of one straight-line instruction stream over a
+//! shared flat register file, with producer outputs bound directly as
+//! consumer inputs (a faulty multiplier feeding a faulty adder costs
+//! zero repacking, and consecutive faulty adders chain in-gate).
+//!
+//! Healthy operators never enter the stream: the runner evaluates them
+//! natively between stage barriers, exactly like the per-operator
+//! engine ladder would. On top of the raw fusion the program is run
+//! through [`dta_logic::optimize`]'s pass pipeline — constant folding
+//! through the patched truth words (physical synapses beyond the
+//! logical input width and masked hidden lanes feed compile-time-zero
+//! operands), cross-operator dead-LUT elimination, and register-file
+//! liveness compaction — so the working set stays cache-resident for
+//! deep fault plans.
+//!
+//! Compilation is memoized process-wide per (topology, defect-plan
+//! fingerprint), so campaign cells and mission batches amortize it
+//! across every epoch and batch; [`fused_cache_stats`] exposes the
+//! hit/miss counters for benchmark breakdowns. The engine-preference
+//! ladder for batch evaluation is: fused → per-operator LUT → 64-lane
+//! gate simulation → cone-of-influence → scalar settle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dta_fixed::{Fx, SigmoidLut};
+use dta_logic::{optimize_with_consts, FuseBuilder, FusedExec, FusedProgram, LutExec, OptStats};
+use dta_logic::{NodeId, SlotMap};
+
+use crate::fault::{FaultPlan, Layer, NeuronFaults};
+use crate::mlp::{ForwardTrace, Mlp};
+
+/// Fused compilations kept in the process-wide memo before it is
+/// cleared wholesale (campaign sweeps mint one plan per cell; an
+/// unbounded cache would grow with the sweep).
+const CACHE_CAP: usize = 256;
+
+static DISABLE_FUSED: AtomicBool = AtomicBool::new(false);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide switch disabling the fused network engine, so
+/// benchmarks can time the per-operator ladder underneath it.
+pub fn disable_fused_engine(disable: bool) {
+    DISABLE_FUSED.store(disable, Ordering::SeqCst);
+}
+
+/// True if [`disable_fused_engine`] turned the fused engine off.
+pub fn fused_engine_disabled() -> bool {
+    DISABLE_FUSED.load(Ordering::SeqCst)
+}
+
+/// `(hits, misses)` of the process-wide fused-compilation memo —
+/// measures compilation amortization across campaign cells and epochs.
+pub fn fused_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Empties the fused-compilation memo (benchmark cold-start timing).
+pub fn clear_fused_cache() {
+    if let Ok(mut cache) = cache().lock() {
+        cache.clear();
+    }
+}
+
+/// Identity of one faulty operator's patched instruction stream: the
+/// shared netlist (instruction skeleton) plus the patched truth words.
+#[derive(PartialEq, Eq, Hash)]
+struct OpKey {
+    net: usize,
+    tables: Vec<u16>,
+}
+
+impl OpKey {
+    fn new(net: usize, ex: &LutExec) -> OpKey {
+        OpKey {
+            net,
+            tables: ex.instrs().iter().map(|i| i.table).collect(),
+        }
+    }
+}
+
+/// One neuron's contribution to the defect-plan fingerprint.
+#[derive(PartialEq, Eq, Hash)]
+struct NeuronKey {
+    lane: usize,
+    n_eff: usize,
+    muls: Vec<(usize, OpKey)>,
+    adds: Vec<(usize, OpKey)>,
+    act: Option<OpKey>,
+    latches: Vec<(usize, u16, u16)>,
+}
+
+/// What one logical neuron compiles to, as fingerprint material.
+#[derive(PartialEq, Eq, Hash)]
+enum KeyPlan {
+    Masked,
+    Native { lane: usize },
+    Gated(NeuronKey),
+}
+
+/// The full (topology, defect-plan) fingerprint keying the memo. Weight
+/// values are deliberately absent: weights and biases are runtime
+/// inputs of the fused stream, so training updates and memory repairs
+/// never force a recompile.
+#[derive(PartialEq, Eq, Hash)]
+struct FuseKey {
+    dims: (usize, usize, usize),
+    hidden: Vec<KeyPlan>,
+    output: Vec<KeyPlan>,
+}
+
+fn cache() -> &'static Mutex<HashMap<FuseKey, Arc<FusedForward>>> {
+    static CACHE: OnceLock<Mutex<HashMap<FuseKey, Arc<FusedForward>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A faulty multiplier's segment ports in the fused register file.
+struct MulPort {
+    syn: usize,
+    /// Weight operand bus (driven uniform across lanes each call).
+    w: Vec<u32>,
+    /// Input operand bus; not driven when `x_const`.
+    x: Vec<u32>,
+    /// Product bus; read back only when the consuming adder is healthy
+    /// (otherwise it is wired straight into the adder's `b` operand).
+    out: Vec<u32>,
+    /// The input operand is compile-time zero (physical synapse beyond
+    /// the logical width, or a masked hidden lane): folded, not driven.
+    x_const: bool,
+}
+
+/// One synapse of a fused adder run.
+struct RunSyn {
+    syn: usize,
+    /// `b` operand bus when the multiplier at this synapse is healthy
+    /// (the runner packs the native product); `None` when the faulty
+    /// multiplier's output is bound directly.
+    b: Option<Vec<u32>>,
+    /// The native product is compile-time zero: folded, not driven.
+    b_const: bool,
+}
+
+/// A maximal chain of consecutive faulty adders, fused in-gate: adder
+/// `i`'s sum feeds adder `i+1`'s `a` operand with no repacking.
+struct AddRun {
+    start: usize,
+    end: usize,
+    /// Partial-accumulator input bus of the first adder in the chain.
+    a_in: Vec<u32>,
+    /// Sum bus of the last adder in the chain.
+    out: Vec<u32>,
+    syns: Vec<RunSyn>,
+}
+
+/// A faulty sigmoid unit's ports.
+struct ActPort {
+    x: Vec<u32>,
+    out: Vec<u32>,
+}
+
+/// Compiled layout of one neuron that owns at least one fault.
+struct GatedNeuron {
+    lane: usize,
+    n_eff: usize,
+    muls: Vec<MulPort>,
+    /// Index into `muls` per synapse (`n_eff` entries).
+    mul_at: Vec<Option<usize>>,
+    runs: Vec<AddRun>,
+    act: Option<ActPort>,
+}
+
+/// How one logical neuron executes at run time.
+enum NeuronPlan {
+    /// Recovery-masked lane: outputs zero.
+    Masked,
+    /// No fault entry: fully native multiply-accumulate and LUT sigmoid.
+    Native { lane: usize },
+    /// At least one faulty operator: gate segments in the fused stream,
+    /// native arithmetic between them.
+    Gated(GatedNeuron),
+}
+
+/// Stage indices of one layer inside the fused program: one multiplier
+/// stage, `n_runs` adder-run stages, one activation stage.
+struct LayerStages {
+    mul: usize,
+    add0: usize,
+    n_runs: usize,
+    act: usize,
+}
+
+/// Per-call weight preparation for one neuron (bias and weights fetched
+/// through the attached memory once per batch, latch stuck-bit masks
+/// applied — all native, outside the gate stream).
+enum RtPrep {
+    Masked,
+    Native { bias: Fx, ws: Vec<Fx> },
+    Gated { bias: Fx, w_eff: Vec<Fx> },
+}
+
+/// A whole faulty forward pass compiled to one optimized 64-lane LUT
+/// instruction stream (see the module docs). Build with
+/// [`FusedForward::cached`] (memoized) or [`FusedForward::compile`].
+pub struct FusedForward {
+    prog: Arc<FusedProgram>,
+    hidden: Vec<NeuronPlan>,
+    output: Vec<NeuronPlan>,
+    h_stages: LayerStages,
+    o_stages: LayerStages,
+    stats: OptStats,
+}
+
+impl FusedForward {
+    /// The memoized fused compilation for this `(topology, plan)` pair,
+    /// or `None` when the plan is not fusable (stateful faults, or a
+    /// faulty operator without a patched LUT stream). Weight values are
+    /// not part of the fingerprint — see [`FuseKey`].
+    pub fn cached(mlp: &Mlp, plan: &FaultPlan) -> Option<Arc<FusedForward>> {
+        let key = build_key(mlp, plan)?;
+        let mut cache = cache().lock().expect("fused cache poisoned");
+        if let Some(ff) = cache.get(&key) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(ff));
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let ff = Arc::new(Self::compile(mlp, plan)?);
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&ff));
+        Some(ff)
+    }
+
+    /// Compiles (without memoization) the fused forward program for this
+    /// plan, or `None` when the plan is not fusable.
+    pub fn compile(mlp: &Mlp, plan: &FaultPlan) -> Option<FusedForward> {
+        if !plan.vectorizable() {
+            return None;
+        }
+        let topo = mlp.topology();
+        let masked_logical: Vec<bool> = (0..topo.hidden)
+            .map(|j| plan.is_masked(Layer::Hidden, plan.hidden_lane(j)))
+            .collect();
+
+        let mut fb = FuseBuilder::new();
+        let mut roots: Vec<u32> = Vec::new();
+        let mut known: Vec<(u32, bool)> = Vec::new();
+        let mut stage = 0usize;
+
+        let h_lanes: Vec<usize> = (0..topo.hidden).map(|j| plan.hidden_lane(j)).collect();
+        let (hidden, h_stages) = compile_layer(
+            plan,
+            Layer::Hidden,
+            &h_lanes,
+            topo.inputs,
+            |i| i >= topo.inputs,
+            &mut fb,
+            &mut stage,
+            &mut roots,
+            &mut known,
+        )?;
+        fb.barrier();
+        stage += 1;
+        let o_lanes: Vec<usize> = (0..topo.outputs).collect();
+        let (output, o_stages) = compile_layer(
+            plan,
+            Layer::Output,
+            &o_lanes,
+            topo.hidden,
+            |j| j >= topo.hidden || masked_logical[j],
+            &mut fb,
+            &mut stage,
+            &mut roots,
+            &mut known,
+        )?;
+
+        let raw = fb.finish();
+        let (prog, sm, stats) = optimize_with_consts(&raw, &roots, &known);
+        let hidden = hidden.into_iter().map(|p| remap_plan(p, &sm)).collect();
+        let output = output.into_iter().map(|p| remap_plan(p, &sm)).collect();
+        Some(FusedForward {
+            prog: Arc::new(prog),
+            hidden,
+            output,
+            h_stages,
+            o_stages,
+            stats,
+        })
+    }
+
+    /// The optimized fused instruction stream (rank partitioning for
+    /// multi-core execution operates on this).
+    pub fn program(&self) -> &Arc<FusedProgram> {
+        &self.prog
+    }
+
+    /// What the optimization pipeline did to this program.
+    pub fn opt_stats(&self) -> OptStats {
+        self.stats
+    }
+
+    /// Evaluates every row of `xs` bit-identically to
+    /// [`Mlp::forward_faulty_batch`]'s per-operator ladder (and hence to
+    /// the scalar [`Mlp::forward_faulty`]), 64 samples per stream sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the compiled topology's
+    /// input count, or if `mlp`/`plan` do not match the compiled pair.
+    pub fn forward(
+        &self,
+        mlp: &Mlp,
+        xs: &[impl AsRef<[f64]>],
+        lut: &SigmoidLut,
+        plan: &mut FaultPlan,
+    ) -> Vec<ForwardTrace> {
+        let topo = mlp.topology();
+        assert_eq!(self.hidden.len(), topo.hidden, "topology mismatch");
+        assert_eq!(self.output.len(), topo.outputs, "topology mismatch");
+        let xq: Vec<Vec<Fx>> = xs
+            .iter()
+            .map(|x| {
+                let x = x.as_ref();
+                assert_eq!(x.len(), topo.inputs);
+                x.iter().map(|&v| Fx::from_f64(v)).collect()
+            })
+            .collect();
+
+        // Weights and biases stream through the attached memory once per
+        // batch (pure on vectorizable plans), latch masks applied — the
+        // fused stream sees them as uniform runtime inputs, so repairs
+        // and training updates never recompile.
+        let prep_h: Vec<RtPrep> = self
+            .hidden
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                prep_neuron(p, plan, Layer::Hidden, topo.inputs, |i| {
+                    Fx::from_f64(mlp.w_hidden(j, i))
+                })
+            })
+            .collect();
+        let prep_o: Vec<RtPrep> = self
+            .output
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                prep_neuron(p, plan, Layer::Output, topo.hidden, |j| {
+                    Fx::from_f64(mlp.w_output(k, j))
+                })
+            })
+            .collect();
+
+        let mut ex = FusedExec::new(Arc::clone(&self.prog));
+        // Weight buses carry the same uniform word for the whole batch:
+        // write them once, not per chunk.
+        for (plans, prep) in [(&self.hidden, &prep_h), (&self.output, &prep_o)] {
+            for (plan, rt) in plans.iter().zip(prep) {
+                let (NeuronPlan::Gated(g), RtPrep::Gated { w_eff, .. }) = (plan, rt) else {
+                    continue;
+                };
+                for mp in &g.muls {
+                    ex.set_bus_uniform(&mp.w, w_eff[mp.syn].to_bits() as u64);
+                }
+            }
+        }
+        let mut traces = Vec::with_capacity(xq.len());
+        let mut h_flat: Vec<Fx> = Vec::new();
+        for chunk in xq.chunks(64) {
+            let xrows: Vec<&[Fx]> = chunk.iter().map(|r| r.as_slice()).collect();
+            let h_res = self.run_layer(&self.hidden, &self.h_stages, &prep_h, &xrows, lut, &mut ex);
+            // Row-major hidden activations in one flat buffer; rows are
+            // contiguous slices, so the output layer borrows them
+            // without per-row allocations.
+            h_flat.clear();
+            h_flat.reserve(xrows.len() * topo.hidden);
+            for r in 0..xrows.len() {
+                for n in &h_res {
+                    h_flat.push(n.as_ref().map_or(Fx::ZERO, |(_, ys)| ys[r]));
+                }
+            }
+            let hrefs: Vec<&[Fx]> = h_flat.chunks(topo.hidden).collect();
+            let o_res = self.run_layer(&self.output, &self.o_stages, &prep_o, &hrefs, lut, &mut ex);
+            for r in 0..xrows.len() {
+                traces.push(ForwardTrace {
+                    hidden: hrefs[r].iter().map(|h| h.to_f64()).collect(),
+                    output_pre: o_res
+                        .iter()
+                        .map(|n| n.as_ref().map_or(0.0, |(accs, _)| accs[r].to_f64()))
+                        .collect(),
+                    output: o_res
+                        .iter()
+                        .map(|n| n.as_ref().map_or(0.0, |(_, ys)| ys[r].to_f64()))
+                        .collect(),
+                });
+            }
+        }
+        traces
+    }
+
+    /// Runs one layer for one chunk of ≤ 64 rows: gate stages through
+    /// the fused stream, native arithmetic between them. Returns
+    /// `(pre-activations, activations)` per neuron, `None` for masked.
+    #[allow(clippy::type_complexity)]
+    fn run_layer(
+        &self,
+        plans: &[NeuronPlan],
+        stages: &LayerStages,
+        prep: &[RtPrep],
+        xrows: &[&[Fx]],
+        lut: &SigmoidLut,
+        ex: &mut FusedExec,
+    ) -> Vec<Option<(Vec<Fx>, Vec<Fx>)>> {
+        let nrows = xrows.len();
+        let mut buf = vec![0u64; nrows];
+
+        // Multiplier stage inputs: samples lane-packed (weight buses are
+        // batch-uniform, written once by `forward`).
+        for plan in plans {
+            let NeuronPlan::Gated(g) = plan else {
+                continue;
+            };
+            for mp in &g.muls {
+                if !mp.x_const {
+                    pack_x(&mut buf, xrows, mp.syn);
+                    ex.set_bus_words(&mp.x, &buf);
+                }
+            }
+        }
+        ex.exec_stage(stages.mul);
+
+        // Accumulation: native adds between fused adder runs.
+        let mut scratch: Vec<Option<(Vec<Fx>, usize)>> = plans
+            .iter()
+            .zip(prep)
+            .map(|(p, rt)| match (p, rt) {
+                (NeuronPlan::Gated(_), RtPrep::Gated { bias, .. }) => Some((vec![*bias; nrows], 0)),
+                _ => None,
+            })
+            .collect();
+        for r in 0..stages.n_runs {
+            for ((plan, rt), sc) in plans.iter().zip(prep).zip(scratch.iter_mut()) {
+                let (NeuronPlan::Gated(g), RtPrep::Gated { w_eff, .. }, Some((accs, cursor))) =
+                    (plan, rt, sc.as_mut())
+                else {
+                    continue;
+                };
+                let Some(run) = g.runs.get(r) else { continue };
+                advance_native(g, w_eff, accs, cursor, run.start, xrows, ex);
+                pack_fx(&mut buf, accs);
+                ex.set_bus_words(&run.a_in, &buf);
+                for rs in &run.syns {
+                    let Some(b) = rs.b.as_ref().filter(|_| !rs.b_const) else {
+                        continue;
+                    };
+                    for (slot, row) in buf.iter_mut().zip(xrows) {
+                        *slot = (w_eff[rs.syn] * x_at(row, rs.syn)).to_bits() as u64;
+                    }
+                    ex.set_bus_words(b, &buf);
+                }
+            }
+            ex.exec_stage(stages.add0 + r);
+            for (plan, sc) in plans.iter().zip(scratch.iter_mut()) {
+                let (NeuronPlan::Gated(g), Some((accs, cursor))) = (plan, sc.as_mut()) else {
+                    continue;
+                };
+                let Some(run) = g.runs.get(r) else { continue };
+                for (acc, w) in accs.iter_mut().zip(ex.read_words(&run.out, nrows)) {
+                    *acc = Fx::from_bits(w as u16);
+                }
+                *cursor = run.end;
+            }
+        }
+        for ((plan, rt), sc) in plans.iter().zip(prep).zip(scratch.iter_mut()) {
+            let (NeuronPlan::Gated(g), RtPrep::Gated { w_eff, .. }, Some((accs, cursor))) =
+                (plan, rt, sc.as_mut())
+            else {
+                continue;
+            };
+            advance_native(g, w_eff, accs, cursor, g.n_eff, xrows, ex);
+        }
+
+        // Activation stage: faulty units in-stream, healthy ones native.
+        for (plan, sc) in plans.iter().zip(&scratch) {
+            let (NeuronPlan::Gated(g), Some((accs, _))) = (plan, sc) else {
+                continue;
+            };
+            if let Some(act) = &g.act {
+                pack_fx(&mut buf, accs);
+                ex.set_bus_words(&act.x, &buf);
+            }
+        }
+        ex.exec_stage(stages.act);
+
+        plans
+            .iter()
+            .zip(prep)
+            .zip(scratch)
+            .map(|((plan, rt), sc)| match (plan, rt) {
+                (NeuronPlan::Masked, _) => None,
+                (NeuronPlan::Native { .. }, RtPrep::Native { bias, ws }) => {
+                    let accs: Vec<Fx> = xrows
+                        .iter()
+                        .map(|row| {
+                            let mut acc = *bias;
+                            for (w, &xi) in ws.iter().zip(row.iter()) {
+                                acc += *w * xi;
+                            }
+                            acc
+                        })
+                        .collect();
+                    let ys = accs.iter().map(|&a| lut.eval(a)).collect();
+                    Some((accs, ys))
+                }
+                (NeuronPlan::Gated(g), _) => {
+                    let (accs, _) = sc.expect("gated neuron has scratch");
+                    let ys = match &g.act {
+                        Some(act) => ex
+                            .read_words(&act.out, nrows)
+                            .into_iter()
+                            .map(|w| Fx::from_bits(w as u16))
+                            .collect(),
+                        None => accs.iter().map(|&a| lut.eval(a)).collect(),
+                    };
+                    Some((accs, ys))
+                }
+                _ => unreachable!("plan/prep variants agree"),
+            })
+            .collect()
+    }
+}
+
+/// The input operand of physical synapse `syn` for one row (zero beyond
+/// the logical width, like the scalar path).
+#[inline]
+fn x_at(row: &[Fx], syn: usize) -> Fx {
+    row.get(syn).copied().unwrap_or(Fx::ZERO)
+}
+
+/// Lane-packs one input column across the chunk's rows.
+fn pack_x(buf: &mut [u64], xrows: &[&[Fx]], syn: usize) {
+    for (slot, row) in buf.iter_mut().zip(xrows) {
+        *slot = x_at(row, syn).to_bits() as u64;
+    }
+}
+
+/// Lane-packs a per-row value vector.
+fn pack_fx(buf: &mut [u64], vals: &[Fx]) {
+    for (slot, &v) in buf.iter_mut().zip(vals) {
+        *slot = v.to_bits() as u64;
+    }
+}
+
+/// Native multiply-accumulate from `*cursor` up to `stop`: products of
+/// unbound faulty multipliers are read back from the fused register
+/// file, everything else is native Q6.10 arithmetic.
+fn advance_native(
+    g: &GatedNeuron,
+    w_eff: &[Fx],
+    accs: &mut [Fx],
+    cursor: &mut usize,
+    stop: usize,
+    xrows: &[&[Fx]],
+    ex: &FusedExec,
+) {
+    while *cursor < stop {
+        let i = *cursor;
+        match g.mul_at[i] {
+            Some(m) => {
+                let prods = ex.read_words(&g.muls[m].out, accs.len());
+                for (acc, w) in accs.iter_mut().zip(prods) {
+                    *acc += Fx::from_bits(w as u16);
+                }
+            }
+            None => {
+                for (acc, row) in accs.iter_mut().zip(xrows) {
+                    *acc += w_eff[i] * x_at(row, i);
+                }
+            }
+        }
+        *cursor += 1;
+    }
+}
+
+/// Per-call weight preparation (see [`RtPrep`]).
+fn prep_neuron(
+    plan_n: &NeuronPlan,
+    plan: &mut FaultPlan,
+    layer: Layer,
+    n_logical: usize,
+    weight_of: impl Fn(usize) -> Fx,
+) -> RtPrep {
+    match plan_n {
+        NeuronPlan::Masked => RtPrep::Masked,
+        NeuronPlan::Native { lane } => {
+            let bias = plan.mem_bias(layer, *lane, weight_of(n_logical));
+            let ws = (0..n_logical)
+                .map(|i| plan.mem_weight(layer, *lane, i, weight_of(i)))
+                .collect();
+            RtPrep::Native { bias, ws }
+        }
+        NeuronPlan::Gated(g) => {
+            let bias = plan.mem_bias(layer, g.lane, weight_of(n_logical));
+            let nf = plan
+                .neuron(layer, g.lane)
+                .expect("gated neuron has a fault entry");
+            let masks: Vec<(u16, u16)> = (0..g.n_eff).map(|i| nf.latch_masks(i)).collect();
+            let w_eff = (0..g.n_eff)
+                .map(|i| {
+                    let base = if i < n_logical {
+                        weight_of(i)
+                    } else {
+                        Fx::ZERO
+                    };
+                    let w = plan.mem_weight(layer, g.lane, i, base);
+                    let (and, or) = masks[i];
+                    Fx::from_bits((w.to_bits() & and) | or)
+                })
+                .collect();
+            RtPrep::Gated { bias, w_eff }
+        }
+    }
+}
+
+fn bus_u32(bus: &[NodeId]) -> Vec<u32> {
+    bus.iter().map(|n| n.index() as u32).collect()
+}
+
+fn zip_bind(local: &[u32], fused: &[u32]) -> impl Iterator<Item = (u32, u32)> {
+    local
+        .iter()
+        .copied()
+        .zip(fused.iter().copied())
+        .collect::<Vec<_>>()
+        .into_iter()
+}
+
+/// Appends one patched operator stream, binding its two operand buses,
+/// and returns the local→fused slot map.
+fn append_op(
+    fb: &mut FuseBuilder,
+    ex: &LutExec,
+    binds: impl Iterator<Item = (u32, u32)>,
+) -> Vec<u32> {
+    let bind: Vec<(u32, u32)> = binds.collect();
+    fb.append(
+        ex.instrs(),
+        ex.program().n_slots(),
+        ex.program().latch_slots(),
+        &bind,
+    )
+}
+
+/// Groups the sorted faulty-adder synapses of one neuron into maximal
+/// consecutive runs.
+fn add_runs(adds: &[usize]) -> Vec<(usize, usize)> {
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    for &i in adds {
+        match runs.last_mut() {
+            Some((_, end)) if *end == i => *end = i + 1,
+            _ => runs.push((i, i + 1)),
+        }
+    }
+    runs
+}
+
+/// Compiles one layer's gate segments into the shared builder: one
+/// multiplier stage, `max_runs` chained-adder stages, one activation
+/// stage, with barriers between them. Returns `None` when a faulty
+/// operator has no patched LUT stream (not fusable).
+#[allow(clippy::too_many_arguments)]
+fn compile_layer(
+    plan: &FaultPlan,
+    layer: Layer,
+    lanes: &[usize],
+    n_logical: usize,
+    x_const_at: impl Fn(usize) -> bool,
+    fb: &mut FuseBuilder,
+    stage: &mut usize,
+    roots: &mut Vec<u32>,
+    known: &mut Vec<(u32, bool)>,
+) -> Option<(Vec<NeuronPlan>, LayerStages)> {
+    struct Skeleton<'a> {
+        idx: usize,
+        nf: &'a NeuronFaults,
+        mul_syns: Vec<usize>,
+        runs: Vec<(usize, usize)>,
+    }
+    let mut plans: Vec<NeuronPlan> = Vec::with_capacity(lanes.len());
+    let mut skels: Vec<Skeleton> = Vec::new();
+    for (idx, &lane) in lanes.iter().enumerate() {
+        if plan.is_masked(layer, lane) {
+            plans.push(NeuronPlan::Masked);
+            continue;
+        }
+        let Some(nf) = plan.neuron(layer, lane) else {
+            plans.push(NeuronPlan::Native { lane });
+            continue;
+        };
+        let n_eff = n_logical.max(nf.max_synapse_excl());
+        let mut mul_syns = Vec::new();
+        let mut add_syns = Vec::new();
+        for i in 0..n_eff {
+            if nf.mul_at(i).is_some() {
+                mul_syns.push(i);
+            }
+            if nf.add_at(i).is_some() {
+                add_syns.push(i);
+            }
+        }
+        plans.push(NeuronPlan::Gated(GatedNeuron {
+            lane,
+            n_eff,
+            muls: Vec::new(),
+            mul_at: vec![None; n_eff],
+            runs: Vec::new(),
+            act: None,
+        }));
+        skels.push(Skeleton {
+            idx,
+            nf,
+            mul_syns,
+            runs: add_runs(&add_syns),
+        });
+    }
+    let max_runs = skels.iter().map(|s| s.runs.len()).max().unwrap_or(0);
+
+    // Stage 1: every faulty multiplier of the layer.
+    let mul_stage = *stage;
+    for sk in &skels {
+        let NeuronPlan::Gated(g) = &mut plans[sk.idx] else {
+            unreachable!()
+        };
+        for &syn in &sk.mul_syns {
+            let hw = sk.nf.mul_at(syn).expect("skeleton lists faulty synapses");
+            let ex = hw.lut_stream()?;
+            let c = hw.circuit();
+            let w = fb.fresh_bus(c.a_bus().len());
+            let x = fb.fresh_bus(c.b_bus().len());
+            let map = append_op(
+                fb,
+                ex,
+                zip_bind(&bus_u32(c.a_bus()), &w).chain(zip_bind(&bus_u32(c.b_bus()), &x)),
+            );
+            let out: Vec<u32> = bus_u32(c.out_bus())
+                .iter()
+                .map(|&n| map[n as usize])
+                .collect();
+            let x_const = x_const_at(syn);
+            if x_const {
+                known.extend(x.iter().map(|&s| (s, false)));
+            }
+            if sk.nf.add_at(syn).is_none() {
+                roots.extend(&out);
+            }
+            g.mul_at[syn] = Some(g.muls.len());
+            g.muls.push(MulPort {
+                syn,
+                w,
+                x,
+                out,
+                x_const,
+            });
+        }
+    }
+
+    // Stages 2..: chained faulty-adder runs, one stage per run depth so
+    // the runner can accumulate natively between them.
+    for r in 0..max_runs {
+        fb.barrier();
+        *stage += 1;
+        for sk in &skels {
+            let Some(&(start, end)) = sk.runs.get(r) else {
+                continue;
+            };
+            let NeuronPlan::Gated(g) = &mut plans[sk.idx] else {
+                unreachable!()
+            };
+            let mut syns = Vec::with_capacity(end - start);
+            let mut a_in: Option<Vec<u32>> = None;
+            let mut prev: Vec<u32> = Vec::new();
+            for syn in start..end {
+                let hw = sk.nf.add_at(syn).expect("run spans faulty adders");
+                let ex = hw.lut_stream()?;
+                let c = hw.circuit();
+                let a = if prev.is_empty() {
+                    let fresh = fb.fresh_bus(c.a_bus().len());
+                    a_in = Some(fresh.clone());
+                    fresh
+                } else {
+                    prev.clone()
+                };
+                let (b, b_bus, b_const) = match g.mul_at[syn] {
+                    Some(m) => (g.muls[m].out.clone(), None, false),
+                    None => {
+                        let fresh = fb.fresh_bus(c.b_bus().len());
+                        let b_const = x_const_at(syn);
+                        if b_const {
+                            known.extend(fresh.iter().map(|&s| (s, false)));
+                        }
+                        (fresh.clone(), Some(fresh), b_const)
+                    }
+                };
+                let map = append_op(
+                    fb,
+                    ex,
+                    zip_bind(&bus_u32(c.a_bus()), &a).chain(zip_bind(&bus_u32(c.b_bus()), &b)),
+                );
+                prev = bus_u32(c.out_bus())
+                    .iter()
+                    .map(|&n| map[n as usize])
+                    .collect();
+                syns.push(RunSyn {
+                    syn,
+                    b: b_bus,
+                    b_const,
+                });
+            }
+            roots.extend(&prev);
+            g.runs.push(AddRun {
+                start,
+                end,
+                a_in: a_in.expect("run has at least one adder"),
+                out: prev,
+                syns,
+            });
+        }
+    }
+
+    // Final stage: faulty activation units.
+    fb.barrier();
+    *stage += 1;
+    let act_stage = *stage;
+    for sk in &skels {
+        let Some(hw) = sk.nf.act_ref() else { continue };
+        let ex = hw.lut_stream()?;
+        let c = hw.circuit();
+        let NeuronPlan::Gated(g) = &mut plans[sk.idx] else {
+            unreachable!()
+        };
+        let x = fb.fresh_bus(c.x_bus().len());
+        let map = append_op(fb, ex, zip_bind(&bus_u32(c.x_bus()), &x));
+        let out: Vec<u32> = bus_u32(c.out_bus())
+            .iter()
+            .map(|&n| map[n as usize])
+            .collect();
+        roots.extend(&out);
+        g.act = Some(ActPort { x, out });
+    }
+
+    Some((
+        plans,
+        LayerStages {
+            mul: mul_stage,
+            add0: mul_stage + 1,
+            n_runs: max_runs,
+            act: act_stage,
+        },
+    ))
+}
+
+/// Rewrites a compiled neuron's port buses through the optimizer's slot
+/// map (dead input bits become [`dta_logic::DEAD_SLOT`], which the
+/// executor's bus writers skip).
+fn remap_plan(plan: NeuronPlan, sm: &SlotMap) -> NeuronPlan {
+    let mut g = match plan {
+        NeuronPlan::Gated(g) => g,
+        other => return other,
+    };
+    for mp in &mut g.muls {
+        mp.w = sm.remap(&mp.w);
+        mp.x = sm.remap(&mp.x);
+        mp.out = sm.remap(&mp.out);
+    }
+    for run in &mut g.runs {
+        run.a_in = sm.remap(&run.a_in);
+        run.out = sm.remap(&run.out);
+        for rs in &mut run.syns {
+            if let Some(b) = &mut rs.b {
+                *b = sm.remap(b);
+            }
+        }
+    }
+    if let Some(act) = &mut g.act {
+        act.x = sm.remap(&act.x);
+        act.out = sm.remap(&act.out);
+    }
+    NeuronPlan::Gated(g)
+}
+
+/// Builds the memo fingerprint, or `None` when the plan is not fusable.
+fn build_key(mlp: &Mlp, plan: &FaultPlan) -> Option<FuseKey> {
+    if !plan.vectorizable() {
+        return None;
+    }
+    let topo = mlp.topology();
+    let layer_keys = |layer: Layer, lanes: &[usize], n_logical: usize| -> Option<Vec<KeyPlan>> {
+        lanes
+            .iter()
+            .map(|&lane| {
+                if plan.is_masked(layer, lane) {
+                    return Some(KeyPlan::Masked);
+                }
+                let Some(nf) = plan.neuron(layer, lane) else {
+                    return Some(KeyPlan::Native { lane });
+                };
+                neuron_key(nf, lane, n_logical).map(KeyPlan::Gated)
+            })
+            .collect()
+    };
+    let h_lanes: Vec<usize> = (0..topo.hidden).map(|j| plan.hidden_lane(j)).collect();
+    let o_lanes: Vec<usize> = (0..topo.outputs).collect();
+    Some(FuseKey {
+        dims: (topo.inputs, topo.hidden, topo.outputs),
+        hidden: layer_keys(Layer::Hidden, &h_lanes, topo.inputs)?,
+        output: layer_keys(Layer::Output, &o_lanes, topo.hidden)?,
+    })
+}
+
+fn neuron_key(nf: &NeuronFaults, lane: usize, n_logical: usize) -> Option<NeuronKey> {
+    let n_eff = n_logical.max(nf.max_synapse_excl());
+    let mut muls = Vec::new();
+    let mut adds = Vec::new();
+    let mut latches = Vec::new();
+    for i in 0..n_eff {
+        if let Some(hw) = nf.mul_at(i) {
+            let net = Arc::as_ptr(hw.circuit().netlist()) as usize;
+            muls.push((i, OpKey::new(net, hw.lut_stream()?)));
+        }
+        if let Some(hw) = nf.add_at(i) {
+            let net = Arc::as_ptr(hw.circuit().netlist()) as usize;
+            adds.push((i, OpKey::new(net, hw.lut_stream()?)));
+        }
+        let (and, or) = nf.latch_masks(i);
+        if (and, or) != (0xFFFF, 0) {
+            latches.push((i, and, or));
+        }
+    }
+    let act = match nf.act_ref() {
+        Some(hw) => {
+            let net = Arc::as_ptr(hw.circuit().netlist()) as usize;
+            Some(OpKey::new(net, hw.lut_stream()?))
+        }
+        None => None,
+    };
+    Some(NeuronKey {
+        lane,
+        n_eff,
+        muls,
+        adds,
+        act,
+        latches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Topology;
+    use dta_circuits::FaultModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rows(n: usize, width: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| {
+                (0..width)
+                    .map(|i| ((r * 7 + i * 3) % 17) as f64 / 8.5 - 1.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A plan dense enough to exercise chained adders, bound
+    /// multiplier→adder pairs, latch masks and faulty activations, with
+    /// physical synapses beyond the logical width.
+    fn dense_plan(topo: Topology, n_faults: usize, seed: u64) -> FaultPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(topo.inputs + 2);
+        for _ in 0..n_faults {
+            plan.inject_random_hidden(topo.hidden, FaultModel::TransistorLevel, &mut rng);
+        }
+        plan.inject_output_adder(0, topo.hidden - 1, &mut rng);
+        plan.inject_output_activation(1, &mut rng);
+        plan
+    }
+
+    /// First seed whose random defects are all combinational (some
+    /// transistor-level defects are stateful and refuse fusion).
+    fn fusable_dense_plan(mlp: &Mlp, n_faults: usize) -> FaultPlan {
+        let topo = mlp.topology();
+        for seed in 0..64 {
+            let plan = dense_plan(topo, n_faults, seed);
+            if FusedForward::compile(mlp, &plan).is_some() {
+                return plan;
+            }
+        }
+        panic!("no fusable plan in 64 seeds");
+    }
+
+    #[test]
+    fn fused_forward_is_bit_identical_to_scalar() {
+        let topo = Topology::new(4, 3, 2);
+        let mlp = Mlp::new(topo, 11);
+        let lut = SigmoidLut::new();
+        let mut plan = fusable_dense_plan(&mlp, 8);
+        plan.mask(Layer::Hidden, 1);
+        plan.remap_hidden(0, 2);
+
+        let xs = rows(70, topo.inputs); // crosses the 64-lane chunk edge
+        let want: Vec<ForwardTrace> = xs
+            .iter()
+            .map(|x| mlp.forward_faulty(x, &lut, &mut plan))
+            .collect();
+
+        let ff = FusedForward::cached(&mlp, &plan).expect("plan is fusable");
+        assert!(!ff.program().is_empty(), "faults compiled into the stream");
+        let stats = ff.opt_stats();
+        assert!(stats.instrs_after <= stats.instrs_before);
+        assert!(stats.slots_after <= stats.slots_before);
+        let got = ff.forward(&mlp, &xs, &lut, &mut plan);
+        assert_eq!(got, want, "fused stream diverged from scalar reference");
+
+        // The batch entry point routes through the same engine.
+        let routed = mlp.forward_faulty_batch(&xs, &lut, &mut plan);
+        assert_eq!(routed, want);
+    }
+
+    #[test]
+    fn memoization_survives_weight_updates() {
+        let topo = Topology::new(3, 2, 2);
+        let mut mlp = Mlp::new(topo, 7);
+        let plan = fusable_dense_plan(&mlp, 3);
+        let a = FusedForward::cached(&mlp, &plan).expect("fusable");
+        let (h0, _) = fused_cache_stats();
+        let b = FusedForward::cached(&mlp, &plan).expect("fusable");
+        assert!(Arc::ptr_eq(&a, &b), "same fingerprint, same program");
+        let (h1, _) = fused_cache_stats();
+        assert!(h1 > h0, "second lookup hits the memo");
+        // Weights are runtime inputs: training updates never recompile.
+        *mlp.w_hidden_mut(0, 0) += 0.25;
+        let c = FusedForward::cached(&mlp, &plan).expect("fusable");
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_an_empty_stream() {
+        let topo = Topology::new(4, 3, 2);
+        let mlp = Mlp::new(topo, 3);
+        let lut = SigmoidLut::new();
+        let mut plan = FaultPlan::new(topo.inputs);
+        let ff = FusedForward::cached(&mlp, &plan).expect("fusable");
+        assert!(ff.program().is_empty(), "no faults, no gate segments");
+        let xs = rows(9, topo.inputs);
+        let got = ff.forward(&mlp, &xs, &lut, &mut plan);
+        for (x, trace) in xs.iter().zip(&got) {
+            assert_eq!(*trace, mlp.forward_fixed(x, &lut));
+        }
+    }
+
+    #[test]
+    fn stateful_plans_are_not_fusable() {
+        use dta_circuits::Activation;
+        let topo = Topology::new(3, 2, 2);
+        let mlp = Mlp::new(topo, 1);
+        let mut plan = FaultPlan::new(topo.inputs);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        plan.inject_random_hidden_with(
+            topo.hidden,
+            FaultModel::TransistorLevel,
+            Activation::Intermittent { period: 3, duty: 1 },
+            &mut rng,
+        );
+        assert!(!plan.vectorizable());
+        assert!(FusedForward::cached(&mlp, &plan).is_none());
+    }
+}

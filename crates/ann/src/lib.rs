@@ -40,6 +40,7 @@
 
 pub mod deep;
 pub mod fault;
+pub mod fused;
 pub mod hyper;
 pub mod mlp;
 pub mod regress;
@@ -47,6 +48,9 @@ pub mod train;
 
 pub use deep::{DeepMlp, DeepTrainer};
 pub use fault::{FaultPlan, FaultSite, Layer, NeuronFaults, UnitKind};
+pub use fused::{
+    clear_fused_cache, disable_fused_engine, fused_cache_stats, fused_engine_disabled, FusedForward,
+};
 pub use hyper::{HyperParams, HyperSpace, SearchResult};
 pub use mlp::{ForwardTrace, Mlp, Topology};
 pub use regress::{RegressionSample, RegressionSet, RegressionTrainer};

@@ -318,6 +318,13 @@ impl Mlp {
         lut: &SigmoidLut,
         faults: &mut FaultPlan,
     ) -> Vec<ForwardTrace> {
+        // Preferred engine: the whole pass as one fused, optimized LUT
+        // stream (memoized per topology + defect-plan fingerprint).
+        if !crate::fused::fused_engine_disabled() {
+            if let Some(fused) = crate::fused::FusedForward::cached(self, faults) {
+                return fused.forward(self, xs, lut, faults);
+            }
+        }
         if !faults.vectorizable() {
             // Memory effects make per-sample order semantic: replay the
             // scalar path exactly.

@@ -89,6 +89,47 @@ proptest! {
     }
 
     #[test]
+    fn batch_forward_matches_scalar_under_every_activation_class(
+        seed in any::<u64>(),
+        n_defects in 1usize..5,
+        class in 0usize..3,
+        n_rows in 1usize..8,
+    ) {
+        use dta_circuits::Activation;
+        let topo = Topology::new(4, 3, 2);
+        let mlp = Mlp::new(topo, seed);
+        let lut = SigmoidLut::new();
+        let activation = match class {
+            0 => Activation::Permanent,
+            1 => Activation::Transient { per_eval_probability: 0.4 },
+            _ => Activation::Intermittent { period: 3, duty: 1 },
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(6);
+        for _ in 0..n_defects {
+            plan.inject_random_hidden_with(
+                topo.hidden,
+                FaultModel::TransistorLevel,
+                activation,
+                &mut rng,
+            );
+        }
+        let xs: Vec<Vec<f64>> = (0..n_rows)
+            .map(|r| (0..topo.inputs).map(|i| ((r * 5 + i * 3) % 11) as f64 / 5.5 - 1.0).collect())
+            .collect();
+        // The scalar reference must replay from the same fault state:
+        // stateful activation classes advance per evaluation.
+        plan.reset_state();
+        let batch = mlp.forward_faulty_batch(&xs, &lut, &mut plan);
+        plan.reset_state();
+        let scalar: Vec<_> = xs.iter().map(|x| mlp.forward_faulty(x, &lut, &mut plan)).collect();
+        // Permanent plans route through the fused network engine (when
+        // the defects are combinational); stateful classes fall back to
+        // the per-sample path. All must agree bit-for-bit.
+        prop_assert_eq!(batch, scalar);
+    }
+
+    #[test]
     fn training_is_seed_deterministic(seed in any::<u64>()) {
         let ds = GaussianMixture::new(4, 2).samples(40).generate("p", 3);
         let idx: Vec<usize> = (0..ds.len()).collect();

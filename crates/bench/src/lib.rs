@@ -48,9 +48,22 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
     ),
     (
         "lutpar",
-        "exp_fig10: also time PartitionedLutExec vs a one-thread reference",
+        "exp_fig10: also time the partitioned lut + fused engines vs one-thread references",
     ),
     ("bench-out", "path for the machine-readable timing JSON"),
+    (
+        "breakdown",
+        "exp_simspeed: report compile vs execute time and memo hit rates",
+    ),
+    (
+        "net-rows",
+        "exp_simspeed: rows for the network-level forward-pass shootout",
+    ),
+    (
+        "net-defects",
+        "exp_simspeed: defect counts for the network-level shootout",
+    ),
+    ("smoke", "exp_simspeed: reduced grid for CI smoke lanes"),
     (
         "checkpoint",
         "journal file for resumable campaigns (per-class suffix in exp_transient)",

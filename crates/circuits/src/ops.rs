@@ -130,6 +130,14 @@ macro_rules! hw_operator {
                 self.lut.is_some()
             }
 
+            /// The operator's patched LUT executor, when the plan
+            /// lowered entirely to truth-word patches. Network-level
+            /// fusion reads the patched instruction stream from here and
+            /// stitches it into one program across operators.
+            pub fn lut_stream(&self) -> Option<&dta_logic::LutExec> {
+                self.lut.as_ref()
+            }
+
             /// Injects `n` random **permanent** defects under the given
             /// fault model and applies them. Returns a description per
             /// defect.

@@ -84,7 +84,7 @@ pub use cost::{CostModel, CostReport, SensitiveAreaReport};
 pub use dark_silicon::{DarkSiliconReport, HeterogeneousChip};
 pub use health::{HealthEvent, HealthMonitor, HealthState, IllegalTransition};
 pub use interface::MemoryInterface;
-pub use lutpar::PartitionedLutExec;
+pub use lutpar::{PartitionedFusedExec, PartitionedLutExec};
 pub use mission::{
     run_mission, MissionConfig, MissionError, MissionEvent, MissionOutcome, SurfaceMix,
 };

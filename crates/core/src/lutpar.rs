@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
-use dta_logic::{LutExec, LutInstr, LutProgram, Netlist, Node, NodeId};
+use dta_logic::{FusedProgram, LutExec, LutInstr, LutProgram, Netlist, Node, NodeId, DEAD_SLOT};
 
 use crate::parallel::effective_threads;
 
@@ -212,6 +212,180 @@ impl PartitionedLutExec {
     }
 }
 
+/// Rank-partitioned executor for a *fused* network-level instruction
+/// stream ([`dta_logic::FusedProgram`], typically compiled by
+/// `dta_ann::FusedForward` and optimized by [`dta_logic::optimize`]).
+/// The same per-rank barrier discipline as [`PartitionedLutExec`], but
+/// stage-aware: [`PartitionedFusedExec::exec_stage`] sweeps one stage's
+/// rank window so a runner can interleave native work between stages,
+/// exactly like the single-threaded [`dta_logic::FusedExec`]. Fault
+/// patches are already baked into the fused truth words, so there is
+/// nothing to patch at run time.
+#[derive(Debug)]
+pub struct PartitionedFusedExec {
+    prog: Arc<FusedProgram>,
+    regs: Vec<AtomicU64>,
+    threads: usize,
+}
+
+impl PartitionedFusedExec {
+    /// Creates a partitioned executor over a fused program. `threads ==
+    /// 0` uses every available core; `threads <= 1` runs inline on the
+    /// calling thread (no pool, no barrier).
+    pub fn new(prog: Arc<FusedProgram>, threads: usize) -> PartitionedFusedExec {
+        let regs: Vec<AtomicU64> = (0..prog.n_slots()).map(|_| AtomicU64::new(0)).collect();
+        let mut ex = PartitionedFusedExec {
+            regs,
+            prog,
+            threads: effective_threads(threads),
+        };
+        ex.reset_state();
+        ex
+    }
+
+    /// The fused program this executor runs.
+    pub fn program(&self) -> &Arc<FusedProgram> {
+        &self.prog
+    }
+
+    /// The resolved worker count (after [`effective_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes the whole stream once, settling all lanes.
+    pub fn exec(&mut self) {
+        self.run_ranks(0..self.prog.n_ranks());
+    }
+
+    /// Executes one stage's rank window; earlier stages' results stay
+    /// in the register file for later stages to read.
+    pub fn exec_stage(&mut self, stage: usize) {
+        self.run_ranks(self.prog.stage_rank_range(stage));
+    }
+
+    fn run_ranks(&self, ranks: std::ops::Range<usize>) {
+        if ranks.is_empty() {
+            return;
+        }
+        let threads = self.threads;
+        let regs = &self.regs;
+        let prog = &self.prog;
+        if threads <= 1 {
+            let lo = prog.rank_range(ranks.start).start;
+            let hi = prog.rank_range(ranks.end - 1).end;
+            for ins in &prog.instrs()[lo..hi] {
+                let v = ins.eval_with(|i| regs[i as usize].load(Ordering::Relaxed));
+                regs[ins.out as usize].store(v, Ordering::Relaxed);
+            }
+            return;
+        }
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let barrier = &barrier;
+                let ranks = ranks.clone();
+                scope.spawn(move || {
+                    for rank in ranks {
+                        let range = prog.rank_range(rank);
+                        let len = range.len();
+                        let chunk = len.div_ceil(threads);
+                        let lo = range.start + (t * chunk).min(len);
+                        let hi = range.start + ((t + 1) * chunk).min(len);
+                        for ins in &prog.instrs()[lo..hi] {
+                            let v = ins.eval_with(|i| regs[i as usize].load(Ordering::Relaxed));
+                            regs[ins.out as usize].store(v, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Writes a slot's 64-lane word, skipping [`dta_logic::DEAD_SLOT`].
+    #[inline]
+    pub fn set_slot(&mut self, slot: u32, lanes: u64) {
+        if slot != DEAD_SLOT {
+            self.regs[slot as usize].store(lanes, Ordering::Relaxed);
+        }
+    }
+
+    /// Broadcasts a word across all lanes of a bus (LSB-first),
+    /// skipping dead slots — the uniform-weight lowering.
+    pub fn set_bus_uniform(&mut self, bus: &[u32], word: u64) {
+        for (bit, &slot) in bus.iter().enumerate() {
+            let lanes = if (word >> bit) & 1 == 1 { !0 } else { 0 };
+            self.set_slot(slot, lanes);
+        }
+    }
+
+    /// Drives a bus so lane `l` carries `words[l]` (LSB-first); fewer
+    /// than 64 words leave the remaining lanes at zero. Dead slots are
+    /// skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 words are supplied.
+    pub fn set_bus_words(&mut self, bus: &[u32], words: &[u64]) {
+        assert!(words.len() <= 64, "at most 64 lanes");
+        for (bit, &slot) in bus.iter().enumerate() {
+            if slot == DEAD_SLOT {
+                continue;
+            }
+            let mut lanes = 0u64;
+            for (l, &w) in words.iter().enumerate() {
+                lanes |= ((w >> bit) & 1) << l;
+            }
+            self.regs[slot as usize].store(lanes, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads lane `lane` of a bus back as a word (LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus contains a dead slot or `lane >= 64`.
+    pub fn read_word_lane(&self, bus: &[u32], lane: usize) -> u64 {
+        assert!(lane < 64);
+        bus.iter().enumerate().fold(0u64, |acc, (bit, &slot)| {
+            acc | (((self.regs[slot as usize].load(Ordering::Relaxed) >> lane) & 1) << bit)
+        })
+    }
+
+    /// Reads the first `n_lanes` lanes of a bus back as words.
+    pub fn read_words(&self, bus: &[u32], n_lanes: usize) -> Vec<u64> {
+        (0..n_lanes).map(|l| self.read_word_lane(bus, l)).collect()
+    }
+
+    /// Latch capture across all lanes — two-phase, matching
+    /// [`dta_logic::FusedExec::tick`] (fused streams can chain one
+    /// segment's latch output into another segment's latch data).
+    pub fn tick(&mut self) {
+        let sampled: Vec<u64> = self
+            .prog
+            .latch_slots()
+            .iter()
+            .map(|ls| self.regs[ls.data as usize].load(Ordering::Relaxed))
+            .collect();
+        for (ls, v) in self.prog.latch_slots().iter().zip(sampled) {
+            self.regs[ls.latch as usize].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets latch slots to their init values and re-materializes
+    /// constant registers.
+    pub fn reset_state(&mut self) {
+        for &(slot, bit) in self.prog.consts() {
+            self.regs[slot as usize].store(if bit { !0 } else { 0 }, Ordering::Relaxed);
+        }
+        for ls in self.prog.latch_slots() {
+            let v = if ls.init { !0 } else { 0 };
+            self.regs[ls.latch as usize].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +515,129 @@ mod tests {
             })
             .collect();
         assert_ne!(par.read_words(mul.out_bus(), 64), healthy);
+    }
+
+    /// A fused program plus its `a`/`b`/`c` input buses and output bus.
+    type FusedChain = (
+        Arc<dta_logic::FusedProgram>,
+        Vec<u32>,
+        Vec<u32>,
+        Vec<u32>,
+        Vec<u32>,
+    );
+
+    /// Two multipliers fused into a two-stage stream — stage 0 a
+    /// defect-patched `a*b`, stage 1 a healthy `(a*b)*c` reading stage
+    /// 0's fused output directly. Returns the program plus the fused
+    /// input/output buses.
+    fn fused_mul_chain() -> FusedChain {
+        let mul = FxMulCircuit::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut plan = DefectPlan::new(FaultModel::GateLevel);
+        for _ in 0..2 {
+            plan.add_random(mul.netlist(), mul.cells(), &mut rng);
+        }
+        let mut patched = mul.lut_exec();
+        assert!(plan.apply_lut(&mut patched), "gate-level permanents patch");
+
+        let local = |bus: &[dta_logic::NodeId]| -> Vec<u32> {
+            bus.iter().map(|n| n.index() as u32).collect()
+        };
+        let mut fb = dta_logic::FuseBuilder::new();
+        let a = fb.fresh_bus(16);
+        let b = fb.fresh_bus(16);
+        let bind1: Vec<(u32, u32)> = local(mul.a_bus())
+            .into_iter()
+            .zip(a.iter().copied())
+            .chain(local(mul.b_bus()).into_iter().zip(b.iter().copied()))
+            .collect();
+        let m1 = fb.append(
+            patched.instrs(),
+            patched.program().n_slots(),
+            patched.program().latch_slots(),
+            &bind1,
+        );
+        fb.barrier();
+        // Healthy second multiplier: a-operand wired to the patched
+        // product, b-operand a fresh runtime bus written between stages.
+        let c = fb.fresh_bus(16);
+        let healthy = mul.lut_exec();
+        let bind2: Vec<(u32, u32)> = local(mul.a_bus())
+            .into_iter()
+            .zip(local(mul.out_bus()).iter().map(|&s| m1[s as usize]))
+            .chain(local(mul.b_bus()).into_iter().zip(c.iter().copied()))
+            .collect();
+        let m2 = fb.append(
+            healthy.instrs(),
+            healthy.program().n_slots(),
+            healthy.program().latch_slots(),
+            &bind2,
+        );
+        let out: Vec<u32> = local(mul.out_bus())
+            .iter()
+            .map(|&s| m2[s as usize])
+            .collect();
+        (Arc::new(fb.finish()), a, b, c, out)
+    }
+
+    #[test]
+    fn partitioned_fused_matches_fused_exec_across_thread_counts() {
+        let (prog, a, b, c, out) = fused_mul_chain();
+        assert_eq!(prog.n_stages(), 2);
+        let (av, bv) = batch(21, 64);
+        let (cv, _) = batch(22, 64);
+
+        let mut reference = dta_logic::FusedExec::new(Arc::clone(&prog));
+        reference.set_bus_words(&a, &av);
+        reference.set_bus_words(&b, &bv);
+        reference.set_bus_words(&c, &cv);
+        reference.exec();
+        let want = reference.read_words(&out, 64);
+
+        for threads in [1, 2, 4] {
+            let mut par = PartitionedFusedExec::new(Arc::clone(&prog), threads);
+            par.set_bus_words(&a, &av);
+            par.set_bus_words(&b, &bv);
+            par.set_bus_words(&c, &cv);
+            par.exec();
+            assert_eq!(
+                par.read_words(&out, 64),
+                want,
+                "{threads} threads diverged from FusedExec"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_fused_stage_interleave_matches_whole_stream() {
+        // Drive the stream stage by stage, writing the second operand
+        // only after stage 0 settles (the runner's native-interleave
+        // pattern), and check it equals the all-at-once execution.
+        let (prog, a, b, c, out) = fused_mul_chain();
+        let (av, bv) = batch(31, 64);
+
+        let mut par = PartitionedFusedExec::new(Arc::clone(&prog), 2);
+        par.set_bus_words(&a, &av);
+        par.set_bus_words(&b, &bv);
+        par.exec_stage(0);
+        // Write the stage-1 operand only now, the way the fused runner
+        // injects natively-computed values between gate stages.
+        let cv: Vec<u64> = av
+            .iter()
+            .zip(&bv)
+            .map(|(&x, &y)| {
+                u64::from((Fx::from_bits(x as u16) * Fx::from_bits(y as u16)).to_bits())
+            })
+            .collect();
+        par.set_bus_words(&c, &cv);
+        par.exec_stage(1);
+        let staged = par.read_words(&out, 64);
+
+        let mut whole = dta_logic::FusedExec::new(Arc::clone(&prog));
+        whole.set_bus_words(&a, &av);
+        whole.set_bus_words(&b, &bv);
+        whole.set_bus_words(&c, &cv);
+        whole.exec();
+        assert_eq!(staged, whole.read_words(&out, 64));
     }
 }

@@ -18,7 +18,7 @@
 //! ranks, never each other.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::gate::GateKind;
@@ -41,6 +41,20 @@ pub fn disable_lut_backend(on: bool) {
 /// True while [`disable_lut_backend`] is in effect.
 pub fn lut_backend_disabled() -> bool {
     DISABLE_LUT.load(Ordering::SeqCst)
+}
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(hits, misses)` of [`LutProgram::cached`], for
+/// benchmark breakdowns that measure — not assert — how compilation
+/// amortizes across campaign cells. Monotone; diff two samples to
+/// attribute a phase.
+pub fn program_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 /// Broadcasts bit `v` of a truth word across all 64 lanes.
@@ -266,8 +280,10 @@ impl LutProgram {
         let key = Arc::as_ptr(net) as usize;
         let mut map = cache.lock().expect("LUT program cache poisoned");
         if let Some((_, prog)) = map.get(&key) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(prog);
         }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
         let prog = Arc::new(LutProgram::compile(Arc::clone(net)));
         map.insert(key, (Arc::clone(net), Arc::clone(&prog)));
         prog

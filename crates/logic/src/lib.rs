@@ -45,18 +45,23 @@
 
 pub mod compile;
 pub mod exec;
+pub mod fuse;
 pub mod gate;
 pub mod netlist;
+pub mod opt;
 pub mod sim;
 pub mod sim64;
 pub mod stuck;
 
 pub use compile::{
-    disable_lut_backend, kind_table, lut_backend_disabled, LatchSlot, LutInstr, LutProgram,
+    disable_lut_backend, kind_table, lut_backend_disabled, program_cache_stats, LatchSlot,
+    LutInstr, LutProgram,
 };
 pub use exec::LutExec;
+pub use fuse::{FuseBuilder, FusedExec, FusedProgram, DEAD_SLOT};
 pub use gate::{GateBehavior, GateKind};
 pub use netlist::{ConeClosure, Netlist, NetlistBuilder, NetlistError, Node, NodeId};
+pub use opt::{optimize, optimize_with_consts, OptStats, SlotMap};
 pub use sim::{force_full_settle, full_settle_forced, SettleMode, Simulator};
 pub use sim64::{Behavior64, Simulator64};
 pub use stuck::{StuckAt, StuckPort, StuckSet};

@@ -1,0 +1,433 @@
+//! Property tests for the fused-stream compiler and its optimizer.
+//!
+//! The invariant ladder: for any pair of random (latched) netlists with
+//! random permanent truth-word patches, stitched into one fused stream,
+//!
+//! * the **unoptimized** fused program,
+//! * the **optimized** fused program (constant folding through patched
+//!   truth words + known-constant inputs, copy propagation, dead-LUT
+//!   elimination, slot compaction), and
+//! * per-operator `SettleMode::Event` [`Simulator`]s with identical
+//!   [`TableBehavior`] overrides (one per segment, chained by hand)
+//!
+//! must be bit-identical on every surviving register, every lane, every
+//! step, across latch ticks and state resets. Permanent faults are the
+//! only class that lowers into truth words and therefore into fused
+//! streams; dynamic classes (transient/intermittent overrides) are
+//! refused upstream by the network compiler and fall back to the
+//! per-operator engines, where `prop.rs` already pins them to the
+//! scalar reference.
+
+use std::sync::Arc;
+
+use dta_logic::{
+    optimize, optimize_with_consts, FuseBuilder, FusedExec, GateBehavior, GateKind, LutExec,
+    LutProgram, Netlist, NetlistBuilder, NodeId, SettleMode, Simulator, DEAD_SLOT,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind_sel: u8,
+    input_sels: [u16; 4],
+}
+
+fn kinds() -> [GateKind; 13] {
+    GateKind::ALL
+}
+
+/// Random netlist with a latch layer between two gate clouds (either
+/// cloud may be trivially small, so latches can feed outputs directly).
+#[allow(clippy::type_complexity)]
+fn build_seq(
+    n_inputs: usize,
+    pre: &[GateRecipe],
+    latch_sels: &[(u16, bool)],
+    post: &[GateRecipe],
+) -> (
+    Arc<Netlist>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+) {
+    let mut b = NetlistBuilder::new();
+    let inputs = b.input_bus("x", n_inputs);
+    let mut pool: Vec<NodeId> = inputs.clone();
+    let mut gates = Vec::new();
+    let mut grow = |b: &mut NetlistBuilder, pool: &mut Vec<NodeId>, recipes: &[GateRecipe]| {
+        for r in recipes {
+            let kind = kinds()[r.kind_sel as usize % kinds().len()];
+            let ins: Vec<NodeId> = (0..kind.arity())
+                .map(|k| pool[r.input_sels[k] as usize % pool.len()])
+                .collect();
+            let g = b.gate(kind, &ins);
+            pool.push(g);
+            gates.push(g);
+        }
+    };
+    grow(&mut b, &mut pool, pre);
+    let latches: Vec<NodeId> = latch_sels
+        .iter()
+        .map(|&(sel, init)| b.latch(pool[sel as usize % pool.len()], init))
+        .collect();
+    pool.extend(&latches);
+    grow(&mut b, &mut pool, post);
+    let outputs: Vec<NodeId> = pool.iter().rev().take(4).copied().collect();
+    b.output_bus("y", &outputs);
+    (Arc::new(b.build()), inputs, gates, latches, outputs)
+}
+
+/// Stateless truth-word override: the scalar-simulator twin of a
+/// patched LUT instruction.
+#[derive(Debug)]
+struct TableBehavior {
+    table: u16,
+}
+
+impl GateBehavior for TableBehavior {
+    fn eval(&mut self, inputs: &[bool]) -> bool {
+        let v = inputs
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (k, &b)| acc | (usize::from(b) << k));
+        (self.table >> v) & 1 == 1
+    }
+
+    fn reset(&mut self) {}
+}
+
+fn table_mask(net: &Netlist, id: NodeId) -> u16 {
+    match net.node(id) {
+        dta_logic::Node::Gate { kind, .. } => ((1u32 << (1usize << kind.arity())) - 1) as u16,
+        _ => unreachable!("patch targets are gates"),
+    }
+}
+
+/// One fused segment: compiled program plus the patch set applied to
+/// both the fused stream and its scalar reference twin.
+struct Segment {
+    net: Arc<Netlist>,
+    inputs: Vec<NodeId>,
+    gates: Vec<NodeId>,
+    latches: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    patches: Vec<(NodeId, u16)>,
+}
+
+impl Segment {
+    fn new(
+        n_inputs: usize,
+        pre: &[GateRecipe],
+        latch_sels: &[(u16, bool)],
+        post: &[GateRecipe],
+        patch_sels: &[(u16, u16)],
+    ) -> Self {
+        let (net, inputs, gates, latches, outputs) = build_seq(n_inputs, pre, latch_sels, post);
+        let mut patches = Vec::new();
+        for &(sel, table) in patch_sels {
+            let g = gates[sel as usize % gates.len()];
+            if !patches.iter().any(|&(p, _)| p == g) {
+                patches.push((g, table & table_mask(&net, g)));
+            }
+        }
+        Self {
+            net,
+            inputs,
+            gates,
+            latches,
+            outputs,
+            patches,
+        }
+    }
+
+    /// Patched instruction stream, exactly as the network compiler
+    /// consumes it: permanent faults already lowered into truth words
+    /// by [`LutExec::patch_gate`].
+    fn patched_exec(&self) -> LutExec {
+        let mut ex = LutExec::new(Arc::new(LutProgram::compile(Arc::clone(&self.net))));
+        for &(g, t) in &self.patches {
+            ex.patch_gate(g, t);
+        }
+        assert!(ex.fully_patched());
+        ex
+    }
+
+    /// A scalar event-driven reference with identical overrides.
+    fn reference(&self) -> Simulator {
+        let mut sim = Simulator::new(Arc::clone(&self.net));
+        assert_eq!(sim.settle_mode(), SettleMode::Event);
+        for &(g, t) in &self.patches {
+            sim.override_gate(g, Box::new(TableBehavior { table: t }));
+        }
+        sim
+    }
+}
+
+const LANES: usize = 4;
+
+fn recipe_strategy() -> impl Strategy<Value = GateRecipe> {
+    (any::<u8>(), any::<[u16; 4]>()).prop_map(|(kind_sel, input_sels)| GateRecipe {
+        kind_sel,
+        input_sels,
+    })
+}
+
+type SegParams = (
+    usize,
+    Vec<GateRecipe>,
+    Vec<(u16, bool)>,
+    Vec<GateRecipe>,
+    Vec<(u16, u16)>,
+);
+
+fn seg_strategy() -> impl Strategy<Value = SegParams> {
+    (
+        1usize..5,
+        prop::collection::vec(recipe_strategy(), 1..15),
+        prop::collection::vec((any::<u16>(), any::<bool>()), 0..4),
+        prop::collection::vec(recipe_strategy(), 1..15),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two random patched segments fused A→B (B's first inputs read A's
+    /// output registers directly — no repacking): unoptimized fused,
+    /// optimized fused, and two chained event-driven scalar references
+    /// agree on every surviving register, lane, and step.
+    #[test]
+    fn fused_optimized_and_event_reference_agree(
+        seg_a in seg_strategy(),
+        seg_b in seg_strategy(),
+        const_sels in prop::collection::vec((any::<u16>(), any::<bool>()), 0..3),
+        use_barrier in any::<bool>(),
+        stimulus in prop::collection::vec(any::<[u16; LANES]>(), 1..10),
+    ) {
+        let a = Segment::new(seg_a.0, &seg_a.1, &seg_a.2, &seg_a.3, &seg_a.4);
+        let b = Segment::new(seg_b.0, &seg_b.1, &seg_b.2, &seg_b.3, &seg_b.4);
+        let ex_a = a.patched_exec();
+        let ex_b = b.patched_exec();
+
+        // Fuse: fresh slots for A's primary inputs; B's leading inputs
+        // bound straight onto A's output registers.
+        let mut fb = FuseBuilder::new();
+        let in_a: Vec<u32> = a.inputs.iter().map(|_| fb.fresh_slot()).collect();
+        let bind_a: Vec<(u32, u32)> = a
+            .inputs
+            .iter()
+            .zip(&in_a)
+            .map(|(id, &s)| (id.index() as u32, s))
+            .collect();
+        let map_a = fb.append(
+            ex_a.instrs(),
+            ex_a.program().n_slots(),
+            ex_a.program().latch_slots(),
+            &bind_a,
+        );
+        if use_barrier {
+            fb.barrier();
+        }
+        let n_bind = a.outputs.len().min(b.inputs.len());
+        let mut bind_b: Vec<(u32, u32)> = Vec::new();
+        let mut in_b_extra: Vec<(usize, u32)> = Vec::new();
+        for (j, id) in b.inputs.iter().enumerate() {
+            let fused = if j < n_bind {
+                map_a[a.outputs[j].index()]
+            } else {
+                let s = fb.fresh_slot();
+                in_b_extra.push((j, s));
+                s
+            };
+            bind_b.push((id.index() as u32, fused));
+        }
+        let map_b = fb.append(
+            ex_b.instrs(),
+            ex_b.program().n_slots(),
+            ex_b.program().latch_slots(),
+            &bind_b,
+        );
+        let fused = fb.finish();
+
+        // Known-constant primary inputs of A, declared to the optimizer.
+        let consts: Vec<(u32, bool)> = {
+            let mut seen = Vec::new();
+            for &(sel, v) in &const_sels {
+                let j = sel as usize % in_a.len();
+                if !seen.iter().any(|&(s, _)| s == in_a[j]) {
+                    seen.push((in_a[j], v));
+                }
+            }
+            seen
+        };
+        let roots: Vec<u32> = a
+            .outputs
+            .iter()
+            .map(|o| map_a[o.index()])
+            .chain(b.outputs.iter().map(|o| map_b[o.index()]))
+            .collect();
+        let (opt, sm, _) = optimize_with_consts(&fused, &roots, &consts);
+
+        let mut plain = FusedExec::new(Arc::new(fused));
+        let mut optim = FusedExec::new(Arc::new(opt));
+        let mut sims_a: Vec<Simulator> = (0..LANES).map(|_| a.reference()).collect();
+        let mut sims_b: Vec<Simulator> = (0..LANES).map(|_| b.reference()).collect();
+
+        for (step, lanes) in stimulus.iter().enumerate() {
+            // Drive A's inputs (constants pinned in every lane).
+            for (j, &slot) in in_a.iter().enumerate() {
+                let cv = consts.iter().find(|&&(s, _)| s == slot).map(|&(_, v)| v);
+                let mut word = 0u64;
+                for (lane, &bits) in lanes.iter().enumerate() {
+                    let bit = cv.unwrap_or(bits >> j & 1 == 1);
+                    word |= u64::from(bit) << lane;
+                }
+                plain.set_slot(slot, word);
+                if cv.is_none() {
+                    optim.set_slot(sm.get(slot), word);
+                }
+            }
+            // Drive B's unbound inputs from the high byte.
+            for &(j, slot) in &in_b_extra {
+                let mut word = 0u64;
+                for (lane, &bits) in lanes.iter().enumerate() {
+                    word |= u64::from(bits >> (8 + j % 8) & 1 == 1) << lane;
+                }
+                plain.set_slot(slot, word);
+                optim.set_slot(sm.get(slot), word);
+            }
+            plain.exec();
+            optim.exec();
+
+            // Chained scalar references, one per lane.
+            for (lane, &bits) in lanes.iter().enumerate() {
+                let sim_a = &mut sims_a[lane];
+                for (j, &id) in a.inputs.iter().enumerate() {
+                    let cv = consts
+                        .iter()
+                        .find(|&&(s, _)| s == in_a[j])
+                        .map(|&(_, v)| v);
+                    sim_a.set_input(id, cv.unwrap_or(bits >> j & 1 == 1));
+                }
+                sim_a.settle();
+                let sim_b = &mut sims_b[lane];
+                for (j, &id) in b.inputs.iter().enumerate() {
+                    let v = if j < n_bind {
+                        sim_a.value(a.outputs[j])
+                    } else {
+                        bits >> (8 + j % 8) & 1 == 1
+                    };
+                    sim_b.set_input(id, v);
+                }
+                sim_b.settle();
+
+                // Every gate and latch of both segments must agree.
+                for (tag, seg, map, sim) in [
+                    ("A", &a, &map_a, &mut *sim_a),
+                    ("B", &b, &map_b, &mut *sim_b),
+                ] {
+                    for &id in seg.gates.iter().chain(&seg.latches) {
+                        let slot = map[id.index()];
+                        let want = sim.value(id);
+                        prop_assert_eq!(
+                            plain.slot(slot) >> lane & 1 == 1,
+                            want,
+                            "plain {} {:?} lane {} step {}",
+                            tag,
+                            id,
+                            lane,
+                            step
+                        );
+                        let c = sm.get(slot);
+                        if c != DEAD_SLOT {
+                            prop_assert_eq!(
+                                optim.slot(c) >> lane & 1 == 1,
+                                want,
+                                "optimized {} {:?} lane {} step {}",
+                                tag,
+                                id,
+                                lane,
+                                step
+                            );
+                        }
+                    }
+                }
+            }
+
+            plain.tick();
+            optim.tick();
+            for sim in sims_a.iter_mut().chain(sims_b.iter_mut()) {
+                sim.tick();
+            }
+            if step % 4 == 3 {
+                plain.reset_state();
+                optim.reset_state();
+                for sim in sims_a.iter_mut().chain(sims_b.iter_mut()) {
+                    sim.reset_state();
+                }
+            }
+        }
+    }
+
+    /// Regression: dead-LUT elimination never removes a latch-feeding
+    /// instruction, even when *no* combinational root depends on the
+    /// latch — state must keep evolving exactly like the event-driven
+    /// reference across ticks.
+    #[test]
+    fn dead_lut_elimination_preserves_latch_feeders(
+        seg in seg_strategy(),
+        stimulus in prop::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let mut seg = seg;
+        if seg.2.is_empty() {
+            seg.2.push((0, false)); // the property needs at least one latch
+        }
+        let s = Segment::new(seg.0, &seg.1, &seg.2, &seg.3, &seg.4);
+        let ex_s = s.patched_exec();
+        let mut fb = FuseBuilder::new();
+        let in_s: Vec<u32> = s.inputs.iter().map(|_| fb.fresh_slot()).collect();
+        let bind: Vec<(u32, u32)> = s
+            .inputs
+            .iter()
+            .zip(&in_s)
+            .map(|(id, &sl)| (id.index() as u32, sl))
+            .collect();
+        let map = fb.append(
+            ex_s.instrs(),
+            ex_s.program().n_slots(),
+            ex_s.program().latch_slots(),
+            &bind,
+        );
+        let fused = fb.finish();
+        let n_latches = fused.latch_slots().len();
+
+        // No roots at all: only latch state keeps anything alive.
+        let (opt, sm, _) = optimize(&fused, &[]);
+        prop_assert_eq!(opt.latch_slots().len(), n_latches, "no latch dropped");
+
+        let mut ex = FusedExec::new(Arc::new(opt));
+        let mut sim = s.reference();
+        for (step, &word) in stimulus.iter().enumerate() {
+            for (j, &slot) in in_s.iter().enumerate() {
+                let bit = word >> j & 1 == 1;
+                ex.set_slot(sm.get(slot), if bit { !0 } else { 0 });
+                sim.set_input(s.inputs[j], bit);
+            }
+            ex.exec();
+            sim.settle();
+            for &l in &s.latches {
+                prop_assert_eq!(
+                    ex.slot(sm.get(map[l.index()])) & 1 == 1,
+                    sim.value(l),
+                    "latch {:?} step {}",
+                    l,
+                    step
+                );
+            }
+            ex.tick();
+            sim.tick();
+        }
+    }
+}
